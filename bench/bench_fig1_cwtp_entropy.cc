@@ -1,0 +1,68 @@
+// Figure 1: histogram of users' CWTP entropy (§II-A).
+//
+// The paper computes, per user, the entropy of her category-wise maximum
+// paid price levels on the Beibei dataset and plots the density. The
+// skewed distribution — many users near zero, a long tail of high-entropy
+// users — is the motivating evidence that price sensitivity is
+// category-dependent for a substantial user population.
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "data/quantization.h"
+#include "data/synthetic.h"
+#include "eval/cwtp.h"
+#include "harness.h"
+
+int main() {
+  using namespace pup;
+  bench::Env env = bench::GetEnv();
+
+  // Fig 1 uses the full interaction log (no split): a data analysis, not a
+  // model evaluation.
+  data::SyntheticConfig config =
+      data::SyntheticConfig::BeibeiLike().Scaled(env.scale);
+  data::Dataset ds = data::GenerateSynthetic(config);
+  PUP_CHECK(
+      data::QuantizeDataset(&ds, 10, data::QuantizationScheme::kUniform)
+          .ok());
+
+  std::printf("=== Figure 1: histogram of users' CWTP entropy (Beibei-like) "
+              "===\n");
+  std::printf("dataset: %s\n\n", ds.Summary().c_str());
+
+  auto table = eval::ComputeCwtp(ds, ds.interactions);
+  auto entropies = eval::CwtpEntropies(table);
+
+  // Only users with at least two interacted categories have a meaningful
+  // entropy (mirrors the paper's per-user CWTP sets).
+  std::vector<double> values;
+  size_t zero_entropy = 0;
+  for (uint32_t u = 0; u < ds.num_users; ++u) {
+    size_t cats = 0;
+    for (const auto& v : table[u]) cats += v.has_value() ? 1 : 0;
+    if (cats < 2) continue;
+    values.push_back(entropies[u]);
+    if (entropies[u] < 1e-12) ++zero_entropy;
+  }
+
+  std::printf("users analysed: %zu (of %zu)\n", values.size(),
+              static_cast<size_t>(ds.num_users));
+  std::printf("probability density over entropy value (nats):\n\n%s\n",
+              RenderHistogram(values, 12, 46).c_str());
+
+  double mean = 0.0, max_v = 0.0;
+  for (double v : values) {
+    mean += v;
+    max_v = std::max(max_v, v);
+  }
+  mean = values.empty() ? 0.0 : mean / values.size();
+  std::printf("mean entropy = %.3f, max = %.3f, consistent (≈0) users = "
+              "%.1f%%\n",
+              mean, max_v, 100.0 * zero_entropy / std::max<size_t>(1, values.size()));
+  std::printf("\npaper shape: skewed density on [0, ~3] with mass both near 0\n"
+              "(consistent users) and spread over positive entropy\n"
+              "(inconsistent users). Reproduced if the histogram above is\n"
+              "non-degenerate with a visible positive-entropy tail.\n");
+  return 0;
+}

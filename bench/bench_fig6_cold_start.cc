@@ -1,0 +1,92 @@
+// Figure 6: cold-start performance on unexplored categories (Yelp
+// analogue) under the CIR and UCIR protocols (§V-F).
+//
+// Methods: FM, DeepFM, GC-MC, PUP- (no category nodes), PUP.
+// Paper shape: GCN-based methods (GC-MC, PUP-, PUP) > factorization
+// methods (FM, DeepFM); PUP best on both protocols; PUP-/PUP > GC-MC
+// because price nodes provide extra paths into unexplored categories.
+#include <cstdio>
+#include <memory>
+
+#include "common/table.h"
+#include "core/pup_model.h"
+#include "eval/cold_start.h"
+#include "harness.h"
+#include "models/deep_fm.h"
+#include "models/fm.h"
+#include "models/gc_mc.h"
+
+int main() {
+  using namespace pup;
+  bench::Env env = bench::GetEnv();
+
+  bench::PreparedData d = bench::Prepare(
+      data::SyntheticConfig::YelpLike().Scaled(env.scale), 4,
+      data::QuantizationScheme::kUniform);
+  bench::PrintHeader("Figure 6 — cold-start CIR / UCIR (Yelp-like)", d, env);
+
+  auto cir = eval::BuildColdStartTask(d.dataset, d.train, d.test,
+                                      eval::ColdStartProtocol::kCir);
+  auto ucir = eval::BuildColdStartTask(d.dataset, d.train, d.test,
+                                       eval::ColdStartProtocol::kUcir);
+  std::printf("cold-start users: CIR %zu, UCIR %zu\n\n",
+              cir.num_active_users, ucir.num_active_users);
+
+  std::vector<std::unique_ptr<models::Recommender>> all;
+  {
+    models::FmConfig c;
+    c.embedding_dim = env.embedding_dim;
+    c.train = bench::DefaultTrain(env);
+    all.push_back(std::make_unique<models::Fm>(c));
+  }
+  {
+    models::DeepFmConfig c;
+    c.embedding_dim = env.embedding_dim;
+    c.train = bench::DefaultTrain(env);
+    c.train.l2_reg = 3e-3f;  // Grid-searched.
+    all.push_back(std::make_unique<models::DeepFm>(c));
+  }
+  {
+    models::GcMcConfig c;
+    c.embedding_dim = env.embedding_dim;
+    c.train = bench::DefaultTrain(env);
+    all.push_back(std::make_unique<models::GcMc>(c));
+  }
+  {
+    core::PupConfig c = core::PupConfig::Minus();
+    c.embedding_dim = env.embedding_dim;
+    c.train = bench::DefaultTrain(env);
+    c.train.l2_reg = 3e-3f;  // Grid-searched.
+    all.push_back(std::make_unique<core::Pup>(c));
+  }
+  {
+    core::PupConfig c = core::PupConfig::Full();
+    c.embedding_dim = env.embedding_dim;
+    c.category_branch_dim = env.embedding_dim / 8;
+    c.train = bench::DefaultTrain(env);
+    c.train.l2_reg = 3e-3f;  // Grid-searched.
+    all.push_back(std::make_unique<core::Pup>(c));
+  }
+
+  TextTable table({"method", "CIR R@50", "CIR N@50", "UCIR R@50",
+                   "UCIR N@50"});
+  for (auto& model : all) {
+    model->Fit(d.dataset, d.train);
+    auto cir_result = eval::EvaluateRankingWithCandidates(
+        *model, cir.candidates, cir.test_items, {50});
+    auto ucir_result = eval::EvaluateRankingWithCandidates(
+        *model, ucir.candidates, ucir.test_items, {50});
+    table.AddRow({model->name(),
+                  FormatFixed(cir_result.At(50).recall, 4),
+                  FormatFixed(cir_result.At(50).ndcg, 4),
+                  FormatFixed(ucir_result.At(50).recall, 4),
+                  FormatFixed(ucir_result.At(50).ndcg, 4)});
+    std::fprintf(stderr, "[fig6] %s done\n", model->name().c_str());
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("paper shape: {GC-MC, PUP-, PUP} > {FM, DeepFM} under both\n"
+              "protocols; PUP best overall; the CIR pool (only the\n"
+              "test-positive categories) gives much higher absolute\n"
+              "numbers than UCIR (every unexplored category).\n");
+  return 0;
+}

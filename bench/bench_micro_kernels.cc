@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the compute kernels and the
+// eq. (7) decoder trick the paper highlights in §IV-B.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/hetero_graph.h"
+#include "la/kernels.h"
+
+namespace {
+
+using namespace pup;
+
+la::Matrix RandomMatrix(size_t r, size_t c, uint64_t seed) {
+  Rng rng(seed);
+  return la::Matrix::Uniform(r, c, -1.0f, 1.0f, &rng);
+}
+
+// Representative hetero-graph adjacency for SpMM benchmarks.
+la::CsrMatrix MakeAdjacency(size_t users, size_t items, size_t edges) {
+  Rng rng(9);
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.reserve(edges);
+  for (size_t e = 0; e < edges; ++e) {
+    pairs.emplace_back(static_cast<uint32_t>(rng.NextBelow(users)),
+                       static_cast<uint32_t>(rng.NextBelow(items)));
+  }
+  std::vector<uint32_t> cats(items), prices(items);
+  for (size_t i = 0; i < items; ++i) {
+    cats[i] = static_cast<uint32_t>(rng.NextBelow(30));
+    prices[i] = static_cast<uint32_t>(rng.NextBelow(10));
+  }
+  graph::HeteroGraph g(users, items, 30, 10, pairs, cats, prices);
+  return g.adjacency();
+}
+
+void BM_Gemm(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  la::Matrix a = RandomMatrix(n, n, 1), b = RandomMatrix(n, n, 2), out;
+  for (auto _ : state) {
+    la::Gemm(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SpmmHeteroGraph(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  la::CsrMatrix adj = MakeAdjacency(2000, 1200, 40000);
+  la::Matrix emb = RandomMatrix(adj.cols(), dim, 3), out;
+  for (auto _ : state) {
+    la::Spmm(adj, emb, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * dim);
+}
+BENCHMARK(BM_SpmmHeteroGraph)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_GatherRows(benchmark::State& state) {
+  la::Matrix table = RandomMatrix(5000, 64, 4);
+  Rng rng(5);
+  std::vector<uint32_t> idx(1024);
+  for (auto& v : idx) v = static_cast<uint32_t>(rng.NextBelow(5000));
+  la::Matrix out;
+  for (auto _ : state) {
+    la::GatherRows(table, idx, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GatherRows);
+
+// --- eq. (7): naive O(k²·d) pairwise decoder vs the linear-time trick ---
+
+constexpr size_t kBatch = 1024;
+constexpr size_t kDim = 64;
+
+// Naive: explicit sum over all feature pairs.
+void BM_FmDecoderNaive(benchmark::State& state) {
+  size_t num_fields = static_cast<size_t>(state.range(0));
+  std::vector<la::Matrix> fields;
+  for (size_t f = 0; f < num_fields; ++f) {
+    fields.push_back(RandomMatrix(kBatch, kDim, 10 + f));
+  }
+  la::Matrix dot, acc(kBatch, 1);
+  for (auto _ : state) {
+    acc.Zero();
+    for (size_t f = 0; f < num_fields; ++f) {
+      for (size_t g = f + 1; g < num_fields; ++g) {
+        la::RowDot(fields[f], fields[g], &dot);
+        la::Axpy(1.0f, dot, &acc);
+      }
+    }
+    benchmark::DoNotOptimize(acc.data());
+  }
+}
+BENCHMARK(BM_FmDecoderNaive)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// Trick: ½(‖Σe‖² − Σ‖e‖²) per row — linear in the number of fields.
+void BM_FmDecoderEq7(benchmark::State& state) {
+  size_t num_fields = static_cast<size_t>(state.range(0));
+  std::vector<la::Matrix> fields;
+  for (size_t f = 0; f < num_fields; ++f) {
+    fields.push_back(RandomMatrix(kBatch, kDim, 10 + f));
+  }
+  la::Matrix sum(kBatch, kDim), sq, acc, self;
+  for (auto _ : state) {
+    sum.Zero();
+    la::Matrix self_total(kBatch, 1);
+    for (const auto& f : fields) {
+      la::Axpy(1.0f, f, &sum);
+      la::RowDot(f, f, &self);
+      la::Axpy(1.0f, self, &self_total);
+    }
+    la::RowDot(sum, sum, &sq);
+    la::Axpy(-1.0f, self_total, &sq);
+    la::Scale(0.5f, sq, &acc);
+    benchmark::DoNotOptimize(acc.data());
+  }
+}
+BENCHMARK(BM_FmDecoderEq7)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// --- One PUP training step (forward + backward) at bench scale. ---
+void BM_PupForwardBackward(benchmark::State& state) {
+  la::CsrMatrix adj = MakeAdjacency(2000, 1200, 40000);
+  la::CsrMatrix adj_t = adj.Transposed();
+  Rng rng(6);
+  ag::Tensor emb =
+      ag::Param(la::Matrix::Gaussian(adj.rows(), 56, 0.05f, &rng));
+  std::vector<uint32_t> users(1024), pos(1024), neg(1024);
+  for (size_t k = 0; k < 1024; ++k) {
+    users[k] = static_cast<uint32_t>(rng.NextBelow(2000));
+    pos[k] = 2000 + static_cast<uint32_t>(rng.NextBelow(1200));
+    neg[k] = 2000 + static_cast<uint32_t>(rng.NextBelow(1200));
+  }
+  for (auto _ : state) {
+    ag::Tensor f = ag::Tanh(ag::Spmm(&adj, &adj_t, emb));
+    ag::Tensor loss = ag::BprLoss(
+        ag::RowDot(ag::Gather(f, users), ag::Gather(f, pos)),
+        ag::RowDot(ag::Gather(f, users), ag::Gather(f, neg)));
+    emb->ZeroGrad();
+    ag::Backward(loss);
+    benchmark::DoNotOptimize(emb->grad.data());
+  }
+}
+BENCHMARK(BM_PupForwardBackward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Micro-benchmarks (google-benchmark): one training epoch per model on a
+// small fixed dataset — the cost profile behind the table benches.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/pup_model.h"
+#include "common/check.h"
+#include "data/quantization.h"
+#include "data/synthetic.h"
+#include "models/bpr_mf.h"
+#include "models/deep_fm.h"
+#include "models/fm.h"
+#include "models/gc_mc.h"
+#include "models/ngcf.h"
+
+namespace {
+
+using namespace pup;
+
+const data::Dataset& BenchDataset() {
+  static const data::Dataset ds = [] {
+    data::SyntheticConfig config =
+        data::SyntheticConfig::YelpLike().Scaled(0.2);
+    config.num_interactions = 12000;
+    data::Dataset d = data::GenerateSynthetic(config);
+    PUP_CHECK(
+        data::QuantizeDataset(&d, 4, data::QuantizationScheme::kUniform)
+            .ok());
+    return d;
+  }();
+  return ds;
+}
+
+train::TrainOptions OneEpoch() {
+  train::TrainOptions t;
+  t.epochs = 1;
+  t.batch_size = 1024;
+  return t;
+}
+
+template <typename ModelFactory>
+void EpochBench(benchmark::State& state, ModelFactory factory) {
+  const data::Dataset& ds = BenchDataset();
+  for (auto _ : state) {
+    auto model = factory();
+    model->Fit(ds, ds.interactions);
+    benchmark::DoNotOptimize(model.get());
+  }
+}
+
+void BM_EpochBprMf(benchmark::State& state) {
+  EpochBench(state, [] {
+    models::BprMfConfig c;
+    c.train = OneEpoch();
+    return std::make_unique<models::BprMf>(c);
+  });
+}
+BENCHMARK(BM_EpochBprMf)->Unit(benchmark::kMillisecond);
+
+void BM_EpochFm(benchmark::State& state) {
+  EpochBench(state, [] {
+    models::FmConfig c;
+    c.train = OneEpoch();
+    return std::make_unique<models::Fm>(c);
+  });
+}
+BENCHMARK(BM_EpochFm)->Unit(benchmark::kMillisecond);
+
+void BM_EpochDeepFm(benchmark::State& state) {
+  EpochBench(state, [] {
+    models::DeepFmConfig c;
+    c.train = OneEpoch();
+    return std::make_unique<models::DeepFm>(c);
+  });
+}
+BENCHMARK(BM_EpochDeepFm)->Unit(benchmark::kMillisecond);
+
+void BM_EpochGcMc(benchmark::State& state) {
+  EpochBench(state, [] {
+    models::GcMcConfig c;
+    c.train = OneEpoch();
+    return std::make_unique<models::GcMc>(c);
+  });
+}
+BENCHMARK(BM_EpochGcMc)->Unit(benchmark::kMillisecond);
+
+void BM_EpochNgcf(benchmark::State& state) {
+  EpochBench(state, [] {
+    models::NgcfConfig c;
+    c.train = OneEpoch();
+    return std::make_unique<models::Ngcf>(c);
+  });
+}
+BENCHMARK(BM_EpochNgcf)->Unit(benchmark::kMillisecond);
+
+void BM_EpochPup(benchmark::State& state) {
+  EpochBench(state, [] {
+    core::PupConfig c = core::PupConfig::Full();
+    c.train = OneEpoch();
+    return std::make_unique<core::Pup>(c);
+  });
+}
+BENCHMARK(BM_EpochPup)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

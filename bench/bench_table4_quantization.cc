@@ -1,0 +1,65 @@
+// Table IV: uniform vs rank-based price quantization on the Amazon
+// analogue, whose raw prices are heavy-tailed.
+//
+// Paper reference (Amazon): uniform 0.0807 R@50 / rank 0.0885 R@50 —
+// rank-based quantization wins because the skewed price distribution
+// collapses most items into the lowest uniform levels.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/pup_model.h"
+#include "harness.h"
+
+int main() {
+  using namespace pup;
+  bench::Env env = bench::GetEnv();
+
+  std::printf("=== Table IV: price quantization scheme (Amazon-like) ===\n\n");
+
+  TextTable table({"method", "Recall@50", "NDCG@50", "Recall@100",
+                   "NDCG@100", "distinct L0 share"});
+  for (auto scheme :
+       {data::QuantizationScheme::kUniform, data::QuantizationScheme::kRank}) {
+    bench::PreparedData d = bench::Prepare(
+        data::SyntheticConfig::AmazonLike().Scaled(env.scale), 10, scheme);
+
+    // Share of items landing in level 0 — the skew diagnostic.
+    size_t level0 = 0;
+    for (uint32_t p : d.dataset.item_price_level) level0 += p == 0 ? 1 : 0;
+    double l0_share =
+        static_cast<double>(level0) / d.dataset.num_items;
+
+    // Average over training seeds: the uniform-vs-rank gap must clear
+    // run-to-run noise to count.
+    const uint64_t kSeeds[] = {7, 17, 27};
+    eval::EvalResult mean;
+    for (int k : {50, 100}) mean.at[k] = {};
+    for (uint64_t seed : kSeeds) {
+      core::PupConfig config = core::PupConfig::Full();
+      config.embedding_dim = env.embedding_dim;
+      config.category_branch_dim = env.embedding_dim / 8;
+      config.train = bench::DefaultTrain(env);
+      config.train.seed = seed;
+      core::Pup model(config);
+      bench::RunResult run = bench::FitAndEvaluate(&model, d);
+      for (int k : {50, 100}) {
+        mean.at[k].recall += run.metrics.At(k).recall / 3.0;
+        mean.at[k].ndcg += run.metrics.At(k).ndcg / 3.0;
+      }
+      std::fprintf(stderr, "[table4] seed %llu done (%.1fs)\n",
+                   static_cast<unsigned long long>(seed), run.fit_seconds);
+    }
+    const char* name =
+        scheme == data::QuantizationScheme::kUniform ? "Uniform" : "Rank";
+    auto cells = bench::MetricCells(mean);
+    cells.insert(cells.begin(), name);
+    cells.push_back(FormatFixed(l0_share, 2));
+    table.AddRow(cells);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("paper shape: Rank > Uniform on every metric when the raw\n"
+              "price distribution is heavy-tailed (note the level-0 share\n"
+              "column: uniform quantization crams most items into the\n"
+              "cheapest level, starving the other price nodes).\n");
+  return 0;
+}

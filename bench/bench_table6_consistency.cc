@@ -1,0 +1,90 @@
+// Table VI: NDCG@50 of DeepFM vs PUP on users grouped by the consistency
+// of their price awareness across categories (Beibei analogue).
+//
+// Paper reference (NDCG@50): consistent — DeepFM 0.0091, PUP 0.0129
+// (+41.8%); inconsistent — DeepFM 0.0085, PUP 0.0086 (+1.2%). Both
+// methods find consistent users easier; PUP's edge is largest there.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/pup_model.h"
+#include "eval/cwtp.h"
+#include "harness.h"
+#include "models/deep_fm.h"
+
+namespace {
+
+using namespace pup;
+
+// Restricts per-user test items to a user group.
+std::vector<std::vector<uint32_t>> MaskTestItems(
+    const std::vector<std::vector<uint32_t>>& test_items,
+    const std::vector<uint32_t>& users) {
+  std::vector<std::vector<uint32_t>> out(test_items.size());
+  for (uint32_t u : users) out[u] = test_items[u];
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pup;
+  bench::Env env = bench::GetEnv();
+
+  bench::PreparedData d = bench::Prepare(
+      data::SyntheticConfig::BeibeiLike().Scaled(env.scale), 10,
+      data::QuantizationScheme::kUniform);
+  bench::PrintHeader(
+      "Table VI — price-awareness consistency groups (Beibei-like)", d, env);
+
+  // Group users by the entropy of their training CWTP (median threshold).
+  auto cwtp = eval::ComputeCwtp(d.dataset, d.train);
+  double threshold = eval::MedianEntropy(cwtp);
+  auto groups = eval::GroupUsersByEntropy(cwtp, threshold);
+  std::printf("entropy threshold (median) = %.3f | consistent users = %zu, "
+              "inconsistent users = %zu\n\n",
+              threshold, groups.consistent.size(),
+              groups.inconsistent.size());
+
+  models::DeepFmConfig dfm_config;
+  dfm_config.embedding_dim = env.embedding_dim;
+  dfm_config.train = bench::DefaultTrain(env);
+  dfm_config.train.l2_reg = 3e-3f;  // Grid-searched.
+  models::DeepFm deep_fm(dfm_config);
+  deep_fm.Fit(d.dataset, d.train);
+  std::fprintf(stderr, "[table6] DeepFM trained\n");
+
+  core::PupConfig pup_config = core::PupConfig::Full();
+  pup_config.embedding_dim = env.embedding_dim;
+  pup_config.category_branch_dim = env.embedding_dim / 8;
+  pup_config.train = bench::DefaultTrain(env);
+  pup_config.train.l2_reg = 1e-2f;  // Grid-searched.
+  core::Pup pup(pup_config);
+  pup.Fit(d.dataset, d.train);
+  std::fprintf(stderr, "[table6] PUP trained\n");
+
+  TextTable table({"user group", "DeepFM", "PUP", "boost"});
+  for (const auto& [name, users] :
+       {std::pair<const char*, const std::vector<uint32_t>&>{
+            "consistent", groups.consistent},
+        std::pair<const char*, const std::vector<uint32_t>&>{
+            "inconsistent", groups.inconsistent}}) {
+    auto masked = MaskTestItems(d.test_items, users);
+    auto dfm_result =
+        eval::EvaluateRanking(deep_fm, d.dataset.num_users,
+                              d.dataset.num_items, d.exclude, masked, {50});
+    auto pup_result =
+        eval::EvaluateRanking(pup, d.dataset.num_users, d.dataset.num_items,
+                              d.exclude, masked, {50});
+    double dfm_ndcg = dfm_result.At(50).ndcg;
+    double pup_ndcg = pup_result.At(50).ndcg;
+    table.AddRow({name, FormatFixed(dfm_ndcg, 4), FormatFixed(pup_ndcg, 4),
+                  FormatPercent(dfm_ndcg > 0 ? pup_ndcg / dfm_ndcg - 1.0
+                                             : 0.0)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("paper shape: PUP ≥ DeepFM in both groups, with the larger\n"
+              "boost on consistent users; both methods score higher on the\n"
+              "consistent group than the inconsistent one.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "data/kcore.h"
+
+namespace pup::bench {
+
+Env GetEnv() {
+  Env env;
+  if (const char* s = std::getenv("PUP_BENCH_SCALE")) {
+    double v = std::atof(s);
+    if (v > 0.0) env.scale = v;
+  }
+  if (const char* s = std::getenv("PUP_BENCH_EPOCHS")) {
+    int v = std::atoi(s);
+    if (v > 0) env.epochs = v;
+  }
+  if (const char* s = std::getenv("PUP_BENCH_DIM")) {
+    int v = std::atoi(s);
+    if (v > 0) env.embedding_dim = static_cast<size_t>(v);
+  }
+  return env;
+}
+
+train::TrainOptions DefaultTrain(const Env& env) {
+  train::TrainOptions t;
+  t.epochs = env.epochs;
+  t.batch_size = 1024;
+  t.learning_rate = 1e-2f;
+  t.negative_rate = 1;
+  return t;
+}
+
+PreparedData Prepare(const data::SyntheticConfig& config, size_t price_levels,
+                     data::QuantizationScheme scheme, size_t kcore) {
+  PreparedData d;
+  d.dataset = data::GenerateSynthetic(config);
+  PUP_CHECK(data::QuantizeDataset(&d.dataset, price_levels, scheme).ok());
+  d.dataset = data::KCoreFilter(d.dataset, kcore);
+  data::DataSplit split = data::TemporalSplit(d.dataset);
+  d.train = std::move(split.train);
+  d.valid = std::move(split.valid);
+  d.test = std::move(split.test);
+
+  auto train_items = data::BuildUserItems(d.dataset.num_users, d.train);
+  auto valid_items = data::BuildUserItems(d.dataset.num_users, d.valid);
+  d.exclude.resize(d.dataset.num_users);
+  for (size_t u = 0; u < d.dataset.num_users; ++u) {
+    d.exclude[u] = train_items[u];
+    d.exclude[u].insert(d.exclude[u].end(), valid_items[u].begin(),
+                        valid_items[u].end());
+    std::sort(d.exclude[u].begin(), d.exclude[u].end());
+  }
+  d.test_items = data::BuildUserItems(d.dataset.num_users, d.test);
+  return d;
+}
+
+RunResult FitAndEvaluate(models::Recommender* model, const PreparedData& d,
+                         const std::vector<int>& cutoffs) {
+  RunResult result;
+  Stopwatch timer;
+  model->Fit(d.dataset, d.train);
+  result.fit_seconds = timer.Seconds();
+  result.metrics =
+      eval::EvaluateRanking(*model, d.dataset.num_users, d.dataset.num_items,
+                            d.exclude, d.test_items, cutoffs);
+  return result;
+}
+
+std::vector<std::string> MetricCells(const eval::EvalResult& result,
+                                     const std::vector<int>& cutoffs) {
+  std::vector<std::string> cells;
+  for (int k : cutoffs) {
+    cells.push_back(FormatFixed(result.At(k).recall, 4));
+    cells.push_back(FormatFixed(result.At(k).ndcg, 4));
+  }
+  return cells;
+}
+
+void PrintHeader(const std::string& title, const PreparedData& d,
+                 const Env& env) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("dataset: %s | train/valid/test = %zu/%zu/%zu\n",
+              d.dataset.Summary().c_str(), d.train.size(), d.valid.size(),
+              d.test.size());
+  std::printf("env: scale=%.2f epochs=%d dim=%zu\n\n", env.scale, env.epochs,
+              env.embedding_dim);
+}
+
+}  // namespace pup::bench

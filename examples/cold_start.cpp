@@ -1,0 +1,72 @@
+// Cold-start walkthrough: recommending items from categories a user has
+// never bought in (§V-F).
+//
+// Builds the CIR task (candidates = items of the user's test-positive
+// unexplored categories), trains a price-blind GCN (GC-MC) and PUP, and
+// compares them — showing how price nodes create extra paths from a user
+// to items of unexplored categories (user → item → price → item).
+//
+// Build & run:  ./build/examples/cold_start
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "core/pup_model.h"
+#include "data/quantization.h"
+#include "data/synthetic.h"
+#include "eval/cold_start.h"
+#include "eval/metrics.h"
+#include "models/gc_mc.h"
+
+int main() {
+  using namespace pup;
+
+  data::SyntheticConfig world = data::SyntheticConfig::YelpLike().Scaled(0.4);
+  data::Dataset dataset = data::GenerateSynthetic(world);
+  PUP_CHECK(
+      data::QuantizeDataset(&dataset, 4, data::QuantizationScheme::kUniform)
+          .ok());
+  data::DataSplit split = data::TemporalSplit(dataset);
+  std::printf("dataset: %s\n", dataset.Summary().c_str());
+
+  auto cir = eval::BuildColdStartTask(dataset, split.train, split.test,
+                                      eval::ColdStartProtocol::kCir);
+  auto ucir = eval::BuildColdStartTask(dataset, split.train, split.test,
+                                       eval::ColdStartProtocol::kUcir);
+  std::printf("users with unexplored-category test purchases: %zu (CIR)\n\n",
+              cir.num_active_users);
+
+  models::GcMcConfig gc_config;
+  gc_config.train.epochs = 20;
+  models::GcMc gc_mc(gc_config);
+  std::printf("training %s...\n", gc_mc.name().c_str());
+  gc_mc.Fit(dataset, split.train);
+
+  core::PupConfig pup_config = core::PupConfig::Full();
+  pup_config.train.epochs = 20;
+  core::Pup pup(pup_config);
+  std::printf("training %s...\n\n", pup.name().c_str());
+  pup.Fit(dataset, split.train);
+
+  TextTable table({"protocol", "method", "Recall@50", "NDCG@50"});
+  for (const auto& [name, task] :
+       {std::pair<const char*, const eval::ColdStartTask&>{"CIR", cir},
+        std::pair<const char*, const eval::ColdStartTask&>{"UCIR", ucir}}) {
+    for (models::Recommender* model :
+         {static_cast<models::Recommender*>(&gc_mc),
+          static_cast<models::Recommender*>(&pup)}) {
+      auto result = eval::EvaluateRankingWithCandidates(
+          *model, task.candidates, task.test_items, {50});
+      table.AddRow({name, model->name(),
+                    FormatFixed(result.At(50).recall, 4),
+                    FormatFixed(result.At(50).ndcg, 4)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Why PUP transfers better: in its heterogeneous graph an item of an\n"
+      "unexplored category is reachable from the user through shared price\n"
+      "nodes (user → bought item → price level → new item), while a\n"
+      "bipartite GCN must rely on user-user co-purchase paths alone.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// ExtendedPup walkthrough: adding attributes beyond {category, price}
+// (the paper's §VII: "user profiles can be added as separate nodes…").
+//
+// Compares three graphs on the same data:
+//   1. items only                  (no attribute nodes — pure CF),
+//   2. + category + price          (the PUP attribute set),
+//   3. + a user attribute          (activity tier, derived from history).
+//
+// Build & run:  ./build/examples/extended_attributes
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "core/extended_pup.h"
+#include "data/quantization.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace pup;
+
+  data::SyntheticConfig world = data::SyntheticConfig::BeibeiLike().Scaled(0.3);
+  data::Dataset dataset = data::GenerateSynthetic(world);
+  PUP_CHECK(
+      data::QuantizeDataset(&dataset, 10, data::QuantizationScheme::kRank)
+          .ok());
+  data::DataSplit split = data::TemporalSplit(dataset);
+  std::printf("dataset: %s\n\n", dataset.Summary().c_str());
+
+  // A user attribute derived from the training history: activity tier
+  // (quartile of interaction count). In production this would be a
+  // profile field — age group, membership level, region…
+  std::vector<size_t> counts(dataset.num_users, 0);
+  for (const auto& x : split.train) counts[x.user]++;
+  std::vector<size_t> sorted = counts;
+  std::sort(sorted.begin(), sorted.end());
+  size_t q1 = sorted[sorted.size() / 4];
+  size_t q2 = sorted[sorted.size() / 2];
+  size_t q3 = sorted[3 * sorted.size() / 4];
+  std::vector<uint32_t> tier(dataset.num_users);
+  for (uint32_t u = 0; u < dataset.num_users; ++u) {
+    tier[u] = counts[u] <= q1 ? 0 : counts[u] <= q2 ? 1 : counts[u] <= q3 ? 2
+                                                                          : 3;
+  }
+
+  core::ExtendedAttribute category{"category", dataset.num_categories,
+                                   dataset.item_category, false};
+  core::ExtendedAttribute price{"price", dataset.num_price_levels,
+                                dataset.item_price_level, false};
+  core::ExtendedAttribute activity{"activity_tier", 4, tier, true};
+
+  struct Variant {
+    const char* label;
+    std::vector<core::ExtendedAttribute> attributes;
+  };
+  std::vector<Variant> variants = {
+      {"no attributes (pure CF)", {}},
+      {"+ category + price", {category, price}},
+      {"+ category + price + user tier", {category, price, activity}},
+  };
+
+  auto exclude = data::BuildUserItems(dataset.num_users, split.train);
+  auto test_items = data::BuildUserItems(dataset.num_users, split.test);
+
+  TextTable table({"graph", "Recall@50", "NDCG@50"});
+  for (const Variant& variant : variants) {
+    core::ExtendedPupConfig config;
+    config.embedding_dim = 32;
+    config.attributes = variant.attributes;
+    config.train.epochs = 20;
+    core::ExtendedPup model(config);
+    std::printf("training '%s'...\n", variant.label);
+    model.Fit(dataset, split.train);
+    auto metrics = eval::EvaluateRanking(model, dataset.num_users,
+                                         dataset.num_items, exclude,
+                                         test_items, {50});
+    table.AddRow({variant.label, FormatFixed(metrics.At(50).recall, 4),
+                  FormatFixed(metrics.At(50).ndcg, 4)});
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf("Each additional attribute block is one config entry — no\n"
+              "model code changes. Whether an attribute helps depends on\n"
+              "how informative it is (derived tiers add little; real\n"
+              "profile data typically adds more).\n");
+  return 0;
+}

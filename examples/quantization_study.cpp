@@ -1,0 +1,65 @@
+// Quantization study: how the two price-discretization schemes behave on
+// a heavy-tailed price distribution (§II-B, §V-C2).
+//
+// Shows the per-level item histograms under uniform and rank-based
+// quantization — the diagnostic behind Table IV — plus the paper's §II-B
+// worked example (mobile phone at ¥1000 in range [200, 3000] → level 2).
+//
+// Build & run:  ./build/examples/quantization_study
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "data/quantization.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace pup;
+
+  // The paper's worked example.
+  {
+    auto levels = data::QuantizePrices({200.0f, 1000.0f, 3000.0f}, {0, 0, 0},
+                                       1, 10,
+                                       data::QuantizationScheme::kUniform);
+    PUP_CHECK(levels.ok());
+    std::printf("paper example: price 1000 in range [200, 3000] with 10 "
+                "levels -> level %u (paper: 2)\n\n",
+                (*levels)[1]);
+  }
+
+  data::SyntheticConfig world = data::SyntheticConfig::AmazonLike().Scaled(0.5);
+  data::Dataset dataset = data::GenerateSynthetic(world);
+  std::printf("dataset: %s (log-normal prices, heavy tail)\n\n",
+              dataset.Summary().c_str());
+
+  float max_price = 0.0f, sum = 0.0f;
+  for (float p : dataset.item_price) {
+    max_price = std::max(max_price, p);
+    sum += p;
+  }
+  std::printf("price stats: mean %.1f, max %.1f (ratio %.0fx)\n\n",
+              sum / dataset.num_items, max_price,
+              max_price * dataset.num_items / sum);
+
+  for (auto [name, scheme] :
+       {std::pair<const char*, data::QuantizationScheme>{
+            "uniform", data::QuantizationScheme::kUniform},
+        std::pair<const char*, data::QuantizationScheme>{
+            "rank", data::QuantizationScheme::kRank}}) {
+    data::Dataset copy = dataset;
+    PUP_CHECK(data::QuantizeDataset(&copy, 10, scheme).ok());
+    std::vector<double> level_of_item(copy.num_items);
+    for (size_t i = 0; i < copy.num_items; ++i) {
+      level_of_item[i] = copy.item_price_level[i];
+    }
+    std::printf("items per level under %s quantization:\n%s\n", name,
+                RenderHistogram(level_of_item, 10, 40).c_str());
+  }
+
+  std::printf(
+      "takeaway: uniform quantization collapses nearly all items into the\n"
+      "cheapest levels when prices are heavy-tailed, starving the other\n"
+      "price nodes of connections; rank-based quantization balances the\n"
+      "levels and is what Table IV shows to perform better.\n");
+  return 0;
+}

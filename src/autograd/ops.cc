@@ -1,0 +1,437 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "la/kernels.h"
+
+namespace pup::ag {
+namespace {
+
+Tensor MakeOp(la::Matrix value, std::vector<Tensor> parents,
+              std::function<void(Node*)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  for (const Tensor& p : node->parents) {
+    if (p->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  if (node->requires_grad) node->backward_fn = std::move(backward_fn);
+  return node;
+}
+
+// Accumulate helper: parent must exist; allocates grad lazily.
+void Accumulate(const Tensor& parent, const la::Matrix& contribution) {
+  if (!parent->requires_grad) return;
+  parent->EnsureGrad();
+  la::Axpy(1.0f, contribution, &parent->grad);
+}
+
+}  // namespace
+
+Tensor Gather(const Tensor& table, std::vector<uint32_t> idx) {
+  la::Matrix out;
+  la::GatherRows(table->value, idx, &out);
+  auto indices = std::make_shared<std::vector<uint32_t>>(std::move(idx));
+  Tensor t = table;
+  return MakeOp(std::move(out), {table}, [t, indices](Node* self) {
+    if (!t->requires_grad) return;
+    t->EnsureGrad();
+    la::ScatterAddRows(self->grad, *indices, &t->grad);
+  });
+}
+
+Tensor Spmm(const la::CsrMatrix* a, const la::CsrMatrix* a_transposed,
+            const Tensor& x) {
+  PUP_CHECK(a != nullptr && a_transposed != nullptr);
+  PUP_CHECK_EQ(a->rows(), a_transposed->cols());
+  PUP_CHECK_EQ(a->cols(), a_transposed->rows());
+  la::Matrix out;
+  la::Spmm(*a, x->value, &out);
+  Tensor xt = x;
+  return MakeOp(std::move(out), {x}, [a_transposed, xt](Node* self) {
+    if (!xt->requires_grad) return;
+    la::Matrix gx;
+    la::Spmm(*a_transposed, self->grad, &gx);
+    Accumulate(xt, gx);
+  });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  la::Matrix out;
+  la::Gemm(a->value, b->value, &out);
+  Tensor at = a, bt = b;
+  return MakeOp(std::move(out), {a, b}, [at, bt](Node* self) {
+    if (at->requires_grad) {
+      la::Matrix ga;
+      la::GemmTransB(self->grad, bt->value, &ga);
+      Accumulate(at, ga);
+    }
+    if (bt->requires_grad) {
+      la::Matrix gb;
+      la::GemmTransA(at->value, self->grad, &gb);
+      Accumulate(bt, gb);
+    }
+  });
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  la::Matrix out;
+  la::Add(a->value, b->value, &out);
+  Tensor at = a, bt = b;
+  return MakeOp(std::move(out), {a, b}, [at, bt](Node* self) {
+    Accumulate(at, self->grad);
+    Accumulate(bt, self->grad);
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  la::Matrix out;
+  la::Sub(a->value, b->value, &out);
+  Tensor at = a, bt = b;
+  return MakeOp(std::move(out), {a, b}, [at, bt](Node* self) {
+    Accumulate(at, self->grad);
+    if (bt->requires_grad) {
+      la::Matrix neg;
+      la::Scale(-1.0f, self->grad, &neg);
+      Accumulate(bt, neg);
+    }
+  });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  la::Matrix out;
+  la::Mul(a->value, b->value, &out);
+  Tensor at = a, bt = b;
+  return MakeOp(std::move(out), {a, b}, [at, bt](Node* self) {
+    if (at->requires_grad) {
+      la::Matrix ga;
+      la::Mul(self->grad, bt->value, &ga);
+      Accumulate(at, ga);
+    }
+    if (bt->requires_grad) {
+      la::Matrix gb;
+      la::Mul(self->grad, at->value, &gb);
+      Accumulate(bt, gb);
+    }
+  });
+}
+
+Tensor Scale(const Tensor& x, float alpha) {
+  la::Matrix out;
+  la::Scale(alpha, x->value, &out);
+  Tensor xt = x;
+  return MakeOp(std::move(out), {x}, [xt, alpha](Node* self) {
+    if (!xt->requires_grad) return;
+    la::Matrix gx;
+    la::Scale(alpha, self->grad, &gx);
+    Accumulate(xt, gx);
+  });
+}
+
+Tensor AddBroadcastRow(const Tensor& x, const Tensor& bias) {
+  PUP_CHECK_EQ(bias->value.rows(), 1u);
+  PUP_CHECK_EQ(bias->value.cols(), x->value.cols());
+  la::Matrix out = x->value;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.Row(r);
+    const float* b = bias->value.Row(0);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] += b[c];
+  }
+  Tensor xt = x, bt = bias;
+  return MakeOp(std::move(out), {x, bias}, [xt, bt](Node* self) {
+    Accumulate(xt, self->grad);
+    if (bt->requires_grad) {
+      bt->EnsureGrad();
+      for (size_t r = 0; r < self->grad.rows(); ++r) {
+        const float* g = self->grad.Row(r);
+        float* b = bt->grad.Row(0);
+        for (size_t c = 0; c < self->grad.cols(); ++c) b[c] += g[c];
+      }
+    }
+  });
+}
+
+Tensor Tanh(const Tensor& x) {
+  la::Matrix out;
+  la::Tanh(x->value, &out);
+  Tensor xt = x;
+  return MakeOp(std::move(out), {x}, [xt](Node* self) {
+    if (!xt->requires_grad) return;
+    xt->EnsureGrad();
+    for (size_t i = 0; i < self->value.size(); ++i) {
+      float y = self->value.data()[i];
+      xt->grad.data()[i] += self->grad.data()[i] * (1.0f - y * y);
+    }
+  });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  la::Matrix out;
+  la::Sigmoid(x->value, &out);
+  Tensor xt = x;
+  return MakeOp(std::move(out), {x}, [xt](Node* self) {
+    if (!xt->requires_grad) return;
+    xt->EnsureGrad();
+    for (size_t i = 0; i < self->value.size(); ++i) {
+      float y = self->value.data()[i];
+      xt->grad.data()[i] += self->grad.data()[i] * y * (1.0f - y);
+    }
+  });
+}
+
+Tensor LeakyRelu(const Tensor& x, float slope) {
+  la::Matrix out;
+  la::LeakyRelu(x->value, slope, &out);
+  Tensor xt = x;
+  return MakeOp(std::move(out), {x}, [xt, slope](Node* self) {
+    if (!xt->requires_grad) return;
+    xt->EnsureGrad();
+    for (size_t i = 0; i < self->value.size(); ++i) {
+      float factor = xt->value.data()[i] > 0.0f ? 1.0f : slope;
+      xt->grad.data()[i] += self->grad.data()[i] * factor;
+    }
+  });
+}
+
+Tensor RowDot(const Tensor& a, const Tensor& b) {
+  la::Matrix out;
+  la::RowDot(a->value, b->value, &out);
+  Tensor at = a, bt = b;
+  return MakeOp(std::move(out), {a, b}, [at, bt](Node* self) {
+    if (at->requires_grad) {
+      la::Matrix ga;
+      la::RowScale(bt->value, self->grad, &ga);
+      Accumulate(at, ga);
+    }
+    if (bt->requires_grad) {
+      la::Matrix gb;
+      la::RowScale(at->value, self->grad, &gb);
+      Accumulate(bt, gb);
+    }
+  });
+}
+
+Tensor RowSum(const Tensor& x) {
+  la::Matrix out;
+  la::RowSum(x->value, &out);
+  Tensor xt = x;
+  return MakeOp(std::move(out), {x}, [xt](Node* self) {
+    if (!xt->requires_grad) return;
+    xt->EnsureGrad();
+    for (size_t r = 0; r < xt->grad.rows(); ++r) {
+      float g = self->grad(r, 0);
+      float* row = xt->grad.Row(r);
+      for (size_t c = 0; c < xt->grad.cols(); ++c) row[c] += g;
+    }
+  });
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  PUP_CHECK(!parts.empty());
+  size_t rows = parts[0]->value.rows();
+  size_t total_cols = 0;
+  for (const Tensor& p : parts) {
+    PUP_CHECK_EQ(p->value.rows(), rows);
+    total_cols += p->value.cols();
+  }
+  la::Matrix out(rows, total_cols);
+  size_t offset = 0;
+  for (const Tensor& p : parts) {
+    for (size_t r = 0; r < rows; ++r) {
+      const float* src = p->value.Row(r);
+      float* dst = out.Row(r) + offset;
+      std::copy(src, src + p->value.cols(), dst);
+    }
+    offset += p->value.cols();
+  }
+  std::vector<Tensor> parents = parts;
+  return MakeOp(std::move(out), parts, [parents](Node* self) {
+    size_t offs = 0;
+    for (const Tensor& p : parents) {
+      size_t pc = p->value.cols();
+      if (p->requires_grad) {
+        p->EnsureGrad();
+        for (size_t r = 0; r < p->value.rows(); ++r) {
+          const float* g = self->grad.Row(r) + offs;
+          float* dst = p->grad.Row(r);
+          for (size_t c = 0; c < pc; ++c) dst[c] += g[c];
+        }
+      }
+      offs += pc;
+    }
+  });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  PUP_CHECK(!parts.empty());
+  size_t cols = parts[0]->value.cols();
+  size_t total_rows = 0;
+  for (const Tensor& p : parts) {
+    PUP_CHECK_EQ(p->value.cols(), cols);
+    total_rows += p->value.rows();
+  }
+  la::Matrix out(total_rows, cols);
+  size_t offset = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p->value.data(), p->value.data() + p->value.size(),
+              out.Row(offset));
+    offset += p->value.rows();
+  }
+  std::vector<Tensor> parents = parts;
+  return MakeOp(std::move(out), parts, [parents](Node* self) {
+    size_t offs = 0;
+    for (const Tensor& p : parents) {
+      if (p->requires_grad) {
+        p->EnsureGrad();
+        const float* g = self->grad.Row(offs);
+        float* dst = p->grad.data();
+        for (size_t i = 0; i < p->value.size(); ++i) dst[i] += g[i];
+      }
+      offs += p->value.rows();
+    }
+  });
+}
+
+Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  PUP_CHECK_MSG(p < 1.0f, "dropout probability must be < 1");
+  PUP_CHECK(rng != nullptr);
+  auto mask = std::make_shared<la::Matrix>(x->value.rows(), x->value.cols());
+  float keep_scale = 1.0f / (1.0f - p);
+  for (size_t i = 0; i < mask->size(); ++i) {
+    mask->data()[i] = rng->NextBernoulli(p) ? 0.0f : keep_scale;
+  }
+  la::Matrix out;
+  la::Mul(x->value, *mask, &out);
+  Tensor xt = x;
+  return MakeOp(std::move(out), {x}, [xt, mask](Node* self) {
+    if (!xt->requires_grad) return;
+    la::Matrix gx;
+    la::Mul(self->grad, *mask, &gx);
+    Accumulate(xt, gx);
+  });
+}
+
+Tensor Mean(const Tensor& x) {
+  PUP_CHECK_GT(x->value.size(), 0u);
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(la::Sum(x->value) /
+                                 static_cast<double>(x->value.size()));
+  Tensor xt = x;
+  return MakeOp(std::move(out), {x}, [xt](Node* self) {
+    if (!xt->requires_grad) return;
+    xt->EnsureGrad();
+    float g = self->grad(0, 0) / static_cast<float>(xt->value.size());
+    for (size_t i = 0; i < xt->grad.size(); ++i) xt->grad.data()[i] += g;
+  });
+}
+
+Tensor SumAll(const Tensor& x) {
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(la::Sum(x->value));
+  Tensor xt = x;
+  return MakeOp(std::move(out), {x}, [xt](Node* self) {
+    if (!xt->requires_grad) return;
+    xt->EnsureGrad();
+    float g = self->grad(0, 0);
+    for (size_t i = 0; i < xt->grad.size(); ++i) xt->grad.data()[i] += g;
+  });
+}
+
+Tensor SquaredNorm(const Tensor& x) {
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(la::SquaredNorm(x->value));
+  Tensor xt = x;
+  return MakeOp(std::move(out), {x}, [xt](Node* self) {
+    if (!xt->requires_grad) return;
+    xt->EnsureGrad();
+    float g = 2.0f * self->grad(0, 0);
+    for (size_t i = 0; i < xt->grad.size(); ++i) {
+      xt->grad.data()[i] += g * xt->value.data()[i];
+    }
+  });
+}
+
+Tensor AddScalars(const std::vector<Tensor>& scalars) {
+  PUP_CHECK(!scalars.empty());
+  la::Matrix out(1, 1);
+  for (const Tensor& s : scalars) {
+    PUP_CHECK(s->value.rows() == 1 && s->value.cols() == 1);
+    out(0, 0) += s->value(0, 0);
+  }
+  std::vector<Tensor> parents = scalars;
+  return MakeOp(std::move(out), scalars, [parents](Node* self) {
+    for (const Tensor& p : parents) {
+      if (!p->requires_grad) continue;
+      p->EnsureGrad();
+      p->grad(0, 0) += self->grad(0, 0);
+    }
+  });
+}
+
+Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores) {
+  PUP_CHECK(pos_scores->value.SameShape(neg_scores->value));
+  PUP_CHECK_EQ(pos_scores->value.cols(), 1u);
+  const size_t n = pos_scores->value.rows();
+  PUP_CHECK_GT(n, 0u);
+
+  // Cache σ(neg − pos), which is both the backward factor and 1 − σ(diff).
+  auto sig = std::make_shared<la::Matrix>(n, 1);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    float d = neg_scores->value(i, 0) - pos_scores->value(i, 0);
+    // softplus(d) = log(1 + e^d), computed stably.
+    float sp = d > 0.0f ? d + std::log1p(std::exp(-d))
+                        : std::log1p(std::exp(d));
+    total += sp;
+    (*sig)(i, 0) = d >= 0.0f ? 1.0f / (1.0f + std::exp(-d))
+                             : std::exp(d) / (1.0f + std::exp(d));
+  }
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(total / static_cast<double>(n));
+
+  Tensor pt = pos_scores, nt = neg_scores;
+  return MakeOp(std::move(out), {pos_scores, neg_scores},
+                [pt, nt, sig, n](Node* self) {
+                  float g = self->grad(0, 0) / static_cast<float>(n);
+                  if (pt->requires_grad) {
+                    pt->EnsureGrad();
+                    for (size_t i = 0; i < n; ++i) {
+                      pt->grad(i, 0) -= g * (*sig)(i, 0);
+                    }
+                  }
+                  if (nt->requires_grad) {
+                    nt->EnsureGrad();
+                    for (size_t i = 0; i < n; ++i) {
+                      nt->grad(i, 0) += g * (*sig)(i, 0);
+                    }
+                  }
+                });
+}
+
+Tensor MseLoss(const Tensor& pred, const la::Matrix& target) {
+  PUP_CHECK(pred->value.SameShape(target));
+  const size_t n = pred->value.size();
+  PUP_CHECK_GT(n, 0u);
+  auto diff = std::make_shared<la::Matrix>();
+  la::Sub(pred->value, target, diff.get());
+  la::Matrix out(1, 1);
+  out(0, 0) =
+      static_cast<float>(la::SquaredNorm(*diff) / static_cast<double>(n));
+  Tensor pt = pred;
+  return MakeOp(std::move(out), {pred}, [pt, diff, n](Node* self) {
+    if (!pt->requires_grad) return;
+    pt->EnsureGrad();
+    float g = 2.0f * self->grad(0, 0) / static_cast<float>(n);
+    for (size_t i = 0; i < n; ++i) {
+      pt->grad.data()[i] += g * diff->data()[i];
+    }
+  });
+}
+
+}  // namespace pup::ag

@@ -1,0 +1,97 @@
+// Differentiable operations over ag::Tensor.
+//
+// Each op computes its forward value eagerly and installs a backward
+// closure. Ops only track gradients through parents with
+// requires_grad = true; subgraphs of constants cost nothing at backward.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/tensor.h"
+#include "common/rng.h"
+#include "la/csr.h"
+
+namespace pup::ag {
+
+/// Selects rows of `table` by index: out.Row(i) = table.Row(idx[i]).
+/// Backward scatter-adds into the table's gradient.
+Tensor Gather(const Tensor& table, std::vector<uint32_t> idx);
+
+/// Sparse-dense product out = A * x.
+///
+/// `a` and `a_transposed` must outlive the computation graph (the model
+/// owns them); `a_transposed` is used by the backward pass
+/// (grad_x = Aᵀ · grad_out).
+Tensor Spmm(const la::CsrMatrix* a, const la::CsrMatrix* a_transposed,
+            const Tensor& x);
+
+/// Dense product out = a * b.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Elementwise sum (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise difference (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise (Hadamard) product (same shape).
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Scalar multiple alpha * x.
+Tensor Scale(const Tensor& x, float alpha);
+
+/// Adds a (1, n) bias row to every row of the (m, n) input.
+Tensor AddBroadcastRow(const Tensor& x, const Tensor& bias);
+
+/// Elementwise tanh.
+Tensor Tanh(const Tensor& x);
+
+/// Elementwise logistic sigmoid.
+Tensor Sigmoid(const Tensor& x);
+
+/// Elementwise leaky ReLU; slope = 0 gives plain ReLU.
+Tensor LeakyRelu(const Tensor& x, float slope = 0.0f);
+
+/// Per-row inner product of two (n, d) inputs -> (n, 1).
+Tensor RowDot(const Tensor& a, const Tensor& b);
+
+/// Per-row sum of an (n, d) input -> (n, 1).
+Tensor RowSum(const Tensor& x);
+
+/// Horizontal concatenation of matrices with equal row counts.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+/// Vertical concatenation of matrices with equal column counts.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Inverted dropout: at train time zeroes entries with probability p and
+/// scales survivors by 1/(1-p); identity when !training or p == 0.
+Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training);
+
+/// Mean of all entries -> (1, 1) scalar.
+Tensor Mean(const Tensor& x);
+
+/// Sum of all entries -> (1, 1) scalar.
+Tensor SumAll(const Tensor& x);
+
+/// Squared Frobenius norm -> (1, 1) scalar. Used for L2 regularization of
+/// the embeddings gathered in a batch.
+Tensor SquaredNorm(const Tensor& x);
+
+/// Sum of (1, 1) scalars -> (1, 1).
+Tensor AddScalars(const std::vector<Tensor>& scalars);
+
+/// BPR pairwise ranking loss: mean_i softplus(neg_i - pos_i)
+/// = mean_i −ln σ(pos_i − neg_i), over (n, 1) score columns.
+///
+/// Fidelity note: eq. (4) of the paper as typeset reads
+/// −ln(σ(s(u,i)) − σ(s(u,j))), whose argument can be negative; the cited
+/// BPR reference [5] (and the authors' released code) use the standard
+/// −ln σ(s(u,i) − s(u,j)), which is what this implements.
+Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores);
+
+/// Mean squared error against a constant target -> (1, 1).
+Tensor MseLoss(const Tensor& pred, const la::Matrix& target);
+
+}  // namespace pup::ag

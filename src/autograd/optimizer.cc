@@ -1,0 +1,76 @@
+#include "autograd/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pup::ag {
+
+Optimizer::Optimizer(std::vector<Tensor> params)
+    : params_(std::move(params)) {
+  for (const Tensor& p : params_) {
+    PUP_CHECK_MSG(p && p->requires_grad,
+                  "optimizer parameters must be trainable leaves");
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (const Tensor& p : params_) p->ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float weight_decay)
+    : Optimizer(std::move(params)), weight_decay_(weight_decay) {
+  learning_rate_ = lr;
+}
+
+void Sgd::Step() {
+  for (const Tensor& p : params_) {
+    if (!p->grad.SameShape(p->value)) continue;  // Never touched this step.
+    float* value = p->value.data();
+    const float* grad = p->grad.data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      float g = grad[i] + weight_decay_ * value[i];
+      value[i] -= learning_rate_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  learning_rate_ = options_.learning_rate;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 =
+      1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 =
+      1.0f - std::pow(b2, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    const Tensor& p = params_[k];
+    if (!p->grad.SameShape(p->value)) continue;  // Never touched this step.
+    float* value = p->value.data();
+    const float* grad = p->grad.data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      float g = grad[i] + options_.weight_decay * value[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * g;
+      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+      float m_hat = m[i] / bias1;
+      float v_hat = v[i] / bias2;
+      value[i] -=
+          learning_rate_ * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+}  // namespace pup::ag

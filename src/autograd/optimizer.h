@@ -1,0 +1,70 @@
+// First-order optimizers over autograd parameters.
+#pragma once
+
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace pup::ag {
+
+/// Base class: owns the parameter list, applies Step() from accumulated
+/// gradients, then the caller zeroes gradients for the next batch.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the parameters' current .grad values.
+  virtual void Step() = 0;
+
+  /// Zeroes every parameter's gradient.
+  void ZeroGrad();
+
+  /// Current learning rate.
+  float learning_rate() const { return learning_rate_; }
+
+  /// Changes the learning rate (used for the paper's /10 decay schedule).
+  void SetLearningRate(float lr) { learning_rate_ = lr; }
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  float learning_rate_ = 1e-2f;
+};
+
+/// Plain SGD with optional decoupled L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled L2 weight decay.
+///
+/// The paper trains every model with Adam at lr = 1e-2, decayed by a
+/// factor of 10 twice during the run.
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    float learning_rate = 1e-2f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  Adam(std::vector<Tensor> params, Options options);
+  void Step() override;
+
+ private:
+  Options options_;
+  int64_t t_ = 0;
+  std::vector<la::Matrix> m_;  // First-moment estimates, one per param.
+  std::vector<la::Matrix> v_;  // Second-moment estimates.
+};
+
+}  // namespace pup::ag

@@ -1,0 +1,76 @@
+#include "autograd/tensor.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace pup::ag {
+
+Tensor Param(la::Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  return node;
+}
+
+Tensor Constant(la::Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return node;
+}
+
+namespace internal {
+
+std::vector<Node*> TopologicalOrder(const Tensor& root) {
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  // Iterative post-order DFS.
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root.get()).second) {
+    stack.push_back({root.get(), 0});
+  }
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+  return order;  // Parents precede children.
+}
+
+}  // namespace internal
+
+void Backward(const Tensor& root) {
+  PUP_CHECK_MSG(root->value.rows() == 1 && root->value.cols() == 1,
+                "Backward requires a scalar (1x1) root");
+  auto order = internal::TopologicalOrder(root);
+  root->EnsureGrad();
+  root->grad(0, 0) += 1.0f;
+  // Children come after parents in `order`; walk in reverse.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && node->requires_grad) {
+      node->EnsureGrad();
+      node->backward_fn(node);
+    }
+  }
+}
+
+void ZeroGradients(const Tensor& root) {
+  for (Node* node : internal::TopologicalOrder(root)) {
+    node->ZeroGrad();
+  }
+}
+
+}  // namespace pup::ag

@@ -1,0 +1,74 @@
+// Tape-based reverse-mode automatic differentiation over la::Matrix.
+//
+// A Tensor is a shared handle to a Node in a dynamically built computation
+// graph. Ops (ops.h) create new nodes holding forward values and closures
+// that accumulate gradients into their parents. Backward(loss) runs the
+// tape in reverse topological order.
+//
+// The graph is rebuilt every training step (define-by-run), which matches
+// the minibatch BPR training loop: gather → propagate → decode → loss.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace pup::ag {
+
+class Node;
+
+/// Shared handle to a computation-graph node.
+using Tensor = std::shared_ptr<Node>;
+
+/// One value in the computation graph plus its backward closure.
+class Node {
+ public:
+  /// Forward value.
+  la::Matrix value;
+
+  /// Gradient of the loss w.r.t. `value`; allocated on first accumulation.
+  la::Matrix grad;
+
+  /// Whether gradients should flow to (and through) this node.
+  bool requires_grad = false;
+
+  /// Upstream nodes this value was computed from.
+  std::vector<Tensor> parents;
+
+  /// Accumulates this node's grad into its parents' grads. Null for leaves.
+  std::function<void(Node*)> backward_fn;
+
+  /// Ensures `grad` is allocated (zero) with the shape of `value`.
+  void EnsureGrad() {
+    if (!grad.SameShape(value)) grad = la::Matrix(value.rows(), value.cols());
+  }
+
+  /// Zeroes the gradient if allocated.
+  void ZeroGrad() {
+    if (grad.SameShape(value)) grad.Zero();
+  }
+};
+
+/// Creates a trainable leaf (requires_grad = true).
+Tensor Param(la::Matrix value);
+
+/// Creates a non-trainable leaf.
+Tensor Constant(la::Matrix value);
+
+/// Runs reverse-mode accumulation from `root`, which must be a scalar
+/// (1x1). Every reachable node with requires_grad receives its gradient.
+/// Leaf gradients accumulate across calls until ZeroGradients.
+void Backward(const Tensor& root);
+
+/// Zeroes gradients of every node reachable from `root`.
+void ZeroGradients(const Tensor& root);
+
+namespace internal {
+
+/// Nodes reachable from `root` in topological order (parents first).
+std::vector<Node*> TopologicalOrder(const Tensor& root);
+
+}  // namespace internal
+}  // namespace pup::ag

@@ -1,0 +1,48 @@
+// CHECK macros for internal invariants.
+//
+// These abort with a diagnostic on failure. Use them for programmer errors
+// (broken invariants, impossible states); use Status for conditions a
+// caller could legitimately hit and handle.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pup::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace pup::internal
+
+#define PUP_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::pup::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+  } while (0)
+
+#define PUP_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::pup::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+  } while (0)
+
+#define PUP_CHECK_EQ(a, b) PUP_CHECK((a) == (b))
+#define PUP_CHECK_NE(a, b) PUP_CHECK((a) != (b))
+#define PUP_CHECK_LT(a, b) PUP_CHECK((a) < (b))
+#define PUP_CHECK_LE(a, b) PUP_CHECK((a) <= (b))
+#define PUP_CHECK_GT(a, b) PUP_CHECK((a) > (b))
+#define PUP_CHECK_GE(a, b) PUP_CHECK((a) >= (b))
+
+// Debug-only check: compiled out in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define PUP_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define PUP_DCHECK(cond) PUP_CHECK(cond)
+#endif

@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+namespace pup {
+namespace {
+
+LogLevel InitialLevel() {
+  if (const char* env = std::getenv("PUP_LOG_LEVEL")) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return static_cast<LogLevel>(v);
+  }
+  return LogLevel::kInfo;
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = InitialLevel();
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+LogLevel GetLogLevel() { return MutableLevel(); }
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), msg.c_str());
+}
+
+}  // namespace internal
+}  // namespace pup

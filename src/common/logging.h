@@ -1,0 +1,55 @@
+// Minimal leveled logging to stderr.
+//
+// Benchmarks and examples print their *results* to stdout; diagnostic
+// chatter goes through these macros so it can be silenced with
+// `SetLogLevel(LogLevel::kWarning)` or the PUP_LOG_LEVEL env var
+// (0=debug 1=info 2=warning 3=error 4=off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pup {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level (initialized from PUP_LOG_LEVEL if set).
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pup
+
+#define PUP_LOG(level) ::pup::internal::LogMessage(::pup::LogLevel::level)
+#define PUP_LOG_DEBUG PUP_LOG(kDebug)
+#define PUP_LOG_INFO PUP_LOG(kInfo)
+#define PUP_LOG_WARNING PUP_LOG(kWarning)
+#define PUP_LOG_ERROR PUP_LOG(kError)

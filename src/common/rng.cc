@@ -1,0 +1,13 @@
+#include "common/rng.h"
+
+namespace pup {
+
+std::vector<double> ZipfWeights(size_t n, double alpha) {
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  }
+  return w;
+}
+
+}  // namespace pup

@@ -1,0 +1,134 @@
+// Status and Result<T>: Arrow/RocksDB-style error handling.
+//
+// Fallible public APIs return Status (or Result<T> when they produce a
+// value) instead of throwing. Internal invariant violations use the CHECK
+// macros in check.h, which abort — they indicate programmer error, not
+// runtime conditions a caller could handle.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pup {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kIOError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a message for non-OK.
+///
+/// Cheap to copy when OK (empty message). Construct failures through the
+/// named factories, e.g. `Status::InvalidArgument("k must be > 0")`.
+class Status {
+ public:
+  /// Default-constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or the Status explaining why there is none.
+///
+/// Accessing the value of a failed Result aborts (programmer error); check
+/// `ok()` first or use `ValueOr`.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : repr_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : repr_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the operation; OK() when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  /// The value if present, otherwise `fallback`.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace pup
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define PUP_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::pup::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on failure returns its Status,
+/// otherwise assigns the value to `lhs`.
+#define PUP_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto PUP_CONCAT_(_res, __LINE__) = (expr);   \
+  if (!PUP_CONCAT_(_res, __LINE__).ok())       \
+    return PUP_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(PUP_CONCAT_(_res, __LINE__)).value()
+
+#define PUP_CONCAT_IMPL_(a, b) a##b
+#define PUP_CONCAT_(a, b) PUP_CONCAT_IMPL_(a, b)

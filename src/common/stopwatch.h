@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for coarse timing of training/evaluation phases.
+#pragma once
+
+#include <chrono>
+
+namespace pup {
+
+/// Starts on construction; `Seconds()` reports elapsed wall time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pup

@@ -1,0 +1,141 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pup {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PUP_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  PUP_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+      if (c + 1 < cells.size()) line += "  ";
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+
+  std::string out = render_line(header_);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += std::string(total, '-') + "\n";
+    } else {
+      out += render_line(row);
+    }
+  }
+  return out;
+}
+
+std::string FormatFixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatPercent(double ratio, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", digits, ratio * 100.0);
+  return buf;
+}
+
+std::string RenderBarChart(
+    const std::vector<std::pair<std::string, double>>& series, int width) {
+  double max_v = 0.0;
+  size_t max_label = 0;
+  for (const auto& [label, v] : series) {
+    max_v = std::max(max_v, v);
+    max_label = std::max(max_label, label.size());
+  }
+  std::ostringstream out;
+  for (const auto& [label, v] : series) {
+    int bar = max_v > 0 ? static_cast<int>(v / max_v * width + 0.5) : 0;
+    out << label << std::string(max_label - label.size(), ' ') << " | "
+        << std::string(bar, '#') << "  " << FormatFixed(v, 4) << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderHistogram(const std::vector<double>& values, int bins,
+                            int width) {
+  PUP_CHECK_GT(bins, 0);
+  if (values.empty()) return "(empty)\n";
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  std::vector<int> counts(bins, 0);
+  for (double v : values) {
+    int b = static_cast<int>((v - lo) / (hi - lo) * bins);
+    b = std::clamp(b, 0, bins - 1);
+    counts[b]++;
+  }
+  int max_c = *std::max_element(counts.begin(), counts.end());
+  std::ostringstream out;
+  for (int b = 0; b < bins; ++b) {
+    double left = lo + (hi - lo) * b / bins;
+    double right = lo + (hi - lo) * (b + 1) / bins;
+    int bar = max_c > 0
+                  ? static_cast<int>(counts[b] * 1.0 / max_c * width + 0.5)
+                  : 0;
+    out << "[" << FormatFixed(left, 2) << ", " << FormatFixed(right, 2)
+        << ") | " << std::string(bar, '#') << "  " << counts[b] << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderHeatmap(const std::vector<double>& cells, int rows,
+                          int cols) {
+  PUP_CHECK_EQ(cells.size(), static_cast<size_t>(rows) * cols);
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kRampLen = 9;  // Max index into kRamp.
+  double max_v = 0.0;
+  for (double v : cells) max_v = std::max(max_v, v);
+  std::ostringstream out;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      double v = cells[static_cast<size_t>(r) * cols + c];
+      int idx = max_v > 0
+                    ? static_cast<int>(v / max_v * kRampLen + 0.5)
+                    : 0;
+      out << kRamp[std::clamp(idx, 0, kRampLen)];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pup

@@ -1,0 +1,61 @@
+// ASCII table / histogram rendering for benchmark output.
+//
+// The benchmark harnesses print paper-style tables (rows = methods,
+// columns = metrics) and text histograms/heatmaps for the figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pup {
+
+/// Column-aligned ASCII table builder.
+///
+/// Usage:
+///   TextTable t({"method", "Recall@50", "NDCG@50"});
+///   t.AddRow({"BPR-MF", "0.1621", "0.0767"});
+///   std::cout << t.ToString();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table with padded columns.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits ("0.1621").
+std::string FormatFixed(double v, int digits);
+
+/// Formats a ratio as a percentage with sign ("+5.12%").
+std::string FormatPercent(double ratio, int digits = 2);
+
+/// Renders a horizontal bar chart: one line per (label, value) with a bar
+/// of '#' scaled so the max value spans `width` characters.
+std::string RenderBarChart(const std::vector<std::pair<std::string, double>>&
+                               series,
+                           int width = 40);
+
+/// Renders a text histogram of `values` with `bins` equal-width bins over
+/// [min, max] of the data.
+std::string RenderHistogram(const std::vector<double>& values, int bins,
+                            int width = 40);
+
+/// Renders a dense matrix heatmap with the characters " .:-=+*#%@" scaled
+/// to the max cell. `rows`/`cols` index `cells[r * cols + c]`.
+std::string RenderHeatmap(const std::vector<double>& cells, int rows,
+                          int cols);
+
+}  // namespace pup

@@ -1,0 +1,139 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+namespace pup::data {
+namespace {
+
+// Splits a line on commas (no quoting — ids and numbers only).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+Result<int64_t> ParseInt(const std::string& s) {
+  int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("bad integer field: '" + s + "'");
+  }
+  return v;
+}
+
+Result<float> ParseFloat(const std::string& s) {
+  try {
+    size_t pos = 0;
+    float v = std::stof(s, &pos);
+    if (pos != s.size()) {
+      return Status::InvalidArgument("bad float field: '" + s + "'");
+    }
+    return v;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad float field: '" + s + "'");
+  }
+}
+
+}  // namespace
+
+Status SaveCsv(const Dataset& dataset, const std::string& items_path,
+               const std::string& interactions_path) {
+  PUP_RETURN_NOT_OK(dataset.Validate());
+  {
+    std::ofstream out(items_path);
+    if (!out) return Status::IOError("cannot open " + items_path);
+    out << "item_id,category_id,price\n";
+    for (size_t i = 0; i < dataset.num_items; ++i) {
+      out << i << "," << dataset.item_category[i] << ","
+          << dataset.item_price[i] << "\n";
+    }
+    if (!out) return Status::IOError("write failed: " + items_path);
+  }
+  {
+    std::ofstream out(interactions_path);
+    if (!out) return Status::IOError("cannot open " + interactions_path);
+    out << "user_id,item_id,timestamp\n";
+    for (const Interaction& x : dataset.interactions) {
+      out << x.user << "," << x.item << "," << x.timestamp << "\n";
+    }
+    if (!out) return Status::IOError("write failed: " + interactions_path);
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadCsv(const std::string& items_path,
+                        const std::string& interactions_path) {
+  Dataset ds;
+  {
+    std::ifstream in(items_path);
+    if (!in) return Status::IOError("cannot open " + items_path);
+    std::string line;
+    std::getline(in, line);  // Header.
+    std::vector<std::tuple<int64_t, int64_t, float>> rows;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      auto fields = SplitCsvLine(line);
+      if (fields.size() != 3) {
+        return Status::InvalidArgument("items.csv row needs 3 fields: " +
+                                       line);
+      }
+      PUP_ASSIGN_OR_RETURN(int64_t id, ParseInt(fields[0]));
+      PUP_ASSIGN_OR_RETURN(int64_t cat, ParseInt(fields[1]));
+      PUP_ASSIGN_OR_RETURN(float price, ParseFloat(fields[2]));
+      if (id < 0 || cat < 0) {
+        return Status::InvalidArgument("negative id in items.csv");
+      }
+      rows.emplace_back(id, cat, price);
+    }
+    ds.num_items = rows.size();
+    ds.item_category.resize(rows.size());
+    ds.item_price.resize(rows.size());
+    for (const auto& [id, cat, price] : rows) {
+      if (static_cast<size_t>(id) >= rows.size()) {
+        return Status::InvalidArgument("items.csv ids must be dense 0..n-1");
+      }
+      ds.item_category[id] = static_cast<uint32_t>(cat);
+      ds.item_price[id] = price;
+      ds.num_categories =
+          std::max(ds.num_categories, static_cast<size_t>(cat) + 1);
+    }
+  }
+  {
+    std::ifstream in(interactions_path);
+    if (!in) return Status::IOError("cannot open " + interactions_path);
+    std::string line;
+    std::getline(in, line);  // Header.
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      auto fields = SplitCsvLine(line);
+      if (fields.size() != 3) {
+        return Status::InvalidArgument(
+            "interactions.csv row needs 3 fields: " + line);
+      }
+      PUP_ASSIGN_OR_RETURN(int64_t user, ParseInt(fields[0]));
+      PUP_ASSIGN_OR_RETURN(int64_t item, ParseInt(fields[1]));
+      PUP_ASSIGN_OR_RETURN(int64_t ts, ParseInt(fields[2]));
+      if (user < 0 || item < 0) {
+        return Status::InvalidArgument("negative id in interactions.csv");
+      }
+      if (static_cast<size_t>(item) >= ds.num_items) {
+        return Status::OutOfRange("interaction references unknown item");
+      }
+      ds.interactions.push_back({static_cast<uint32_t>(user),
+                                 static_cast<uint32_t>(item), ts});
+      ds.num_users =
+          std::max(ds.num_users, static_cast<size_t>(user) + 1);
+    }
+  }
+  PUP_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace pup::data

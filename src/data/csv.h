@@ -1,0 +1,27 @@
+// CSV persistence for datasets.
+//
+// Two files describe a dataset:
+//   items.csv:        item_id,category_id,price
+//   interactions.csv: user_id,item_id,timestamp
+// Ids must be dense (0..n-1). This is the interchange format for plugging
+// in real data (e.g. a preprocessed Yelp dump) in place of the synthetic
+// generators.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pup::data {
+
+/// Writes `dataset` to `items_path` and `interactions_path`.
+Status SaveCsv(const Dataset& dataset, const std::string& items_path,
+               const std::string& interactions_path);
+
+/// Loads a dataset from the two CSV files. `item_price_level` is left
+/// empty; run quantization afterwards.
+Result<Dataset> LoadCsv(const std::string& items_path,
+                        const std::string& interactions_path);
+
+}  // namespace pup::data

@@ -1,0 +1,87 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pup::data {
+
+std::vector<std::pair<uint32_t, uint32_t>> Dataset::InteractionPairs()
+    const {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.reserve(interactions.size());
+  for (const Interaction& x : interactions) pairs.emplace_back(x.user, x.item);
+  return pairs;
+}
+
+std::vector<std::vector<uint32_t>> Dataset::UserItemLists() const {
+  return BuildUserItems(num_users, interactions);
+}
+
+Status Dataset::Validate() const {
+  if (item_category.size() != num_items) {
+    return Status::InvalidArgument("item_category size != num_items");
+  }
+  if (item_price.size() != num_items) {
+    return Status::InvalidArgument("item_price size != num_items");
+  }
+  if (!item_price_level.empty() && item_price_level.size() != num_items) {
+    return Status::InvalidArgument("item_price_level size != num_items");
+  }
+  for (uint32_t c : item_category) {
+    if (c >= num_categories) {
+      return Status::OutOfRange("item category id out of range");
+    }
+  }
+  for (uint32_t p : item_price_level) {
+    if (p >= num_price_levels) {
+      return Status::OutOfRange("item price level out of range");
+    }
+  }
+  for (const Interaction& x : interactions) {
+    if (x.user >= num_users || x.item >= num_items) {
+      return Status::OutOfRange("interaction user/item id out of range");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Dataset::Summary() const {
+  std::ostringstream out;
+  out << "users=" << num_users << " items=" << num_items
+      << " cats=" << num_categories << " levels=" << num_price_levels
+      << " interactions=" << interactions.size();
+  return out.str();
+}
+
+DataSplit TemporalSplit(const Dataset& dataset, double train_frac,
+                        double valid_frac) {
+  std::vector<Interaction> sorted = dataset.interactions;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Interaction& a, const Interaction& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  const size_t n = sorted.size();
+  const size_t train_end = static_cast<size_t>(n * train_frac);
+  const size_t valid_end =
+      static_cast<size_t>(n * (train_frac + valid_frac));
+  DataSplit split;
+  split.train.assign(sorted.begin(), sorted.begin() + train_end);
+  split.valid.assign(sorted.begin() + train_end, sorted.begin() + valid_end);
+  split.test.assign(sorted.begin() + valid_end, sorted.end());
+  return split;
+}
+
+std::vector<std::vector<uint32_t>> BuildUserItems(
+    size_t num_users, const std::vector<Interaction>& interactions) {
+  std::vector<std::vector<uint32_t>> out(num_users);
+  for (const Interaction& x : interactions) {
+    out[x.user].push_back(x.item);
+  }
+  for (auto& items : out) {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+  }
+  return out;
+}
+
+}  // namespace pup::data

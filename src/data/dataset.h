@@ -1,0 +1,77 @@
+// Core dataset types for price-aware recommendation.
+//
+// A Dataset is the §II-B problem input: the interaction matrix R (as a
+// list of (user, item, timestamp) events), each item's raw price p and
+// category c, and — after quantization — each item's discrete price level.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pup::data {
+
+/// One observed purchase/consumption event.
+struct Interaction {
+  uint32_t user = 0;
+  uint32_t item = 0;
+  /// Logical time; only the relative order matters (temporal split).
+  int64_t timestamp = 0;
+
+  bool operator==(const Interaction&) const = default;
+};
+
+/// The full problem input: interactions plus item attributes.
+struct Dataset {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t num_categories = 0;
+  /// Number of discrete price levels (valid once quantization has run, or
+  /// when the source data is already discrete, e.g. Yelp dollar signs).
+  size_t num_price_levels = 0;
+
+  /// Category id of each item; size num_items, values < num_categories.
+  std::vector<uint32_t> item_category;
+  /// Raw (continuous) price of each item; size num_items.
+  std::vector<float> item_price;
+  /// Discretized price level of each item; size num_items, values
+  /// < num_price_levels. Filled by quantization.h.
+  std::vector<uint32_t> item_price_level;
+
+  std::vector<Interaction> interactions;
+
+  /// Interactions as (user, item) pairs (drops timestamps).
+  std::vector<std::pair<uint32_t, uint32_t>> InteractionPairs() const;
+
+  /// Per-user sorted unique item lists.
+  std::vector<std::vector<uint32_t>> UserItemLists() const;
+
+  /// Validates internal consistency (sizes, id ranges).
+  Status Validate() const;
+
+  /// One-line summary ("users=... items=... cats=... levels=... inter=...").
+  std::string Summary() const;
+};
+
+/// Train/validation/test partition of a Dataset's interactions.
+///
+/// All three splits share the parent's id spaces and item attributes.
+struct DataSplit {
+  std::vector<Interaction> train;
+  std::vector<Interaction> valid;
+  std::vector<Interaction> test;
+};
+
+/// Splits interactions temporally: earliest `train_frac` for training, the
+/// next `valid_frac` for validation, the remainder for test (paper: 60/20/20).
+/// Ties in timestamp are broken by the original order (stable).
+DataSplit TemporalSplit(const Dataset& dataset, double train_frac = 0.6,
+                        double valid_frac = 0.2);
+
+/// Per-user sets of interacted items, as sorted vectors, for one split.
+std::vector<std::vector<uint32_t>> BuildUserItems(
+    size_t num_users, const std::vector<Interaction>& interactions);
+
+}  // namespace pup::data

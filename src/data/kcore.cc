@@ -1,0 +1,72 @@
+#include "data/kcore.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pup::data {
+
+Dataset KCoreFilter(const Dataset& dataset, size_t k) {
+  std::vector<Interaction> kept = dataset.interactions;
+
+  // Iterate to a fixed point: dropping items can push users below k and
+  // vice versa.
+  while (true) {
+    std::vector<size_t> user_count(dataset.num_users, 0);
+    std::vector<size_t> item_count(dataset.num_items, 0);
+    for (const Interaction& x : kept) {
+      user_count[x.user]++;
+      item_count[x.item]++;
+    }
+    size_t before = kept.size();
+    std::erase_if(kept, [&](const Interaction& x) {
+      return user_count[x.user] < k || item_count[x.item] < k;
+    });
+    if (kept.size() == before) break;
+  }
+
+  // Compact ids: users, items, and categories that survive.
+  constexpr uint32_t kUnmapped = UINT32_MAX;
+  std::vector<uint32_t> user_map(dataset.num_users, kUnmapped);
+  std::vector<uint32_t> item_map(dataset.num_items, kUnmapped);
+  uint32_t next_user = 0, next_item = 0;
+  for (const Interaction& x : kept) {
+    if (user_map[x.user] == kUnmapped) user_map[x.user] = next_user++;
+    if (item_map[x.item] == kUnmapped) item_map[x.item] = next_item++;
+  }
+
+  Dataset out;
+  out.num_users = next_user;
+  out.num_items = next_item;
+  out.num_price_levels = dataset.num_price_levels;
+  out.item_category.resize(next_item);
+  out.item_price.resize(next_item);
+  if (!dataset.item_price_level.empty()) {
+    out.item_price_level.resize(next_item);
+  }
+
+  std::vector<uint32_t> cat_map(dataset.num_categories, kUnmapped);
+  uint32_t next_cat = 0;
+  for (uint32_t old_item = 0; old_item < dataset.num_items; ++old_item) {
+    uint32_t new_item = item_map[old_item];
+    if (new_item == kUnmapped) continue;
+    uint32_t old_cat = dataset.item_category[old_item];
+    if (cat_map[old_cat] == kUnmapped) cat_map[old_cat] = next_cat++;
+    out.item_category[new_item] = cat_map[old_cat];
+    out.item_price[new_item] = dataset.item_price[old_item];
+    if (!dataset.item_price_level.empty()) {
+      out.item_price_level[new_item] = dataset.item_price_level[old_item];
+    }
+  }
+  out.num_categories = next_cat;
+
+  out.interactions.reserve(kept.size());
+  for (const Interaction& x : kept) {
+    out.interactions.push_back(
+        {user_map[x.user], item_map[x.item], x.timestamp});
+  }
+  PUP_CHECK(out.Validate().ok());
+  return out;
+}
+
+}  // namespace pup::data

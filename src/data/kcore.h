@@ -1,0 +1,17 @@
+// Iterative k-core filtering (§V-A1: "10-core settings").
+//
+// Repeatedly removes users and items with fewer than k interactions until
+// every remaining user and item has at least k, then compacts the id
+// spaces (and the item attribute arrays) to be dense again.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace pup::data {
+
+/// Returns a new Dataset containing only the k-core, with user/item ids
+/// renumbered densely. Categories are also renumbered (dropping the empty
+/// ones). k = 0 or 1 returns a compacted copy with nothing filtered.
+Dataset KCoreFilter(const Dataset& dataset, size_t k);
+
+}  // namespace pup::data

@@ -1,0 +1,106 @@
+#include "data/quantization.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pup::data {
+namespace {
+
+std::vector<uint32_t> UniformLevels(const std::vector<float>& prices,
+                                    const std::vector<uint32_t>& categories,
+                                    size_t num_categories, size_t num_levels) {
+  // Per-category min/max.
+  std::vector<float> lo(num_categories, std::numeric_limits<float>::max());
+  std::vector<float> hi(num_categories, std::numeric_limits<float>::lowest());
+  for (size_t i = 0; i < prices.size(); ++i) {
+    lo[categories[i]] = std::min(lo[categories[i]], prices[i]);
+    hi[categories[i]] = std::max(hi[categories[i]], prices[i]);
+  }
+  std::vector<uint32_t> levels(prices.size(), 0);
+  for (size_t i = 0; i < prices.size(); ++i) {
+    float range = hi[categories[i]] - lo[categories[i]];
+    if (range <= 0.0f) continue;  // Single distinct price → level 0.
+    float frac = (prices[i] - lo[categories[i]]) / range;
+    auto level = static_cast<int64_t>(
+        std::floor(frac * static_cast<float>(num_levels)));
+    levels[i] = static_cast<uint32_t>(
+        std::clamp<int64_t>(level, 0, static_cast<int64_t>(num_levels) - 1));
+  }
+  return levels;
+}
+
+std::vector<uint32_t> RankLevels(const std::vector<float>& prices,
+                                 const std::vector<uint32_t>& categories,
+                                 size_t num_categories, size_t num_levels) {
+  // Bucket item indices per category, sort each by price.
+  std::vector<std::vector<uint32_t>> by_cat(num_categories);
+  for (size_t i = 0; i < prices.size(); ++i) {
+    by_cat[categories[i]].push_back(static_cast<uint32_t>(i));
+  }
+  std::vector<uint32_t> levels(prices.size(), 0);
+  for (auto& members : by_cat) {
+    if (members.empty()) continue;
+    std::stable_sort(members.begin(), members.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return prices[a] < prices[b];
+                     });
+    const size_t n = members.size();
+    // Equal prices receive equal levels: assign by the rank of the first
+    // occurrence of each distinct price.
+    size_t start = 0;
+    while (start < n) {
+      size_t end = start;
+      while (end < n && prices[members[end]] == prices[members[start]]) ++end;
+      double percentile = static_cast<double>(start) / static_cast<double>(n);
+      auto level = static_cast<uint32_t>(std::min<double>(
+          std::floor(percentile * static_cast<double>(num_levels)),
+          static_cast<double>(num_levels - 1)));
+      for (size_t k = start; k < end; ++k) levels[members[k]] = level;
+      start = end;
+    }
+  }
+  return levels;
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> QuantizePrices(
+    const std::vector<float>& prices, const std::vector<uint32_t>& categories,
+    size_t num_categories, size_t num_levels, QuantizationScheme scheme) {
+  if (num_levels == 0) {
+    return Status::InvalidArgument("num_levels must be positive");
+  }
+  if (prices.size() != categories.size()) {
+    return Status::InvalidArgument("prices/categories size mismatch");
+  }
+  for (uint32_t c : categories) {
+    if (c >= num_categories) {
+      return Status::OutOfRange("category id out of range");
+    }
+  }
+  for (float p : prices) {
+    if (!std::isfinite(p) || p < 0.0f) {
+      return Status::InvalidArgument("prices must be finite and >= 0");
+    }
+  }
+  switch (scheme) {
+    case QuantizationScheme::kUniform:
+      return UniformLevels(prices, categories, num_categories, num_levels);
+    case QuantizationScheme::kRank:
+      return RankLevels(prices, categories, num_categories, num_levels);
+  }
+  return Status::Internal("unknown quantization scheme");
+}
+
+Status QuantizeDataset(Dataset* dataset, size_t num_levels,
+                       QuantizationScheme scheme) {
+  auto result =
+      QuantizePrices(dataset->item_price, dataset->item_category,
+                     dataset->num_categories, num_levels, scheme);
+  PUP_RETURN_NOT_OK(result.status());
+  dataset->item_price_level = std::move(result).value();
+  dataset->num_price_levels = num_levels;
+  return Status::OK();
+}
+
+}  // namespace pup::data

@@ -1,0 +1,42 @@
+// Price discretization (§II-B and §V-C2).
+//
+// The paper treats price as a categorical variable. Two schemes are
+// implemented, both per-category (a mobile phone and a coffee are never
+// compared on the same scale):
+//
+//  * Uniform (eq. in §II-B):  level = ⌊ (p − min_c) / (max_c − min_c) · L ⌋,
+//    clamped to L − 1 so the most expensive item stays in range.
+//  * Rank-based (§V-C2): items are ranked by price within their category;
+//    level = ⌊ percentile · L ⌋. Robust to heavy-tailed price
+//    distributions (Table IV's finding).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pup::data {
+
+/// Which discretization scheme to apply.
+enum class QuantizationScheme {
+  kUniform,
+  kRank,
+};
+
+/// Computes price levels for arbitrary (price, category) arrays.
+///
+/// Returns one level per item, each < num_levels. Categories with a single
+/// distinct price map to level 0.
+Result<std::vector<uint32_t>> QuantizePrices(
+    const std::vector<float>& prices,
+    const std::vector<uint32_t>& categories, size_t num_categories,
+    size_t num_levels, QuantizationScheme scheme);
+
+/// Fills `dataset->item_price_level` (and num_price_levels) in place from
+/// `dataset->item_price`.
+Status QuantizeDataset(Dataset* dataset, size_t num_levels,
+                       QuantizationScheme scheme);
+
+}  // namespace pup::data

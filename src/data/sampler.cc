@@ -1,0 +1,51 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pup::data {
+
+NegativeSampler::NegativeSampler(size_t num_users, size_t num_items,
+                                 const std::vector<Interaction>& train,
+                                 uint64_t seed)
+    : num_items_(num_items),
+      train_(train),
+      user_items_(BuildUserItems(num_users, train)),
+      rng_(seed) {
+  PUP_CHECK_GT(num_items_, 0u);
+}
+
+bool NegativeSampler::IsPositive(uint32_t user, uint32_t item) const {
+  const auto& items = user_items_[user];
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+uint32_t NegativeSampler::SampleNegative(uint32_t user) {
+  const auto& items = user_items_[user];
+  PUP_CHECK_MSG(items.size() < num_items_,
+                "user has interacted with every item; no negative exists");
+  // Rejection sampling: expected iterations ≈ N / (N - |items|), tiny for
+  // sparse data.
+  for (;;) {
+    auto candidate = static_cast<uint32_t>(rng_.NextBelow(num_items_));
+    if (!std::binary_search(items.begin(), items.end(), candidate)) {
+      return candidate;
+    }
+  }
+}
+
+std::vector<BprTriple> NegativeSampler::SampleEpoch(int rate) {
+  PUP_CHECK_GE(rate, 1);
+  std::vector<BprTriple> triples;
+  triples.reserve(train_.size() * static_cast<size_t>(rate));
+  for (const Interaction& x : train_) {
+    for (int r = 0; r < rate; ++r) {
+      triples.push_back({x.user, x.item, SampleNegative(x.user)});
+    }
+  }
+  rng_.Shuffle(&triples);
+  return triples;
+}
+
+}  // namespace pup::data

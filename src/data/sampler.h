@@ -1,0 +1,49 @@
+// Negative sampling for BPR training (§III-D).
+//
+// For each positive (u, i) in the training set, samples items j the user
+// has not interacted with in training — the (u, i, j) triples of eq. (4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace pup::data {
+
+/// One BPR training triple: user, positive item, sampled negative item.
+struct BprTriple {
+  uint32_t user;
+  uint32_t pos_item;
+  uint32_t neg_item;
+};
+
+/// Uniform negative sampler over the items a user has not interacted with.
+class NegativeSampler {
+ public:
+  /// `train` is the training interaction list; negatives are drawn outside
+  /// each user's training items.
+  NegativeSampler(size_t num_users, size_t num_items,
+                  const std::vector<Interaction>& train, uint64_t seed);
+
+  /// Samples one negative item for `user` (uniform over non-interacted).
+  uint32_t SampleNegative(uint32_t user);
+
+  /// Produces one epoch of training triples: every training positive
+  /// paired with `rate` sampled negatives, in shuffled order.
+  std::vector<BprTriple> SampleEpoch(int rate = 1);
+
+  /// True if (user, item) is a training positive.
+  bool IsPositive(uint32_t user, uint32_t item) const;
+
+  size_t num_items() const { return num_items_; }
+
+ private:
+  size_t num_items_;
+  std::vector<Interaction> train_;
+  std::vector<std::vector<uint32_t>> user_items_;  // Sorted per user.
+  Rng rng_;
+};
+
+}  // namespace pup::data

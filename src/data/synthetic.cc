@@ -1,0 +1,278 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace pup::data {
+namespace {
+
+// O(log n) categorical sampler over fixed unnormalized weights.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights) {
+    cumulative_.reserve(weights.size());
+    double acc = 0.0;
+    for (double w : weights) {
+      PUP_DCHECK(w >= 0.0);
+      acc += w;
+      cumulative_.push_back(acc);
+    }
+    PUP_CHECK_MSG(acc > 0.0, "DiscreteSampler needs positive total weight");
+  }
+
+  size_t Sample(Rng* rng) const {
+    double target = rng->NextDouble() * cumulative_.back();
+    auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(),
+                               target);
+    if (it == cumulative_.end()) --it;
+    return static_cast<size_t>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+SyntheticConfig SyntheticConfig::YelpLike() {
+  SyntheticConfig c;
+  c.num_users = 2400;
+  c.num_items = 1500;
+  c.num_categories = 24;
+  c.num_interactions = 48000;
+  c.item_popularity_zipf = 0.5;
+  c.price_sigma = 0.5;
+  c.inconsistent_fraction = 0.35;
+  c.seed = 2018;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::BeibeiLike() {
+  SyntheticConfig c;
+  c.num_users = 3000;
+  c.num_items = 1800;
+  c.num_categories = 36;
+  c.num_interactions = 42000;
+  c.item_popularity_zipf = 0.5;
+  c.price_sigma = 0.7;
+  c.inconsistent_fraction = 0.55;
+  c.wtp_noise_inconsistent = 0.4;
+  c.seed = 1688;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::AmazonLike() {
+  SyntheticConfig c;
+  c.num_users = 2500;
+  c.num_items = 1600;
+  c.num_categories = 5;
+  c.num_interactions = 35000;
+  c.favorite_categories = 2;
+  c.price_sigma = 1.5;  // Heavy within-category tail (Table IV / Fig 5).
+  c.category_price_sigma = 1.0;
+  c.inconsistent_fraction = 0.45;
+  // Amazon-style product purchases are strongly price-gated: weaken the
+  // taste factor and sharpen the acceptance boundary so the quantization
+  // and price-fineness experiments (Table IV, Fig 5) have signal to find.
+  c.interest_weight = 1.5;
+  c.price_temperature = 0.03;
+  c.item_popularity_zipf = 0.5;
+  // Keep category taste mild so the price effect dominates, matching the
+  // paper's Table III finding that price is the stronger single factor
+  // on this dataset (its 5 top-level categories predict little).
+  c.favorite_boost = 1.0;
+  c.category_coherence = 0.3;
+  c.seed = 5;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::Scaled(double f) const {
+  PUP_CHECK_GT(f, 0.0);
+  SyntheticConfig c = *this;
+  c.num_users = std::max<size_t>(16, static_cast<size_t>(num_users * f));
+  c.num_items = std::max<size_t>(16, static_cast<size_t>(num_items * f));
+  c.num_interactions =
+      std::max<size_t>(64, static_cast<size_t>(num_interactions * f));
+  return c;
+}
+
+Dataset GenerateSynthetic(const SyntheticConfig& config,
+                          SyntheticGroundTruth* ground_truth) {
+  PUP_CHECK_GT(config.num_users, 0u);
+  PUP_CHECK_GT(config.num_items, 0u);
+  PUP_CHECK_GT(config.num_categories, 0u);
+  PUP_CHECK_GT(config.latent_dim, 0);
+  Rng rng(config.seed);
+  const size_t kDim = static_cast<size_t>(config.latent_dim);
+
+  Dataset ds;
+  ds.num_users = config.num_users;
+  ds.num_items = config.num_items;
+  ds.num_categories = config.num_categories;
+  ds.item_category.resize(config.num_items);
+  ds.item_price.resize(config.num_items);
+
+  // --- Categories: Zipfian sizes, a taste prototype, and a price scale. ---
+  DiscreteSampler category_sampler(
+      ZipfWeights(config.num_categories, config.category_zipf));
+  std::vector<std::vector<double>> cat_proto(config.num_categories,
+                                             std::vector<double>(kDim));
+  std::vector<double> cat_scale(config.num_categories);
+  for (size_t c = 0; c < config.num_categories; ++c) {
+    for (size_t d = 0; d < kDim; ++d) cat_proto[c][d] = rng.NextGaussian();
+    cat_scale[c] =
+        rng.NextLogNormal(config.price_mu, config.category_price_sigma);
+  }
+
+  // --- Items: category, latent taste near the prototype, price. ---
+  std::vector<std::vector<double>> item_latent(config.num_items,
+                                               std::vector<double>(kDim));
+  for (size_t i = 0; i < config.num_items; ++i) {
+    uint32_t c = static_cast<uint32_t>(category_sampler.Sample(&rng));
+    ds.item_category[i] = c;
+    for (size_t d = 0; d < kDim; ++d) {
+      item_latent[i][d] = config.category_coherence * cat_proto[c][d] +
+                          0.7 * rng.NextGaussian();
+    }
+    ds.item_price[i] = static_cast<float>(
+        cat_scale[c] * rng.NextLogNormal(0.0, config.price_sigma));
+  }
+
+  // Price percentile of each item within its category.
+  std::vector<double> percentile(config.num_items, 0.0);
+  {
+    std::vector<std::vector<uint32_t>> by_cat(config.num_categories);
+    for (uint32_t i = 0; i < config.num_items; ++i) {
+      by_cat[ds.item_category[i]].push_back(i);
+    }
+    for (auto& members : by_cat) {
+      std::stable_sort(members.begin(), members.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         return ds.item_price[a] < ds.item_price[b];
+                       });
+      for (size_t r = 0; r < members.size(); ++r) {
+        percentile[members[r]] =
+            static_cast<double>(r) / static_cast<double>(members.size());
+      }
+    }
+  }
+
+  // Item popularity: Zipf over a random permutation so popularity is
+  // independent of id, category, and price.
+  std::vector<double> item_pop(config.num_items);
+  {
+    std::vector<uint32_t> perm(config.num_items);
+    for (uint32_t i = 0; i < config.num_items; ++i) perm[i] = i;
+    rng.Shuffle(&perm);
+    auto zipf = ZipfWeights(config.num_items, config.item_popularity_zipf);
+    for (size_t r = 0; r < perm.size(); ++r) item_pop[perm[r]] = zipf[r];
+  }
+  // Per-category popularity-weighted item samplers.
+  std::vector<std::vector<uint32_t>> cat_items(config.num_categories);
+  for (uint32_t i = 0; i < config.num_items; ++i) {
+    cat_items[ds.item_category[i]].push_back(i);
+  }
+  std::vector<std::unique_ptr<DiscreteSampler>> cat_item_sampler(
+      config.num_categories);
+  for (size_t c = 0; c < config.num_categories; ++c) {
+    if (cat_items[c].empty()) continue;
+    std::vector<double> w;
+    w.reserve(cat_items[c].size());
+    for (uint32_t i : cat_items[c]) w.push_back(item_pop[i]);
+    cat_item_sampler[c] = std::make_unique<DiscreteSampler>(w);
+  }
+
+  // --- Users: taste, activity, budget, per-category affinity and WTP. ---
+  std::vector<std::vector<double>> user_latent(config.num_users,
+                                               std::vector<double>(kDim));
+  std::vector<double> user_budget(config.num_users);
+  std::vector<bool> user_inconsistent(config.num_users);
+  std::vector<std::vector<double>> user_wtp(
+      config.num_users, std::vector<double>(config.num_categories));
+  std::vector<std::unique_ptr<DiscreteSampler>> user_cat_sampler(
+      config.num_users);
+
+  auto cat_size_weights = ZipfWeights(config.num_categories,
+                                      config.category_zipf);
+  for (size_t u = 0; u < config.num_users; ++u) {
+    for (size_t d = 0; d < kDim; ++d) user_latent[u][d] = rng.NextGaussian();
+    user_budget[u] = rng.NextUniform(0.1, 0.95);
+    user_inconsistent[u] = rng.NextBernoulli(config.inconsistent_fraction);
+    double noise_sd = user_inconsistent[u] ? config.wtp_noise_inconsistent
+                                           : config.wtp_noise_consistent;
+    for (size_t c = 0; c < config.num_categories; ++c) {
+      user_wtp[u][c] =
+          std::clamp(user_budget[u] + rng.NextGaussian(0.0, noise_sd), 0.02,
+                     1.0);
+    }
+    // Affinity: baseline proportional to category size, strongly boosted
+    // on a few favorites.
+    std::vector<double> affinity = cat_size_weights;
+    for (int f = 0; f < config.favorite_categories; ++f) {
+      size_t c = rng.NextBelow(config.num_categories);
+      if (cat_items[c].empty()) continue;
+      affinity[c] *= config.favorite_boost;
+    }
+    for (size_t c = 0; c < config.num_categories; ++c) {
+      if (cat_items[c].empty()) affinity[c] = 0.0;
+    }
+    user_cat_sampler[u] = std::make_unique<DiscreteSampler>(affinity);
+  }
+  DiscreteSampler user_sampler(
+      ZipfWeights(config.num_users, config.user_activity_zipf));
+
+  // --- Interaction sampling. ---
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(config.num_interactions * 2);
+  ds.interactions.reserve(config.num_interactions);
+  const double inv_sqrt_dim = 1.0 / std::sqrt(static_cast<double>(kDim));
+  const size_t max_attempts = 200 * config.num_interactions;
+  size_t attempts = 0;
+  int64_t clock = 0;
+  while (ds.interactions.size() < config.num_interactions &&
+         attempts < max_attempts) {
+    ++attempts;
+    auto u = static_cast<uint32_t>(user_sampler.Sample(&rng));
+    auto c = user_cat_sampler[u]->Sample(&rng);
+    uint32_t i = cat_items[c][cat_item_sampler[c]->Sample(&rng)];
+
+    double dot = 0.0;
+    for (size_t d = 0; d < kDim; ++d) {
+      dot += user_latent[u][d] * item_latent[i][d];
+    }
+    double p_interest = Sigmoid(config.interest_weight * dot * inv_sqrt_dim);
+    double over = percentile[i] - user_wtp[u][c];
+    double p_price =
+        over <= 0.0 ? 1.0 : std::exp(-over / config.price_temperature);
+    if (!rng.NextBernoulli(p_interest * p_price)) continue;
+
+    uint64_t key = (static_cast<uint64_t>(u) << 32) | i;
+    if (!seen.insert(key).second) continue;
+    ds.interactions.push_back({u, i, clock++});
+  }
+  if (ds.interactions.size() < config.num_interactions) {
+    PUP_LOG_WARNING << "synthetic generator produced "
+                    << ds.interactions.size() << " of "
+                    << config.num_interactions
+                    << " requested interactions (acceptance too low)";
+  }
+
+  if (ground_truth != nullptr) {
+    ground_truth->user_budget = std::move(user_budget);
+    ground_truth->user_category_wtp = std::move(user_wtp);
+    ground_truth->user_inconsistent = std::move(user_inconsistent);
+    ground_truth->item_price_percentile = std::move(percentile);
+  }
+  PUP_CHECK(ds.Validate().ok());
+  return ds;
+}
+
+}  // namespace pup::data

@@ -1,0 +1,74 @@
+#include "eval/cold_start.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pup::eval {
+
+ColdStartTask BuildColdStartTask(const data::Dataset& dataset,
+                                 const std::vector<data::Interaction>& train,
+                                 const std::vector<data::Interaction>& test,
+                                 ColdStartProtocol protocol) {
+  const size_t num_users = dataset.num_users;
+  const size_t num_cats = dataset.num_categories;
+
+  // Category sets per user, train and test.
+  std::vector<std::vector<bool>> train_cats(num_users,
+                                            std::vector<bool>(num_cats));
+  for (const data::Interaction& x : train) {
+    train_cats[x.user][dataset.item_category[x.item]] = true;
+  }
+
+  // Items per category (sorted by construction: ascending item id).
+  std::vector<std::vector<uint32_t>> cat_items(num_cats);
+  for (uint32_t i = 0; i < dataset.num_items; ++i) {
+    cat_items[dataset.item_category[i]].push_back(i);
+  }
+
+  ColdStartTask task;
+  task.candidates.resize(num_users);
+  task.test_items.resize(num_users);
+
+  // Unexplored-category test positives per user.
+  std::vector<std::vector<bool>> positive_unexplored_cats(
+      num_users, std::vector<bool>(num_cats));
+  for (const data::Interaction& x : test) {
+    uint32_t c = dataset.item_category[x.item];
+    if (train_cats[x.user][c]) continue;  // Category already explored.
+    task.test_items[x.user].push_back(x.item);
+    positive_unexplored_cats[x.user][c] = true;
+  }
+
+  for (uint32_t u = 0; u < num_users; ++u) {
+    auto& tests = task.test_items[u];
+    if (tests.empty()) continue;
+    std::sort(tests.begin(), tests.end());
+    tests.erase(std::unique(tests.begin(), tests.end()), tests.end());
+
+    auto& pool = task.candidates[u];
+    switch (protocol) {
+      case ColdStartProtocol::kCir:
+        // All items of the test-positive unexplored categories.
+        for (size_t c = 0; c < num_cats; ++c) {
+          if (!positive_unexplored_cats[u][c]) continue;
+          pool.insert(pool.end(), cat_items[c].begin(), cat_items[c].end());
+        }
+        break;
+      case ColdStartProtocol::kUcir:
+        // All items outside the user's train-positive categories.
+        for (size_t c = 0; c < num_cats; ++c) {
+          if (train_cats[u][c]) continue;
+          pool.insert(pool.end(), cat_items[c].begin(), cat_items[c].end());
+        }
+        break;
+    }
+    std::sort(pool.begin(), pool.end());
+    PUP_DCHECK(std::includes(pool.begin(), pool.end(), tests.begin(),
+                             tests.end()));
+    ++task.num_active_users;
+  }
+  return task;
+}
+
+}  // namespace pup::eval

@@ -1,0 +1,42 @@
+// Cold-start evaluation protocols CIR and UCIR (§V-F, after Chen et al.
+// SIGIR'14).
+//
+// A user's *unexplored* categories are those appearing in her test items
+// but not in her training items. Test positives are filtered to items of
+// unexplored categories; then
+//   CIR:  the candidate pool is every item of the user's test-positive
+//         unexplored categories;
+//   UCIR: the candidate pool is every item outside the user's
+//         train-positive categories.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace pup::eval {
+
+/// Which cold-start candidate pool to build.
+enum class ColdStartProtocol {
+  kCir,
+  kUcir,
+};
+
+/// Per-user candidate pools and filtered test positives for one protocol.
+/// Users without any unexplored-category test item have empty entries and
+/// are skipped by the evaluator.
+struct ColdStartTask {
+  std::vector<std::vector<uint32_t>> candidates;  // Sorted item ids.
+  std::vector<std::vector<uint32_t>> test_items;  // Sorted item ids.
+  /// Number of users with a non-empty task.
+  size_t num_active_users = 0;
+};
+
+/// Builds the CIR or UCIR task from a train/test partition.
+ColdStartTask BuildColdStartTask(
+    const data::Dataset& dataset,
+    const std::vector<data::Interaction>& train,
+    const std::vector<data::Interaction>& test, ColdStartProtocol protocol);
+
+}  // namespace pup::eval

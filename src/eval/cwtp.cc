@@ -1,0 +1,106 @@
+#include "eval/cwtp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace pup::eval {
+
+CwtpTable ComputeCwtp(const data::Dataset& dataset,
+                      const std::vector<data::Interaction>& interactions) {
+  PUP_CHECK_MSG(!dataset.item_price_level.empty(),
+                "quantize prices before computing CWTP");
+  CwtpTable table(dataset.num_users,
+                  std::vector<std::optional<uint32_t>>(
+                      dataset.num_categories));
+  for (const data::Interaction& x : interactions) {
+    uint32_t c = dataset.item_category[x.item];
+    uint32_t level = dataset.item_price_level[x.item];
+    auto& cell = table[x.user][c];
+    if (!cell.has_value() || level > *cell) cell = level;
+  }
+  return table;
+}
+
+double CwtpEntropy(const std::vector<std::optional<uint32_t>>& user_cwtp) {
+  std::map<uint32_t, size_t> counts;
+  size_t total = 0;
+  for (const auto& v : user_cwtp) {
+    if (v.has_value()) {
+      counts[*v]++;
+      ++total;
+    }
+  }
+  if (total == 0) return 0.0;
+  double entropy = 0.0;
+  for (const auto& [level, n] : counts) {
+    double p = static_cast<double>(n) / static_cast<double>(total);
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+std::vector<double> CwtpEntropies(const CwtpTable& table) {
+  std::vector<double> out;
+  out.reserve(table.size());
+  for (const auto& row : table) out.push_back(CwtpEntropy(row));
+  return out;
+}
+
+namespace {
+
+size_t NumCategoriesInteracted(
+    const std::vector<std::optional<uint32_t>>& row) {
+  size_t n = 0;
+  for (const auto& v : row) n += v.has_value() ? 1 : 0;
+  return n;
+}
+
+}  // namespace
+
+UserGroups GroupUsersByEntropy(const CwtpTable& table, double threshold,
+                               size_t min_categories) {
+  UserGroups groups;
+  for (uint32_t u = 0; u < table.size(); ++u) {
+    if (NumCategoriesInteracted(table[u]) < min_categories) continue;
+    if (CwtpEntropy(table[u]) <= threshold) {
+      groups.consistent.push_back(u);
+    } else {
+      groups.inconsistent.push_back(u);
+    }
+  }
+  return groups;
+}
+
+double MedianEntropy(const CwtpTable& table, size_t min_categories) {
+  std::vector<double> values;
+  for (const auto& row : table) {
+    if (NumCategoriesInteracted(row) >= min_categories) {
+      values.push_back(CwtpEntropy(row));
+    }
+  }
+  if (values.empty()) return 0.0;
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+std::vector<double> PriceCategoryHeatmap(
+    const data::Dataset& dataset,
+    const std::vector<data::Interaction>& interactions, uint32_t user) {
+  PUP_CHECK_MSG(!dataset.item_price_level.empty(),
+                "quantize prices before building the heatmap");
+  std::vector<double> cells(dataset.num_categories * dataset.num_price_levels,
+                            0.0);
+  for (const data::Interaction& x : interactions) {
+    if (x.user != user) continue;
+    uint32_t c = dataset.item_category[x.item];
+    uint32_t p = dataset.item_price_level[x.item];
+    cells[static_cast<size_t>(c) * dataset.num_price_levels + p] += 1.0;
+  }
+  return cells;
+}
+
+}  // namespace pup::eval

@@ -1,0 +1,55 @@
+// Category willing-to-pay (CWTP) analysis (§II-A, Table VI).
+//
+// CWTP(u, c) = the highest price level user u has paid in category c.
+// The entropy of a user's CWTP values across her categories measures how
+// *inconsistent* her price sensitivity is: 0 when every category shares
+// one level, ln(C_u) when all differ (natural log, matching Fig 1's
+// [0, ~3] range).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace pup::eval {
+
+/// Per-user CWTP table: cwtp[u][c] = max paid price level of u in c, or
+/// nullopt when u never purchased in c.
+using CwtpTable = std::vector<std::vector<std::optional<uint32_t>>>;
+
+/// Computes CWTP from a set of interactions. Item price levels must be
+/// filled (dataset.item_price_level).
+CwtpTable ComputeCwtp(const data::Dataset& dataset,
+                      const std::vector<data::Interaction>& interactions);
+
+/// Shannon entropy (nats) of the empirical distribution of u's CWTP
+/// values over her interacted categories. Users with no interactions get
+/// entropy 0.
+double CwtpEntropy(const std::vector<std::optional<uint32_t>>& user_cwtp);
+
+/// Entropy for every user.
+std::vector<double> CwtpEntropies(const CwtpTable& table);
+
+/// Splits users into consistent (entropy <= threshold) and inconsistent
+/// groups. Users with fewer than `min_categories` interacted categories
+/// are placed in neither (their entropy is trivially small).
+struct UserGroups {
+  std::vector<uint32_t> consistent;
+  std::vector<uint32_t> inconsistent;
+};
+UserGroups GroupUsersByEntropy(const CwtpTable& table, double threshold,
+                               size_t min_categories = 2);
+
+/// Median entropy over users with >= min_categories categories — the
+/// default group threshold.
+double MedianEntropy(const CwtpTable& table, size_t min_categories = 2);
+
+/// Purchase-count heatmap for one user: `cells[c * num_levels + p]` counts
+/// u's interactions with category c at price level p (Fig 2).
+std::vector<double> PriceCategoryHeatmap(
+    const data::Dataset& dataset,
+    const std::vector<data::Interaction>& interactions, uint32_t user);
+
+}  // namespace pup::eval

@@ -1,0 +1,149 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace pup::eval {
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+// Indices of the top-k scores, ties broken by smaller index (stable and
+// deterministic across platforms).
+std::vector<uint32_t> TopKIndices(const std::vector<float>& scores, int k) {
+  std::vector<uint32_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  auto cmp = [&](uint32_t a, uint32_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  size_t kk = std::min<size_t>(static_cast<size_t>(k), idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(), cmp);
+  idx.resize(kk);
+  return idx;
+}
+
+struct Accumulator {
+  double recall_sum = 0.0;
+  double ndcg_sum = 0.0;
+};
+
+// Core per-user update shared by both evaluation modes. `scores` already
+// has non-candidates masked to -inf.
+void AccumulateUser(const std::vector<float>& scores,
+                    const std::vector<uint32_t>& test, int k,
+                    Accumulator* acc) {
+  auto top = TopKIndices(scores, k);
+  int hits = 0;
+  double dcg = 0.0;
+  for (size_t pos = 0; pos < top.size(); ++pos) {
+    if (scores[top[pos]] == kNegInf) break;  // Only masked items remain.
+    if (std::binary_search(test.begin(), test.end(), top[pos])) {
+      ++hits;
+      dcg += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+    }
+  }
+  acc->recall_sum += static_cast<double>(hits) / test.size();
+  double idcg = IdealDcg(test.size(), k);
+  acc->ndcg_sum += idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+}  // namespace
+
+double Dcg(const std::vector<int>& relevance) {
+  double dcg = 0.0;
+  for (size_t pos = 0; pos < relevance.size(); ++pos) {
+    if (relevance[pos] != 0) {
+      dcg += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+    }
+  }
+  return dcg;
+}
+
+double IdealDcg(size_t num_relevant, int k) {
+  size_t n = std::min<size_t>(num_relevant, static_cast<size_t>(k));
+  double idcg = 0.0;
+  for (size_t pos = 0; pos < n; ++pos) {
+    idcg += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+  }
+  return idcg;
+}
+
+EvalResult EvaluateRanking(
+    const Scorer& scorer, size_t num_users, size_t num_items,
+    const std::vector<std::vector<uint32_t>>& exclude_items,
+    const std::vector<std::vector<uint32_t>>& test_items,
+    const std::vector<int>& cutoffs) {
+  PUP_CHECK_EQ(exclude_items.size(), num_users);
+  PUP_CHECK_EQ(test_items.size(), num_users);
+  std::map<int, Accumulator> acc;
+  for (int k : cutoffs) acc[k] = {};
+  size_t evaluated = 0;
+
+  std::vector<float> scores;
+  for (uint32_t u = 0; u < num_users; ++u) {
+    const auto& test = test_items[u];
+    if (test.empty()) continue;
+    ++evaluated;
+    scorer.ScoreItems(u, &scores);
+    PUP_CHECK_EQ(scores.size(), num_items);
+    for (uint32_t item : exclude_items[u]) scores[item] = kNegInf;
+    for (int k : cutoffs) AccumulateUser(scores, test, k, &acc[k]);
+  }
+
+  EvalResult result;
+  result.num_users_evaluated = evaluated;
+  for (int k : cutoffs) {
+    TopKMetrics m;
+    if (evaluated > 0) {
+      m.recall = acc[k].recall_sum / static_cast<double>(evaluated);
+      m.ndcg = acc[k].ndcg_sum / static_cast<double>(evaluated);
+    }
+    result.at[k] = m;
+  }
+  return result;
+}
+
+EvalResult EvaluateRankingWithCandidates(
+    const Scorer& scorer,
+    const std::vector<std::vector<uint32_t>>& candidates,
+    const std::vector<std::vector<uint32_t>>& test_items,
+    const std::vector<int>& cutoffs) {
+  PUP_CHECK_EQ(candidates.size(), test_items.size());
+  std::map<int, Accumulator> acc;
+  for (int k : cutoffs) acc[k] = {};
+  size_t evaluated = 0;
+
+  std::vector<float> scores;
+  std::vector<float> masked;
+  for (uint32_t u = 0; u < candidates.size(); ++u) {
+    const auto& test = test_items[u];
+    if (test.empty() || candidates[u].empty()) continue;
+    ++evaluated;
+    scorer.ScoreItems(u, &scores);
+    masked.assign(scores.size(), kNegInf);
+    for (uint32_t item : candidates[u]) {
+      PUP_DCHECK(item < scores.size());
+      masked[item] = scores[item];
+    }
+    for (int k : cutoffs) AccumulateUser(masked, test, k, &acc[k]);
+  }
+
+  EvalResult result;
+  result.num_users_evaluated = evaluated;
+  for (int k : cutoffs) {
+    TopKMetrics m;
+    if (evaluated > 0) {
+      m.recall = acc[k].recall_sum / static_cast<double>(evaluated);
+      m.ndcg = acc[k].ndcg_sum / static_cast<double>(evaluated);
+    }
+    result.at[k] = m;
+  }
+  return result;
+}
+
+}  // namespace pup::eval

@@ -1,0 +1,44 @@
+// Value-aware recommendation (paper §VII future work: "how to utilize
+// PUP to maximize the revenue … extends price-aware recommendation to
+// value-aware recommendation").
+//
+// Treating exp(s_i / T) as an unnormalized purchase propensity, the
+// expected value of showing item i is propensity × price_i^β; in log
+// space that is a simple additive adjustment
+//   s'_i = s_i + β·T·ln(price_i),
+// so a trained price-aware model can be steered along the
+// accuracy-revenue frontier at serving time with one scalar β.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace pup::eval {
+
+/// Wraps any Scorer with the log-linear expected-value adjustment.
+class ValueAwareScorer : public Scorer {
+ public:
+  /// `prices` are raw item prices (> 0); `beta` = 0 reproduces the base
+  /// ranking, larger beta trades accuracy for revenue.
+  ValueAwareScorer(const Scorer& base, std::vector<float> prices,
+                   float beta);
+
+  void ScoreItems(uint32_t user, std::vector<float>* out) const override;
+
+ private:
+  const Scorer& base_;
+  std::vector<float> log_price_;
+  float beta_;
+};
+
+/// Expected revenue at cutoff K: the mean over evaluated users of the
+/// summed prices of *hit* items (test positives in the top-K). Pure
+/// accuracy metrics count a hit as 1; this weights it by what it earns.
+double RevenueAtK(const Scorer& scorer, size_t num_users, size_t num_items,
+                  const std::vector<std::vector<uint32_t>>& exclude_items,
+                  const std::vector<std::vector<uint32_t>>& test_items,
+                  const std::vector<float>& prices, int k);
+
+}  // namespace pup::eval

@@ -1,0 +1,79 @@
+#include "graph/attribute_graph.h"
+
+#include "common/check.h"
+
+namespace pup::graph {
+
+AttributeGraph::AttributeGraph(
+    size_t num_users, size_t num_items,
+    const std::vector<std::pair<uint32_t, uint32_t>>& interactions,
+    std::vector<AttributeBlock> item_attributes,
+    std::vector<AttributeBlock> user_attributes, bool add_self_loops)
+    : num_users_(num_users),
+      num_items_(num_items),
+      item_attributes_(std::move(item_attributes)),
+      user_attributes_(std::move(user_attributes)) {
+  uint32_t offset = static_cast<uint32_t>(num_users_ + num_items_);
+  for (const AttributeBlock& block : item_attributes_) {
+    PUP_CHECK_EQ(block.values.size(), num_items_);
+    PUP_CHECK_GT(block.cardinality, 0u);
+    for (uint32_t v : block.values) PUP_CHECK(v < block.cardinality);
+    item_attr_offsets_.push_back(offset);
+    offset += static_cast<uint32_t>(block.cardinality);
+  }
+  for (const AttributeBlock& block : user_attributes_) {
+    PUP_CHECK_EQ(block.values.size(), num_users_);
+    PUP_CHECK_GT(block.cardinality, 0u);
+    for (uint32_t v : block.values) PUP_CHECK(v < block.cardinality);
+    user_attr_offsets_.push_back(offset);
+    offset += static_cast<uint32_t>(block.cardinality);
+  }
+  num_nodes_ = offset;
+
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(2 * interactions.size() +
+                   2 * num_items_ * item_attributes_.size() +
+                   2 * num_users_ * user_attributes_.size() + num_nodes_);
+  auto add_undirected = [&triplets](uint32_t a, uint32_t b) {
+    triplets.push_back({a, b, 1.0f});
+    triplets.push_back({b, a, 1.0f});
+  };
+  for (const auto& [u, i] : interactions) {
+    PUP_CHECK(u < num_users_ && i < num_items_);
+    add_undirected(UserNode(u), ItemNode(i));
+  }
+  for (size_t block = 0; block < item_attributes_.size(); ++block) {
+    for (uint32_t i = 0; i < num_items_; ++i) {
+      add_undirected(ItemNode(i),
+                     ItemAttributeNode(block,
+                                       item_attributes_[block].values[i]));
+    }
+  }
+  for (size_t block = 0; block < user_attributes_.size(); ++block) {
+    for (uint32_t u = 0; u < num_users_; ++u) {
+      add_undirected(UserNode(u),
+                     UserAttributeNode(block,
+                                       user_attributes_[block].values[u]));
+    }
+  }
+  if (add_self_loops) {
+    for (uint32_t n = 0; n < num_nodes_; ++n) triplets.push_back({n, n, 1.0f});
+  }
+
+  // Collapse duplicate edges back to weight 1, then row-average (eq. 5).
+  la::CsrMatrix raw = la::CsrMatrix::FromTriplets(num_nodes_, num_nodes_,
+                                                  std::move(triplets));
+  std::vector<la::Triplet> binary;
+  binary.reserve(raw.nnz());
+  for (size_t r = 0; r < raw.rows(); ++r) {
+    for (uint32_t k = raw.row_ptr()[r]; k < raw.row_ptr()[r + 1]; ++k) {
+      binary.push_back({static_cast<uint32_t>(r), raw.col_idx()[k], 1.0f});
+    }
+  }
+  adj_ = la::CsrMatrix::FromTriplets(num_nodes_, num_nodes_,
+                                     std::move(binary))
+             .RowAveraged();
+  adj_t_ = adj_.Transposed();
+}
+
+}  // namespace pup::graph

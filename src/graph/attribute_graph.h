@@ -1,0 +1,83 @@
+// Generalized heterogeneous graph with arbitrary categorical attribute
+// node blocks (the paper's §VII generality claim: "user profiles can be
+// added as separate nodes linked to user nodes, while item features other
+// than price and category can be integrated similarly").
+//
+// Node layout: [ users | items | item-attr blocks… | user-attr blocks… ],
+// with an edge (item, attr-value) per item attribute, (user, attr-value)
+// per user attribute, (u, i) per interaction, and optional self-loops.
+// Â = rowavg(A + I) as in eq. (5). HeteroGraph is the fixed
+// {category, price} special case of this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/csr.h"
+
+namespace pup::graph {
+
+/// One categorical attribute attached to every user or every item.
+struct AttributeBlock {
+  /// Human-readable name ("price", "brand", "age_group").
+  std::string name;
+  /// Number of distinct values; node count contributed by this block.
+  size_t cardinality = 0;
+  /// Value id (< cardinality) per entity: size num_items for item
+  /// attributes, num_users for user attributes.
+  std::vector<uint32_t> values;
+};
+
+/// Unified graph over users, items, and any number of attribute blocks.
+class AttributeGraph {
+ public:
+  AttributeGraph(size_t num_users, size_t num_items,
+                 const std::vector<std::pair<uint32_t, uint32_t>>&
+                     interactions,
+                 std::vector<AttributeBlock> item_attributes,
+                 std::vector<AttributeBlock> user_attributes = {},
+                 bool add_self_loops = true);
+
+  size_t num_users() const { return num_users_; }
+  size_t num_items() const { return num_items_; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_item_attributes() const { return item_attributes_.size(); }
+  size_t num_user_attributes() const { return user_attributes_.size(); }
+
+  const AttributeBlock& item_attribute(size_t block) const {
+    return item_attributes_[block];
+  }
+  const AttributeBlock& user_attribute(size_t block) const {
+    return user_attributes_[block];
+  }
+
+  uint32_t UserNode(uint32_t u) const { return u; }
+  uint32_t ItemNode(uint32_t i) const {
+    return static_cast<uint32_t>(num_users_) + i;
+  }
+  /// Node id of value `v` of item-attribute block `block`.
+  uint32_t ItemAttributeNode(size_t block, uint32_t v) const {
+    return item_attr_offsets_[block] + v;
+  }
+  /// Node id of value `v` of user-attribute block `block`.
+  uint32_t UserAttributeNode(size_t block, uint32_t v) const {
+    return user_attr_offsets_[block] + v;
+  }
+
+  const la::CsrMatrix& adjacency() const { return adj_; }
+  const la::CsrMatrix& adjacency_transposed() const { return adj_t_; }
+
+ private:
+  size_t num_users_;
+  size_t num_items_;
+  size_t num_nodes_ = 0;
+  std::vector<AttributeBlock> item_attributes_;
+  std::vector<AttributeBlock> user_attributes_;
+  std::vector<uint32_t> item_attr_offsets_;
+  std::vector<uint32_t> user_attr_offsets_;
+  la::CsrMatrix adj_;
+  la::CsrMatrix adj_t_;
+};
+
+}  // namespace pup::graph

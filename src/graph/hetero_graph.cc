@@ -1,0 +1,101 @@
+#include "graph/hetero_graph.h"
+
+#include "common/check.h"
+
+namespace pup::graph {
+namespace {
+
+// Appends both directions of an undirected edge.
+void AddUndirected(std::vector<la::Triplet>* triplets, uint32_t a,
+                   uint32_t b) {
+  triplets->push_back({a, b, 1.0f});
+  triplets->push_back({b, a, 1.0f});
+}
+
+}  // namespace
+
+HeteroGraph::HeteroGraph(
+    size_t num_users, size_t num_items, size_t num_categories,
+    size_t num_price_levels,
+    const std::vector<std::pair<uint32_t, uint32_t>>& interactions,
+    const std::vector<uint32_t>& item_categories,
+    const std::vector<uint32_t>& item_prices, const HeteroGraphOptions& options)
+    : num_users_(num_users),
+      num_items_(num_items),
+      num_categories_(num_categories),
+      num_price_levels_(num_price_levels) {
+  PUP_CHECK_EQ(item_categories.size(), num_items);
+  PUP_CHECK_EQ(item_prices.size(), num_items);
+
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(2 * interactions.size() + 4 * num_items + num_nodes());
+
+  for (const auto& [u, i] : interactions) {
+    PUP_CHECK(u < num_users && i < num_items);
+    AddUndirected(&triplets, UserNode(u), ItemNode(i));
+  }
+  for (uint32_t i = 0; i < num_items; ++i) {
+    if (options.use_category_nodes) {
+      PUP_CHECK(item_categories[i] < num_categories);
+      AddUndirected(&triplets, ItemNode(i), CategoryNode(item_categories[i]));
+    }
+    if (options.use_price_nodes) {
+      PUP_CHECK(item_prices[i] < num_price_levels);
+      AddUndirected(&triplets, ItemNode(i), PriceNode(item_prices[i]));
+    }
+  }
+  if (options.add_self_loops) {
+    for (uint32_t n = 0; n < num_nodes(); ++n) {
+      triplets.push_back({n, n, 1.0f});
+    }
+  }
+
+  // Duplicate interactions collapse via triplet summation; clamp weights
+  // back to 1 so the graph stays a 0/1 adjacency before normalization.
+  la::CsrMatrix raw = la::CsrMatrix::FromTriplets(num_nodes(), num_nodes(),
+                                                  std::move(triplets));
+  std::vector<la::Triplet> binary;
+  binary.reserve(raw.nnz());
+  for (size_t r = 0; r < raw.rows(); ++r) {
+    for (uint32_t k = raw.row_ptr()[r]; k < raw.row_ptr()[r + 1]; ++k) {
+      binary.push_back({static_cast<uint32_t>(r), raw.col_idx()[k], 1.0f});
+    }
+  }
+  la::CsrMatrix a = la::CsrMatrix::FromTriplets(num_nodes(), num_nodes(),
+                                                std::move(binary));
+  adj_ = a.RowAveraged();
+  adj_t_ = adj_.Transposed();
+}
+
+BipartiteGraph::BipartiteGraph(
+    size_t num_users, size_t num_items,
+    const std::vector<std::pair<uint32_t, uint32_t>>& interactions,
+    bool add_self_loops)
+    : num_users_(num_users), num_items_(num_items) {
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(2 * interactions.size() + num_nodes());
+  for (const auto& [u, i] : interactions) {
+    PUP_CHECK(u < num_users && i < num_items);
+    AddUndirected(&triplets, UserNode(u), ItemNode(i));
+  }
+  if (add_self_loops) {
+    for (uint32_t n = 0; n < num_nodes(); ++n) {
+      triplets.push_back({n, n, 1.0f});
+    }
+  }
+  la::CsrMatrix raw = la::CsrMatrix::FromTriplets(num_nodes(), num_nodes(),
+                                                  std::move(triplets));
+  std::vector<la::Triplet> binary;
+  binary.reserve(raw.nnz());
+  for (size_t r = 0; r < raw.rows(); ++r) {
+    for (uint32_t k = raw.row_ptr()[r]; k < raw.row_ptr()[r + 1]; ++k) {
+      binary.push_back({static_cast<uint32_t>(r), raw.col_idx()[k], 1.0f});
+    }
+  }
+  la::CsrMatrix a = la::CsrMatrix::FromTriplets(num_nodes(), num_nodes(),
+                                                std::move(binary));
+  adj_ = a.RowAveraged();
+  adj_t_ = adj_.Transposed();
+}
+
+}  // namespace pup::graph

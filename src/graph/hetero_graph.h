@@ -1,0 +1,111 @@
+// The unified heterogeneous graph of §III-A.
+//
+// Four node types share one id space:
+//   [ users | items | categories | prices ]
+// with edges (u,i) for every observed interaction, (i, c_i), (i, p_i), and
+// a self-loop on every node. The normalized adjacency Â = rowavg(A + I)
+// (eq. 5) and its transpose (needed by the SpMM backward pass) are built
+// once and reused for every training step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/csr.h"
+
+namespace pup::graph {
+
+/// Options controlling hetero-graph construction.
+struct HeteroGraphOptions {
+  /// Include item→category/category→item edges (PUP- removes them).
+  bool use_category_nodes = true;
+  /// Include item→price/price→item edges (PUP w/o p removes them).
+  bool use_price_nodes = true;
+  /// Add self-loops before normalizing (eq. 5; the paper cites [26] for
+  /// why this matters — exposed so the ablation bench can switch it off).
+  bool add_self_loops = true;
+};
+
+/// The unified user–item–category–price graph with its normalized
+/// adjacency.
+class HeteroGraph {
+ public:
+  /// Builds the graph.
+  ///
+  /// `interactions` are (user, item) pairs with user < num_users and
+  /// item < num_items; `item_categories[i]` < num_categories and
+  /// `item_prices[i]` < num_price_levels give each item's attribute nodes.
+  HeteroGraph(size_t num_users, size_t num_items, size_t num_categories,
+              size_t num_price_levels,
+              const std::vector<std::pair<uint32_t, uint32_t>>& interactions,
+              const std::vector<uint32_t>& item_categories,
+              const std::vector<uint32_t>& item_prices,
+              const HeteroGraphOptions& options = {});
+
+  size_t num_users() const { return num_users_; }
+  size_t num_items() const { return num_items_; }
+  size_t num_categories() const { return num_categories_; }
+  size_t num_price_levels() const { return num_price_levels_; }
+
+  /// Total node count across all four types.
+  size_t num_nodes() const {
+    return num_users_ + num_items_ + num_categories_ + num_price_levels_;
+  }
+
+  // Global node ids for each entity type.
+  uint32_t UserNode(uint32_t u) const { return u; }
+  uint32_t ItemNode(uint32_t i) const {
+    return static_cast<uint32_t>(num_users_) + i;
+  }
+  uint32_t CategoryNode(uint32_t c) const {
+    return static_cast<uint32_t>(num_users_ + num_items_) + c;
+  }
+  uint32_t PriceNode(uint32_t p) const {
+    return static_cast<uint32_t>(num_users_ + num_items_ + num_categories_) +
+           p;
+  }
+
+  /// Normalized adjacency Â = rowavg(A + I), shape (num_nodes, num_nodes).
+  const la::CsrMatrix& adjacency() const { return adj_; }
+
+  /// Âᵀ, used by the backward pass of SpMM.
+  const la::CsrMatrix& adjacency_transposed() const { return adj_t_; }
+
+ private:
+  size_t num_users_;
+  size_t num_items_;
+  size_t num_categories_;
+  size_t num_price_levels_;
+  la::CsrMatrix adj_;
+  la::CsrMatrix adj_t_;
+};
+
+/// User–item bipartite graph (GC-MC / NGCF baselines): node space
+/// [ users | items ], Â = rowavg(A + I).
+class BipartiteGraph {
+ public:
+  BipartiteGraph(size_t num_users, size_t num_items,
+                 const std::vector<std::pair<uint32_t, uint32_t>>&
+                     interactions,
+                 bool add_self_loops = true);
+
+  size_t num_users() const { return num_users_; }
+  size_t num_items() const { return num_items_; }
+  size_t num_nodes() const { return num_users_ + num_items_; }
+
+  uint32_t UserNode(uint32_t u) const { return u; }
+  uint32_t ItemNode(uint32_t i) const {
+    return static_cast<uint32_t>(num_users_) + i;
+  }
+
+  const la::CsrMatrix& adjacency() const { return adj_; }
+  const la::CsrMatrix& adjacency_transposed() const { return adj_t_; }
+
+ private:
+  size_t num_users_;
+  size_t num_items_;
+  la::CsrMatrix adj_;
+  la::CsrMatrix adj_t_;
+};
+
+}  // namespace pup::graph

@@ -1,0 +1,127 @@
+#include "la/csr.h"
+
+#include <algorithm>
+
+namespace pup::la {
+
+CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols,
+                                  std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    PUP_CHECK_MSG(t.row < rows && t.col < cols, "triplet out of bounds");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  for (size_t i = 0; i < triplets.size();) {
+    // Sum a run of duplicates.
+    uint32_t r = triplets[i].row;
+    uint32_t c = triplets[i].col;
+    float v = 0.0f;
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      v += triplets[i].value;
+      ++i;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(v);
+    m.row_ptr_[r + 1]++;
+  }
+  for (size_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromDense(const Matrix& dense) {
+  std::vector<Triplet> triplets;
+  for (size_t r = 0; r < dense.rows(); ++r) {
+    for (size_t c = 0; c < dense.cols(); ++c) {
+      float v = dense(r, c);
+      if (v != 0.0f) {
+        triplets.push_back({static_cast<uint32_t>(r),
+                            static_cast<uint32_t>(c), v});
+      }
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(triplets));
+}
+
+float CsrMatrix::At(size_t r, size_t c) const {
+  PUP_DCHECK(r < rows_ && c < cols_);
+  for (uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+    if (col_idx_[k] == c) return values_[k];
+  }
+  return 0.0f;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  t.col_idx_.resize(nnz());
+  t.values_.resize(nnz());
+
+  // Count entries per output row (= input column).
+  for (uint32_t c : col_idx_) t.row_ptr_[c + 1]++;
+  for (size_t r = 0; r < cols_; ++r) t.row_ptr_[r + 1] += t.row_ptr_[r];
+
+  std::vector<uint32_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      uint32_t c = col_idx_[k];
+      uint32_t pos = cursor[c]++;
+      t.col_idx_[pos] = static_cast<uint32_t>(r);
+      t.values_[pos] = values_[k];
+    }
+  }
+  return t;
+}
+
+CsrMatrix CsrMatrix::RowAveraged() const {
+  CsrMatrix out = *this;
+  for (size_t r = 0; r < rows_; ++r) {
+    size_t n = RowNnz(r);
+    if (n == 0) continue;
+    float inv = 1.0f / static_cast<float>(n);
+    for (uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out.values_[k] = values_[k] * inv;
+    }
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::RowNormalized() const {
+  CsrMatrix out = *this;
+  for (size_t r = 0; r < rows_; ++r) {
+    float sum = 0.0f;
+    for (uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sum += values_[k];
+    }
+    if (sum == 0.0f) continue;
+    float inv = 1.0f / sum;
+    for (uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out.values_[k] = values_[k] * inv;
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      dense(r, col_idx_[k]) += values_[k];
+    }
+  }
+  return dense;
+}
+
+}  // namespace pup::la

@@ -1,0 +1,77 @@
+// Compressed sparse row matrix — the storage for graph adjacency.
+//
+// The normalized adjacency Â of the heterogeneous graph is built once per
+// training run and multiplied against the dense embedding table every step
+// (SpMM), so CSR with contiguous per-row runs is the right layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "la/matrix.h"
+
+namespace pup::la {
+
+/// One explicit entry of a sparse matrix under construction.
+struct Triplet {
+  uint32_t row;
+  uint32_t col;
+  float value;
+};
+
+/// Immutable CSR sparse float matrix.
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() : rows_(0), cols_(0), row_ptr_{0} {}
+
+  /// Builds from triplets. Duplicate (row, col) entries are summed.
+  static CsrMatrix FromTriplets(size_t rows, size_t cols,
+                                std::vector<Triplet> triplets);
+
+  /// Converts a dense matrix, keeping entries with |v| > 0.
+  static CsrMatrix FromDense(const Matrix& dense);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// Row r occupies [row_ptr()[r], row_ptr()[r+1]) in col_idx()/values().
+  const std::vector<uint32_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Number of stored entries in row r.
+  size_t RowNnz(size_t r) const {
+    PUP_DCHECK(r < rows_);
+    return row_ptr_[r + 1] - row_ptr_[r];
+  }
+
+  /// Value at (r, c); zero if not stored. O(row nnz).
+  float At(size_t r, size_t c) const;
+
+  /// Transposed copy (CSR of the transpose). O(nnz).
+  CsrMatrix Transposed() const;
+
+  /// Returns a copy whose every row is divided by its number of stored
+  /// entries (the f(·) row-average of eq. 5 for 0/1 adjacency). Rows with
+  /// no entries are left empty.
+  CsrMatrix RowAveraged() const;
+
+  /// Returns a copy with every stored value divided by that row's sum.
+  /// Rows whose sum is zero are left unchanged.
+  CsrMatrix RowNormalized() const;
+
+  /// Dense copy (small matrices; for tests).
+  Matrix ToDense() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<uint32_t> row_ptr_;   // Size rows + 1.
+  std::vector<uint32_t> col_idx_;   // Size nnz, sorted within each row.
+  std::vector<float> values_;       // Size nnz.
+};
+
+}  // namespace pup::la

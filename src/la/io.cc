@@ -1,0 +1,64 @@
+#include "la/io.h"
+#include <cstring>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace pup::la {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'U', 'P', 'M'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status WriteMatrix(const Matrix& m, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  uint64_t rows = m.rows(), cols = m.cols();
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
+      std::fwrite(&rows, sizeof(rows), 1, f.get()) != 1 ||
+      std::fwrite(&cols, sizeof(cols), 1, f.get()) != 1) {
+    return Status::IOError("header write failed: " + path);
+  }
+  if (m.size() > 0 &&
+      std::fwrite(m.data(), sizeof(float), m.size(), f.get()) != m.size()) {
+    return Status::IOError("data write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Matrix> ReadMatrix(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  char magic[4];
+  uint64_t rows = 0, cols = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::fread(&rows, sizeof(rows), 1, f.get()) != 1 ||
+      std::fread(&cols, sizeof(cols), 1, f.get()) != 1) {
+    return Status::IOError("header read failed: " + path);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a PUPM matrix file: " + path);
+  }
+  // Guard against absurd headers before allocating.
+  constexpr uint64_t kMaxElements = 1ull << 32;
+  if (rows * cols > kMaxElements) {
+    return Status::InvalidArgument("matrix too large in header: " + path);
+  }
+  Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  if (m.size() > 0 &&
+      std::fread(m.data(), sizeof(float), m.size(), f.get()) != m.size()) {
+    return Status::IOError("data read failed (truncated?): " + path);
+  }
+  return m;
+}
+
+}  // namespace pup::la

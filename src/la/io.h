@@ -1,0 +1,22 @@
+// Binary matrix persistence — the storage layer for trained model
+// snapshots (embedding tables, folded inference scorers).
+//
+// Format: magic "PUPM", u64 rows, u64 cols, rows*cols float32
+// little-endian. Deliberately trivial: it stores tensors, not a model
+// zoo.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace pup::la {
+
+/// Writes `m` to `path`, overwriting.
+Status WriteMatrix(const Matrix& m, const std::string& path);
+
+/// Reads a matrix previously written by WriteMatrix.
+Result<Matrix> ReadMatrix(const std::string& path);
+
+}  // namespace pup::la

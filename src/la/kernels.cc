@@ -1,0 +1,252 @@
+#include "la/kernels.h"
+
+#include <cmath>
+
+namespace pup::la {
+namespace {
+
+void EnsureShape(size_t rows, size_t cols, Matrix* out) {
+  if (out->rows() != rows || out->cols() != cols) {
+    *out = Matrix(rows, cols);
+  } else {
+    out->Zero();
+  }
+}
+
+// Resize without zeroing for kernels that overwrite every entry.
+void EnsureShapeNoZero(size_t rows, size_t cols, Matrix* out) {
+  if (out->rows() != rows || out->cols() != cols) {
+    *out = Matrix(rows, cols);
+  }
+}
+
+}  // namespace
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
+  PUP_CHECK_EQ(a.cols(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  EnsureShape(m, n, out);
+  // ikj loop order: streams through b and out rows contiguously.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out->Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
+  PUP_CHECK_EQ(a.rows(), b.rows());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  EnsureShape(m, n, out);
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out->Row(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  PUP_CHECK_EQ(a.cols(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  EnsureShapeNoZero(m, n, out);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+void Spmm(const CsrMatrix& sparse, const Matrix& dense, Matrix* out) {
+  PUP_CHECK_EQ(sparse.cols(), dense.rows());
+  const size_t m = sparse.rows(), n = dense.cols();
+  EnsureShape(m, n, out);
+  const auto& row_ptr = sparse.row_ptr();
+  const auto& col_idx = sparse.col_idx();
+  const auto& values = sparse.values();
+  for (size_t i = 0; i < m; ++i) {
+    float* orow = out->Row(i);
+    for (uint32_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const float v = values[k];
+      const float* drow = dense.Row(col_idx[k]);
+      for (size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+    }
+  }
+}
+
+void Axpy(float alpha, const Matrix& x, Matrix* out) {
+  PUP_CHECK(x.SameShape(*out));
+  const float* xd = x.data();
+  float* od = out->data();
+  for (size_t i = 0; i < x.size(); ++i) od[i] += alpha * xd[i];
+}
+
+void Add(const Matrix& x, const Matrix& y, Matrix* out) {
+  PUP_CHECK(x.SameShape(y));
+  EnsureShapeNoZero(x.rows(), x.cols(), out);
+  for (size_t i = 0; i < x.size(); ++i) {
+    out->data()[i] = x.data()[i] + y.data()[i];
+  }
+}
+
+void Sub(const Matrix& x, const Matrix& y, Matrix* out) {
+  PUP_CHECK(x.SameShape(y));
+  EnsureShapeNoZero(x.rows(), x.cols(), out);
+  for (size_t i = 0; i < x.size(); ++i) {
+    out->data()[i] = x.data()[i] - y.data()[i];
+  }
+}
+
+void Mul(const Matrix& x, const Matrix& y, Matrix* out) {
+  PUP_CHECK(x.SameShape(y));
+  EnsureShapeNoZero(x.rows(), x.cols(), out);
+  for (size_t i = 0; i < x.size(); ++i) {
+    out->data()[i] = x.data()[i] * y.data()[i];
+  }
+}
+
+void Scale(float alpha, const Matrix& x, Matrix* out) {
+  EnsureShapeNoZero(x.rows(), x.cols(), out);
+  for (size_t i = 0; i < x.size(); ++i) out->data()[i] = alpha * x.data()[i];
+}
+
+void Tanh(const Matrix& x, Matrix* out) {
+  EnsureShapeNoZero(x.rows(), x.cols(), out);
+  for (size_t i = 0; i < x.size(); ++i) {
+    out->data()[i] = std::tanh(x.data()[i]);
+  }
+}
+
+void Sigmoid(const Matrix& x, Matrix* out) {
+  EnsureShapeNoZero(x.rows(), x.cols(), out);
+  for (size_t i = 0; i < x.size(); ++i) {
+    float v = x.data()[i];
+    // Stable: never exponentiate a positive argument.
+    out->data()[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                               : std::exp(v) / (1.0f + std::exp(v));
+  }
+}
+
+void LeakyRelu(const Matrix& x, float slope, Matrix* out) {
+  EnsureShapeNoZero(x.rows(), x.cols(), out);
+  for (size_t i = 0; i < x.size(); ++i) {
+    float v = x.data()[i];
+    out->data()[i] = v > 0.0f ? v : slope * v;
+  }
+}
+
+void GatherRows(const Matrix& table, const std::vector<uint32_t>& idx,
+                Matrix* out) {
+  EnsureShapeNoZero(idx.size(), table.cols(), out);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    PUP_DCHECK(idx[i] < table.rows());
+    const float* src = table.Row(idx[i]);
+    float* dst = out->Row(i);
+    std::copy(src, src + table.cols(), dst);
+  }
+}
+
+void ScatterAddRows(const Matrix& src, const std::vector<uint32_t>& idx,
+                    Matrix* table) {
+  PUP_CHECK_EQ(src.rows(), idx.size());
+  PUP_CHECK_EQ(src.cols(), table->cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    PUP_DCHECK(idx[i] < table->rows());
+    const float* s = src.Row(i);
+    float* d = table->Row(idx[i]);
+    for (size_t j = 0; j < src.cols(); ++j) d[j] += s[j];
+  }
+}
+
+void RowDot(const Matrix& x, const Matrix& y, Matrix* out) {
+  PUP_CHECK(x.SameShape(y));
+  EnsureShapeNoZero(x.rows(), 1, out);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const float* xr = x.Row(i);
+    const float* yr = y.Row(i);
+    float acc = 0.0f;
+    for (size_t j = 0; j < x.cols(); ++j) acc += xr[j] * yr[j];
+    (*out)(i, 0) = acc;
+  }
+}
+
+void RowSum(const Matrix& x, Matrix* out) {
+  EnsureShapeNoZero(x.rows(), 1, out);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const float* xr = x.Row(i);
+    float acc = 0.0f;
+    for (size_t j = 0; j < x.cols(); ++j) acc += xr[j];
+    (*out)(i, 0) = acc;
+  }
+}
+
+void RowScale(const Matrix& x, const Matrix& s, Matrix* out) {
+  PUP_CHECK_EQ(s.rows(), x.rows());
+  PUP_CHECK_EQ(s.cols(), 1u);
+  EnsureShapeNoZero(x.rows(), x.cols(), out);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const float f = s(i, 0);
+    const float* xr = x.Row(i);
+    float* orow = out->Row(i);
+    for (size_t j = 0; j < x.cols(); ++j) orow[j] = xr[j] * f;
+  }
+}
+
+double Sum(const Matrix& x) {
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x.data()[i];
+  return acc;
+}
+
+double SquaredNorm(const Matrix& x) {
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(x.data()[i]) * x.data()[i];
+  }
+  return acc;
+}
+
+double Dot(const Matrix& x, const Matrix& y) {
+  PUP_CHECK(x.SameShape(y));
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(x.data()[i]) * y.data()[i];
+  }
+  return acc;
+}
+
+float MaxAbs(const Matrix& x) {
+  float m = 0.0f;
+  for (size_t i = 0; i < x.size(); ++i) {
+    m = std::max(m, std::abs(x.data()[i]));
+  }
+  return m;
+}
+
+void Gemv(const Matrix& a, const Matrix& x, Matrix* out) {
+  PUP_CHECK_EQ(x.cols(), 1u);
+  PUP_CHECK_EQ(a.cols(), x.rows());
+  EnsureShapeNoZero(a.rows(), 1, out);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float acc = 0.0f;
+    for (size_t j = 0; j < a.cols(); ++j) acc += arow[j] * x(j, 0);
+    (*out)(i, 0) = acc;
+  }
+}
+
+}  // namespace pup::la

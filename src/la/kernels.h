@@ -1,0 +1,84 @@
+// Dense and sparse compute kernels.
+//
+// Free functions over Matrix/CsrMatrix; the autograd layer composes these
+// into differentiable ops. All kernels assert shape agreement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/csr.h"
+#include "la/matrix.h"
+
+namespace pup::la {
+
+/// out = a * b. Shapes: (m,k) x (k,n) -> (m,n).
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = aᵀ * b. Shapes: (k,m) x (k,n) -> (m,n).
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * bᵀ. Shapes: (m,k) x (n,k) -> (m,n).
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = sparse * dense. Shapes: (m,k)sparse x (k,n) -> (m,n).
+void Spmm(const CsrMatrix& sparse, const Matrix& dense, Matrix* out);
+
+/// out += alpha * x (elementwise, same shape).
+void Axpy(float alpha, const Matrix& x, Matrix* out);
+
+/// out = x + y.
+void Add(const Matrix& x, const Matrix& y, Matrix* out);
+
+/// out = x - y.
+void Sub(const Matrix& x, const Matrix& y, Matrix* out);
+
+/// out = x ⊙ y (Hadamard).
+void Mul(const Matrix& x, const Matrix& y, Matrix* out);
+
+/// out = alpha * x.
+void Scale(float alpha, const Matrix& x, Matrix* out);
+
+/// out(r,c) = tanh(x(r,c)).
+void Tanh(const Matrix& x, Matrix* out);
+
+/// out(r,c) = sigmoid(x(r,c)) computed in a numerically stable way.
+void Sigmoid(const Matrix& x, Matrix* out);
+
+/// out(r,c) = max(x(r,c), slope * x(r,c)). slope = 0 gives plain ReLU.
+void LeakyRelu(const Matrix& x, float slope, Matrix* out);
+
+/// out = rows of `table` selected by `idx`: out.Row(i) = table.Row(idx[i]).
+void GatherRows(const Matrix& table, const std::vector<uint32_t>& idx,
+                Matrix* out);
+
+/// table.Row(idx[i]) += src.Row(i) for all i (duplicates accumulate).
+void ScatterAddRows(const Matrix& src, const std::vector<uint32_t>& idx,
+                    Matrix* table);
+
+/// out(i,0) = dot(x.Row(i), y.Row(i)). Shapes: (n,d),(n,d) -> (n,1).
+void RowDot(const Matrix& x, const Matrix& y, Matrix* out);
+
+/// out(i,0) = sum of row i. Shape: (n,d) -> (n,1).
+void RowSum(const Matrix& x, Matrix* out);
+
+/// Broadcast each row of x (n,d) by the scalar column s (n,1):
+/// out(i,j) = x(i,j) * s(i,0).
+void RowScale(const Matrix& x, const Matrix& s, Matrix* out);
+
+/// Sum of all entries.
+double Sum(const Matrix& x);
+
+/// Sum of squared entries (squared Frobenius norm).
+double SquaredNorm(const Matrix& x);
+
+/// Dot product of two same-shape matrices viewed as flat vectors.
+double Dot(const Matrix& x, const Matrix& y);
+
+/// Maximum absolute entry.
+float MaxAbs(const Matrix& x);
+
+/// y = A x for a dense (m,d) matrix and a length-d vector (d,1) -> (m,1).
+void Gemv(const Matrix& a, const Matrix& x, Matrix* out);
+
+}  // namespace pup::la

@@ -1,0 +1,46 @@
+#include "la/matrix.h"
+
+#include <sstream>
+
+namespace pup::la {
+
+Matrix Matrix::Gaussian(size_t rows, size_t cols, float stddev, Rng* rng) {
+  PUP_CHECK(rng != nullptr);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->NextGaussian(0.0, stddev));
+  }
+  return m;
+}
+
+Matrix Matrix::Uniform(size_t rows, size_t cols, float lo, float hi,
+                       Rng* rng) {
+  PUP_CHECK(rng != nullptr);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->NextUniform(lo, hi));
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream out;
+  out << "Matrix(" << rows_ << "x" << cols_ << ")[\n";
+  for (size_t r = 0; r < rows_; ++r) {
+    out << "  ";
+    for (size_t c = 0; c < cols_; ++c) {
+      out << (*this)(r, c) << (c + 1 < cols_ ? ", " : "");
+    }
+    out << "\n";
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace pup::la

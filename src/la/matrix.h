@@ -1,0 +1,93 @@
+// Dense row-major float matrix — the storage type for embeddings,
+// activations, and gradients throughout the library.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pup::la {
+
+/// Dense rows x cols matrix of float, row-major, value-semantic.
+///
+/// A (n, 1) matrix doubles as a column vector; free kernels in kernels.h
+/// operate on Matrix. Element access is bounds-checked in debug builds.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, float fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from explicit row-major data; data.size() must equal rows*cols.
+  Matrix(size_t rows, size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    PUP_CHECK_EQ(data_.size(), rows_ * cols_);
+  }
+
+  /// Matrix with i.i.d. N(0, stddev^2) entries.
+  static Matrix Gaussian(size_t rows, size_t cols, float stddev, Rng* rng);
+
+  /// Matrix with i.i.d. U(lo, hi) entries.
+  static Matrix Uniform(size_t rows, size_t cols, float lo, float hi,
+                        Rng* rng);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(size_t r, size_t c) {
+    PUP_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(size_t r, size_t c) const {
+    PUP_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r.
+  float* Row(size_t r) {
+    PUP_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    PUP_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every entry to v.
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Sets every entry to zero.
+  void Zero() { Fill(0.0f); }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Human-readable dump (small matrices; for tests and debugging).
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace pup::la

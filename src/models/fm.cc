@@ -1,0 +1,129 @@
+#include "models/fm.h"
+
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "la/kernels.h"
+
+namespace pup::models {
+
+void Fm::InitializeFm(const data::Dataset& dataset, Rng* rng) {
+  PUP_CHECK_MSG(!dataset.item_price_level.empty(),
+                "FM needs quantized price levels");
+  num_users_ = dataset.num_users;
+  num_items_ = dataset.num_items;
+  num_categories_ = dataset.num_categories;
+  const size_t num_features = dataset.num_users + dataset.num_items +
+                              dataset.num_categories +
+                              dataset.num_price_levels;
+  feature_emb_ = ag::Param(la::Matrix::Gaussian(
+      num_features, config_.embedding_dim, config_.init_stddev, rng));
+  feature_bias_ = ag::Param(la::Matrix(num_features, 1));
+}
+
+void Fm::Fit(const data::Dataset& dataset,
+             const std::vector<data::Interaction>& train) {
+  Rng rng(config_.train.seed);
+  InitializeFm(dataset, &rng);
+  dataset_ = &dataset;
+  train::TrainBpr(this, dataset, train, config_.train);
+  dataset_ = nullptr;
+  BuildFmScorer(dataset);
+}
+
+void Fm::BuildFmScorer(const data::Dataset& dataset) {
+  // Fold per-item constants into a DotScorer:
+  //   score(u, i) = e_u · (e_i + e_c + e_p)
+  //               + (e_i·e_c + e_i·e_p + e_c·e_p) + b_i + b_c + b_p.
+  // (User-only terms are constant per user and do not affect ranking.)
+  const auto& emb = feature_emb_->value;
+  const auto& bias = feature_bias_->value;
+  const size_t d = config_.embedding_dim;
+  la::Matrix user_vecs(dataset.num_users, d);
+  for (size_t u = 0; u < dataset.num_users; ++u) {
+    const float* src = emb.Row(UserFeature(static_cast<uint32_t>(u)));
+    std::copy(src, src + d, user_vecs.Row(u));
+  }
+  la::Matrix item_vecs(dataset.num_items, d);
+  std::vector<float> item_bias(dataset.num_items, 0.0f);
+  for (uint32_t i = 0; i < dataset.num_items; ++i) {
+    const float* ei = emb.Row(ItemFeature(i));
+    const float* ec = emb.Row(CategoryFeature(dataset.item_category[i]));
+    const float* ep = emb.Row(PriceFeature(dataset.item_price_level[i]));
+    float* dst = item_vecs.Row(i);
+    float ic = 0.0f, ip = 0.0f, cp = 0.0f;
+    for (size_t j = 0; j < d; ++j) {
+      dst[j] = ei[j] + ec[j] + ep[j];
+      ic += ei[j] * ec[j];
+      ip += ei[j] * ep[j];
+      cp += ec[j] * ep[j];
+    }
+    item_bias[i] = ic + ip + cp + bias(ItemFeature(i), 0) +
+                   bias(CategoryFeature(dataset.item_category[i]), 0) +
+                   bias(PriceFeature(dataset.item_price_level[i]), 0);
+  }
+  scorer_ = DotScorer(std::move(user_vecs), std::move(item_vecs),
+                      std::move(item_bias));
+}
+
+void Fm::ScoreItems(uint32_t user, std::vector<float>* out) const {
+  scorer_.ScoreItems(user, out);
+}
+
+std::vector<ag::Tensor> Fm::Parameters() {
+  return {feature_emb_, feature_bias_};
+}
+
+ag::Tensor Fm::ScoreBatch(const std::vector<uint32_t>& users,
+                          const std::vector<uint32_t>& items,
+                          std::vector<ag::Tensor>* l2_terms,
+                          FieldEmbeddings* fields) {
+  PUP_CHECK(dataset_ != nullptr);
+  std::vector<uint32_t> f_user(users.size()), f_item(items.size()),
+      f_cat(items.size()), f_price(items.size());
+  for (size_t k = 0; k < users.size(); ++k) {
+    f_user[k] = UserFeature(users[k]);
+    f_item[k] = ItemFeature(items[k]);
+    f_cat[k] = CategoryFeature(dataset_->item_category[items[k]]);
+    f_price[k] = PriceFeature(dataset_->item_price_level[items[k]]);
+  }
+  ag::Tensor eu = ag::Gather(feature_emb_, f_user);
+  ag::Tensor ei = ag::Gather(feature_emb_, f_item);
+  ag::Tensor ec = ag::Gather(feature_emb_, f_cat);
+  ag::Tensor ep = ag::Gather(feature_emb_, f_price);
+
+  // Linear-time pairwise sum (eq. 7): ½(‖Σe‖² − Σ‖e‖²) per row.
+  ag::Tensor sum = ag::Add(ag::Add(eu, ei), ag::Add(ec, ep));
+  ag::Tensor s1 = ag::RowDot(sum, sum);
+  ag::Tensor s2 = ag::Add(ag::Add(ag::RowDot(eu, eu), ag::RowDot(ei, ei)),
+                          ag::Add(ag::RowDot(ec, ec), ag::RowDot(ep, ep)));
+  ag::Tensor pairwise = ag::Scale(ag::Sub(s1, s2), 0.5f);
+
+  ag::Tensor linear =
+      ag::Add(ag::Add(ag::Gather(feature_bias_, f_user),
+                      ag::Gather(feature_bias_, f_item)),
+              ag::Add(ag::Gather(feature_bias_, f_cat),
+                      ag::Gather(feature_bias_, f_price)));
+
+  if (fields != nullptr) {
+    *fields = {eu, ei, ec, ep};
+  }
+  if (l2_terms != nullptr) {
+    l2_terms->push_back(eu);
+    l2_terms->push_back(ei);
+    l2_terms->push_back(ec);
+    l2_terms->push_back(ep);
+  }
+  return ag::Add(pairwise, linear);
+}
+
+train::BprTrainable::BatchGraph Fm::ForwardBatch(
+    const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
+    const std::vector<uint32_t>& neg_items, bool /*training*/) {
+  BatchGraph batch;
+  batch.pos_scores = ScoreBatch(users, pos_items, &batch.l2_terms);
+  batch.neg_scores = ScoreBatch(users, neg_items, &batch.l2_terms);
+  return batch;
+}
+
+}  // namespace pup::models

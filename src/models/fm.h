@@ -1,0 +1,91 @@
+// Factorization Machines baseline (§V-A2, Rendle ICDM'10).
+//
+// Price and category are integrated as item features (exactly how the
+// paper configures this baseline): each (u, i) example activates four
+// features — user id, item id, the item's category, and its price level —
+// all factorized into one shared latent space. The prediction is the sum
+// of pairwise inner products (the 2-way FM) plus per-feature linear
+// biases; the O(k·d) pairwise sum is computed with the linear-time trick
+// of eq. (7).
+#pragma once
+
+#include <memory>
+
+#include "autograd/tensor.h"
+#include "models/recommender.h"
+#include "common/rng.h"
+#include "models/scoring.h"
+#include "train/trainer.h"
+
+namespace pup::models {
+
+/// Configuration for the FM baseline.
+struct FmConfig {
+  size_t embedding_dim = 64;
+  float init_stddev = 0.05f;
+  train::TrainOptions train;
+};
+
+/// 2-way FM over {user, item, category, price} features, BPR-trained.
+class Fm : public Recommender, public train::BprTrainable {
+ public:
+  explicit Fm(FmConfig config = {}) : config_(std::move(config)) {}
+
+  std::string name() const override { return "FM"; }
+
+  void Fit(const data::Dataset& dataset,
+           const std::vector<data::Interaction>& train) override;
+
+  void ScoreItems(uint32_t user, std::vector<float>* out) const override;
+
+  // BprTrainable:
+  std::vector<ag::Tensor> Parameters() override;
+  BatchGraph ForwardBatch(const std::vector<uint32_t>& users,
+                          const std::vector<uint32_t>& pos_items,
+                          const std::vector<uint32_t>& neg_items,
+                          bool training) override;
+
+ protected:
+  /// The four gathered per-example embedding blocks (B, d) each.
+  struct FieldEmbeddings {
+    ag::Tensor user, item, category, price;
+  };
+
+  /// Allocates the shared feature embedding/bias tables for `dataset`.
+  void InitializeFm(const data::Dataset& dataset, Rng* rng);
+
+  /// Precomputes the inference DotScorer from the trained tables.
+  void BuildFmScorer(const data::Dataset& dataset);
+
+  /// Differentiable FM score for a batch of (user, item) pairs. If
+  /// `fields` is non-null it receives the gathered field embeddings
+  /// (DeepFM feeds them to its deep component).
+  ag::Tensor ScoreBatch(const std::vector<uint32_t>& users,
+                        const std::vector<uint32_t>& items,
+                        std::vector<ag::Tensor>* l2_terms,
+                        FieldEmbeddings* fields = nullptr);
+
+  // Feature-space offsets.
+  uint32_t UserFeature(uint32_t u) const { return u; }
+  uint32_t ItemFeature(uint32_t i) const {
+    return static_cast<uint32_t>(num_users_) + i;
+  }
+  uint32_t CategoryFeature(uint32_t c) const {
+    return static_cast<uint32_t>(num_users_ + num_items_) + c;
+  }
+  uint32_t PriceFeature(uint32_t p) const {
+    return static_cast<uint32_t>(num_users_ + num_items_ + num_categories_) +
+           p;
+  }
+
+  FmConfig config_;
+  size_t num_users_ = 0;
+  size_t num_items_ = 0;
+  size_t num_categories_ = 0;
+  const data::Dataset* dataset_ = nullptr;  // Valid during Fit only.
+  ag::Tensor feature_emb_;   // (#features, d)
+  ag::Tensor feature_bias_;  // (#features, 1)
+  DotScorer scorer_;
+};
+
+}  // namespace pup::models

@@ -1,0 +1,82 @@
+#include "models/gc_mc.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+
+namespace pup::models {
+
+void GcMc::Fit(const data::Dataset& dataset,
+               const std::vector<data::Interaction>& train) {
+  Rng rng(config_.train.seed);
+  dropout_rng_ = rng.Fork();
+
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.reserve(train.size());
+  for (const data::Interaction& x : train) pairs.emplace_back(x.user, x.item);
+  graph_ = std::make_unique<graph::BipartiteGraph>(dataset.num_users,
+                                                   dataset.num_items, pairs);
+
+  node_emb_ = ag::Param(la::Matrix::Gaussian(
+      graph_->num_nodes(), config_.embedding_dim, config_.init_stddev, &rng));
+  weight_ = ag::Param(la::Matrix::Gaussian(
+      config_.embedding_dim, config_.embedding_dim,
+      std::sqrt(2.0f / static_cast<float>(config_.embedding_dim)), &rng));
+
+  train::TrainBpr(this, dataset, train, config_.train);
+
+  // Inference: one clean propagation, split into user/item blocks.
+  ag::Tensor h = Propagate(/*training=*/false);
+  la::Matrix user_vecs(dataset.num_users, config_.embedding_dim);
+  la::Matrix item_vecs(dataset.num_items, config_.embedding_dim);
+  for (uint32_t u = 0; u < dataset.num_users; ++u) {
+    const float* src = h->value.Row(graph_->UserNode(u));
+    std::copy(src, src + config_.embedding_dim, user_vecs.Row(u));
+  }
+  for (uint32_t i = 0; i < dataset.num_items; ++i) {
+    const float* src = h->value.Row(graph_->ItemNode(i));
+    std::copy(src, src + config_.embedding_dim, item_vecs.Row(i));
+  }
+  scorer_ = DotScorer(std::move(user_vecs), std::move(item_vecs));
+}
+
+ag::Tensor GcMc::Propagate(bool training) {
+  ag::Tensor conv = ag::Spmm(&graph_->adjacency(),
+                             &graph_->adjacency_transposed(), node_emb_);
+  ag::Tensor h = ag::LeakyRelu(ag::MatMul(conv, weight_));
+  return ag::Dropout(h, config_.dropout, &dropout_rng_, training);
+}
+
+void GcMc::ScoreItems(uint32_t user, std::vector<float>* out) const {
+  scorer_.ScoreItems(user, out);
+}
+
+std::vector<ag::Tensor> GcMc::Parameters() { return {node_emb_, weight_}; }
+
+train::BprTrainable::BatchGraph GcMc::ForwardBatch(
+    const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
+    const std::vector<uint32_t>& neg_items, bool training) {
+  ag::Tensor h = Propagate(training);
+  std::vector<uint32_t> user_nodes(users.size()), pos_nodes(pos_items.size()),
+      neg_nodes(neg_items.size());
+  for (size_t k = 0; k < users.size(); ++k) {
+    user_nodes[k] = graph_->UserNode(users[k]);
+    pos_nodes[k] = graph_->ItemNode(pos_items[k]);
+    neg_nodes[k] = graph_->ItemNode(neg_items[k]);
+  }
+  ag::Tensor hu = ag::Gather(h, user_nodes);
+  ag::Tensor hp = ag::Gather(h, pos_nodes);
+  ag::Tensor hn = ag::Gather(h, neg_nodes);
+
+  BatchGraph batch;
+  batch.pos_scores = ag::RowDot(hu, hp);
+  batch.neg_scores = ag::RowDot(hu, hn);
+  // Regularize the raw embeddings involved in this batch.
+  batch.l2_terms = {ag::Gather(node_emb_, user_nodes),
+                    ag::Gather(node_emb_, pos_nodes),
+                    ag::Gather(node_emb_, neg_nodes)};
+  return batch;
+}
+
+}  // namespace pup::models

@@ -1,0 +1,15 @@
+#include "models/item_pop.h"
+
+namespace pup::models {
+
+void ItemPop::Fit(const data::Dataset& dataset,
+                  const std::vector<data::Interaction>& train) {
+  popularity_.assign(dataset.num_items, 0.0f);
+  for (const data::Interaction& x : train) popularity_[x.item] += 1.0f;
+}
+
+void ItemPop::ScoreItems(uint32_t /*user*/, std::vector<float>* out) const {
+  *out = popularity_;
+}
+
+}  // namespace pup::models

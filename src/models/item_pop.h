@@ -1,0 +1,25 @@
+// ItemPop baseline (§V-A2): non-personalized popularity ranking.
+#pragma once
+
+#include <vector>
+
+#include "models/recommender.h"
+
+namespace pup::models {
+
+/// Ranks items by their interaction count in the training set; identical
+/// for every user.
+class ItemPop : public Recommender {
+ public:
+  std::string name() const override { return "ItemPop"; }
+
+  void Fit(const data::Dataset& dataset,
+           const std::vector<data::Interaction>& train) override;
+
+  void ScoreItems(uint32_t user, std::vector<float>* out) const override;
+
+ private:
+  std::vector<float> popularity_;
+};
+
+}  // namespace pup::models

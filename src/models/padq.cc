@@ -1,0 +1,130 @@
+#include "models/padq.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/sampler.h"
+
+namespace pup::models {
+
+void PaDQ::Fit(const data::Dataset& dataset,
+               const std::vector<data::Interaction>& train) {
+  PUP_CHECK_MSG(!dataset.item_price_level.empty(),
+                "PaDQ needs quantized price levels");
+  Rng rng(config_.seed);
+  const size_t d = config_.embedding_dim;
+  user_factors_ = ag::Param(
+      la::Matrix::Gaussian(dataset.num_users, d, config_.init_stddev, &rng));
+  item_factors_ = ag::Param(
+      la::Matrix::Gaussian(dataset.num_items, d, config_.init_stddev, &rng));
+  price_factors_ = ag::Param(la::Matrix::Gaussian(
+      dataset.num_price_levels, d, config_.init_stddev, &rng));
+
+  // Y: each user's normalized purchase histogram over price levels.
+  la::Matrix y(dataset.num_users, dataset.num_price_levels);
+  {
+    std::vector<float> totals(dataset.num_users, 0.0f);
+    for (const data::Interaction& x : train) {
+      y(x.user, dataset.item_price_level[x.item]) += 1.0f;
+      totals[x.user] += 1.0f;
+    }
+    for (size_t u = 0; u < dataset.num_users; ++u) {
+      if (totals[u] == 0.0f) continue;
+      for (size_t p = 0; p < dataset.num_price_levels; ++p) {
+        y(u, p) /= totals[u];
+      }
+    }
+  }
+
+  data::NegativeSampler sampler(dataset.num_users, dataset.num_items, train,
+                                config_.seed + 1);
+  ag::Adam optimizer({user_factors_, item_factors_, price_factors_},
+                     {.learning_rate = config_.learning_rate,
+                      .weight_decay = config_.l2_reg});
+
+  std::vector<data::Interaction> shuffled = train;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (epoch == config_.epochs / 2 || epoch == 3 * config_.epochs / 4) {
+      optimizer.SetLearningRate(optimizer.learning_rate() * 0.1f);
+    }
+    rng.Shuffle(&shuffled);
+    for (size_t start = 0; start < shuffled.size();
+         start += config_.batch_size) {
+      size_t end = std::min(start + config_.batch_size, shuffled.size());
+      size_t batch = end - start;
+      std::vector<uint32_t> users(batch), pos(batch);
+      std::vector<uint32_t> negs;
+      negs.reserve(batch * config_.negative_rate);
+      for (size_t k = 0; k < batch; ++k) {
+        users[k] = shuffled[start + k].user;
+        pos[k] = shuffled[start + k].item;
+        for (int r = 0; r < config_.negative_rate; ++r) {
+          negs.push_back(sampler.SampleNegative(users[k]));
+        }
+      }
+
+      // R reconstruction: observed → 1, sampled → 0.
+      ag::Tensor u_emb = ag::Gather(user_factors_, users);
+      ag::Tensor i_emb = ag::Gather(item_factors_, pos);
+      ag::Tensor r_pos = ag::RowDot(u_emb, i_emb);
+      la::Matrix ones(batch, 1, 1.0f);
+      ag::Tensor loss_r_pos = ag::MseLoss(r_pos, ones);
+
+      std::vector<uint32_t> neg_users;
+      neg_users.reserve(negs.size());
+      for (size_t k = 0; k < batch; ++k) {
+        for (int r = 0; r < config_.negative_rate; ++r) {
+          neg_users.push_back(users[k]);
+        }
+      }
+      ag::Tensor r_neg = ag::RowDot(ag::Gather(user_factors_, neg_users),
+                                    ag::Gather(item_factors_, negs));
+      la::Matrix zeros(negs.size(), 1, 0.0f);
+      ag::Tensor loss_r_neg = ag::MseLoss(r_neg, zeros);
+
+      // Y reconstruction: this batch's users against all price levels.
+      // Z reconstruction: this batch's positive items against all levels.
+      std::vector<uint32_t> rep_users, rep_items, rep_levels;
+      la::Matrix y_target(batch * dataset.num_price_levels, 1);
+      la::Matrix z_target(batch * dataset.num_price_levels, 1);
+      size_t row = 0;
+      for (size_t k = 0; k < batch; ++k) {
+        for (uint32_t p = 0; p < dataset.num_price_levels; ++p) {
+          rep_users.push_back(users[k]);
+          rep_items.push_back(pos[k]);
+          rep_levels.push_back(p);
+          y_target(row, 0) = y(users[k], p);
+          z_target(row, 0) =
+              dataset.item_price_level[pos[k]] == p ? 1.0f : 0.0f;
+          ++row;
+        }
+      }
+      ag::Tensor p_emb = ag::Gather(price_factors_, rep_levels);
+      ag::Tensor y_pred =
+          ag::RowDot(ag::Gather(user_factors_, rep_users), p_emb);
+      ag::Tensor z_pred =
+          ag::RowDot(ag::Gather(item_factors_, rep_items), p_emb);
+      ag::Tensor loss_y = ag::MseLoss(y_pred, y_target);
+      ag::Tensor loss_z = ag::MseLoss(z_pred, z_target);
+
+      ag::Tensor loss = ag::AddScalars(
+          {loss_r_pos, loss_r_neg,
+           ag::Scale(loss_y, config_.user_price_weight),
+           ag::Scale(loss_z, config_.item_price_weight)});
+      optimizer.ZeroGrad();
+      ag::Backward(loss);
+      optimizer.Step();
+    }
+  }
+
+  scorer_ = DotScorer(user_factors_->value, item_factors_->value);
+}
+
+void PaDQ::ScoreItems(uint32_t user, std::vector<float>* out) const {
+  scorer_.ScoreItems(user, out);
+}
+
+}  // namespace pup::models

@@ -1,0 +1,55 @@
+// PaDQ baseline (§V-A2, Chen et al. SIGIR'14), built on Collective Matrix
+// Factorization (Singh & Gordon, KDD'08).
+//
+// Three matrices are factorized jointly with shared latent factors:
+//   R (user × item):   observed interactions (1) + sampled zeros,
+//   Y (user × price):  the user's purchase distribution over price levels,
+//   Z (item × price):  the item's price-level indicator.
+// Squared loss throughout — price is treated as a *target* to predict, a
+// generative formulation; the paper's Table II finding is that this
+// underperforms treating price as an input (FM, PUP).
+#pragma once
+
+#include "autograd/tensor.h"
+#include "models/recommender.h"
+#include "models/scoring.h"
+
+namespace pup::models {
+
+/// Configuration for PaDQ.
+struct PadqConfig {
+  size_t embedding_dim = 64;
+  float init_stddev = 0.05f;
+  /// Relative weights of the auxiliary reconstruction tasks.
+  float user_price_weight = 0.5f;
+  float item_price_weight = 0.5f;
+  int epochs = 40;
+  size_t batch_size = 1024;
+  float learning_rate = 1e-2f;
+  float l2_reg = 1e-4f;
+  /// Zeros sampled per observed interaction in R.
+  int negative_rate = 1;
+  uint64_t seed = 7;
+};
+
+/// Collective MF over R, Y (user–price), Z (item–price).
+class PaDQ : public Recommender {
+ public:
+  explicit PaDQ(PadqConfig config = {}) : config_(std::move(config)) {}
+
+  std::string name() const override { return "PaDQ"; }
+
+  void Fit(const data::Dataset& dataset,
+           const std::vector<data::Interaction>& train) override;
+
+  void ScoreItems(uint32_t user, std::vector<float>* out) const override;
+
+ private:
+  PadqConfig config_;
+  ag::Tensor user_factors_;
+  ag::Tensor item_factors_;
+  ag::Tensor price_factors_;
+  DotScorer scorer_;
+};
+
+}  // namespace pup::models

@@ -1,0 +1,31 @@
+// The common recommender interface every method implements.
+//
+// A Recommender is fit on a training interaction list and then scores all
+// items for a user (the eval::Scorer contract), which the evaluation
+// harness turns into top-K rankings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+namespace pup::models {
+
+/// Base class for every method in the Table II comparison.
+class Recommender : public eval::Scorer {
+ public:
+  ~Recommender() override = default;
+
+  /// Method name as it appears in the paper's tables ("BPR-MF", "PUP", …).
+  virtual std::string name() const = 0;
+
+  /// Trains on `train` (a subset of dataset.interactions). The dataset
+  /// provides id spaces and item attributes; implementations must not
+  /// look at interactions outside `train`.
+  virtual void Fit(const data::Dataset& dataset,
+                   const std::vector<data::Interaction>& train) = 0;
+};
+
+}  // namespace pup::models

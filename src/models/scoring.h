@@ -1,0 +1,52 @@
+// Shared inference-time scoring helper.
+//
+// Most models in this library reduce, after training, to
+//   score(u, i) = ⟨user_vec[u], item_vec[i]⟩ + item_bias[i]
+// for suitable precomputed vectors (e.g. PUP folds the price and category
+// inner products of eq. 3 into item_vec and item_bias). This helper stores
+// the precomputed matrices and evaluates all items per user with one
+// matrix-vector pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace pup::models {
+
+/// Precomputed dot-product scorer: score(u,·) = item_vecs · user_vec(u)
+/// + item_bias.
+class DotScorer {
+ public:
+  DotScorer() = default;
+
+  /// `user_vecs` is (num_users, d), `item_vecs` is (num_items, d);
+  /// `item_bias` may be empty (treated as zero).
+  DotScorer(la::Matrix user_vecs, la::Matrix item_vecs,
+            std::vector<float> item_bias = {});
+
+  /// Writes score(u, i) for every item into `out`.
+  void ScoreItems(uint32_t user, std::vector<float>* out) const;
+
+  bool initialized() const { return user_vecs_.rows() > 0; }
+  const la::Matrix& user_vecs() const { return user_vecs_; }
+  const la::Matrix& item_vecs() const { return item_vecs_; }
+
+  /// Persists the scorer as three matrix files under `prefix`
+  /// (prefix.users / prefix.items / prefix.bias) — a framework-free
+  /// deployment snapshot of any trained model's folded inference state.
+  Status Save(const std::string& prefix) const;
+
+  /// Loads a scorer previously written by Save.
+  static Result<DotScorer> Load(const std::string& prefix);
+
+ private:
+  la::Matrix user_vecs_;
+  la::Matrix item_vecs_;
+  std::vector<float> item_bias_;
+};
+
+}  // namespace pup::models

@@ -1,0 +1,51 @@
+#include "train/early_stopping.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "train/trainer.h"
+
+namespace pup::train {
+
+EarlyStopper::EarlyStopper(std::vector<ag::Tensor> params,
+                           std::function<double()> metric_fn,
+                           EarlyStoppingOptions options)
+    : params_(std::move(params)),
+      metric_fn_(std::move(metric_fn)),
+      options_(options),
+      best_metric_(-std::numeric_limits<double>::infinity()) {
+  PUP_CHECK(!params_.empty());
+  PUP_CHECK(metric_fn_ != nullptr);
+  PUP_CHECK_GT(options_.eval_every, 0);
+  PUP_CHECK_GT(options_.patience, 0);
+}
+
+std::function<bool(const EpochStats&)> EarlyStopper::MakeCallback() {
+  return [this](const EpochStats& stats) {
+    if ((stats.epoch + 1) % options_.eval_every != 0) return true;
+    ++num_evaluations_;
+    double metric = metric_fn_();
+    if (metric > best_metric_ + options_.min_delta) {
+      best_metric_ = metric;
+      best_epoch_ = stats.epoch;
+      evals_since_best_ = 0;
+      best_snapshot_.clear();
+      best_snapshot_.reserve(params_.size());
+      for (const ag::Tensor& p : params_) best_snapshot_.push_back(p->value);
+    } else {
+      ++evals_since_best_;
+    }
+    return evals_since_best_ < options_.patience;
+  };
+}
+
+void EarlyStopper::RestoreBest() {
+  if (best_snapshot_.empty()) return;
+  PUP_CHECK_EQ(best_snapshot_.size(), params_.size());
+  for (size_t k = 0; k < params_.size(); ++k) {
+    PUP_CHECK(best_snapshot_[k].SameShape(params_[k]->value));
+    params_[k]->value = best_snapshot_[k];
+  }
+}
+
+}  // namespace pup::train

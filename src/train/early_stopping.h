@@ -1,0 +1,69 @@
+// Validation-driven model selection for the BPR training loop.
+//
+// The paper trains a fixed 200 epochs; at library scale users usually
+// want early stopping instead: evaluate a metric on the validation split
+// every few epochs, snapshot the best parameters, stop after `patience`
+// evaluations without improvement, and restore the best snapshot.
+//
+// Usage:
+//   train::EarlyStopper stopper(model->Parameters(),
+//       [&] { return EvaluateRecallOnValid(*model); },
+//       {.eval_every = 5, .patience = 3});
+//   train::TrainBpr(model, dataset, split.train, options,
+//                   stopper.MakeCallback());
+//   stopper.RestoreBest();   // Parameters now hold the best epoch.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace pup::train {
+
+/// Early-stopping policy knobs.
+struct EarlyStoppingOptions {
+  /// Evaluate every N epochs (the first evaluation is at epoch N-1).
+  int eval_every = 5;
+  /// Stop after this many consecutive non-improving evaluations.
+  int patience = 3;
+  /// Smallest metric gain that counts as an improvement.
+  double min_delta = 0.0;
+};
+
+/// Tracks the best validation metric and snapshots parameters at it.
+/// Higher metric = better.
+class EarlyStopper {
+ public:
+  EarlyStopper(std::vector<ag::Tensor> params,
+               std::function<double()> metric_fn,
+               EarlyStoppingOptions options = {});
+
+  /// Adapter for TrainBpr's EpochCallback (returns false to stop).
+  std::function<bool(const struct EpochStats&)> MakeCallback();
+
+  /// Copies the best snapshot back into the live parameters. No-op if no
+  /// evaluation ever ran.
+  void RestoreBest();
+
+  /// Best metric value seen (-inf before the first evaluation).
+  double best_metric() const { return best_metric_; }
+
+  /// Epoch index of the best evaluation, or -1.
+  int best_epoch() const { return best_epoch_; }
+
+  /// Number of evaluations performed.
+  int num_evaluations() const { return num_evaluations_; }
+
+ private:
+  std::vector<ag::Tensor> params_;
+  std::function<double()> metric_fn_;
+  EarlyStoppingOptions options_;
+  std::vector<la::Matrix> best_snapshot_;
+  double best_metric_;
+  int best_epoch_ = -1;
+  int evals_since_best_ = 0;
+  int num_evaluations_ = 0;
+};
+
+}  // namespace pup::train

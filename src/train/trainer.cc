@@ -1,0 +1,101 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace pup::train {
+
+std::vector<EpochStats> TrainBpr(BprTrainable* model,
+                                 const data::Dataset& dataset,
+                                 const std::vector<data::Interaction>& train,
+                                 const TrainOptions& options,
+                                 const EpochCallback& callback) {
+  PUP_CHECK(model != nullptr);
+  PUP_CHECK_GT(options.epochs, 0);
+  PUP_CHECK_GT(options.batch_size, 0u);
+  PUP_CHECK_MSG(!train.empty(), "training split is empty");
+
+  data::NegativeSampler sampler(dataset.num_users, dataset.num_items, train,
+                                options.seed);
+  ag::Adam optimizer(model->Parameters(),
+                     {.learning_rate = options.learning_rate});
+
+  // Epochs (0-based) at which the learning rate is divided by 10.
+  std::vector<int> decay_epochs;
+  for (double frac : options.lr_decay_at) {
+    decay_epochs.push_back(
+        static_cast<int>(std::floor(options.epochs * frac)));
+  }
+
+  std::vector<EpochStats> history;
+  history.reserve(options.epochs);
+  float lr = options.learning_rate;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (int de : decay_epochs) {
+      if (epoch == de && epoch > 0) {
+        lr *= 0.1f;
+        optimizer.SetLearningRate(lr);
+      }
+    }
+
+    Stopwatch timer;
+    auto triples = sampler.SampleEpoch(options.negative_rate);
+    double loss_sum = 0.0;
+    size_t num_batches = 0;
+
+    for (size_t start = 0; start < triples.size();
+         start += options.batch_size) {
+      size_t end = std::min(start + options.batch_size, triples.size());
+      std::vector<uint32_t> users, pos, neg;
+      users.reserve(end - start);
+      pos.reserve(end - start);
+      neg.reserve(end - start);
+      for (size_t k = start; k < end; ++k) {
+        users.push_back(triples[k].user);
+        pos.push_back(triples[k].pos_item);
+        neg.push_back(triples[k].neg_item);
+      }
+
+      auto batch = model->ForwardBatch(users, pos, neg, /*training=*/true);
+      ag::Tensor loss = ag::BprLoss(batch.pos_scores, batch.neg_scores);
+      if (options.l2_reg > 0.0f && !batch.l2_terms.empty()) {
+        std::vector<ag::Tensor> penalties;
+        penalties.reserve(batch.l2_terms.size());
+        for (const ag::Tensor& t : batch.l2_terms) {
+          penalties.push_back(ag::SquaredNorm(t));
+        }
+        ag::Tensor reg = penalties.size() == 1 ? penalties[0]
+                                               : ag::AddScalars(penalties);
+        loss = ag::AddScalars(
+            {loss, ag::Scale(reg, options.l2_reg /
+                                      static_cast<float>(users.size()))});
+      }
+
+      loss_sum += loss->value(0, 0);
+      ++num_batches;
+      optimizer.ZeroGrad();
+      ag::Backward(loss);
+      optimizer.Step();
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss = num_batches > 0 ? loss_sum / num_batches : 0.0;
+    stats.seconds = timer.Seconds();
+    history.push_back(stats);
+    if (options.verbose) {
+      PUP_LOG_INFO << "epoch " << epoch << " loss=" << stats.mean_loss
+                   << " lr=" << lr << " (" << stats.seconds << "s)";
+    }
+    if (callback && !callback(stats)) break;
+  }
+  return history;
+}
+
+}  // namespace pup::train

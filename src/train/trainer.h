@@ -1,0 +1,79 @@
+// Minibatch BPR training loop (§III-D).
+//
+// Models expose their per-batch differentiable forward pass through
+// BprTrainable; the trainer owns sampling, batching, the Adam optimizer,
+// the paper's divide-by-10-twice learning-rate schedule, and L2
+// regularization of the embeddings involved in each batch.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/optimizer.h"
+#include "autograd/tensor.h"
+#include "data/dataset.h"
+#include "data/sampler.h"
+
+namespace pup::train {
+
+/// Hyper-parameters of a training run (§V-A3 defaults, scaled down).
+struct TrainOptions {
+  int epochs = 40;
+  size_t batch_size = 1024;
+  float learning_rate = 1e-2f;
+  /// λ of eq. (4); applied to the L2 terms the model reports per batch,
+  /// normalized by batch size. The paper grid-searches this; 3e-2 is the
+  /// value that keeps 64-dim embeddings from memorizing the small
+  /// benchmark datasets.
+  float l2_reg = 3e-2f;
+  /// Negatives sampled per positive (paper: 1).
+  int negative_rate = 1;
+  uint64_t seed = 7;
+  /// Learning rate is divided by 10 when these fractions of the epochs
+  /// complete (paper: "reduce the learning rate by a factor of 10 twice").
+  std::vector<double> lr_decay_at = {0.5, 0.75};
+  bool verbose = false;
+};
+
+/// A model trainable with BPR: builds the differentiable score graph for
+/// one (users, positives, negatives) batch.
+class BprTrainable {
+ public:
+  virtual ~BprTrainable() = default;
+
+  /// All trainable parameters (for the optimizer).
+  virtual std::vector<ag::Tensor> Parameters() = 0;
+
+  /// Differentiable outputs for one batch.
+  struct BatchGraph {
+    ag::Tensor pos_scores;  // (B, 1)
+    ag::Tensor neg_scores;  // (B, 1)
+    /// Tensors whose squared norm is L2-regularized (typically the raw
+    /// embeddings gathered for this batch). May be empty.
+    std::vector<ag::Tensor> l2_terms;
+  };
+  virtual BatchGraph ForwardBatch(const std::vector<uint32_t>& users,
+                                  const std::vector<uint32_t>& pos_items,
+                                  const std::vector<uint32_t>& neg_items,
+                                  bool training) = 0;
+};
+
+/// Per-epoch telemetry.
+struct EpochStats {
+  int epoch = 0;
+  double mean_loss = 0.0;
+  double seconds = 0.0;
+};
+
+/// Called after each epoch; return false to stop early.
+using EpochCallback = std::function<bool(const EpochStats&)>;
+
+/// Runs the full BPR training loop on `train` interactions.
+/// Returns per-epoch stats.
+std::vector<EpochStats> TrainBpr(BprTrainable* model,
+                                 const data::Dataset& dataset,
+                                 const std::vector<data::Interaction>& train,
+                                 const TrainOptions& options,
+                                 const EpochCallback& callback = nullptr);
+
+}  // namespace pup::train

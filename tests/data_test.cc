@@ -1,0 +1,536 @@
+// Tests for src/data: dataset types, quantization, k-core, splitting,
+// negative sampling, CSV IO, and the synthetic generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <set>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/kcore.h"
+#include "data/quantization.h"
+#include "data/sampler.h"
+#include "data/synthetic.h"
+
+namespace pup::data {
+namespace {
+
+Dataset MakeTinyDataset() {
+  Dataset ds;
+  ds.num_users = 3;
+  ds.num_items = 4;
+  ds.num_categories = 2;
+  ds.num_price_levels = 2;
+  ds.item_category = {0, 0, 1, 1};
+  ds.item_price = {10.0f, 20.0f, 5.0f, 50.0f};
+  ds.item_price_level = {0, 1, 0, 1};
+  ds.interactions = {{0, 0, 0}, {0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {1, 0, 4}};
+  return ds;
+}
+
+// ------------------------------- Dataset -------------------------------
+
+TEST(DatasetTest, ValidateAcceptsConsistent) {
+  EXPECT_TRUE(MakeTinyDataset().Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsBadSizes) {
+  Dataset ds = MakeTinyDataset();
+  ds.item_category.pop_back();
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsOutOfRangeIds) {
+  Dataset ds = MakeTinyDataset();
+  ds.interactions.push_back({99, 0, 0});
+  EXPECT_EQ(ds.Validate().code(), StatusCode::kOutOfRange);
+
+  ds = MakeTinyDataset();
+  ds.item_category[0] = 7;
+  EXPECT_EQ(ds.Validate().code(), StatusCode::kOutOfRange);
+
+  ds = MakeTinyDataset();
+  ds.item_price_level[0] = 5;
+  EXPECT_EQ(ds.Validate().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, InteractionPairs) {
+  auto pairs = MakeTinyDataset().InteractionPairs();
+  ASSERT_EQ(pairs.size(), 5u);
+  EXPECT_EQ(pairs[0], (std::pair<uint32_t, uint32_t>{0, 0}));
+}
+
+TEST(DatasetTest, UserItemListsSortedUnique) {
+  Dataset ds = MakeTinyDataset();
+  ds.interactions.push_back({1, 0, 9});  // Duplicate (1, 0).
+  auto lists = ds.UserItemLists();
+  ASSERT_EQ(lists.size(), 3u);
+  EXPECT_EQ(lists[1], (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(DatasetTest, SummaryMentionsCounts) {
+  std::string s = MakeTinyDataset().Summary();
+  EXPECT_NE(s.find("users=3"), std::string::npos);
+  EXPECT_NE(s.find("interactions=5"), std::string::npos);
+}
+
+// ---------------------------- Temporal split ---------------------------
+
+TEST(TemporalSplitTest, SplitsByFractionInTimeOrder) {
+  Dataset ds;
+  ds.num_users = 1;
+  ds.num_items = 10;
+  ds.num_categories = 1;
+  ds.item_category.assign(10, 0);
+  ds.item_price.assign(10, 1.0f);
+  // Insert out of time order to verify sorting.
+  for (int t = 9; t >= 0; --t) {
+    ds.interactions.push_back({0, static_cast<uint32_t>(t), t});
+  }
+  DataSplit split = TemporalSplit(ds, 0.6, 0.2);
+  ASSERT_EQ(split.train.size(), 6u);
+  ASSERT_EQ(split.valid.size(), 2u);
+  ASSERT_EQ(split.test.size(), 2u);
+  // Train must hold the earliest timestamps.
+  for (const auto& x : split.train) EXPECT_LT(x.timestamp, 6);
+  for (const auto& x : split.valid) {
+    EXPECT_GE(x.timestamp, 6);
+    EXPECT_LT(x.timestamp, 8);
+  }
+  for (const auto& x : split.test) EXPECT_GE(x.timestamp, 8);
+}
+
+TEST(TemporalSplitTest, PreservesTotalCount) {
+  Dataset ds = MakeTinyDataset();
+  DataSplit split = TemporalSplit(ds);
+  EXPECT_EQ(split.train.size() + split.valid.size() + split.test.size(),
+            ds.interactions.size());
+}
+
+TEST(TemporalSplitTest, StableOnTies) {
+  Dataset ds;
+  ds.num_users = 1;
+  ds.num_items = 4;
+  ds.num_categories = 1;
+  ds.item_category.assign(4, 0);
+  ds.item_price.assign(4, 1.0f);
+  for (uint32_t i = 0; i < 4; ++i) ds.interactions.push_back({0, i, 0});
+  DataSplit split = TemporalSplit(ds, 0.5, 0.25);
+  ASSERT_EQ(split.train.size(), 2u);
+  EXPECT_EQ(split.train[0].item, 0u);
+  EXPECT_EQ(split.train[1].item, 1u);
+}
+
+// ------------------------------ Quantization ---------------------------
+
+TEST(QuantizationTest, PaperExampleUniform) {
+  // §II-B: price range [200, 3000], 10 levels, price 1000 → level 2.
+  std::vector<float> prices = {200.0f, 1000.0f, 3000.0f};
+  std::vector<uint32_t> cats = {0, 0, 0};
+  auto result = QuantizePrices(prices, cats, 1, 10,
+                               QuantizationScheme::kUniform);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0], 0u);
+  EXPECT_EQ((*result)[1], 2u);
+  EXPECT_EQ((*result)[2], 9u);  // Max clamps into the last level.
+}
+
+TEST(QuantizationTest, UniformPerCategoryIndependent) {
+  // Same absolute price lands in different levels per category range.
+  std::vector<float> prices = {0.0f, 100.0f, 50.0f, 0.0f, 1000.0f, 50.0f};
+  std::vector<uint32_t> cats = {0, 0, 0, 1, 1, 1};
+  auto result =
+      QuantizePrices(prices, cats, 2, 10, QuantizationScheme::kUniform);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[2], 5u);  // 50/100 → level 5.
+  EXPECT_EQ((*result)[5], 0u);  // 50/1000 → level 0.
+}
+
+TEST(QuantizationTest, SingleDistinctPriceIsLevelZero) {
+  std::vector<float> prices = {7.0f, 7.0f};
+  std::vector<uint32_t> cats = {0, 0};
+  auto result =
+      QuantizePrices(prices, cats, 1, 4, QuantizationScheme::kUniform);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0], 0u);
+  EXPECT_EQ((*result)[1], 0u);
+}
+
+TEST(QuantizationTest, RankBalancesHeavyTail) {
+  // Heavy-tailed prices: uniform puts almost everything in level 0, rank
+  // spreads evenly.
+  std::vector<float> prices;
+  std::vector<uint32_t> cats;
+  for (int i = 0; i < 99; ++i) {
+    prices.push_back(1.0f + 0.01f * i);
+    cats.push_back(0);
+  }
+  prices.push_back(1000.0f);  // One extreme outlier.
+  cats.push_back(0);
+
+  auto uniform =
+      QuantizePrices(prices, cats, 1, 10, QuantizationScheme::kUniform);
+  auto rank = QuantizePrices(prices, cats, 1, 10, QuantizationScheme::kRank);
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(rank.ok());
+
+  auto count_level0 = [](const std::vector<uint32_t>& v) {
+    return std::count(v.begin(), v.end(), 0u);
+  };
+  EXPECT_EQ(count_level0(*uniform), 99);
+  EXPECT_EQ(count_level0(*rank), 10);  // Even 10-way split.
+}
+
+TEST(QuantizationTest, RankEqualPricesShareLevel) {
+  std::vector<float> prices = {5.0f, 5.0f, 5.0f, 9.0f};
+  std::vector<uint32_t> cats = {0, 0, 0, 0};
+  auto result =
+      QuantizePrices(prices, cats, 1, 4, QuantizationScheme::kRank);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0], (*result)[1]);
+  EXPECT_EQ((*result)[1], (*result)[2]);
+  EXPECT_GT((*result)[3], (*result)[0]);
+}
+
+TEST(QuantizationTest, MonotoneInPriceWithinCategory) {
+  Rng rng(3);
+  std::vector<float> prices;
+  std::vector<uint32_t> cats;
+  for (int i = 0; i < 200; ++i) {
+    prices.push_back(static_cast<float>(rng.NextLogNormal(2.0, 1.0)));
+    cats.push_back(static_cast<uint32_t>(rng.NextBelow(3)));
+  }
+  for (auto scheme :
+       {QuantizationScheme::kUniform, QuantizationScheme::kRank}) {
+    auto result = QuantizePrices(prices, cats, 3, 7, scheme);
+    ASSERT_TRUE(result.ok());
+    for (size_t a = 0; a < prices.size(); ++a) {
+      for (size_t b = 0; b < prices.size(); ++b) {
+        if (cats[a] == cats[b] && prices[a] < prices[b]) {
+          EXPECT_LE((*result)[a], (*result)[b]);
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantizationTest, LevelsAlwaysInRange) {
+  Rng rng(5);
+  std::vector<float> prices;
+  std::vector<uint32_t> cats;
+  for (int i = 0; i < 500; ++i) {
+    prices.push_back(static_cast<float>(rng.NextLogNormal(3.0, 2.0)));
+    cats.push_back(static_cast<uint32_t>(rng.NextBelow(4)));
+  }
+  for (size_t levels : {2u, 3u, 10u, 100u}) {
+    for (auto scheme :
+         {QuantizationScheme::kUniform, QuantizationScheme::kRank}) {
+      auto result = QuantizePrices(prices, cats, 4, levels, scheme);
+      ASSERT_TRUE(result.ok());
+      for (uint32_t level : *result) EXPECT_LT(level, levels);
+    }
+  }
+}
+
+TEST(QuantizationTest, RejectsBadInput) {
+  EXPECT_FALSE(QuantizePrices({1.0f}, {0}, 1, 0,
+                              QuantizationScheme::kUniform)
+                   .ok());
+  EXPECT_FALSE(QuantizePrices({1.0f, 2.0f}, {0}, 1, 4,
+                              QuantizationScheme::kUniform)
+                   .ok());
+  EXPECT_FALSE(QuantizePrices({1.0f}, {3}, 2, 4,
+                              QuantizationScheme::kUniform)
+                   .ok());
+  EXPECT_FALSE(QuantizePrices({-1.0f}, {0}, 1, 4,
+                              QuantizationScheme::kUniform)
+                   .ok());
+}
+
+TEST(QuantizationTest, QuantizeDatasetFillsLevels) {
+  Dataset ds = MakeTinyDataset();
+  ds.item_price_level.clear();
+  ASSERT_TRUE(QuantizeDataset(&ds, 3, QuantizationScheme::kRank).ok());
+  EXPECT_EQ(ds.num_price_levels, 3u);
+  EXPECT_EQ(ds.item_price_level.size(), ds.num_items);
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+// -------------------------------- k-core -------------------------------
+
+TEST(KCoreTest, RemovesSparseUsersAndItems) {
+  Dataset ds;
+  ds.num_users = 3;
+  ds.num_items = 3;
+  ds.num_categories = 1;
+  ds.item_category = {0, 0, 0};
+  ds.item_price = {1, 2, 3};
+  // u0 and u1 each interact twice with i0/i1; u2 touches i2 once.
+  ds.interactions = {{0, 0, 0}, {0, 1, 1}, {1, 0, 2}, {1, 1, 3}, {2, 2, 4}};
+  Dataset core = KCoreFilter(ds, 2);
+  EXPECT_EQ(core.num_users, 2u);
+  EXPECT_EQ(core.num_items, 2u);
+  EXPECT_EQ(core.interactions.size(), 4u);
+  EXPECT_TRUE(core.Validate().ok());
+}
+
+TEST(KCoreTest, IteratesToFixedPoint) {
+  // Removing i1 (1 interaction) drops u1 below 2, which drops i0's count;
+  // the cascade must continue to a fixed point.
+  Dataset ds;
+  ds.num_users = 3;
+  ds.num_items = 3;
+  ds.num_categories = 1;
+  ds.item_category = {0, 0, 0};
+  ds.item_price = {1, 2, 3};
+  ds.interactions = {
+      {0, 0, 0}, {0, 2, 1}, {1, 0, 2}, {1, 1, 3}, {2, 0, 4}, {2, 2, 5}};
+  Dataset core = KCoreFilter(ds, 2);
+  for (auto counts :
+       {std::vector<size_t>(core.num_users, 0),
+        std::vector<size_t>(core.num_items, 0)}) {
+    (void)counts;
+  }
+  std::vector<size_t> user_count(core.num_users, 0),
+      item_count(core.num_items, 0);
+  for (const auto& x : core.interactions) {
+    user_count[x.user]++;
+    item_count[x.item]++;
+  }
+  for (size_t c : user_count) EXPECT_GE(c, 2u);
+  for (size_t c : item_count) EXPECT_GE(c, 2u);
+}
+
+TEST(KCoreTest, CompactsCategoryIds) {
+  Dataset ds;
+  ds.num_users = 2;
+  ds.num_items = 2;
+  ds.num_categories = 5;
+  ds.item_category = {4, 4};  // Only category 4 used.
+  ds.item_price = {1, 2};
+  ds.interactions = {{0, 0, 0}, {0, 1, 1}, {1, 0, 2}, {1, 1, 3}};
+  Dataset core = KCoreFilter(ds, 2);
+  EXPECT_EQ(core.num_categories, 1u);
+  EXPECT_EQ(core.item_category[0], 0u);
+}
+
+TEST(KCoreTest, PreservesAttributesThroughRenumbering) {
+  Dataset ds = MakeTinyDataset();
+  Dataset core = KCoreFilter(ds, 1);
+  EXPECT_EQ(core.interactions.size(), ds.interactions.size());
+  // Every surviving item keeps its price.
+  std::multiset<float> before(ds.item_price.begin(), ds.item_price.end());
+  std::multiset<float> after(core.item_price.begin(), core.item_price.end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(KCoreTest, EmptyResultWhenKTooLarge) {
+  Dataset ds = MakeTinyDataset();
+  Dataset core = KCoreFilter(ds, 100);
+  EXPECT_EQ(core.num_users, 0u);
+  EXPECT_EQ(core.interactions.size(), 0u);
+}
+
+// ------------------------------- Sampler -------------------------------
+
+TEST(SamplerTest, NegativesAreNeverTrainPositives) {
+  Dataset ds = MakeTinyDataset();
+  NegativeSampler sampler(ds.num_users, ds.num_items, ds.interactions, 42);
+  for (int trial = 0; trial < 500; ++trial) {
+    uint32_t u = trial % 3;
+    uint32_t neg = sampler.SampleNegative(u);
+    EXPECT_FALSE(sampler.IsPositive(u, neg));
+    EXPECT_LT(neg, ds.num_items);
+  }
+}
+
+TEST(SamplerTest, EpochCoversEveryPositive) {
+  Dataset ds = MakeTinyDataset();
+  NegativeSampler sampler(ds.num_users, ds.num_items, ds.interactions, 42);
+  auto triples = sampler.SampleEpoch(1);
+  EXPECT_EQ(triples.size(), ds.interactions.size());
+  std::multiset<std::pair<uint32_t, uint32_t>> from_epoch, from_data;
+  for (const auto& t : triples) from_epoch.insert({t.user, t.pos_item});
+  for (const auto& x : ds.interactions) from_data.insert({x.user, x.item});
+  EXPECT_EQ(from_epoch, from_data);
+}
+
+TEST(SamplerTest, NegativeRateMultipliesTriples) {
+  Dataset ds = MakeTinyDataset();
+  NegativeSampler sampler(ds.num_users, ds.num_items, ds.interactions, 42);
+  EXPECT_EQ(sampler.SampleEpoch(3).size(), 3 * ds.interactions.size());
+}
+
+TEST(SamplerTest, DeterministicAcrossSeeds) {
+  Dataset ds = MakeTinyDataset();
+  NegativeSampler a(ds.num_users, ds.num_items, ds.interactions, 7);
+  NegativeSampler b(ds.num_users, ds.num_items, ds.interactions, 7);
+  auto ta = a.SampleEpoch();
+  auto tb = b.SampleEpoch();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].neg_item, tb[i].neg_item);
+  }
+}
+
+// --------------------------------- CSV ---------------------------------
+
+TEST(CsvTest, RoundTrip) {
+  Dataset ds = MakeTinyDataset();
+  std::string items = testing::TempDir() + "/pup_items.csv";
+  std::string inter = testing::TempDir() + "/pup_inter.csv";
+  ASSERT_TRUE(SaveCsv(ds, items, inter).ok());
+  auto loaded = LoadCsv(items, inter);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_users, ds.num_users);
+  EXPECT_EQ(loaded->num_items, ds.num_items);
+  EXPECT_EQ(loaded->num_categories, ds.num_categories);
+  EXPECT_EQ(loaded->interactions, ds.interactions);
+  EXPECT_EQ(loaded->item_category, ds.item_category);
+  for (size_t i = 0; i < ds.num_items; ++i) {
+    EXPECT_FLOAT_EQ(loaded->item_price[i], ds.item_price[i]);
+  }
+  std::remove(items.c_str());
+  std::remove(inter.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto result = LoadCsv("/nonexistent/items.csv", "/nonexistent/inter.csv");
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, MalformedRowIsInvalidArgument) {
+  std::string items = testing::TempDir() + "/pup_bad_items.csv";
+  {
+    FILE* f = fopen(items.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("item_id,category_id,price\n0,0,notanumber\n", f);
+    fclose(f);
+  }
+  std::string inter = testing::TempDir() + "/pup_bad_inter.csv";
+  {
+    FILE* f = fopen(inter.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("user_id,item_id,timestamp\n", f);
+    fclose(f);
+  }
+  auto result = LoadCsv(items, inter);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(items.c_str());
+  std::remove(inter.c_str());
+}
+
+// ------------------------------ Synthetic ------------------------------
+
+class SyntheticPresetTest
+    : public ::testing::TestWithParam<SyntheticConfig> {};
+
+TEST_P(SyntheticPresetTest, GeneratesValidDataset) {
+  SyntheticConfig config = GetParam().Scaled(0.1);
+  Dataset ds = GenerateSynthetic(config);
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_EQ(ds.num_users, config.num_users);
+  EXPECT_EQ(ds.num_items, config.num_items);
+  // The generator may fall slightly short of the target but should get
+  // most of the way there.
+  EXPECT_GT(ds.interactions.size(), config.num_interactions / 2);
+  // All interactions unique.
+  std::set<std::pair<uint32_t, uint32_t>> unique;
+  for (const auto& x : ds.interactions) unique.insert({x.user, x.item});
+  EXPECT_EQ(unique.size(), ds.interactions.size());
+  // Timestamps strictly increasing.
+  for (size_t i = 1; i < ds.interactions.size(); ++i) {
+    EXPECT_GT(ds.interactions[i].timestamp,
+              ds.interactions[i - 1].timestamp);
+  }
+  // Prices positive.
+  for (float p : ds.item_price) EXPECT_GT(p, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, SyntheticPresetTest,
+                         ::testing::Values(SyntheticConfig::YelpLike(),
+                                           SyntheticConfig::BeibeiLike(),
+                                           SyntheticConfig::AmazonLike()));
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig config = SyntheticConfig::YelpLike().Scaled(0.05);
+  Dataset a = GenerateSynthetic(config);
+  Dataset b = GenerateSynthetic(config);
+  EXPECT_EQ(a.interactions, b.interactions);
+  EXPECT_EQ(a.item_category, b.item_category);
+}
+
+TEST(SyntheticTest, SeedChangesData) {
+  SyntheticConfig config = SyntheticConfig::YelpLike().Scaled(0.05);
+  Dataset a = GenerateSynthetic(config);
+  config.seed += 1;
+  Dataset b = GenerateSynthetic(config);
+  EXPECT_NE(a.interactions, b.interactions);
+}
+
+TEST(SyntheticTest, GroundTruthShapes) {
+  SyntheticConfig config = SyntheticConfig::BeibeiLike().Scaled(0.05);
+  SyntheticGroundTruth gt;
+  Dataset ds = GenerateSynthetic(config, &gt);
+  EXPECT_EQ(gt.user_budget.size(), ds.num_users);
+  EXPECT_EQ(gt.user_category_wtp.size(), ds.num_users);
+  EXPECT_EQ(gt.user_inconsistent.size(), ds.num_users);
+  EXPECT_EQ(gt.item_price_percentile.size(), ds.num_items);
+  for (double b : gt.user_budget) {
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+  for (double p : gt.item_price_percentile) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(SyntheticTest, BudgetDrivesPurchasedPricePercentile) {
+  // The planted global purchasing-power effect: the top-budget quartile of
+  // users must buy items of markedly higher price percentile than the
+  // bottom quartile. This is the structure PUP's global branch learns.
+  SyntheticConfig config = SyntheticConfig::BeibeiLike().Scaled(0.3);
+  SyntheticGroundTruth gt;
+  Dataset ds = GenerateSynthetic(config, &gt);
+
+  std::vector<double> mean_pct(ds.num_users, 0.0);
+  std::vector<int> counts(ds.num_users, 0);
+  for (const auto& x : ds.interactions) {
+    mean_pct[x.user] += gt.item_price_percentile[x.item];
+    counts[x.user]++;
+  }
+  std::vector<uint32_t> active;
+  for (uint32_t u = 0; u < ds.num_users; ++u) {
+    if (counts[u] >= 3) {
+      mean_pct[u] /= counts[u];
+      active.push_back(u);
+    }
+  }
+  ASSERT_GT(active.size(), 50u);
+  std::sort(active.begin(), active.end(), [&](uint32_t a, uint32_t b) {
+    return gt.user_budget[a] < gt.user_budget[b];
+  });
+  size_t q = active.size() / 4;
+  double low = 0.0, high = 0.0;
+  for (size_t k = 0; k < q; ++k) {
+    low += mean_pct[active[k]];
+    high += mean_pct[active[active.size() - 1 - k]];
+  }
+  low /= q;
+  high /= q;
+  EXPECT_GT(high, low + 0.1);
+}
+
+TEST(SyntheticTest, ScaledAdjustsSizes) {
+  SyntheticConfig base = SyntheticConfig::YelpLike();
+  SyntheticConfig half = base.Scaled(0.5);
+  EXPECT_EQ(half.num_users, base.num_users / 2);
+  EXPECT_EQ(half.num_items, base.num_items / 2);
+  EXPECT_EQ(half.num_interactions, base.num_interactions / 2);
+}
+
+}  // namespace
+}  // namespace pup::data

@@ -1,0 +1,203 @@
+// Edge-case and failure-injection tests across modules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "core/pup_model.h"
+#include "data/kcore.h"
+#include "data/quantization.h"
+#include "data/sampler.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "la/kernels.h"
+
+namespace pup {
+namespace {
+
+// ------------------------------- Metrics -------------------------------
+
+class FixedScorer : public eval::Scorer {
+ public:
+  explicit FixedScorer(std::vector<float> scores)
+      : scores_(std::move(scores)) {}
+  void ScoreItems(uint32_t, std::vector<float>* out) const override {
+    *out = scores_;
+  }
+
+ private:
+  std::vector<float> scores_;
+};
+
+TEST(MetricsEdgeTest, CutoffLargerThanItemCount) {
+  FixedScorer scorer({1.0f, 2.0f, 3.0f});
+  auto result = eval::EvaluateRanking(scorer, 1, 3, {{}}, {{0}}, {100});
+  EXPECT_DOUBLE_EQ(result.At(100).recall, 1.0);
+}
+
+TEST(MetricsEdgeTest, EverythingExcludedScoresZero) {
+  FixedScorer scorer({1.0f, 2.0f});
+  auto result = eval::EvaluateRanking(scorer, 1, 2, {{0, 1}}, {{0}}, {2});
+  // The test item is excluded from the candidate set: no hit possible.
+  EXPECT_DOUBLE_EQ(result.At(2).recall, 0.0);
+}
+
+TEST(MetricsEdgeTest, NoTestUsersGivesZeroMetricsAndCount) {
+  FixedScorer scorer({1.0f});
+  auto result = eval::EvaluateRanking(scorer, 2, 1, {{}, {}}, {{}, {}}, {1});
+  EXPECT_EQ(result.num_users_evaluated, 0u);
+  EXPECT_DOUBLE_EQ(result.At(1).recall, 0.0);
+}
+
+TEST(MetricsEdgeTest, MissingCutoffReturnsZeroStruct) {
+  eval::EvalResult result;
+  EXPECT_DOUBLE_EQ(result.At(999).recall, 0.0);
+  EXPECT_DOUBLE_EQ(result.At(999).ndcg, 0.0);
+}
+
+// --------------------------------- Data --------------------------------
+
+TEST(SplitEdgeTest, AllTrainFraction) {
+  data::Dataset ds;
+  ds.num_users = 1;
+  ds.num_items = 3;
+  ds.num_categories = 1;
+  ds.item_category.assign(3, 0);
+  ds.item_price.assign(3, 1.0f);
+  for (uint32_t i = 0; i < 3; ++i) ds.interactions.push_back({0, i, i});
+  auto split = data::TemporalSplit(ds, 1.0, 0.0);
+  EXPECT_EQ(split.train.size(), 3u);
+  EXPECT_TRUE(split.valid.empty());
+  EXPECT_TRUE(split.test.empty());
+}
+
+TEST(SplitEdgeTest, EmptyDataset) {
+  data::Dataset ds;
+  ds.num_users = 1;
+  ds.num_items = 1;
+  ds.num_categories = 1;
+  ds.item_category = {0};
+  ds.item_price = {1.0f};
+  auto split = data::TemporalSplit(ds);
+  EXPECT_TRUE(split.train.empty());
+  EXPECT_TRUE(split.test.empty());
+}
+
+TEST(KCoreEdgeTest, ZeroAndOneCoreKeepEverything) {
+  data::SyntheticConfig config = data::SyntheticConfig::YelpLike().Scaled(0.03);
+  data::Dataset ds = data::GenerateSynthetic(config);
+  for (size_t k : {0u, 1u}) {
+    data::Dataset core = data::KCoreFilter(ds, k);
+    EXPECT_EQ(core.interactions.size(), ds.interactions.size());
+  }
+}
+
+TEST(SamplerEdgeTest, AbortsWhenNoNegativeExists) {
+  data::Dataset ds;
+  ds.num_users = 1;
+  ds.num_items = 1;
+  ds.num_categories = 1;
+  ds.item_category = {0};
+  ds.item_price = {1.0f};
+  ds.interactions = {{0, 0, 0}};
+  data::NegativeSampler sampler(1, 1, ds.interactions, 1);
+  EXPECT_DEATH(sampler.SampleNegative(0), "no negative");
+}
+
+TEST(QuantizationEdgeTest, OneLevelMapsEverythingToZero) {
+  auto result = data::QuantizePrices({1.0f, 5.0f, 100.0f}, {0, 0, 0}, 1, 1,
+                                     data::QuantizationScheme::kRank);
+  ASSERT_TRUE(result.ok());
+  for (uint32_t level : *result) EXPECT_EQ(level, 0u);
+}
+
+TEST(QuantizationEdgeTest, EmptyCategoryIsFine) {
+  // Category 1 has no items; must not crash or misassign.
+  auto result = data::QuantizePrices({1.0f, 2.0f}, {0, 0}, 2, 4,
+                                     data::QuantizationScheme::kUniform);
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(SyntheticEdgeTest, TinyWorldStillValid) {
+  data::SyntheticConfig config;
+  config.num_users = 16;
+  config.num_items = 16;
+  config.num_categories = 2;
+  config.num_interactions = 64;
+  config.seed = 1;
+  data::Dataset ds = data::GenerateSynthetic(config);
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_GT(ds.interactions.size(), 0u);
+}
+
+// ------------------------------ Autograd -------------------------------
+
+TEST(AutogradEdgeTest, BackwardRequiresScalar) {
+  ag::Tensor x = ag::Param(la::Matrix(2, 2, 1.0f));
+  EXPECT_DEATH(ag::Backward(x), "scalar");
+}
+
+TEST(AutogradEdgeTest, DropoutRejectsPOne) {
+  Rng rng(1);
+  ag::Tensor x = ag::Param(la::Matrix(2, 2, 1.0f));
+  EXPECT_DEATH(ag::Dropout(x, 1.0f, &rng, true), "dropout");
+}
+
+TEST(AutogradEdgeTest, GatherEmptyIndexList) {
+  ag::Tensor table = ag::Param(la::Matrix(3, 2, 1.0f));
+  ag::Tensor out = ag::Gather(table, {});
+  EXPECT_EQ(out->value.rows(), 0u);
+  EXPECT_EQ(out->value.cols(), 2u);
+}
+
+TEST(AutogradEdgeTest, SingleElementBprLoss) {
+  ag::Tensor pos = ag::Param(la::Matrix(1, 1, 2.0f));
+  ag::Tensor neg = ag::Param(la::Matrix(1, 1, -1.0f));
+  ag::Tensor loss = ag::BprLoss(pos, neg);
+  // softplus(-3) = ln(1 + e^-3).
+  EXPECT_NEAR(loss->value(0, 0), std::log1p(std::exp(-3.0)), 1e-5);
+}
+
+TEST(AutogradEdgeTest, BprLossExtremeDifferencesStayFinite) {
+  ag::Tensor pos = ag::Param(la::Matrix(2, 1, {1000.0f, -1000.0f}));
+  ag::Tensor neg = ag::Param(la::Matrix(2, 1, {-1000.0f, 1000.0f}));
+  ag::Tensor loss = ag::BprLoss(pos, neg);
+  EXPECT_TRUE(std::isfinite(loss->value(0, 0)));
+  ag::Backward(loss);
+  EXPECT_TRUE(std::isfinite(pos->grad(0, 0)));
+  EXPECT_TRUE(std::isfinite(pos->grad(1, 0)));
+}
+
+// --------------------------------- PUP ---------------------------------
+
+TEST(PupEdgeTest, NoPriceVariantTrainsWithoutQuantization) {
+  data::SyntheticConfig config = data::SyntheticConfig::YelpLike().Scaled(0.04);
+  config.num_interactions = 1500;
+  data::Dataset ds = data::GenerateSynthetic(config);
+  // item_price_level deliberately left empty.
+  ASSERT_TRUE(ds.item_price_level.empty());
+  core::PupConfig pc = core::PupConfig::WithoutCategoryAndPrice();
+  pc.embedding_dim = 8;
+  pc.train.epochs = 2;
+  core::Pup model(pc);
+  model.Fit(ds, ds.interactions);
+  std::vector<float> scores;
+  model.ScoreItems(0, &scores);
+  EXPECT_EQ(scores.size(), ds.num_items);
+}
+
+TEST(PupEdgeTest, PriceVariantDemandsQuantization) {
+  data::SyntheticConfig config = data::SyntheticConfig::YelpLike().Scaled(0.04);
+  data::Dataset ds = data::GenerateSynthetic(config);
+  core::Pup model(core::PupConfig::Full());
+  EXPECT_DEATH(model.Fit(ds, ds.interactions), "quantized");
+}
+
+TEST(PupEdgeTest, GlobalPriceEmbeddingsEmptyBeforeFit) {
+  core::Pup model(core::PupConfig::Full());
+  la::Matrix m = model.GlobalPriceEmbeddings();
+  EXPECT_TRUE(m.empty());
+}
+
+}  // namespace
+}  // namespace pup

@@ -1,0 +1,156 @@
+// Tests for the heterogeneous and bipartite graph construction (§III-A,
+// eq. 5).
+#include <gtest/gtest.h>
+
+#include "graph/hetero_graph.h"
+
+namespace pup::graph {
+namespace {
+
+// Tiny world: 2 users, 3 items, 2 categories, 2 price levels.
+// Interactions: u0-i0, u0-i1, u1-i2. Items: i0 (c0, p0), i1 (c0, p1),
+// i2 (c1, p1).
+HeteroGraph MakeTinyGraph(const HeteroGraphOptions& options = {}) {
+  return HeteroGraph(2, 3, 2, 2, {{0, 0}, {0, 1}, {1, 2}}, {0, 0, 1},
+                     {0, 1, 1}, options);
+}
+
+TEST(HeteroGraphTest, NodeLayout) {
+  HeteroGraph g = MakeTinyGraph();
+  EXPECT_EQ(g.num_nodes(), 2u + 3u + 2u + 2u);
+  EXPECT_EQ(g.UserNode(1), 1u);
+  EXPECT_EQ(g.ItemNode(0), 2u);
+  EXPECT_EQ(g.CategoryNode(0), 5u);
+  EXPECT_EQ(g.PriceNode(0), 7u);
+  EXPECT_EQ(g.PriceNode(1), 8u);
+}
+
+TEST(HeteroGraphTest, RowsSumToOne) {
+  HeteroGraph g = MakeTinyGraph();
+  const auto& adj = g.adjacency();
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    float sum = 0.0f;
+    for (uint32_t k = adj.row_ptr()[r]; k < adj.row_ptr()[r + 1]; ++k) {
+      sum += adj.values()[k];
+    }
+    // Every node has at least a self-loop, so every row is non-empty and
+    // row-averaged to exactly 1.
+    EXPECT_NEAR(sum, 1.0f, 1e-6f) << "row " << r;
+  }
+}
+
+TEST(HeteroGraphTest, SelfLoopsPresent) {
+  HeteroGraph g = MakeTinyGraph();
+  for (uint32_t n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_GT(g.adjacency().At(n, n), 0.0f) << "node " << n;
+  }
+}
+
+TEST(HeteroGraphTest, SelfLoopsCanBeDisabled) {
+  HeteroGraphOptions opts;
+  opts.add_self_loops = false;
+  HeteroGraph g = MakeTinyGraph(opts);
+  // User 0 connects to items 0 and 1 only.
+  EXPECT_EQ(g.adjacency().At(g.UserNode(0), g.UserNode(0)), 0.0f);
+  EXPECT_EQ(g.adjacency().RowNnz(g.UserNode(0)), 2u);
+}
+
+TEST(HeteroGraphTest, EdgeStructureMatchesSpec) {
+  HeteroGraph g = MakeTinyGraph();
+  const auto& adj = g.adjacency();
+  // u0 row: i0, i1, self → 3 entries of 1/3.
+  EXPECT_EQ(adj.RowNnz(g.UserNode(0)), 3u);
+  EXPECT_NEAR(adj.At(g.UserNode(0), g.ItemNode(0)), 1.0f / 3.0f, 1e-6f);
+  EXPECT_NEAR(adj.At(g.UserNode(0), g.ItemNode(1)), 1.0f / 3.0f, 1e-6f);
+  // i0 row: u0, c0, p0, self → 4 entries of 1/4.
+  EXPECT_EQ(adj.RowNnz(g.ItemNode(0)), 4u);
+  EXPECT_NEAR(adj.At(g.ItemNode(0), g.CategoryNode(0)), 0.25f, 1e-6f);
+  EXPECT_NEAR(adj.At(g.ItemNode(0), g.PriceNode(0)), 0.25f, 1e-6f);
+  // c0 row: i0, i1, self.
+  EXPECT_EQ(adj.RowNnz(g.CategoryNode(0)), 3u);
+  // p1 row: i1, i2, self.
+  EXPECT_EQ(adj.RowNnz(g.PriceNode(1)), 3u);
+  // No direct user-price edges.
+  EXPECT_EQ(adj.At(g.UserNode(0), g.PriceNode(0)), 0.0f);
+  // No direct user-category edges.
+  EXPECT_EQ(adj.At(g.UserNode(0), g.CategoryNode(0)), 0.0f);
+}
+
+TEST(HeteroGraphTest, AdjacencySupportIsSymmetric) {
+  HeteroGraph g = MakeTinyGraph();
+  const auto& adj = g.adjacency();
+  // Row normalization breaks value symmetry but not support symmetry.
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    for (uint32_t k = adj.row_ptr()[r]; k < adj.row_ptr()[r + 1]; ++k) {
+      uint32_t c = adj.col_idx()[k];
+      EXPECT_GT(adj.At(c, r), 0.0f) << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(HeteroGraphTest, TransposeConsistent) {
+  HeteroGraph g = MakeTinyGraph();
+  const auto& adj = g.adjacency();
+  const auto& adj_t = g.adjacency_transposed();
+  ASSERT_EQ(adj.nnz(), adj_t.nnz());
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    for (uint32_t k = adj.row_ptr()[r]; k < adj.row_ptr()[r + 1]; ++k) {
+      uint32_t c = adj.col_idx()[k];
+      EXPECT_FLOAT_EQ(adj_t.At(c, r), adj.values()[k]);
+    }
+  }
+}
+
+TEST(HeteroGraphTest, DuplicateInteractionsCollapse) {
+  // The same (u, i) observed twice must not double the edge weight.
+  HeteroGraph g(1, 1, 1, 1, {{0, 0}, {0, 0}, {0, 0}}, {0}, {0});
+  // User row: item + self → 2 entries of 1/2 each.
+  EXPECT_EQ(g.adjacency().RowNnz(g.UserNode(0)), 2u);
+  EXPECT_NEAR(g.adjacency().At(g.UserNode(0), g.ItemNode(0)), 0.5f, 1e-6f);
+}
+
+TEST(HeteroGraphTest, CategoryNodesRemovable) {
+  HeteroGraphOptions opts;
+  opts.use_category_nodes = false;
+  HeteroGraph g = MakeTinyGraph(opts);
+  // Item rows have no category edge: u + p + self = 3 entries.
+  EXPECT_EQ(g.adjacency().RowNnz(g.ItemNode(0)), 3u);
+  // Category node rows contain only their self-loop.
+  EXPECT_EQ(g.adjacency().RowNnz(g.CategoryNode(0)), 1u);
+}
+
+TEST(HeteroGraphTest, PriceNodesRemovable) {
+  HeteroGraphOptions opts;
+  opts.use_price_nodes = false;
+  HeteroGraph g = MakeTinyGraph(opts);
+  EXPECT_EQ(g.adjacency().RowNnz(g.ItemNode(0)), 3u);  // u + c + self.
+  EXPECT_EQ(g.adjacency().RowNnz(g.PriceNode(0)), 1u);
+}
+
+TEST(BipartiteGraphTest, LayoutAndStructure) {
+  BipartiteGraph g(2, 3, {{0, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.ItemNode(0), 2u);
+  // u0: i0, i1, self.
+  EXPECT_EQ(g.adjacency().RowNnz(g.UserNode(0)), 3u);
+  // i2: u1, self.
+  EXPECT_EQ(g.adjacency().RowNnz(g.ItemNode(2)), 2u);
+  // Row sums are 1.
+  const auto& adj = g.adjacency();
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    float sum = 0.0f;
+    for (uint32_t k = adj.row_ptr()[r]; k < adj.row_ptr()[r + 1]; ++k) {
+      sum += adj.values()[k];
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  }
+}
+
+TEST(BipartiteGraphTest, NoSelfLoopOption) {
+  BipartiteGraph g(1, 1, {{0, 0}}, /*add_self_loops=*/false);
+  EXPECT_EQ(g.adjacency().At(0, 0), 0.0f);
+  EXPECT_EQ(g.adjacency().At(0, 1), 1.0f);
+}
+
+}  // namespace
+}  // namespace pup::graph

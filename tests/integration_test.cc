@@ -1,0 +1,164 @@
+// End-to-end integration tests: generate → quantize → split → train →
+// evaluate, across models, mirroring a miniature Table II run.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pup_model.h"
+#include "data/kcore.h"
+#include "data/quantization.h"
+#include "data/synthetic.h"
+#include "eval/cold_start.h"
+#include "eval/cwtp.h"
+#include "eval/metrics.h"
+#include "models/bpr_mf.h"
+#include "models/item_pop.h"
+
+namespace pup {
+namespace {
+
+struct Pipeline {
+  data::Dataset dataset;
+  data::DataSplit split;
+  std::vector<std::vector<uint32_t>> exclude;  // train ∪ valid per user.
+  std::vector<std::vector<uint32_t>> test_items;
+};
+
+Pipeline BuildPipeline(double scale, size_t interactions, uint64_t seed) {
+  data::SyntheticConfig config =
+      data::SyntheticConfig::BeibeiLike().Scaled(scale);
+  config.num_interactions = interactions;
+  config.seed = seed;
+  Pipeline p;
+  p.dataset = data::GenerateSynthetic(config);
+  EXPECT_TRUE(data::QuantizeDataset(&p.dataset, 10,
+                                    data::QuantizationScheme::kRank)
+                  .ok());
+  p.dataset = data::KCoreFilter(p.dataset, 3);
+  p.split = data::TemporalSplit(p.dataset);
+  auto train_items =
+      data::BuildUserItems(p.dataset.num_users, p.split.train);
+  auto valid_items =
+      data::BuildUserItems(p.dataset.num_users, p.split.valid);
+  p.exclude.resize(p.dataset.num_users);
+  for (size_t u = 0; u < p.dataset.num_users; ++u) {
+    p.exclude[u] = train_items[u];
+    p.exclude[u].insert(p.exclude[u].end(), valid_items[u].begin(),
+                        valid_items[u].end());
+    std::sort(p.exclude[u].begin(), p.exclude[u].end());
+  }
+  p.test_items = data::BuildUserItems(p.dataset.num_users, p.split.test);
+  return p;
+}
+
+TEST(IntegrationTest, FullPipelineRuns) {
+  Pipeline p = BuildPipeline(0.1, 7000, 7);
+  ASSERT_GT(p.dataset.num_users, 50u);
+  ASSERT_GT(p.split.test.size(), 100u);
+
+  models::ItemPop pop;
+  pop.Fit(p.dataset, p.split.train);
+  auto result = eval::EvaluateRanking(pop, p.dataset.num_users,
+                                      p.dataset.num_items, p.exclude,
+                                      p.test_items, {50, 100});
+  EXPECT_GT(result.num_users_evaluated, 0u);
+  EXPECT_GE(result.At(100).recall, result.At(50).recall);
+  EXPECT_GT(result.At(100).recall, 0.0);
+}
+
+TEST(IntegrationTest, PersonalizedBeatsPopularityOnTest) {
+  Pipeline p = BuildPipeline(0.15, 12000, 8);
+
+  models::ItemPop pop;
+  pop.Fit(p.dataset, p.split.train);
+  auto pop_result =
+      eval::EvaluateRanking(pop, p.dataset.num_users, p.dataset.num_items,
+                            p.exclude, p.test_items, {50});
+
+  models::BprMfConfig mf_config;
+  mf_config.embedding_dim = 16;
+  mf_config.train.epochs = 25;
+  mf_config.train.batch_size = 512;
+  models::BprMf mf(mf_config);
+  mf.Fit(p.dataset, p.split.train);
+  auto mf_result =
+      eval::EvaluateRanking(mf, p.dataset.num_users, p.dataset.num_items,
+                            p.exclude, p.test_items, {50});
+
+  EXPECT_GT(mf_result.At(50).recall, pop_result.At(50).recall);
+}
+
+TEST(IntegrationTest, PupBeatsItemPopOnTest) {
+  Pipeline p = BuildPipeline(0.15, 12000, 9);
+
+  models::ItemPop pop;
+  pop.Fit(p.dataset, p.split.train);
+  auto pop_result =
+      eval::EvaluateRanking(pop, p.dataset.num_users, p.dataset.num_items,
+                            p.exclude, p.test_items, {50});
+
+  core::PupConfig config = core::PupConfig::Full();
+  config.embedding_dim = 16;
+  config.category_branch_dim = 4;
+  config.train.epochs = 12;
+  config.train.batch_size = 512;
+  core::Pup pup(config);
+  pup.Fit(p.dataset, p.split.train);
+  auto pup_result =
+      eval::EvaluateRanking(pup, p.dataset.num_users, p.dataset.num_items,
+                            p.exclude, p.test_items, {50});
+
+  EXPECT_GT(pup_result.At(50).recall, pop_result.At(50).recall);
+}
+
+TEST(IntegrationTest, ColdStartTaskEvaluates) {
+  Pipeline p = BuildPipeline(0.12, 9000, 10);
+  auto task = eval::BuildColdStartTask(p.dataset, p.split.train,
+                                       p.split.test,
+                                       eval::ColdStartProtocol::kCir);
+  if (task.num_active_users == 0) {
+    GTEST_SKIP() << "no cold-start users in this sample";
+  }
+  models::ItemPop pop;
+  pop.Fit(p.dataset, p.split.train);
+  auto result = eval::EvaluateRankingWithCandidates(
+      pop, task.candidates, task.test_items, {10});
+  EXPECT_EQ(result.num_users_evaluated, task.num_active_users);
+  EXPECT_GE(result.At(10).recall, 0.0);
+}
+
+TEST(IntegrationTest, CwtpAnalysisOnGeneratedData) {
+  // The generator's inconsistent users must show higher CWTP entropy than
+  // its consistent users — the Fig 1 / Table VI structure.
+  data::SyntheticConfig config =
+      data::SyntheticConfig::BeibeiLike().Scaled(0.3);
+  config.seed = 11;
+  data::SyntheticGroundTruth gt;
+  data::Dataset ds = data::GenerateSynthetic(config, &gt);
+  ASSERT_TRUE(
+      data::QuantizeDataset(&ds, 10, data::QuantizationScheme::kRank).ok());
+
+  auto table = eval::ComputeCwtp(ds, ds.interactions);
+  auto entropies = eval::CwtpEntropies(table);
+  double sum_consistent = 0.0, sum_inconsistent = 0.0;
+  int n_consistent = 0, n_inconsistent = 0;
+  std::vector<int> counts(ds.num_users, 0);
+  for (const auto& x : ds.interactions) counts[x.user]++;
+  for (uint32_t u = 0; u < ds.num_users; ++u) {
+    if (counts[u] < 8) continue;
+    if (gt.user_inconsistent[u]) {
+      sum_inconsistent += entropies[u];
+      ++n_inconsistent;
+    } else {
+      sum_consistent += entropies[u];
+      ++n_consistent;
+    }
+  }
+  ASSERT_GT(n_consistent, 10);
+  ASSERT_GT(n_inconsistent, 10);
+  EXPECT_GT(sum_inconsistent / n_inconsistent,
+            sum_consistent / n_consistent);
+}
+
+}  // namespace
+}  // namespace pup

@@ -1,0 +1,318 @@
+// Property-based tests: randomized invariants over seeds, checked with
+// parameterized gtest sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+#include "common/rng.h"
+#include "data/kcore.h"
+#include "data/quantization.h"
+#include "data/sampler.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/hetero_graph.h"
+#include "la/kernels.h"
+
+namespace pup {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+// ----------------------------- Metrics ---------------------------------
+
+class RandomScorer : public eval::Scorer {
+ public:
+  RandomScorer(size_t num_items, uint64_t seed)
+      : num_items_(num_items), seed_(seed) {}
+  void ScoreItems(uint32_t user, std::vector<float>* out) const override {
+    Rng rng(seed_ * 1000003 + user);  // Deterministic per user.
+    out->resize(num_items_);
+    for (auto& v : *out) v = rng.NextFloat();
+  }
+
+ private:
+  size_t num_items_;
+  uint64_t seed_;
+};
+
+struct RandomEvalCase {
+  size_t num_users = 20;
+  size_t num_items = 60;
+  std::vector<std::vector<uint32_t>> exclude;
+  std::vector<std::vector<uint32_t>> test_items;
+};
+
+RandomEvalCase MakeEvalCase(uint64_t seed) {
+  RandomEvalCase c;
+  Rng rng(seed);
+  c.exclude.resize(c.num_users);
+  c.test_items.resize(c.num_users);
+  for (size_t u = 0; u < c.num_users; ++u) {
+    for (size_t i = 0; i < c.num_items; ++i) {
+      double r = rng.NextDouble();
+      if (r < 0.15) {
+        c.exclude[u].push_back(static_cast<uint32_t>(i));
+      } else if (r < 0.25) {
+        c.test_items[u].push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+  return c;
+}
+
+TEST_P(SeededTest, MetricsAreInUnitInterval) {
+  RandomEvalCase c = MakeEvalCase(GetParam());
+  RandomScorer scorer(c.num_items, GetParam());
+  auto result = eval::EvaluateRanking(scorer, c.num_users, c.num_items,
+                                      c.exclude, c.test_items,
+                                      {1, 5, 20, 60});
+  for (int k : {1, 5, 20, 60}) {
+    EXPECT_GE(result.At(k).recall, 0.0);
+    EXPECT_LE(result.At(k).recall, 1.0);
+    EXPECT_GE(result.At(k).ndcg, 0.0);
+    EXPECT_LE(result.At(k).ndcg, 1.0);
+  }
+}
+
+TEST_P(SeededTest, RecallMonotoneInCutoff) {
+  RandomEvalCase c = MakeEvalCase(GetParam());
+  RandomScorer scorer(c.num_items, GetParam());
+  auto result = eval::EvaluateRanking(scorer, c.num_users, c.num_items,
+                                      c.exclude, c.test_items,
+                                      {1, 5, 20, 60});
+  EXPECT_LE(result.At(1).recall, result.At(5).recall);
+  EXPECT_LE(result.At(5).recall, result.At(20).recall);
+  EXPECT_LE(result.At(20).recall, result.At(60).recall);
+}
+
+TEST_P(SeededTest, FullCutoffWithoutExclusionHasRecallOne) {
+  RandomEvalCase c = MakeEvalCase(GetParam());
+  c.exclude.assign(c.num_users, {});
+  RandomScorer scorer(c.num_items, GetParam());
+  auto result =
+      eval::EvaluateRanking(scorer, c.num_users, c.num_items, c.exclude,
+                            c.test_items, {static_cast<int>(c.num_items)});
+  EXPECT_DOUBLE_EQ(result.At(static_cast<int>(c.num_items)).recall, 1.0);
+}
+
+// Affine score transforms preserve the ranking, hence the metrics.
+class AffineScorer : public eval::Scorer {
+ public:
+  AffineScorer(const eval::Scorer& base, float scale, float shift)
+      : base_(base), scale_(scale), shift_(shift) {}
+  void ScoreItems(uint32_t user, std::vector<float>* out) const override {
+    base_.ScoreItems(user, out);
+    for (auto& v : *out) v = scale_ * v + shift_;
+  }
+
+ private:
+  const eval::Scorer& base_;
+  float scale_, shift_;
+};
+
+TEST_P(SeededTest, MetricsInvariantUnderAffineScores) {
+  RandomEvalCase c = MakeEvalCase(GetParam());
+  RandomScorer scorer(c.num_items, GetParam());
+  AffineScorer transformed(scorer, 3.5f, -2.0f);
+  auto a = eval::EvaluateRanking(scorer, c.num_users, c.num_items, c.exclude,
+                                 c.test_items, {10});
+  auto b = eval::EvaluateRanking(transformed, c.num_users, c.num_items,
+                                 c.exclude, c.test_items, {10});
+  EXPECT_DOUBLE_EQ(a.At(10).recall, b.At(10).recall);
+  EXPECT_DOUBLE_EQ(a.At(10).ndcg, b.At(10).ndcg);
+}
+
+// --------------------------- Quantization ------------------------------
+
+TEST_P(SeededTest, RankQuantizationBalancesLevels) {
+  Rng rng(GetParam());
+  const size_t n = 500, levels = 10;
+  std::vector<float> prices(n);
+  std::vector<uint32_t> cats(n, 0);
+  for (auto& p : prices) {
+    p = static_cast<float>(rng.NextLogNormal(2.0, 1.5));
+  }
+  auto result =
+      data::QuantizePrices(prices, cats, 1, levels,
+                           data::QuantizationScheme::kRank);
+  ASSERT_TRUE(result.ok());
+  std::vector<size_t> counts(levels, 0);
+  for (uint32_t level : *result) counts[level]++;
+  // With distinct prices every level holds n/levels ± a tie-cluster.
+  for (size_t level = 0; level < levels; ++level) {
+    EXPECT_NEAR(static_cast<double>(counts[level]), n / levels, 5.0);
+  }
+}
+
+TEST_P(SeededTest, QuantizationSchemesAgreeOnUniformPrices) {
+  // When prices are uniformly distributed, uniform and rank quantization
+  // should produce similar (not identical) level histograms.
+  Rng rng(GetParam());
+  const size_t n = 2000, levels = 5;
+  std::vector<float> prices(n);
+  std::vector<uint32_t> cats(n, 0);
+  for (auto& p : prices) p = static_cast<float>(rng.NextUniform(10, 20));
+  auto uniform = data::QuantizePrices(prices, cats, 1, levels,
+                                      data::QuantizationScheme::kUniform);
+  auto rank = data::QuantizePrices(prices, cats, 1, levels,
+                                   data::QuantizationScheme::kRank);
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(rank.ok());
+  size_t agree = 0;
+  for (size_t i = 0; i < n; ++i) {
+    agree += (*uniform)[i] == (*rank)[i] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(agree) / n, 0.9);
+}
+
+// ------------------------------ k-core ---------------------------------
+
+TEST_P(SeededTest, KCoreIsIdempotent) {
+  data::SyntheticConfig config = data::SyntheticConfig::YelpLike().Scaled(0.05);
+  config.seed = GetParam();
+  data::Dataset ds = data::GenerateSynthetic(config);
+  data::Dataset once = data::KCoreFilter(ds, 4);
+  data::Dataset twice = data::KCoreFilter(once, 4);
+  EXPECT_EQ(once.num_users, twice.num_users);
+  EXPECT_EQ(once.num_items, twice.num_items);
+  EXPECT_EQ(once.interactions.size(), twice.interactions.size());
+}
+
+TEST_P(SeededTest, KCoreDegreesAreAtLeastK) {
+  data::SyntheticConfig config = data::SyntheticConfig::BeibeiLike().Scaled(0.05);
+  config.seed = GetParam();
+  data::Dataset ds = data::GenerateSynthetic(config);
+  const size_t k = 5;
+  data::Dataset core = data::KCoreFilter(ds, k);
+  std::vector<size_t> uc(core.num_users, 0), ic(core.num_items, 0);
+  for (const auto& x : core.interactions) {
+    uc[x.user]++;
+    ic[x.item]++;
+  }
+  for (size_t c : uc) EXPECT_GE(c, k);
+  for (size_t c : ic) EXPECT_GE(c, k);
+}
+
+// ------------------------------- Graph ---------------------------------
+
+TEST_P(SeededTest, RandomHeteroGraphInvariants) {
+  Rng rng(GetParam());
+  const size_t users = 30, items = 40, cats = 5, prices = 4;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (int e = 0; e < 120; ++e) {
+    edges.emplace_back(static_cast<uint32_t>(rng.NextBelow(users)),
+                       static_cast<uint32_t>(rng.NextBelow(items)));
+  }
+  std::vector<uint32_t> item_cat(items), item_price(items);
+  for (size_t i = 0; i < items; ++i) {
+    item_cat[i] = static_cast<uint32_t>(rng.NextBelow(cats));
+    item_price[i] = static_cast<uint32_t>(rng.NextBelow(prices));
+  }
+  graph::HeteroGraph g(users, items, cats, prices, edges, item_cat,
+                       item_price);
+  const auto& adj = g.adjacency();
+  // Rows sum to 1 (self-loops guarantee non-empty rows).
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    float sum = 0.0f;
+    for (uint32_t k = adj.row_ptr()[r]; k < adj.row_ptr()[r + 1]; ++k) {
+      sum += adj.values()[k];
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  // Support is symmetric.
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    for (uint32_t k = adj.row_ptr()[r]; k < adj.row_ptr()[r + 1]; ++k) {
+      EXPECT_GT(adj.At(adj.col_idx()[k], r), 0.0f);
+    }
+  }
+  // Âᵀ really is the transpose.
+  const auto& adj_t = g.adjacency_transposed();
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    for (uint32_t k = adj.row_ptr()[r]; k < adj.row_ptr()[r + 1]; ++k) {
+      EXPECT_FLOAT_EQ(adj_t.At(adj.col_idx()[k], r), adj.values()[k]);
+    }
+  }
+}
+
+// ------------------------------ Autograd -------------------------------
+
+TEST_P(SeededTest, RandomCompositionGradCheck) {
+  // A randomized composition through the full op set, gradient-checked.
+  Rng rng(GetParam());
+  la::CsrMatrix adj = [&] {
+    std::vector<la::Triplet> trips;
+    for (int e = 0; e < 20; ++e) {
+      trips.push_back({static_cast<uint32_t>(rng.NextBelow(8)),
+                       static_cast<uint32_t>(rng.NextBelow(8)),
+                       rng.NextFloat() * 0.5f + 0.1f});
+    }
+    for (uint32_t n = 0; n < 8; ++n) trips.push_back({n, n, 1.0f});
+    return la::CsrMatrix::FromTriplets(8, 8, trips).RowNormalized();
+  }();
+  la::CsrMatrix adj_t = adj.Transposed();
+  Rng init(GetParam() + 99);
+  ag::Tensor emb = ag::Param(la::Matrix::Uniform(8, 4, -0.8f, 0.8f, &init));
+  ag::Tensor w = ag::Param(la::Matrix::Uniform(4, 4, -0.5f, 0.5f, &init));
+  std::vector<uint32_t> idx_a = {0, 3, 5};
+  std::vector<uint32_t> idx_b = {7, 2, 5};
+
+  auto build = [&](const std::vector<ag::Tensor>& p) {
+    ag::Tensor f = ag::Tanh(ag::Spmm(&adj, &adj_t, p[0]));
+    ag::Tensor h = ag::LeakyRelu(ag::MatMul(f, p[1]), 0.1f);
+    ag::Tensor pos = ag::RowDot(ag::Gather(h, idx_a), ag::Gather(f, idx_b));
+    ag::Tensor neg = ag::RowDot(ag::Gather(f, idx_a), ag::Gather(h, idx_b));
+    return ag::AddScalars(
+        {ag::BprLoss(pos, neg), ag::Scale(ag::SquaredNorm(p[0]), 0.01f)});
+  };
+
+  ag::Tensor loss = build({emb, w});
+  ag::ZeroGradients(loss);
+  ag::Backward(loss);
+
+  for (const ag::Tensor& param : {emb, w}) {
+    ASSERT_TRUE(param->grad.SameShape(param->value));
+    for (size_t i = 0; i < param->value.size(); ++i) {
+      float original = param->value.data()[i];
+      const float h = 1e-2f;
+      param->value.data()[i] = original + h;
+      float up = build({emb, w})->value(0, 0);
+      param->value.data()[i] = original - h;
+      float down = build({emb, w})->value(0, 0);
+      param->value.data()[i] = original;
+      float numeric = (up - down) / (2 * h);
+      EXPECT_NEAR(param->grad.data()[i], numeric,
+                  0.03f * std::max(1.0f, std::abs(numeric)));
+    }
+  }
+}
+
+// ------------------------------- Sampler -------------------------------
+
+TEST_P(SeededTest, SamplerNegativesUniformOverNonPositives) {
+  // Frequency test: each non-positive item is sampled roughly uniformly.
+  data::Dataset ds;
+  ds.num_users = 1;
+  ds.num_items = 10;
+  ds.num_categories = 1;
+  ds.item_category.assign(10, 0);
+  ds.item_price.assign(10, 1.0f);
+  ds.interactions = {{0, 0, 0}, {0, 1, 1}};  // Items 0, 1 positive.
+  data::NegativeSampler sampler(1, 10, ds.interactions, GetParam());
+  std::vector<int> counts(10, 0);
+  const int n = 16000;
+  for (int i = 0; i < n; ++i) counts[sampler.SampleNegative(0)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 0);
+  for (int i = 2; i < 10; ++i) {
+    EXPECT_NEAR(counts[i], n / 8.0, n / 8.0 * 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace pup
