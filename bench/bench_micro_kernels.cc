@@ -1,10 +1,21 @@
 // Micro-benchmarks (google-benchmark) for the compute kernels and the
-// eq. (7) decoder trick the paper highlights in §IV-B.
+// eq. (7) decoder trick the paper highlights in §IV-B, plus --threads
+// sweeps that record parallel speedup vs the serial baseline. Run with
+// --benchmark_format=json to get the speedup counters in the JSON output.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "eval/metrics.h"
 #include "graph/hetero_graph.h"
 #include "la/kernels.h"
 
@@ -145,6 +156,130 @@ void BM_PupForwardBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PupForwardBackward);
+
+// --- --threads sweeps: 1, 2, 4, hardware concurrency -------------------
+//
+// Each family runs its serial (threads=1) case first; later thread counts
+// report "speedup_vs_serial" in the counters, which land in the harness
+// JSON output under benchmarks[i].speedup_vs_serial.
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Serial per-iteration seconds for each sweep family, recorded by the
+// threads=1 case (benchmarks execute in registration order).
+std::map<std::string, double>& SerialBaseline() {
+  static std::map<std::string, double> baseline;
+  return baseline;
+}
+
+void RecordSweep(benchmark::State& state, const std::string& family,
+                 int threads, double seconds, size_t iterations) {
+  const double per_iter = seconds / static_cast<double>(iterations);
+  if (threads == 1) SerialBaseline()[family] = per_iter;
+  state.counters["pool_threads"] = static_cast<double>(threads);
+  auto it = SerialBaseline().find(family);
+  if (it != SerialBaseline().end() && per_iter > 0.0) {
+    state.counters["speedup_vs_serial"] = it->second / per_iter;
+  }
+}
+
+void BM_GemmThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool::SetGlobalThreads(threads);
+  // The acceptance-size GEMM: (512,64) x (64,512).
+  la::Matrix a = RandomMatrix(512, 64, 1), b = RandomMatrix(64, 512, 2), out;
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    la::Gemm(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  const double seconds = timer.Seconds();
+  state.SetItemsProcessed(state.iterations() * 512 * 64 * 512);
+  RecordSweep(state, "gemm_512x64x512", threads, seconds, iters);
+  ThreadPool::SetGlobalThreads(0);
+}
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(HardwareThreads());
+
+void BM_SpmmThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool::SetGlobalThreads(threads);
+  la::CsrMatrix adj = MakeAdjacency(2000, 1200, 40000);
+  la::Matrix emb = RandomMatrix(adj.cols(), 64, 3), out;
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    la::Spmm(adj, emb, &out);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  const double seconds = timer.Seconds();
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * 64);
+  RecordSweep(state, "spmm_hetero_d64", threads, seconds, iters);
+  ThreadPool::SetGlobalThreads(0);
+}
+BENCHMARK(BM_SpmmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(HardwareThreads());
+
+// Full-ranking evaluation: every item scored for every test user.
+class EmbeddingScorer : public eval::Scorer {
+ public:
+  EmbeddingScorer(la::Matrix users, la::Matrix items)
+      : users_(std::move(users)), items_(std::move(items)) {}
+
+  void ScoreItems(uint32_t user, std::vector<float>* out) const override {
+    const size_t n = items_.rows(), d = items_.cols();
+    out->resize(n);
+    const float* u = users_.Row(user);
+    for (size_t i = 0; i < n; ++i) {
+      const float* v = items_.Row(i);
+      float acc = 0.0f;
+      for (size_t j = 0; j < d; ++j) acc += u[j] * v[j];
+      (*out)[i] = acc;
+    }
+  }
+
+ private:
+  la::Matrix users_, items_;
+};
+
+void BM_EvaluateRankingThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool::SetGlobalThreads(threads);
+  constexpr size_t kUsers = 256, kItems = 2000;
+  EmbeddingScorer scorer(RandomMatrix(kUsers, 64, 21),
+                         RandomMatrix(kItems, 64, 22));
+  Rng rng(23);
+  std::vector<std::vector<uint32_t>> exclude(kUsers), test(kUsers);
+  for (size_t u = 0; u < kUsers; ++u) {
+    for (int t = 0; t < 3; ++t) {
+      test[u].push_back(static_cast<uint32_t>(rng.NextBelow(kItems)));
+      exclude[u].push_back(static_cast<uint32_t>(rng.NextBelow(kItems)));
+    }
+    std::sort(test[u].begin(), test[u].end());
+    std::sort(exclude[u].begin(), exclude[u].end());
+  }
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    auto result =
+        eval::EvaluateRanking(scorer, kUsers, kItems, exclude, test, {50});
+    benchmark::DoNotOptimize(result.num_users_evaluated);
+    ++iters;
+  }
+  const double seconds = timer.Seconds();
+  state.SetItemsProcessed(state.iterations() * kUsers * kItems);
+  RecordSweep(state, "evaluate_ranking_256x2000", threads, seconds, iters);
+  ThreadPool::SetGlobalThreads(0);
+}
+BENCHMARK(BM_EvaluateRankingThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(HardwareThreads());
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "data/kcore.h"
 
 namespace pup::bench {
@@ -25,6 +26,10 @@ Env GetEnv() {
     int v = std::atoi(s);
     if (v > 0) env.embedding_dim = static_cast<size_t>(v);
   }
+  if (const char* s = std::getenv("PUP_BENCH_THREADS")) {
+    env.threads = std::atoi(s);
+  }
+  ThreadPool::SetGlobalThreads(env.threads);
   return env;
 }
 
@@ -89,8 +94,8 @@ void PrintHeader(const std::string& title, const PreparedData& d,
   std::printf("dataset: %s | train/valid/test = %zu/%zu/%zu\n",
               d.dataset.Summary().c_str(), d.train.size(), d.valid.size(),
               d.test.size());
-  std::printf("env: scale=%.2f epochs=%d dim=%zu\n\n", env.scale, env.epochs,
-              env.embedding_dim);
+  std::printf("env: scale=%.2f epochs=%d dim=%zu threads=%zu\n\n", env.scale,
+              env.epochs, env.embedding_dim, ThreadPool::GlobalThreads());
 }
 
 }  // namespace pup::bench

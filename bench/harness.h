@@ -9,6 +9,9 @@
 //   PUP_BENCH_SCALE   dataset scale factor (default 1.0)
 //   PUP_BENCH_EPOCHS  training epochs (default 40)
 //   PUP_BENCH_DIM     embedding size (default 64)
+//   PUP_BENCH_THREADS global thread-pool size (default: hardware
+//                     concurrency; 1 = exact serial). Bench mains that
+//                     parse argv also accept --threads, which wins.
 #pragma once
 
 #include <string>
@@ -28,9 +31,12 @@ struct Env {
   double scale = 1.0;
   int epochs = 40;
   size_t embedding_dim = 64;
+  /// 0 = hardware concurrency.
+  int threads = 0;
 };
 
-/// Reads PUP_BENCH_* environment variables.
+/// Reads PUP_BENCH_* environment variables and sizes the global thread
+/// pool from PUP_BENCH_THREADS.
 Env GetEnv();
 
 /// Training options matching the paper's §V-A3 protocol at bench scale.

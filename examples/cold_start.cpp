@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "core/pup_model.h"
 #include "data/quantization.h"
@@ -18,8 +19,9 @@
 #include "eval/metrics.h"
 #include "models/gc_mc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pup;
+  ApplyThreadsFlag(Flags::Parse(argc, argv));  // --threads=N, default: all cores.
 
   data::SyntheticConfig world = data::SyntheticConfig::YelpLike().Scaled(0.4);
   data::Dataset dataset = data::GenerateSynthetic(world);

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/flags.h"
 #include "core/pup_model.h"
 #include "data/csv.h"
 #include "data/kcore.h"
@@ -21,8 +22,9 @@
 #include "la/io.h"
 #include "models/scoring.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pup;
+  ApplyThreadsFlag(Flags::Parse(argc, argv));  // --threads=N, default: all cores.
   const std::string dir = "/tmp";
 
   // 1. Export.

@@ -11,14 +11,16 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "core/extended_pup.h"
 #include "data/quantization.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pup;
+  ApplyThreadsFlag(Flags::Parse(argc, argv));  // --threads=N, default: all cores.
 
   data::SyntheticConfig world = data::SyntheticConfig::BeibeiLike().Scaled(0.3);
   data::Dataset dataset = data::GenerateSynthetic(world);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "core/pup_model.h"
 #include "data/quantization.h"
@@ -49,8 +50,8 @@ std::vector<double> PriceAffinity(const core::Pup& model,
 
 }  // namespace
 
-int main() {
-  using namespace pup;
+int main(int argc, char** argv) {
+  ApplyThreadsFlag(Flags::Parse(argc, argv));  // --threads=N, default: all cores.
 
   // A world where budget is the dominant signal.
   data::SyntheticConfig world = data::SyntheticConfig::BeibeiLike().Scaled(0.3);

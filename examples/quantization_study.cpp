@@ -9,12 +9,14 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "data/quantization.h"
 #include "data/synthetic.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pup;
+  ApplyThreadsFlag(Flags::Parse(argc, argv));  // --threads=N, default: all cores.
 
   // The paper's worked example.
   {

@@ -10,13 +10,15 @@
 #include <cstdio>
 #include <numeric>
 
+#include "common/flags.h"
 #include "core/pup_model.h"
 #include "data/quantization.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pup;
+  ApplyThreadsFlag(Flags::Parse(argc, argv));  // --threads=N, default: all cores.
 
   // 1. A small e-commerce world. Swap in data::LoadCsv(...) for real data.
   data::SyntheticConfig world = data::SyntheticConfig::BeibeiLike().Scaled(0.3);

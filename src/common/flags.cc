@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/thread_pool.h"
+
 namespace pup {
 
 Flags Flags::Parse(int argc, const char* const* argv) {
@@ -62,6 +64,10 @@ std::vector<std::string> Flags::UnusedFlags() const {
     if (!queried_.count(key)) unused.push_back(key);
   }
   return unused;
+}
+
+void ApplyThreadsFlag(const Flags& flags) {
+  ThreadPool::SetGlobalThreads(static_cast<int>(flags.GetInt("threads", 0)));
 }
 
 }  // namespace pup

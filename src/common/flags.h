@@ -42,4 +42,9 @@ class Flags {
   std::vector<std::string> positional_;
 };
 
+/// Sizes the global thread pool from the standard --threads flag
+/// (default: hardware concurrency; --threads=1 restores exact serial
+/// behavior). Call once at startup, before any parallel work runs.
+void ApplyThreadsFlag(const Flags& flags);
+
 }  // namespace pup

@@ -1,0 +1,143 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace pup {
+namespace {
+
+// Set while a thread executes ParallelFor chunks; nested calls run
+// serially instead of deadlocking or oversubscribing the pool.
+thread_local bool tls_in_parallel = false;
+
+std::mutex& GlobalMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> slot;
+  return slot;
+}
+
+// Requested size; 0 = hardware concurrency. Guarded by GlobalMutex().
+int g_requested_threads = 0;
+
+size_t ResolveThreads(int n) {
+  if (n > 0) return static_cast<size_t>(n);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  // The calling thread participates in every ParallelFor, so a pool of
+  // size n needs only n-1 workers.
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Only reachable when stopping.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (end - begin + grain - 1) / grain;
+  if (num_threads_ <= 1 || num_chunks <= 1 || tls_in_parallel) {
+    fn(begin, end);
+    return;
+  }
+
+  struct State {
+    std::atomic<size_t> next_chunk{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending_helpers = 0;
+  };
+  auto state = std::make_shared<State>();
+
+  // Each participant claims chunks off a shared cursor until none remain.
+  auto work = [state, begin, end, grain, num_chunks, &fn]() {
+    const bool prev = tls_in_parallel;
+    tls_in_parallel = true;
+    for (;;) {
+      const size_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const size_t lo = begin + c * grain;
+      fn(lo, std::min(end, lo + grain));
+    }
+    tls_in_parallel = prev;
+  };
+
+  const size_t helpers = std::min(num_threads_ - 1, num_chunks - 1);
+  state->pending_helpers = helpers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) {
+      queue_.push_back([state, work] {
+        work();
+        std::lock_guard<std::mutex> l(state->mu);
+        if (--state->pending_helpers == 0) state->cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  work();  // The calling thread participates.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->pending_helpers == 0; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  auto& slot = GlobalSlot();
+  if (!slot) {
+    slot.reset(new ThreadPool(ResolveThreads(g_requested_threads)));
+  }
+  return *slot;
+}
+
+void ThreadPool::SetGlobalThreads(int n) {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  g_requested_threads = n;
+  auto& slot = GlobalSlot();
+  if (slot && slot->num_threads() != ResolveThreads(n)) {
+    slot.reset();  // Recreated lazily at the new size.
+  }
+}
+
+size_t ThreadPool::GlobalThreads() { return Global().num_threads(); }
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace pup

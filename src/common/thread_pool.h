@@ -1,0 +1,76 @@
+// Fixed-size thread pool and the ParallelFor primitive used by the la
+// kernels, the autograd backward pass (through the kernels), and the
+// full-ranking evaluator. See docs/threading.md for the design and the
+// determinism contract.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pup {
+
+/// A fixed-size pool of worker threads executing range chunks.
+///
+/// The process-wide instance is created lazily by `Global()` with
+/// `SetGlobalThreads()`'s requested size (default: hardware concurrency).
+/// A pool of size 1 spawns no workers and runs everything on the calling
+/// thread — `--threads=1` is exactly the historical serial implementation.
+class ThreadPool {
+ public:
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, created on first use.
+  static ThreadPool& Global();
+
+  /// Sets the global pool size; n <= 0 means hardware concurrency. If the
+  /// pool already exists with a different size it is torn down and
+  /// recreated lazily. Must not be called while parallel work is running.
+  static void SetGlobalThreads(int n);
+
+  /// Size of the global pool (forces creation).
+  static size_t GlobalThreads();
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs fn over [begin, end) split into chunks of `grain` indices
+  /// (the last chunk may be short). Blocks until every chunk ran.
+  ///
+  /// Contract:
+  ///  * every index in [begin, end) is covered exactly once;
+  ///  * each call receives a range aligned to chunk boundaries — chunk c
+  ///    is [begin + c*grain, min(end, begin + (c+1)*grain));
+  ///  * with more than one thread, each call is exactly one chunk, so a
+  ///    caller may index per-chunk state by (lo - begin) / grain;
+  ///  * on a single-thread pool (or when nested inside another
+  ///    ParallelFor) fn is called once with the whole range.
+  ///
+  /// fn must not throw. Chunks touching disjoint data need no locking;
+  /// all writes made by fn are visible to the caller on return.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  explicit ThreadPool(size_t num_threads);
+
+  void WorkerLoop();
+
+  const size_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience forwarding to ThreadPool::Global().
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace pup

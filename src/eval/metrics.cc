@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace pup::eval {
 namespace {
@@ -52,6 +53,47 @@ void AccumulateUser(const std::vector<float>& scores,
   acc->ndcg_sum += idcg > 0.0 ? dcg / idcg : 0.0;
 }
 
+// Users per ParallelFor chunk. Fixed (not a function of the pool size)
+// so the partial-sum combine order — and therefore the metrics — are
+// identical for every thread count > 1; a single-thread pool coalesces
+// everything into chunk 0, reproducing the historical serial
+// accumulation bitwise.
+constexpr size_t kUsersPerChunk = 16;
+
+// Per-chunk metric partial sums plus that chunk's reusable score buffers.
+struct ChunkAccumulator {
+  std::map<int, Accumulator> acc;
+  size_t evaluated = 0;
+};
+
+// Combines per-chunk partials in chunk order into the final result.
+EvalResult CombineChunks(const std::vector<ChunkAccumulator>& partial,
+                         const std::vector<int>& cutoffs) {
+  size_t evaluated = 0;
+  std::map<int, Accumulator> acc;
+  for (int k : cutoffs) acc[k] = {};
+  for (const ChunkAccumulator& ca : partial) {
+    evaluated += ca.evaluated;
+    for (int k : cutoffs) {
+      auto it = ca.acc.find(k);
+      if (it == ca.acc.end()) continue;
+      acc[k].recall_sum += it->second.recall_sum;
+      acc[k].ndcg_sum += it->second.ndcg_sum;
+    }
+  }
+  EvalResult result;
+  result.num_users_evaluated = evaluated;
+  for (int k : cutoffs) {
+    TopKMetrics m;
+    if (evaluated > 0) {
+      m.recall = acc[k].recall_sum / static_cast<double>(evaluated);
+      m.ndcg = acc[k].ndcg_sum / static_cast<double>(evaluated);
+    }
+    result.at[k] = m;
+  }
+  return result;
+}
+
 }  // namespace
 
 double Dcg(const std::vector<int>& relevance) {
@@ -80,32 +122,25 @@ EvalResult EvaluateRanking(
     const std::vector<int>& cutoffs) {
   PUP_CHECK_EQ(exclude_items.size(), num_users);
   PUP_CHECK_EQ(test_items.size(), num_users);
-  std::map<int, Accumulator> acc;
-  for (int k : cutoffs) acc[k] = {};
-  size_t evaluated = 0;
-
-  std::vector<float> scores;
-  for (uint32_t u = 0; u < num_users; ++u) {
-    const auto& test = test_items[u];
-    if (test.empty()) continue;
-    ++evaluated;
-    scorer.ScoreItems(u, &scores);
-    PUP_CHECK_EQ(scores.size(), num_items);
-    for (uint32_t item : exclude_items[u]) scores[item] = kNegInf;
-    for (int k : cutoffs) AccumulateUser(scores, test, k, &acc[k]);
-  }
-
-  EvalResult result;
-  result.num_users_evaluated = evaluated;
-  for (int k : cutoffs) {
-    TopKMetrics m;
-    if (evaluated > 0) {
-      m.recall = acc[k].recall_sum / static_cast<double>(evaluated);
-      m.ndcg = acc[k].ndcg_sum / static_cast<double>(evaluated);
+  const size_t num_chunks =
+      (num_users + kUsersPerChunk - 1) / kUsersPerChunk;
+  std::vector<ChunkAccumulator> partial(num_chunks);
+  // Each chunk of users is scored independently with its own score
+  // buffer; Scorer::ScoreItems is const and must be thread-safe.
+  ParallelFor(0, num_users, kUsersPerChunk, [&](size_t lo, size_t hi) {
+    ChunkAccumulator* ca = &partial[lo / kUsersPerChunk];
+    std::vector<float> scores;
+    for (size_t u = lo; u < hi; ++u) {
+      const auto& test = test_items[u];
+      if (test.empty()) continue;
+      ++ca->evaluated;
+      scorer.ScoreItems(static_cast<uint32_t>(u), &scores);
+      PUP_CHECK_EQ(scores.size(), num_items);
+      for (uint32_t item : exclude_items[u]) scores[item] = kNegInf;
+      for (int k : cutoffs) AccumulateUser(scores, test, k, &ca->acc[k]);
     }
-    result.at[k] = m;
-  }
-  return result;
+  });
+  return CombineChunks(partial, cutoffs);
 }
 
 EvalResult EvaluateRankingWithCandidates(
@@ -114,36 +149,28 @@ EvalResult EvaluateRankingWithCandidates(
     const std::vector<std::vector<uint32_t>>& test_items,
     const std::vector<int>& cutoffs) {
   PUP_CHECK_EQ(candidates.size(), test_items.size());
-  std::map<int, Accumulator> acc;
-  for (int k : cutoffs) acc[k] = {};
-  size_t evaluated = 0;
-
-  std::vector<float> scores;
-  std::vector<float> masked;
-  for (uint32_t u = 0; u < candidates.size(); ++u) {
-    const auto& test = test_items[u];
-    if (test.empty() || candidates[u].empty()) continue;
-    ++evaluated;
-    scorer.ScoreItems(u, &scores);
-    masked.assign(scores.size(), kNegInf);
-    for (uint32_t item : candidates[u]) {
-      PUP_DCHECK(item < scores.size());
-      masked[item] = scores[item];
+  const size_t num_users = candidates.size();
+  const size_t num_chunks =
+      (num_users + kUsersPerChunk - 1) / kUsersPerChunk;
+  std::vector<ChunkAccumulator> partial(num_chunks);
+  ParallelFor(0, num_users, kUsersPerChunk, [&](size_t lo, size_t hi) {
+    ChunkAccumulator* ca = &partial[lo / kUsersPerChunk];
+    std::vector<float> scores;
+    std::vector<float> masked;
+    for (size_t u = lo; u < hi; ++u) {
+      const auto& test = test_items[u];
+      if (test.empty() || candidates[u].empty()) continue;
+      ++ca->evaluated;
+      scorer.ScoreItems(static_cast<uint32_t>(u), &scores);
+      masked.assign(scores.size(), kNegInf);
+      for (uint32_t item : candidates[u]) {
+        PUP_DCHECK(item < scores.size());
+        masked[item] = scores[item];
+      }
+      for (int k : cutoffs) AccumulateUser(masked, test, k, &ca->acc[k]);
     }
-    for (int k : cutoffs) AccumulateUser(masked, test, k, &acc[k]);
-  }
-
-  EvalResult result;
-  result.num_users_evaluated = evaluated;
-  for (int k : cutoffs) {
-    TopKMetrics m;
-    if (evaluated > 0) {
-      m.recall = acc[k].recall_sum / static_cast<double>(evaluated);
-      m.ndcg = acc[k].ndcg_sum / static_cast<double>(evaluated);
-    }
-    result.at[k] = m;
-  }
-  return result;
+  });
+  return CombineChunks(partial, cutoffs);
 }
 
 }  // namespace pup::eval

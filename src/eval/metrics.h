@@ -21,7 +21,9 @@ class Scorer {
   virtual ~Scorer() = default;
 
   /// Writes a score for each item (higher = better) into `out`, resized to
-  /// the item count.
+  /// the item count. The ranking evaluators score user blocks in parallel,
+  /// so implementations must be safe to call concurrently from multiple
+  /// threads (pure const reads of model state).
   virtual void ScoreItems(uint32_t user, std::vector<float>* out) const = 0;
 };
 

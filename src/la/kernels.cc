@@ -1,23 +1,48 @@
 #include "la/kernels.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/thread_pool.h"
 
 namespace pup::la {
 namespace {
 
-void EnsureShape(size_t rows, size_t cols, Matrix* out) {
-  if (out->rows() != rows || out->cols() != cols) {
-    *out = Matrix(rows, cols);
-  } else {
-    out->Zero();
-  }
-}
-
-// Resize without zeroing for kernels that overwrite every entry.
+// Resize without zeroing; every kernel below either overwrites each entry
+// or explicitly initializes the rows it owns inside its parallel region.
 void EnsureShapeNoZero(size_t rows, size_t cols, Matrix* out) {
   if (out->rows() != rows || out->cols() != cols) {
     *out = Matrix(rows, cols);
   }
+}
+
+// Minimum scalar operations per ParallelFor chunk; keeps scheduling
+// overhead well under the cost of the work itself.
+constexpr size_t kMinWorkPerChunk = size_t{1} << 14;
+
+// Rows per chunk for a kernel whose per-row cost is `row_cost` scalar ops.
+size_t RowGrain(size_t row_cost) {
+  return std::max<size_t>(1, kMinWorkPerChunk / std::max<size_t>(1, row_cost));
+}
+
+// Order-stable chunked reduction. With a single-thread pool this is the
+// historical serial loop (one accumulator, bitwise-identical results);
+// with more threads, fixed grain-sized chunks are reduced independently
+// and combined in chunk order, so the result is deterministic for any
+// pool size > 1 and within reduction-order tolerance of serial.
+template <typename ChunkFn>
+double ChunkedReduce(size_t n, const ChunkFn& chunk_sum) {
+  constexpr size_t kGrain = kMinWorkPerChunk;
+  if (n <= kGrain || ThreadPool::Global().num_threads() <= 1) {
+    return chunk_sum(size_t{0}, n);
+  }
+  const size_t num_chunks = (n + kGrain - 1) / kGrain;
+  std::vector<double> partial(num_chunks, 0.0);
+  ParallelFor(0, n, kGrain,
+              [&](size_t lo, size_t hi) { partial[lo / kGrain] = chunk_sum(lo, hi); });
+  double acc = 0.0;
+  for (double p : partial) acc += p;
+  return acc;
 }
 
 }  // namespace
@@ -25,215 +50,315 @@ void EnsureShapeNoZero(size_t rows, size_t cols, Matrix* out) {
 void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
   PUP_CHECK_EQ(a.cols(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  EnsureShape(m, n, out);
-  // ikj loop order: streams through b and out rows contiguously.
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out->Row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.Row(p);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  EnsureShapeNoZero(m, n, out);
+  // ikj loop order: streams through b and out rows contiguously. Each
+  // chunk owns a disjoint block of out rows, initialized once here (not
+  // pre-zeroed by the resize) and accumulated branch-free so the inner
+  // loop vectorizes.
+  ParallelFor(0, m, RowGrain(k * n), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float* arow = a.Row(i);
+      float* orow = out->Row(i);
+      std::fill(orow, orow + n, 0.0f);
+      for (size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        const float* brow = b.Row(p);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
   PUP_CHECK_EQ(a.rows(), b.rows());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  EnsureShape(m, n, out);
-  for (size_t p = 0; p < k; ++p) {
-    const float* arow = a.Row(p);
-    const float* brow = b.Row(p);
-    for (size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
+  EnsureShapeNoZero(m, n, out);
+  // out(i,j) = Σ_p a(p,i)·b(p,j); p stays the innermost accumulation
+  // order so results match the historical p-outer loop bitwise.
+  ParallelFor(0, m, RowGrain(k * n), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
       float* orow = out->Row(i);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      std::fill(orow, orow + n, 0.0f);
+      for (size_t p = 0; p < k; ++p) {
+        const float av = a(p, i);
+        const float* brow = b.Row(p);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
   PUP_CHECK_EQ(a.cols(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
   EnsureShapeNoZero(m, n, out);
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out->Row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b.Row(j);
-      float acc = 0.0f;
-      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] = acc;
+  ParallelFor(0, m, RowGrain(k * n), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float* arow = a.Row(i);
+      float* orow = out->Row(i);
+      for (size_t j = 0; j < n; ++j) {
+        const float* brow = b.Row(j);
+        float acc = 0.0f;
+        for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        orow[j] = acc;
+      }
     }
-  }
+  });
 }
 
 void Spmm(const CsrMatrix& sparse, const Matrix& dense, Matrix* out) {
   PUP_CHECK_EQ(sparse.cols(), dense.rows());
   const size_t m = sparse.rows(), n = dense.cols();
-  EnsureShape(m, n, out);
+  EnsureShapeNoZero(m, n, out);
   const auto& row_ptr = sparse.row_ptr();
   const auto& col_idx = sparse.col_idx();
   const auto& values = sparse.values();
-  for (size_t i = 0; i < m; ++i) {
-    float* orow = out->Row(i);
-    for (uint32_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
-      const float v = values[k];
-      const float* drow = dense.Row(col_idx[k]);
-      for (size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+  // Average row cost; individual rows vary but chunks amortize.
+  const size_t row_cost = m == 0 ? 0 : (sparse.nnz() * n) / m;
+  ParallelFor(0, m, RowGrain(row_cost), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      float* orow = out->Row(i);
+      std::fill(orow, orow + n, 0.0f);
+      for (uint32_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        const float v = values[k];
+        if (v == 0.0f) continue;  // Explicit zeros are common after masking.
+        const float* drow = dense.Row(col_idx[k]);
+        for (size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+      }
     }
-  }
+  });
 }
 
 void Axpy(float alpha, const Matrix& x, Matrix* out) {
   PUP_CHECK(x.SameShape(*out));
   const float* xd = x.data();
   float* od = out->data();
-  for (size_t i = 0; i < x.size(); ++i) od[i] += alpha * xd[i];
+  ParallelFor(0, x.size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) od[i] += alpha * xd[i];
+  });
 }
 
 void Add(const Matrix& x, const Matrix& y, Matrix* out) {
   PUP_CHECK(x.SameShape(y));
   EnsureShapeNoZero(x.rows(), x.cols(), out);
-  for (size_t i = 0; i < x.size(); ++i) {
-    out->data()[i] = x.data()[i] + y.data()[i];
-  }
+  const float* xd = x.data();
+  const float* yd = y.data();
+  float* od = out->data();
+  ParallelFor(0, x.size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) od[i] = xd[i] + yd[i];
+  });
 }
 
 void Sub(const Matrix& x, const Matrix& y, Matrix* out) {
   PUP_CHECK(x.SameShape(y));
   EnsureShapeNoZero(x.rows(), x.cols(), out);
-  for (size_t i = 0; i < x.size(); ++i) {
-    out->data()[i] = x.data()[i] - y.data()[i];
-  }
+  const float* xd = x.data();
+  const float* yd = y.data();
+  float* od = out->data();
+  ParallelFor(0, x.size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) od[i] = xd[i] - yd[i];
+  });
 }
 
 void Mul(const Matrix& x, const Matrix& y, Matrix* out) {
   PUP_CHECK(x.SameShape(y));
   EnsureShapeNoZero(x.rows(), x.cols(), out);
-  for (size_t i = 0; i < x.size(); ++i) {
-    out->data()[i] = x.data()[i] * y.data()[i];
-  }
+  const float* xd = x.data();
+  const float* yd = y.data();
+  float* od = out->data();
+  ParallelFor(0, x.size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) od[i] = xd[i] * yd[i];
+  });
 }
 
 void Scale(float alpha, const Matrix& x, Matrix* out) {
   EnsureShapeNoZero(x.rows(), x.cols(), out);
-  for (size_t i = 0; i < x.size(); ++i) out->data()[i] = alpha * x.data()[i];
+  const float* xd = x.data();
+  float* od = out->data();
+  ParallelFor(0, x.size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) od[i] = alpha * xd[i];
+  });
 }
 
 void Tanh(const Matrix& x, Matrix* out) {
   EnsureShapeNoZero(x.rows(), x.cols(), out);
-  for (size_t i = 0; i < x.size(); ++i) {
-    out->data()[i] = std::tanh(x.data()[i]);
-  }
+  const float* xd = x.data();
+  float* od = out->data();
+  // tanh costs far more than one scalar op per element; use a small grain.
+  ParallelFor(0, x.size(), kMinWorkPerChunk / 16, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) od[i] = std::tanh(xd[i]);
+  });
 }
 
 void Sigmoid(const Matrix& x, Matrix* out) {
   EnsureShapeNoZero(x.rows(), x.cols(), out);
-  for (size_t i = 0; i < x.size(); ++i) {
-    float v = x.data()[i];
-    // Stable: never exponentiate a positive argument.
-    out->data()[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
-                               : std::exp(v) / (1.0f + std::exp(v));
-  }
+  const float* xd = x.data();
+  float* od = out->data();
+  ParallelFor(0, x.size(), kMinWorkPerChunk / 16, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      float v = xd[i];
+      // Stable: never exponentiate a positive argument.
+      od[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                        : std::exp(v) / (1.0f + std::exp(v));
+    }
+  });
 }
 
 void LeakyRelu(const Matrix& x, float slope, Matrix* out) {
   EnsureShapeNoZero(x.rows(), x.cols(), out);
-  for (size_t i = 0; i < x.size(); ++i) {
-    float v = x.data()[i];
-    out->data()[i] = v > 0.0f ? v : slope * v;
-  }
+  const float* xd = x.data();
+  float* od = out->data();
+  ParallelFor(0, x.size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      float v = xd[i];
+      od[i] = v > 0.0f ? v : slope * v;
+    }
+  });
 }
 
 void GatherRows(const Matrix& table, const std::vector<uint32_t>& idx,
                 Matrix* out) {
   EnsureShapeNoZero(idx.size(), table.cols(), out);
-  for (size_t i = 0; i < idx.size(); ++i) {
-    PUP_DCHECK(idx[i] < table.rows());
-    const float* src = table.Row(idx[i]);
-    float* dst = out->Row(i);
-    std::copy(src, src + table.cols(), dst);
-  }
+  const size_t cols = table.cols();
+  ParallelFor(0, idx.size(), RowGrain(cols), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      PUP_DCHECK(idx[i] < table.rows());
+      const float* src = table.Row(idx[i]);
+      std::copy(src, src + cols, out->Row(i));
+    }
+  });
 }
 
 void ScatterAddRows(const Matrix& src, const std::vector<uint32_t>& idx,
                     Matrix* table) {
   PUP_CHECK_EQ(src.rows(), idx.size());
   PUP_CHECK_EQ(src.cols(), table->cols());
-  for (size_t i = 0; i < idx.size(); ++i) {
-    PUP_DCHECK(idx[i] < table->rows());
-    const float* s = src.Row(i);
-    float* d = table->Row(idx[i]);
-    for (size_t j = 0; j < src.cols(); ++j) d[j] += s[j];
+  const size_t d = src.cols();
+  const size_t shards = ThreadPool::Global().num_threads();
+  if (shards <= 1 || idx.size() * d < 2 * kMinWorkPerChunk) {
+    for (size_t i = 0; i < idx.size(); ++i) {
+      PUP_DCHECK(idx[i] < table->rows());
+      const float* s = src.Row(i);
+      float* dst = table->Row(idx[i]);
+      for (size_t j = 0; j < d; ++j) dst[j] += s[j];
+    }
+    return;
   }
+  // Deterministic sharding: shard s owns destination rows with
+  // idx % shards == s, so shards touch disjoint table rows and each
+  // destination row accumulates its contributions in ascending i — the
+  // exact serial order. Results are bitwise-identical to the serial loop
+  // for any shard count; duplicates in idx are handled by construction.
+  ParallelFor(0, shards, 1, [&](size_t lo, size_t hi) {
+    for (size_t s = lo; s < hi; ++s) {
+      for (size_t i = 0; i < idx.size(); ++i) {
+        if (idx[i] % shards != s) continue;
+        PUP_DCHECK(idx[i] < table->rows());
+        const float* src_row = src.Row(i);
+        float* dst = table->Row(idx[i]);
+        for (size_t j = 0; j < d; ++j) dst[j] += src_row[j];
+      }
+    }
+  });
 }
 
 void RowDot(const Matrix& x, const Matrix& y, Matrix* out) {
   PUP_CHECK(x.SameShape(y));
   EnsureShapeNoZero(x.rows(), 1, out);
-  for (size_t i = 0; i < x.rows(); ++i) {
-    const float* xr = x.Row(i);
-    const float* yr = y.Row(i);
-    float acc = 0.0f;
-    for (size_t j = 0; j < x.cols(); ++j) acc += xr[j] * yr[j];
-    (*out)(i, 0) = acc;
-  }
+  const size_t cols = x.cols();
+  ParallelFor(0, x.rows(), RowGrain(cols), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float* xr = x.Row(i);
+      const float* yr = y.Row(i);
+      float acc = 0.0f;
+      for (size_t j = 0; j < cols; ++j) acc += xr[j] * yr[j];
+      (*out)(i, 0) = acc;
+    }
+  });
 }
 
 void RowSum(const Matrix& x, Matrix* out) {
   EnsureShapeNoZero(x.rows(), 1, out);
-  for (size_t i = 0; i < x.rows(); ++i) {
-    const float* xr = x.Row(i);
-    float acc = 0.0f;
-    for (size_t j = 0; j < x.cols(); ++j) acc += xr[j];
-    (*out)(i, 0) = acc;
-  }
+  const size_t cols = x.cols();
+  ParallelFor(0, x.rows(), RowGrain(cols), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float* xr = x.Row(i);
+      float acc = 0.0f;
+      for (size_t j = 0; j < cols; ++j) acc += xr[j];
+      (*out)(i, 0) = acc;
+    }
+  });
 }
 
 void RowScale(const Matrix& x, const Matrix& s, Matrix* out) {
   PUP_CHECK_EQ(s.rows(), x.rows());
   PUP_CHECK_EQ(s.cols(), 1u);
   EnsureShapeNoZero(x.rows(), x.cols(), out);
-  for (size_t i = 0; i < x.rows(); ++i) {
-    const float f = s(i, 0);
-    const float* xr = x.Row(i);
-    float* orow = out->Row(i);
-    for (size_t j = 0; j < x.cols(); ++j) orow[j] = xr[j] * f;
-  }
+  const size_t cols = x.cols();
+  ParallelFor(0, x.rows(), RowGrain(cols), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float f = s(i, 0);
+      const float* xr = x.Row(i);
+      float* orow = out->Row(i);
+      for (size_t j = 0; j < cols; ++j) orow[j] = xr[j] * f;
+    }
+  });
 }
 
 double Sum(const Matrix& x) {
-  double acc = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) acc += x.data()[i];
-  return acc;
+  const float* xd = x.data();
+  return ChunkedReduce(x.size(), [xd](size_t lo, size_t hi) {
+    double acc = 0.0;
+    for (size_t i = lo; i < hi; ++i) acc += xd[i];
+    return acc;
+  });
 }
 
 double SquaredNorm(const Matrix& x) {
-  double acc = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) {
-    acc += static_cast<double>(x.data()[i]) * x.data()[i];
-  }
-  return acc;
+  const float* xd = x.data();
+  return ChunkedReduce(x.size(), [xd](size_t lo, size_t hi) {
+    double acc = 0.0;
+    for (size_t i = lo; i < hi; ++i) {
+      acc += static_cast<double>(xd[i]) * xd[i];
+    }
+    return acc;
+  });
 }
 
 double Dot(const Matrix& x, const Matrix& y) {
   PUP_CHECK(x.SameShape(y));
-  double acc = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) {
-    acc += static_cast<double>(x.data()[i]) * y.data()[i];
-  }
-  return acc;
+  const float* xd = x.data();
+  const float* yd = y.data();
+  return ChunkedReduce(x.size(), [xd, yd](size_t lo, size_t hi) {
+    double acc = 0.0;
+    for (size_t i = lo; i < hi; ++i) {
+      acc += static_cast<double>(xd[i]) * yd[i];
+    }
+    return acc;
+  });
 }
 
 float MaxAbs(const Matrix& x) {
-  float m = 0.0f;
-  for (size_t i = 0; i < x.size(); ++i) {
-    m = std::max(m, std::abs(x.data()[i]));
+  // max is exactly associative, so the chunked combine is bitwise-stable
+  // for every thread count.
+  const size_t n = x.size();
+  const float* xd = x.data();
+  constexpr size_t kGrain = kMinWorkPerChunk;
+  auto chunk_max = [xd](size_t lo, size_t hi) {
+    float m = 0.0f;
+    for (size_t i = lo; i < hi; ++i) m = std::max(m, std::abs(xd[i]));
+    return m;
+  };
+  if (n <= kGrain || ThreadPool::Global().num_threads() <= 1) {
+    return chunk_max(0, n);
   }
+  const size_t num_chunks = (n + kGrain - 1) / kGrain;
+  std::vector<float> partial(num_chunks, 0.0f);
+  ParallelFor(0, n, kGrain, [&](size_t lo, size_t hi) {
+    partial[lo / kGrain] = chunk_max(lo, hi);
+  });
+  float m = 0.0f;
+  for (float p : partial) m = std::max(m, p);
   return m;
 }
 
@@ -241,12 +366,15 @@ void Gemv(const Matrix& a, const Matrix& x, Matrix* out) {
   PUP_CHECK_EQ(x.cols(), 1u);
   PUP_CHECK_EQ(a.cols(), x.rows());
   EnsureShapeNoZero(a.rows(), 1, out);
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.Row(i);
-    float acc = 0.0f;
-    for (size_t j = 0; j < a.cols(); ++j) acc += arow[j] * x(j, 0);
-    (*out)(i, 0) = acc;
-  }
+  const size_t cols = a.cols();
+  ParallelFor(0, a.rows(), RowGrain(cols), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float* arow = a.Row(i);
+      float acc = 0.0f;
+      for (size_t j = 0; j < cols; ++j) acc += arow[j] * x(j, 0);
+      (*out)(i, 0) = acc;
+    }
+  });
 }
 
 }  // namespace pup::la

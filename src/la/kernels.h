@@ -2,6 +2,13 @@
 //
 // Free functions over Matrix/CsrMatrix; the autograd layer composes these
 // into differentiable ops. All kernels assert shape agreement.
+//
+// Kernels parallelize over row blocks (or flat element blocks) through
+// the global thread pool; a --threads=1 pool reproduces the historical
+// serial implementation bitwise. ScatterAddRows stays bitwise-identical
+// to serial at every thread count via destination-row sharding; the
+// scalar reductions (Sum/SquaredNorm/Dot) combine fixed-size chunk
+// partials in chunk order. See docs/threading.md.
 #pragma once
 
 #include <cstdint>

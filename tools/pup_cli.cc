@@ -50,7 +50,9 @@ int Usage() {
                "       pup_cli train --items F --interactions F "
                "[--model M] [--levels N] [--quantization uniform|rank]\n"
                "                     [--kcore N] [--epochs N] [--dim N] "
-               "[--alpha F] [--l2 F] [--beta F] [--cutoffs 50,100]\n");
+               "[--alpha F] [--l2 F] [--beta F] [--cutoffs 50,100]\n"
+               "       global: --threads N (default: hardware concurrency; "
+               "1 = exact serial)\n");
   return 2;
 }
 
@@ -240,6 +242,7 @@ int RunTrain(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Flags flags = Flags::Parse(argc, argv);
+  ApplyThreadsFlag(flags);
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
   if (command == "generate") return RunGenerate(flags);
