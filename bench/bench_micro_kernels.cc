@@ -6,11 +6,14 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "autograd/arena.h"
 #include "autograd/ops.h"
+#include "autograd/optimizer.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -156,6 +159,66 @@ void BM_PupForwardBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PupForwardBackward);
+
+// --- Full training step, heap tape vs arena (Arg: 0 = off, 1 = on). ---
+//
+// Reports the steady-state per-step allocation budget: allocs_per_step /
+// bytes_per_step are Matrix buffer allocations inside the timed loop
+// (two untimed warmup steps first, so one-time buffer growth is not
+// counted); tape_nodes is the tape size per step. With the arena both
+// alloc counters should read 0 and tape_nodes is served from recycled
+// slots.
+void BM_TrainStep(benchmark::State& state) {
+  const bool reuse_tape = state.range(0) != 0;
+  la::CsrMatrix adj = MakeAdjacency(2000, 1200, 40000);
+  la::CsrMatrix adj_t = adj.Transposed();
+  Rng rng(7);
+  ag::Tensor emb =
+      ag::Param(la::Matrix::Gaussian(adj.rows(), 56, 0.05f, &rng));
+  ag::Sgd opt({emb}, 0.05f);
+  std::vector<uint32_t> users(1024), pos(1024), neg(1024);
+  for (size_t k = 0; k < 1024; ++k) {
+    users[k] = static_cast<uint32_t>(rng.NextBelow(2000));
+    pos[k] = 2000 + static_cast<uint32_t>(rng.NextBelow(1200));
+    neg[k] = 2000 + static_cast<uint32_t>(rng.NextBelow(1200));
+  }
+  ag::TapeArena arena;
+  auto step = [&] {
+    std::optional<ag::TapeArena::Scope> scope;
+    if (reuse_tape) scope.emplace(&arena);
+    ag::Tensor f = ag::Tanh(ag::Spmm(&adj, &adj_t, emb));
+    ag::Tensor u = ag::Gather(f, users);
+    ag::Tensor p = ag::Gather(f, pos);
+    ag::Tensor n = ag::Gather(f, neg);
+    ag::Tensor loss =
+        ag::FusedL2Penalty(ag::RowDotSigmoidBpr(u, p, n), {u, p, n}, 1e-4f);
+    opt.ZeroGrad();
+    ag::Backward(loss);
+    opt.Step();
+    if (reuse_tape) arena.Reset();
+  };
+  step();
+  step();
+  const la::AllocStats alloc0 = la::MatrixAllocStats();
+  const uint64_t heap0 = ag::HeapNodesAllocated();
+  size_t iters = 0;
+  for (auto _ : state) {
+    step();
+    benchmark::DoNotOptimize(emb->value.data());
+    ++iters;
+  }
+  const la::AllocStats alloc1 = la::MatrixAllocStats();
+  const double n_iters = static_cast<double>(iters);
+  state.counters["allocs_per_step"] =
+      static_cast<double>(alloc1.count - alloc0.count) / n_iters;
+  state.counters["bytes_per_step"] =
+      static_cast<double>(alloc1.bytes - alloc0.bytes) / n_iters;
+  state.counters["tape_nodes"] =
+      reuse_tape
+          ? static_cast<double>(arena.stats().last_tape_nodes)
+          : static_cast<double>(ag::HeapNodesAllocated() - heap0) / n_iters;
+}
+BENCHMARK(BM_TrainStep)->Arg(0)->Arg(1);
 
 // --- --threads sweeps: 1, 2, 4, hardware concurrency -------------------
 //

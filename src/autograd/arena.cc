@@ -1,0 +1,85 @@
+#include "autograd/arena.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pup::ag {
+namespace {
+
+thread_local TapeArena* g_current_arena = nullptr;
+
+}  // namespace
+
+la::Matrix WorkspaceCache::Acquire(size_t rows, size_t cols) {
+  auto it = pool_.find(Key(rows, cols));
+  if (it != pool_.end() && !it->second.empty()) {
+    ++hits_;
+    la::Matrix m = std::move(it->second.back());
+    it->second.pop_back();
+    return m;
+  }
+  ++misses_;
+  return la::Matrix(rows, cols);
+}
+
+void WorkspaceCache::Release(la::Matrix m) {
+  if (m.empty()) return;
+  pool_[Key(m.rows(), m.cols())].push_back(std::move(m));
+}
+
+void WorkspaceCache::Trim() { pool_.clear(); }
+
+size_t WorkspaceCache::pooled() const {
+  size_t n = 0;
+  for (const auto& [key, buffers] : pool_) n += buffers.size();
+  return n;
+}
+
+TapeArena::~TapeArena() {
+  // Nodes hold aliased Tensors to their parents, which live in the same
+  // blocks — a reference cycle through the block control blocks. Drop the
+  // parent edges so the blocks can actually free.
+  const size_t used = std::max(high_water_, next_);
+  for (size_t i = 0; i < used; ++i) {
+    (*blocks_[i / kBlockSize])[i % kBlockSize].ResetForReuse();
+  }
+}
+
+Tensor TapeArena::NewNode() {
+  const size_t block = next_ / kBlockSize;
+  const size_t slot = next_ % kBlockSize;
+  if (block == blocks_.size()) blocks_.push_back(std::make_shared<Block>());
+  Node* node = &(*blocks_[block])[slot];
+  if (next_ < high_water_) {
+    node->ResetForReuse();
+    ++stats_.nodes_reused;
+  } else {
+    ++stats_.nodes_created;
+  }
+  ++next_;
+  // Aliasing constructor: the handle shares the block's control block and
+  // points at the slot — per-node allocation count stays zero.
+  return Tensor(blocks_[block], node);
+}
+
+void TapeArena::Reset() {
+  stats_.last_tape_nodes = next_;
+  high_water_ = std::max(high_water_, next_);
+  next_ = 0;
+  ++stats_.resets;
+}
+
+void TapeArena::Trim() { workspace_.Trim(); }
+
+TapeArena* TapeArena::Current() { return g_current_arena; }
+
+TapeArena::Scope::Scope(TapeArena* arena) : previous_(g_current_arena) {
+  PUP_CHECK(arena != nullptr);
+  g_current_arena = arena;
+}
+
+TapeArena::Scope::~Scope() { g_current_arena = previous_; }
+
+}  // namespace pup::ag

@@ -3,26 +3,84 @@
 #include <cmath>
 #include <utility>
 
+#include "autograd/arena.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "la/kernels.h"
 
 namespace pup::ag {
 namespace {
 
-Tensor MakeOp(la::Matrix value, std::vector<Tensor> parents,
-              std::function<void(Node*)> backward_fn) {
-  auto node = std::make_shared<Node>();
-  node->value = std::move(value);
-  node->parents = std::move(parents);
+// Node factory: draws from the active TapeArena when a step scope is open
+// (recycled slot, zero allocations in steady state), else heap-allocates
+// exactly as the historical tape did. Parents are appended into the
+// node's recycled vector — no temporary initializer-list vector.
+template <typename... Parents>
+Tensor NewOpNode(Node::BackwardFn fn, const Parents&... parents) {
+  Tensor node;
+  if (TapeArena* arena = TapeArena::Current()) {
+    node = arena->NewNode();
+  } else {
+    node = internal::NewHeapNode();
+  }
+  (node->parents.push_back(parents), ...);
   for (const Tensor& p : node->parents) {
     if (p->requires_grad) {
       node->requires_grad = true;
       break;
     }
   }
-  if (node->requires_grad) node->backward_fn = std::move(backward_fn);
+  if (node->requires_grad) node->backward_fn = fn;
   return node;
 }
+
+Tensor NewOpNode(Node::BackwardFn fn, const std::vector<Tensor>& parents) {
+  Tensor node;
+  if (TapeArena* arena = TapeArena::Current()) {
+    node = arena->NewNode();
+  } else {
+    node = internal::NewHeapNode();
+  }
+  for (const Tensor& p : parents) node->parents.push_back(p);
+  for (const Tensor& p : node->parents) {
+    if (p->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  if (node->requires_grad) node->backward_fn = fn;
+  return node;
+}
+
+// Backward scratch buffer. Under an arena it is drawn from (and returned
+// to) the shape-keyed WorkspaceCache; otherwise it starts empty and the
+// kernel writing into it resizes it, matching the historical per-call
+// local. Contents on acquisition are unspecified — every use overwrites.
+class Scratch {
+ public:
+  Scratch(size_t rows, size_t cols) {
+    if (TapeArena* arena = TapeArena::Current()) {
+      pooled_ = true;
+      m_ = arena->workspace().Acquire(rows, cols);
+    }
+  }
+  ~Scratch() {
+    if (pooled_) {
+      if (TapeArena* arena = TapeArena::Current()) {
+        arena->workspace().Release(std::move(m_));
+      }
+    }
+  }
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+
+  la::Matrix* get() { return &m_; }
+  const la::Matrix& ref() const { return m_; }
+
+ private:
+  la::Matrix m_;
+  bool pooled_ = false;
+};
 
 // Accumulate helper: parent must exist; allocates grad lazily.
 void Accumulate(const Tensor& parent, const la::Matrix& contribution) {
@@ -31,18 +89,347 @@ void Accumulate(const Tensor& parent, const la::Matrix& contribution) {
   la::Axpy(1.0f, contribution, &parent->grad);
 }
 
+void GatherBackward(Node* self) {
+  const Tensor& table = self->parents[0];
+  if (!table->requires_grad) return;
+  table->EnsureGrad();
+  la::ScatterAddRows(self->grad, self->idx, &table->grad);
+}
+
+void GatherAddBackward(Node* self) {
+  const Tensor& table_a = self->parents[0];
+  const Tensor& table_b = self->parents[1];
+  // table_b scatters first: in the unfused Add(Gather(a), Gather(b))
+  // composition the second gather precedes the first in reverse
+  // topological order, and when both gathers hit the same table the
+  // per-row accumulation order must match bitwise.
+  if (table_b->requires_grad) {
+    table_b->EnsureGrad();
+    la::ScatterAddRows(self->grad, self->idx2, &table_b->grad);
+  }
+  if (table_a->requires_grad) {
+    table_a->EnsureGrad();
+    la::ScatterAddRows(self->grad, self->idx, &table_a->grad);
+  }
+}
+
+void SpmmBackward(Node* self) {
+  const Tensor& x = self->parents[0];
+  if (!x->requires_grad) return;
+  Scratch gx(x->value.rows(), x->value.cols());
+  la::Spmm(*self->csr, self->grad, gx.get());
+  Accumulate(x, gx.ref());
+}
+
+void MatMulBackward(Node* self) {
+  const Tensor& a = self->parents[0];
+  const Tensor& b = self->parents[1];
+  if (a->requires_grad) {
+    Scratch ga(a->value.rows(), a->value.cols());
+    la::GemmTransB(self->grad, b->value, ga.get());
+    Accumulate(a, ga.ref());
+  }
+  if (b->requires_grad) {
+    Scratch gb(b->value.rows(), b->value.cols());
+    la::GemmTransA(a->value, self->grad, gb.get());
+    Accumulate(b, gb.ref());
+  }
+}
+
+void AddBackward(Node* self) {
+  Accumulate(self->parents[0], self->grad);
+  Accumulate(self->parents[1], self->grad);
+}
+
+void SubBackward(Node* self) {
+  Accumulate(self->parents[0], self->grad);
+  const Tensor& b = self->parents[1];
+  if (b->requires_grad) {
+    Scratch neg(self->grad.rows(), self->grad.cols());
+    la::Scale(-1.0f, self->grad, neg.get());
+    Accumulate(b, neg.ref());
+  }
+}
+
+void MulBackward(Node* self) {
+  const Tensor& a = self->parents[0];
+  const Tensor& b = self->parents[1];
+  if (a->requires_grad) {
+    Scratch ga(a->value.rows(), a->value.cols());
+    la::Mul(self->grad, b->value, ga.get());
+    Accumulate(a, ga.ref());
+  }
+  if (b->requires_grad) {
+    Scratch gb(b->value.rows(), b->value.cols());
+    la::Mul(self->grad, a->value, gb.get());
+    Accumulate(b, gb.ref());
+  }
+}
+
+void ScaleBackward(Node* self) {
+  const Tensor& x = self->parents[0];
+  if (!x->requires_grad) return;
+  Scratch gx(self->grad.rows(), self->grad.cols());
+  la::Scale(self->alpha, self->grad, gx.get());
+  Accumulate(x, gx.ref());
+}
+
+void AddBroadcastRowBackward(Node* self) {
+  Accumulate(self->parents[0], self->grad);
+  const Tensor& bias = self->parents[1];
+  if (bias->requires_grad) {
+    bias->EnsureGrad();
+    for (size_t r = 0; r < self->grad.rows(); ++r) {
+      const float* g = self->grad.Row(r);
+      float* b = bias->grad.Row(0);
+      for (size_t c = 0; c < self->grad.cols(); ++c) b[c] += g[c];
+    }
+  }
+}
+
+void TanhBackward(Node* self) {
+  const Tensor& x = self->parents[0];
+  if (!x->requires_grad) return;
+  x->EnsureGrad();
+  for (size_t i = 0; i < self->value.size(); ++i) {
+    float y = self->value.data()[i];
+    x->grad.data()[i] += self->grad.data()[i] * (1.0f - y * y);
+  }
+}
+
+void SigmoidBackward(Node* self) {
+  const Tensor& x = self->parents[0];
+  if (!x->requires_grad) return;
+  x->EnsureGrad();
+  for (size_t i = 0; i < self->value.size(); ++i) {
+    float y = self->value.data()[i];
+    x->grad.data()[i] += self->grad.data()[i] * y * (1.0f - y);
+  }
+}
+
+void LeakyReluBackward(Node* self) {
+  const Tensor& x = self->parents[0];
+  if (!x->requires_grad) return;
+  x->EnsureGrad();
+  for (size_t i = 0; i < self->value.size(); ++i) {
+    float factor = x->value.data()[i] > 0.0f ? 1.0f : self->alpha;
+    x->grad.data()[i] += self->grad.data()[i] * factor;
+  }
+}
+
+void RowDotBackward(Node* self) {
+  const Tensor& a = self->parents[0];
+  const Tensor& b = self->parents[1];
+  if (a->requires_grad) {
+    Scratch ga(a->value.rows(), a->value.cols());
+    la::RowScale(b->value, self->grad, ga.get());
+    Accumulate(a, ga.ref());
+  }
+  if (b->requires_grad) {
+    Scratch gb(b->value.rows(), b->value.cols());
+    la::RowScale(a->value, self->grad, gb.get());
+    Accumulate(b, gb.ref());
+  }
+}
+
+void RowSumBackward(Node* self) {
+  const Tensor& x = self->parents[0];
+  if (!x->requires_grad) return;
+  x->EnsureGrad();
+  for (size_t r = 0; r < x->grad.rows(); ++r) {
+    float g = self->grad(r, 0);
+    float* row = x->grad.Row(r);
+    for (size_t c = 0; c < x->grad.cols(); ++c) row[c] += g;
+  }
+}
+
+void ConcatColsBackward(Node* self) {
+  size_t offs = 0;
+  for (const Tensor& p : self->parents) {
+    size_t pc = p->value.cols();
+    if (p->requires_grad) {
+      p->EnsureGrad();
+      for (size_t r = 0; r < p->value.rows(); ++r) {
+        const float* g = self->grad.Row(r) + offs;
+        float* dst = p->grad.Row(r);
+        for (size_t c = 0; c < pc; ++c) dst[c] += g[c];
+      }
+    }
+    offs += pc;
+  }
+}
+
+void ConcatRowsBackward(Node* self) {
+  size_t offs = 0;
+  for (const Tensor& p : self->parents) {
+    if (p->requires_grad) {
+      p->EnsureGrad();
+      const float* g = self->grad.Row(offs);
+      float* dst = p->grad.data();
+      for (size_t i = 0; i < p->value.size(); ++i) dst[i] += g[i];
+    }
+    offs += p->value.rows();
+  }
+}
+
+void DropoutBackward(Node* self) {
+  const Tensor& x = self->parents[0];
+  if (!x->requires_grad) return;
+  Scratch gx(x->value.rows(), x->value.cols());
+  la::Mul(self->grad, self->aux, gx.get());
+  Accumulate(x, gx.ref());
+}
+
+void MeanBackward(Node* self) {
+  const Tensor& x = self->parents[0];
+  if (!x->requires_grad) return;
+  x->EnsureGrad();
+  float g = self->grad(0, 0) / static_cast<float>(x->value.size());
+  for (size_t i = 0; i < x->grad.size(); ++i) x->grad.data()[i] += g;
+}
+
+void SumAllBackward(Node* self) {
+  const Tensor& x = self->parents[0];
+  if (!x->requires_grad) return;
+  x->EnsureGrad();
+  float g = self->grad(0, 0);
+  for (size_t i = 0; i < x->grad.size(); ++i) x->grad.data()[i] += g;
+}
+
+void SquaredNormBackward(Node* self) {
+  const Tensor& x = self->parents[0];
+  if (!x->requires_grad) return;
+  x->EnsureGrad();
+  float g = 2.0f * self->grad(0, 0);
+  for (size_t i = 0; i < x->grad.size(); ++i) {
+    x->grad.data()[i] += g * x->value.data()[i];
+  }
+}
+
+void AddScalarsBackward(Node* self) {
+  for (const Tensor& p : self->parents) {
+    if (!p->requires_grad) continue;
+    p->EnsureGrad();
+    p->grad(0, 0) += self->grad(0, 0);
+  }
+}
+
+void BprLossBackward(Node* self) {
+  const Tensor& pos = self->parents[0];
+  const Tensor& neg = self->parents[1];
+  const size_t n = self->aux.rows();
+  float g = self->grad(0, 0) / static_cast<float>(n);
+  if (pos->requires_grad) {
+    pos->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) {
+      pos->grad(i, 0) -= g * self->aux(i, 0);
+    }
+  }
+  if (neg->requires_grad) {
+    neg->EnsureGrad();
+    for (size_t i = 0; i < n; ++i) {
+      neg->grad(i, 0) += g * self->aux(i, 0);
+    }
+  }
+}
+
+void MseLossBackward(Node* self) {
+  const Tensor& pred = self->parents[0];
+  if (!pred->requires_grad) return;
+  pred->EnsureGrad();
+  const size_t n = self->aux.size();
+  float g = 2.0f * self->grad(0, 0) / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    pred->grad.data()[i] += g * self->aux.data()[i];
+  }
+}
+
+void RowDotSigmoidBprBackward(Node* self) {
+  const Tensor& u = self->parents[0];
+  const Tensor& p = self->parents[1];
+  const Tensor& n = self->parents[2];
+  const size_t rows = self->aux.rows();
+  const size_t cols = u->value.cols();
+  const float g = self->grad(0, 0) / static_cast<float>(rows);
+  if (u->requires_grad) u->EnsureGrad();
+  if (p->requires_grad) p->EnsureGrad();
+  if (n->requires_grad) n->EnsureGrad();
+  const bool gu = u->requires_grad, gp = p->requires_grad,
+             gn = n->requires_grad;
+  // Every row touches disjoint gradient locations, so row-parallelism is
+  // bitwise-invariant across thread counts. Per row, the accumulation
+  // sequence replays the unfused composition exactly: the negative
+  // RowDot's contributions land before the positive one's.
+  const size_t grain =
+      std::max<size_t>(1, (size_t{1} << 14) / std::max<size_t>(1, 6 * cols));
+  ParallelFor(0, rows, grain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float sig = self->aux(i, 0);
+      // Exactly the values the unfused BprLoss accumulates into the two
+      // RowDot nodes' (zero-initialized) grads: 0 + g·σ and 0 − g·σ.
+      const float gneg = 0.0f + g * sig;
+      const float gpos = 0.0f - g * sig;
+      const float* ur = u->value.Row(i);
+      const float* pr = p->value.Row(i);
+      const float* nr = n->value.Row(i);
+      if (gu) {
+        float* ug = u->grad.Row(i);
+        for (size_t j = 0; j < cols; ++j) ug[j] += nr[j] * gneg;
+        for (size_t j = 0; j < cols; ++j) ug[j] += pr[j] * gpos;
+      }
+      if (gn) {
+        float* ng = n->grad.Row(i);
+        for (size_t j = 0; j < cols; ++j) ng[j] += ur[j] * gneg;
+      }
+      if (gp) {
+        float* pg = p->grad.Row(i);
+        for (size_t j = 0; j < cols; ++j) pg[j] += ur[j] * gpos;
+      }
+    }
+  });
+}
+
+void FusedL2PenaltyBackward(Node* self) {
+  const float g = self->grad(0, 0);
+  const Tensor& base = self->parents[0];
+  if (base->requires_grad) {
+    base->EnsureGrad();
+    base->grad(0, 0) += g;
+  }
+  // 2·(factor·g): the gradient each unfused SquaredNorm node would see
+  // after the Scale and AddScalars hops. Terms are distinct tensors in
+  // every caller, so the iteration order across terms only has to match
+  // the composition per term, not across them.
+  const float gterm = 2.0f * (self->alpha * g);
+  for (size_t k = 1; k < self->parents.size(); ++k) {
+    const Tensor& t = self->parents[k];
+    if (!t->requires_grad) continue;
+    t->EnsureGrad();
+    const float* x = t->value.data();
+    float* gd = t->grad.data();
+    const size_t size = t->value.size();
+    for (size_t i = 0; i < size; ++i) gd[i] += gterm * x[i];
+  }
+}
+
 }  // namespace
 
-Tensor Gather(const Tensor& table, std::vector<uint32_t> idx) {
-  la::Matrix out;
-  la::GatherRows(table->value, idx, &out);
-  auto indices = std::make_shared<std::vector<uint32_t>>(std::move(idx));
-  Tensor t = table;
-  return MakeOp(std::move(out), {table}, [t, indices](Node* self) {
-    if (!t->requires_grad) return;
-    t->EnsureGrad();
-    la::ScatterAddRows(self->grad, *indices, &t->grad);
-  });
+Tensor Gather(const Tensor& table, const std::vector<uint32_t>& idx) {
+  Tensor node = NewOpNode(&GatherBackward, table);
+  node->idx.assign(idx.begin(), idx.end());
+  la::GatherRows(table->value, node->idx, &node->value);
+  return node;
+}
+
+Tensor GatherAdd(const Tensor& table_a, const std::vector<uint32_t>& idx_a,
+                 const Tensor& table_b, const std::vector<uint32_t>& idx_b) {
+  PUP_CHECK_EQ(idx_a.size(), idx_b.size());
+  Tensor node = NewOpNode(&GatherAddBackward, table_a, table_b);
+  node->idx.assign(idx_a.begin(), idx_a.end());
+  node->idx2.assign(idx_b.begin(), idx_b.end());
+  la::GatherRowsAdd(table_a->value, node->idx, table_b->value, node->idx2,
+                    &node->value);
+  return node;
 }
 
 Tensor Spmm(const la::CsrMatrix* a, const la::CsrMatrix* a_transposed,
@@ -50,185 +437,87 @@ Tensor Spmm(const la::CsrMatrix* a, const la::CsrMatrix* a_transposed,
   PUP_CHECK(a != nullptr && a_transposed != nullptr);
   PUP_CHECK_EQ(a->rows(), a_transposed->cols());
   PUP_CHECK_EQ(a->cols(), a_transposed->rows());
-  la::Matrix out;
-  la::Spmm(*a, x->value, &out);
-  Tensor xt = x;
-  return MakeOp(std::move(out), {x}, [a_transposed, xt](Node* self) {
-    if (!xt->requires_grad) return;
-    la::Matrix gx;
-    la::Spmm(*a_transposed, self->grad, &gx);
-    Accumulate(xt, gx);
-  });
+  Tensor node = NewOpNode(&SpmmBackward, x);
+  node->csr = a_transposed;
+  la::Spmm(*a, x->value, &node->value);
+  return node;
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  la::Matrix out;
-  la::Gemm(a->value, b->value, &out);
-  Tensor at = a, bt = b;
-  return MakeOp(std::move(out), {a, b}, [at, bt](Node* self) {
-    if (at->requires_grad) {
-      la::Matrix ga;
-      la::GemmTransB(self->grad, bt->value, &ga);
-      Accumulate(at, ga);
-    }
-    if (bt->requires_grad) {
-      la::Matrix gb;
-      la::GemmTransA(at->value, self->grad, &gb);
-      Accumulate(bt, gb);
-    }
-  });
+  Tensor node = NewOpNode(&MatMulBackward, a, b);
+  la::Gemm(a->value, b->value, &node->value);
+  return node;
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  la::Matrix out;
-  la::Add(a->value, b->value, &out);
-  Tensor at = a, bt = b;
-  return MakeOp(std::move(out), {a, b}, [at, bt](Node* self) {
-    Accumulate(at, self->grad);
-    Accumulate(bt, self->grad);
-  });
+  Tensor node = NewOpNode(&AddBackward, a, b);
+  la::Add(a->value, b->value, &node->value);
+  return node;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  la::Matrix out;
-  la::Sub(a->value, b->value, &out);
-  Tensor at = a, bt = b;
-  return MakeOp(std::move(out), {a, b}, [at, bt](Node* self) {
-    Accumulate(at, self->grad);
-    if (bt->requires_grad) {
-      la::Matrix neg;
-      la::Scale(-1.0f, self->grad, &neg);
-      Accumulate(bt, neg);
-    }
-  });
+  Tensor node = NewOpNode(&SubBackward, a, b);
+  la::Sub(a->value, b->value, &node->value);
+  return node;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  la::Matrix out;
-  la::Mul(a->value, b->value, &out);
-  Tensor at = a, bt = b;
-  return MakeOp(std::move(out), {a, b}, [at, bt](Node* self) {
-    if (at->requires_grad) {
-      la::Matrix ga;
-      la::Mul(self->grad, bt->value, &ga);
-      Accumulate(at, ga);
-    }
-    if (bt->requires_grad) {
-      la::Matrix gb;
-      la::Mul(self->grad, at->value, &gb);
-      Accumulate(bt, gb);
-    }
-  });
+  Tensor node = NewOpNode(&MulBackward, a, b);
+  la::Mul(a->value, b->value, &node->value);
+  return node;
 }
 
 Tensor Scale(const Tensor& x, float alpha) {
-  la::Matrix out;
-  la::Scale(alpha, x->value, &out);
-  Tensor xt = x;
-  return MakeOp(std::move(out), {x}, [xt, alpha](Node* self) {
-    if (!xt->requires_grad) return;
-    la::Matrix gx;
-    la::Scale(alpha, self->grad, &gx);
-    Accumulate(xt, gx);
-  });
+  Tensor node = NewOpNode(&ScaleBackward, x);
+  node->alpha = alpha;
+  la::Scale(alpha, x->value, &node->value);
+  return node;
 }
 
 Tensor AddBroadcastRow(const Tensor& x, const Tensor& bias) {
   PUP_CHECK_EQ(bias->value.rows(), 1u);
   PUP_CHECK_EQ(bias->value.cols(), x->value.cols());
-  la::Matrix out = x->value;
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float* row = out.Row(r);
-    const float* b = bias->value.Row(0);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] += b[c];
+  Tensor node = NewOpNode(&AddBroadcastRowBackward, x, bias);
+  const size_t rows = x->value.rows(), cols = x->value.cols();
+  node->value.ResizeNoZero(rows, cols);
+  const float* b = bias->value.Row(0);
+  for (size_t r = 0; r < rows; ++r) {
+    const float* src = x->value.Row(r);
+    float* dst = node->value.Row(r);
+    for (size_t c = 0; c < cols; ++c) dst[c] = src[c] + b[c];
   }
-  Tensor xt = x, bt = bias;
-  return MakeOp(std::move(out), {x, bias}, [xt, bt](Node* self) {
-    Accumulate(xt, self->grad);
-    if (bt->requires_grad) {
-      bt->EnsureGrad();
-      for (size_t r = 0; r < self->grad.rows(); ++r) {
-        const float* g = self->grad.Row(r);
-        float* b = bt->grad.Row(0);
-        for (size_t c = 0; c < self->grad.cols(); ++c) b[c] += g[c];
-      }
-    }
-  });
+  return node;
 }
 
 Tensor Tanh(const Tensor& x) {
-  la::Matrix out;
-  la::Tanh(x->value, &out);
-  Tensor xt = x;
-  return MakeOp(std::move(out), {x}, [xt](Node* self) {
-    if (!xt->requires_grad) return;
-    xt->EnsureGrad();
-    for (size_t i = 0; i < self->value.size(); ++i) {
-      float y = self->value.data()[i];
-      xt->grad.data()[i] += self->grad.data()[i] * (1.0f - y * y);
-    }
-  });
+  Tensor node = NewOpNode(&TanhBackward, x);
+  la::Tanh(x->value, &node->value);
+  return node;
 }
 
 Tensor Sigmoid(const Tensor& x) {
-  la::Matrix out;
-  la::Sigmoid(x->value, &out);
-  Tensor xt = x;
-  return MakeOp(std::move(out), {x}, [xt](Node* self) {
-    if (!xt->requires_grad) return;
-    xt->EnsureGrad();
-    for (size_t i = 0; i < self->value.size(); ++i) {
-      float y = self->value.data()[i];
-      xt->grad.data()[i] += self->grad.data()[i] * y * (1.0f - y);
-    }
-  });
+  Tensor node = NewOpNode(&SigmoidBackward, x);
+  la::Sigmoid(x->value, &node->value);
+  return node;
 }
 
 Tensor LeakyRelu(const Tensor& x, float slope) {
-  la::Matrix out;
-  la::LeakyRelu(x->value, slope, &out);
-  Tensor xt = x;
-  return MakeOp(std::move(out), {x}, [xt, slope](Node* self) {
-    if (!xt->requires_grad) return;
-    xt->EnsureGrad();
-    for (size_t i = 0; i < self->value.size(); ++i) {
-      float factor = xt->value.data()[i] > 0.0f ? 1.0f : slope;
-      xt->grad.data()[i] += self->grad.data()[i] * factor;
-    }
-  });
+  Tensor node = NewOpNode(&LeakyReluBackward, x);
+  node->alpha = slope;
+  la::LeakyRelu(x->value, slope, &node->value);
+  return node;
 }
 
 Tensor RowDot(const Tensor& a, const Tensor& b) {
-  la::Matrix out;
-  la::RowDot(a->value, b->value, &out);
-  Tensor at = a, bt = b;
-  return MakeOp(std::move(out), {a, b}, [at, bt](Node* self) {
-    if (at->requires_grad) {
-      la::Matrix ga;
-      la::RowScale(bt->value, self->grad, &ga);
-      Accumulate(at, ga);
-    }
-    if (bt->requires_grad) {
-      la::Matrix gb;
-      la::RowScale(at->value, self->grad, &gb);
-      Accumulate(bt, gb);
-    }
-  });
+  Tensor node = NewOpNode(&RowDotBackward, a, b);
+  la::RowDot(a->value, b->value, &node->value);
+  return node;
 }
 
 Tensor RowSum(const Tensor& x) {
-  la::Matrix out;
-  la::RowSum(x->value, &out);
-  Tensor xt = x;
-  return MakeOp(std::move(out), {x}, [xt](Node* self) {
-    if (!xt->requires_grad) return;
-    xt->EnsureGrad();
-    for (size_t r = 0; r < xt->grad.rows(); ++r) {
-      float g = self->grad(r, 0);
-      float* row = xt->grad.Row(r);
-      for (size_t c = 0; c < xt->grad.cols(); ++c) row[c] += g;
-    }
-  });
+  Tensor node = NewOpNode(&RowSumBackward, x);
+  la::RowSum(x->value, &node->value);
+  return node;
 }
 
 Tensor ConcatCols(const std::vector<Tensor>& parts) {
@@ -239,32 +528,18 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     PUP_CHECK_EQ(p->value.rows(), rows);
     total_cols += p->value.cols();
   }
-  la::Matrix out(rows, total_cols);
+  Tensor node = NewOpNode(&ConcatColsBackward, parts);
+  node->value.ResizeNoZero(rows, total_cols);
   size_t offset = 0;
   for (const Tensor& p : parts) {
     for (size_t r = 0; r < rows; ++r) {
       const float* src = p->value.Row(r);
-      float* dst = out.Row(r) + offset;
+      float* dst = node->value.Row(r) + offset;
       std::copy(src, src + p->value.cols(), dst);
     }
     offset += p->value.cols();
   }
-  std::vector<Tensor> parents = parts;
-  return MakeOp(std::move(out), parts, [parents](Node* self) {
-    size_t offs = 0;
-    for (const Tensor& p : parents) {
-      size_t pc = p->value.cols();
-      if (p->requires_grad) {
-        p->EnsureGrad();
-        for (size_t r = 0; r < p->value.rows(); ++r) {
-          const float* g = self->grad.Row(r) + offs;
-          float* dst = p->grad.Row(r);
-          for (size_t c = 0; c < pc; ++c) dst[c] += g[c];
-        }
-      }
-      offs += pc;
-    }
-  });
+  return node;
 }
 
 Tensor ConcatRows(const std::vector<Tensor>& parts) {
@@ -275,103 +550,65 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     PUP_CHECK_EQ(p->value.cols(), cols);
     total_rows += p->value.rows();
   }
-  la::Matrix out(total_rows, cols);
+  Tensor node = NewOpNode(&ConcatRowsBackward, parts);
+  node->value.ResizeNoZero(total_rows, cols);
   size_t offset = 0;
   for (const Tensor& p : parts) {
     std::copy(p->value.data(), p->value.data() + p->value.size(),
-              out.Row(offset));
+              node->value.Row(offset));
     offset += p->value.rows();
   }
-  std::vector<Tensor> parents = parts;
-  return MakeOp(std::move(out), parts, [parents](Node* self) {
-    size_t offs = 0;
-    for (const Tensor& p : parents) {
-      if (p->requires_grad) {
-        p->EnsureGrad();
-        const float* g = self->grad.Row(offs);
-        float* dst = p->grad.data();
-        for (size_t i = 0; i < p->value.size(); ++i) dst[i] += g[i];
-      }
-      offs += p->value.rows();
-    }
-  });
+  return node;
 }
 
 Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
   if (!training || p <= 0.0f) return x;
   PUP_CHECK_MSG(p < 1.0f, "dropout probability must be < 1");
   PUP_CHECK(rng != nullptr);
-  auto mask = std::make_shared<la::Matrix>(x->value.rows(), x->value.cols());
+  Tensor node = NewOpNode(&DropoutBackward, x);
+  node->aux.ResizeNoZero(x->value.rows(), x->value.cols());
   float keep_scale = 1.0f / (1.0f - p);
-  for (size_t i = 0; i < mask->size(); ++i) {
-    mask->data()[i] = rng->NextBernoulli(p) ? 0.0f : keep_scale;
+  for (size_t i = 0; i < node->aux.size(); ++i) {
+    node->aux.data()[i] = rng->NextBernoulli(p) ? 0.0f : keep_scale;
   }
-  la::Matrix out;
-  la::Mul(x->value, *mask, &out);
-  Tensor xt = x;
-  return MakeOp(std::move(out), {x}, [xt, mask](Node* self) {
-    if (!xt->requires_grad) return;
-    la::Matrix gx;
-    la::Mul(self->grad, *mask, &gx);
-    Accumulate(xt, gx);
-  });
+  la::Mul(x->value, node->aux, &node->value);
+  return node;
 }
 
 Tensor Mean(const Tensor& x) {
   PUP_CHECK_GT(x->value.size(), 0u);
-  la::Matrix out(1, 1);
-  out(0, 0) = static_cast<float>(la::Sum(x->value) /
-                                 static_cast<double>(x->value.size()));
-  Tensor xt = x;
-  return MakeOp(std::move(out), {x}, [xt](Node* self) {
-    if (!xt->requires_grad) return;
-    xt->EnsureGrad();
-    float g = self->grad(0, 0) / static_cast<float>(xt->value.size());
-    for (size_t i = 0; i < xt->grad.size(); ++i) xt->grad.data()[i] += g;
-  });
+  Tensor node = NewOpNode(&MeanBackward, x);
+  node->value.ResizeNoZero(1, 1);
+  node->value(0, 0) = static_cast<float>(la::Sum(x->value) /
+                                         static_cast<double>(x->value.size()));
+  return node;
 }
 
 Tensor SumAll(const Tensor& x) {
-  la::Matrix out(1, 1);
-  out(0, 0) = static_cast<float>(la::Sum(x->value));
-  Tensor xt = x;
-  return MakeOp(std::move(out), {x}, [xt](Node* self) {
-    if (!xt->requires_grad) return;
-    xt->EnsureGrad();
-    float g = self->grad(0, 0);
-    for (size_t i = 0; i < xt->grad.size(); ++i) xt->grad.data()[i] += g;
-  });
+  Tensor node = NewOpNode(&SumAllBackward, x);
+  node->value.ResizeNoZero(1, 1);
+  node->value(0, 0) = static_cast<float>(la::Sum(x->value));
+  return node;
 }
 
 Tensor SquaredNorm(const Tensor& x) {
-  la::Matrix out(1, 1);
-  out(0, 0) = static_cast<float>(la::SquaredNorm(x->value));
-  Tensor xt = x;
-  return MakeOp(std::move(out), {x}, [xt](Node* self) {
-    if (!xt->requires_grad) return;
-    xt->EnsureGrad();
-    float g = 2.0f * self->grad(0, 0);
-    for (size_t i = 0; i < xt->grad.size(); ++i) {
-      xt->grad.data()[i] += g * xt->value.data()[i];
-    }
-  });
+  Tensor node = NewOpNode(&SquaredNormBackward, x);
+  node->value.ResizeNoZero(1, 1);
+  node->value(0, 0) = static_cast<float>(la::SquaredNorm(x->value));
+  return node;
 }
 
 Tensor AddScalars(const std::vector<Tensor>& scalars) {
   PUP_CHECK(!scalars.empty());
-  la::Matrix out(1, 1);
+  float acc = 0.0f;
   for (const Tensor& s : scalars) {
     PUP_CHECK(s->value.rows() == 1 && s->value.cols() == 1);
-    out(0, 0) += s->value(0, 0);
+    acc += s->value(0, 0);
   }
-  std::vector<Tensor> parents = scalars;
-  return MakeOp(std::move(out), scalars, [parents](Node* self) {
-    for (const Tensor& p : parents) {
-      if (!p->requires_grad) continue;
-      p->EnsureGrad();
-      p->grad(0, 0) += self->grad(0, 0);
-    }
-  });
+  Tensor node = NewOpNode(&AddScalarsBackward, scalars);
+  node->value.ResizeNoZero(1, 1);
+  node->value(0, 0) = acc;
+  return node;
 }
 
 Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores) {
@@ -380,8 +617,9 @@ Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores) {
   const size_t n = pos_scores->value.rows();
   PUP_CHECK_GT(n, 0u);
 
-  // Cache σ(neg − pos), which is both the backward factor and 1 − σ(diff).
-  auto sig = std::make_shared<la::Matrix>(n, 1);
+  Tensor node = NewOpNode(&BprLossBackward, pos_scores, neg_scores);
+  // Cache σ(neg − pos) in aux: both the backward factor and 1 − σ(diff).
+  node->aux.ResizeNoZero(n, 1);
   double total = 0.0;
   for (size_t i = 0; i < n; ++i) {
     float d = neg_scores->value(i, 0) - pos_scores->value(i, 0);
@@ -389,49 +627,82 @@ Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores) {
     float sp = d > 0.0f ? d + std::log1p(std::exp(-d))
                         : std::log1p(std::exp(d));
     total += sp;
-    (*sig)(i, 0) = d >= 0.0f ? 1.0f / (1.0f + std::exp(-d))
-                             : std::exp(d) / (1.0f + std::exp(d));
+    node->aux(i, 0) = d >= 0.0f ? 1.0f / (1.0f + std::exp(-d))
+                                : std::exp(d) / (1.0f + std::exp(d));
   }
-  la::Matrix out(1, 1);
-  out(0, 0) = static_cast<float>(total / static_cast<double>(n));
-
-  Tensor pt = pos_scores, nt = neg_scores;
-  return MakeOp(std::move(out), {pos_scores, neg_scores},
-                [pt, nt, sig, n](Node* self) {
-                  float g = self->grad(0, 0) / static_cast<float>(n);
-                  if (pt->requires_grad) {
-                    pt->EnsureGrad();
-                    for (size_t i = 0; i < n; ++i) {
-                      pt->grad(i, 0) -= g * (*sig)(i, 0);
-                    }
-                  }
-                  if (nt->requires_grad) {
-                    nt->EnsureGrad();
-                    for (size_t i = 0; i < n; ++i) {
-                      nt->grad(i, 0) += g * (*sig)(i, 0);
-                    }
-                  }
-                });
+  node->value.ResizeNoZero(1, 1);
+  node->value(0, 0) = static_cast<float>(total / static_cast<double>(n));
+  return node;
 }
 
 Tensor MseLoss(const Tensor& pred, const la::Matrix& target) {
   PUP_CHECK(pred->value.SameShape(target));
   const size_t n = pred->value.size();
   PUP_CHECK_GT(n, 0u);
-  auto diff = std::make_shared<la::Matrix>();
-  la::Sub(pred->value, target, diff.get());
-  la::Matrix out(1, 1);
-  out(0, 0) =
-      static_cast<float>(la::SquaredNorm(*diff) / static_cast<double>(n));
-  Tensor pt = pred;
-  return MakeOp(std::move(out), {pred}, [pt, diff, n](Node* self) {
-    if (!pt->requires_grad) return;
-    pt->EnsureGrad();
-    float g = 2.0f * self->grad(0, 0) / static_cast<float>(n);
-    for (size_t i = 0; i < n; ++i) {
-      pt->grad.data()[i] += g * diff->data()[i];
+  Tensor node = NewOpNode(&MseLossBackward, pred);
+  la::Sub(pred->value, target, &node->aux);
+  node->value.ResizeNoZero(1, 1);
+  node->value(0, 0) =
+      static_cast<float>(la::SquaredNorm(node->aux) / static_cast<double>(n));
+  return node;
+}
+
+Tensor RowDotSigmoidBpr(const Tensor& u, const Tensor& p, const Tensor& n) {
+  PUP_CHECK(u->value.SameShape(p->value));
+  PUP_CHECK(u->value.SameShape(n->value));
+  const size_t rows = u->value.rows();
+  PUP_CHECK_GT(rows, 0u);
+  Tensor node = NewOpNode(&RowDotSigmoidBprBackward, u, p, n);
+  // aux(i, 0) holds the score difference neg − pos, then (in the serial
+  // reduction below) is overwritten with σ(diff), the backward factor.
+  la::RowDotDiff(u->value, p->value, n->value, &node->aux);
+  double total = 0.0;
+  for (size_t i = 0; i < rows; ++i) {
+    const float d = node->aux(i, 0);
+    const float sp = d > 0.0f ? d + std::log1p(std::exp(-d))
+                              : std::log1p(std::exp(d));
+    total += sp;
+    node->aux(i, 0) = d >= 0.0f ? 1.0f / (1.0f + std::exp(-d))
+                                : std::exp(d) / (1.0f + std::exp(d));
+  }
+  node->value.ResizeNoZero(1, 1);
+  node->value(0, 0) = static_cast<float>(total / static_cast<double>(rows));
+  return node;
+}
+
+Tensor FusedL2Penalty(const Tensor& base, const std::vector<Tensor>& terms,
+                      float factor) {
+  PUP_CHECK(base->value.rows() == 1 && base->value.cols() == 1);
+  PUP_CHECK(!terms.empty());
+  Tensor node;
+  if (TapeArena* arena = TapeArena::Current()) {
+    node = arena->NewNode();
+  } else {
+    node = internal::NewHeapNode();
+  }
+  node->parents.push_back(base);
+  for (const Tensor& t : terms) node->parents.push_back(t);
+  for (const Tensor& p : node->parents) {
+    if (p->requires_grad) {
+      node->requires_grad = true;
+      break;
     }
-  });
+  }
+  if (node->requires_grad) node->backward_fn = &FusedL2PenaltyBackward;
+  node->alpha = factor;
+  // Same float sequence as the unfused composition: the penalties sum in
+  // term order from a zero accumulator (AddScalars), one multiply by the
+  // factor (Scale), then base + scaled (outer AddScalars).
+  float reg = 0.0f;
+  for (const Tensor& t : terms) {
+    reg += static_cast<float>(la::SquaredNorm(t->value));
+  }
+  float out = 0.0f;
+  out += base->value(0, 0);
+  out += factor * reg;
+  node->value.ResizeNoZero(1, 1);
+  node->value(0, 0) = out;
+  return node;
 }
 
 }  // namespace pup::ag

@@ -1,8 +1,13 @@
 // Differentiable operations over ag::Tensor.
 //
 // Each op computes its forward value eagerly and installs a backward
-// closure. Ops only track gradients through parents with
+// function. Ops only track gradients through parents with
 // requires_grad = true; subgraphs of constants cost nothing at backward.
+//
+// When a TapeArena scope is active (arena.h), ops draw recycled nodes
+// from it and backward scratch buffers from its WorkspaceCache, making
+// steady-state tape construction allocation-free; otherwise nodes are
+// heap-allocated exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -15,8 +20,18 @@
 namespace pup::ag {
 
 /// Selects rows of `table` by index: out.Row(i) = table.Row(idx[i]).
-/// Backward scatter-adds into the table's gradient.
-Tensor Gather(const Tensor& table, std::vector<uint32_t> idx);
+/// Backward scatter-adds into the table's gradient. The indices are
+/// copied into the node (capacity-reusing under an arena).
+Tensor Gather(const Tensor& table, const std::vector<uint32_t>& idx);
+
+/// Fused Gather + Gather + Add over two tables (which may be the same):
+/// out.Row(i) = table_a.Row(idx_a[i]) + table_b.Row(idx_b[i]).
+/// Bitwise-identical to Add(Gather(a, ia), Gather(b, ib)) — including the
+/// backward scatter order (table_b first, matching the reverse
+/// topological order of the unfused composition) — with one tape node and
+/// one output buffer instead of three.
+Tensor GatherAdd(const Tensor& table_a, const std::vector<uint32_t>& idx_a,
+                 const Tensor& table_b, const std::vector<uint32_t>& idx_b);
 
 /// Sparse-dense product out = A * x.
 ///
@@ -93,5 +108,22 @@ Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores);
 
 /// Mean squared error against a constant target -> (1, 1).
 Tensor MseLoss(const Tensor& pred, const la::Matrix& target);
+
+/// Fused BPR head over (B, d) user/positive/negative representations:
+/// scores both pairs, applies the BPR loss, and backpropagates straight
+/// into the three inputs from one node. Bitwise-identical (forward and
+/// backward, at any thread count) to
+///   BprLoss(RowDot(u, p), RowDot(u, n))
+/// but removes three tape nodes and two (B, 1) intermediates per batch.
+Tensor RowDotSigmoidBpr(const Tensor& u, const Tensor& p, const Tensor& n);
+
+/// Fused L2 penalty: base + factor * Σ_k ‖terms[k]‖²  -> (1, 1).
+/// Bitwise-identical to the unfused trainer composition
+///   AddScalars({base, Scale(AddScalars({SquaredNorm(t)...}), factor)})
+/// (including its penalties.size()==1 special case and the reverse-order
+/// backward scatter), replacing 2 + |terms| scalar nodes and their
+/// backward scratch with a single in-place node.
+Tensor FusedL2Penalty(const Tensor& base, const std::vector<Tensor>& terms,
+                      float factor);
 
 }  // namespace pup::ag

@@ -25,7 +25,7 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float weight_decay)
 
 void Sgd::Step() {
   for (const Tensor& p : params_) {
-    if (!p->grad.SameShape(p->value)) continue;  // Never touched this step.
+    if (!p->grad_live()) continue;  // Never touched this step.
     float* value = p->value.data();
     const float* grad = p->grad.data();
     for (size_t i = 0; i < p->value.size(); ++i) {
@@ -56,7 +56,7 @@ void Adam::Step() {
       1.0f - std::pow(b2, static_cast<float>(t_));
   for (size_t k = 0; k < params_.size(); ++k) {
     const Tensor& p = params_[k];
-    if (!p->grad.SameShape(p->value)) continue;  // Never touched this step.
+    if (!p->grad_live()) continue;  // Never touched this step.
     float* value = p->value.data();
     const float* grad = p->grad.data();
     float* m = m_[k].data();

@@ -1,60 +1,91 @@
 #include "autograd/tensor.h"
 
-#include <unordered_set>
+#include <atomic>
 
 #include "common/check.h"
 
 namespace pup::ag {
+namespace {
+
+std::atomic<uint64_t> g_heap_nodes{0};
+
+// One mark value per tape walk; nodes are visited when their topo_mark
+// equals the walk's mark. Atomic so walks on different graphs may run on
+// different threads; a single graph must not be walked concurrently.
+uint64_t NextTopoMark() {
+  static std::atomic<uint64_t> epoch{0};
+  return epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+uint64_t HeapNodesAllocated() {
+  return g_heap_nodes.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+Tensor NewHeapNode() {
+  g_heap_nodes.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<Node>();
+}
+
+void TopologicalOrderInto(Node* root, std::vector<Node*>* order) {
+  order->clear();
+  const uint64_t mark = NextTopoMark();
+  // Iterative post-order DFS. The frame stack is reused across calls from
+  // the same thread so steady-state training steps do not allocate.
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  thread_local std::vector<Frame> stack;
+  stack.clear();
+  root->topo_mark = mark;
+  stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent++].get();
+      if (parent->topo_mark != mark) {
+        parent->topo_mark = mark;
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order->push_back(top.node);
+      stack.pop_back();
+    }
+  }
+  // Parents precede children.
+}
+
+std::vector<Node*> TopologicalOrder(const Tensor& root) {
+  std::vector<Node*> order;
+  TopologicalOrderInto(root.get(), &order);
+  return order;
+}
+
+}  // namespace internal
 
 Tensor Param(la::Matrix value) {
-  auto node = std::make_shared<Node>();
+  Tensor node = internal::NewHeapNode();
   node->value = std::move(value);
   node->requires_grad = true;
   return node;
 }
 
 Tensor Constant(la::Matrix value) {
-  auto node = std::make_shared<Node>();
+  Tensor node = internal::NewHeapNode();
   node->value = std::move(value);
   node->requires_grad = false;
   return node;
 }
 
-namespace internal {
-
-std::vector<Node*> TopologicalOrder(const Tensor& root) {
-  std::vector<Node*> order;
-  std::unordered_set<Node*> visited;
-  // Iterative post-order DFS.
-  struct Frame {
-    Node* node;
-    size_t next_parent;
-  };
-  std::vector<Frame> stack;
-  if (visited.insert(root.get()).second) {
-    stack.push_back({root.get(), 0});
-  }
-  while (!stack.empty()) {
-    Frame& top = stack.back();
-    if (top.next_parent < top.node->parents.size()) {
-      Node* parent = top.node->parents[top.next_parent++].get();
-      if (visited.insert(parent).second) {
-        stack.push_back({parent, 0});
-      }
-    } else {
-      order.push_back(top.node);
-      stack.pop_back();
-    }
-  }
-  return order;  // Parents precede children.
-}
-
-}  // namespace internal
-
 void Backward(const Tensor& root) {
   PUP_CHECK_MSG(root->value.rows() == 1 && root->value.cols() == 1,
                 "Backward requires a scalar (1x1) root");
-  auto order = internal::TopologicalOrder(root);
+  thread_local std::vector<Node*> order;
+  internal::TopologicalOrderInto(root.get(), &order);
   root->EnsureGrad();
   root->grad(0, 0) += 1.0f;
   // Children come after parents in `order`; walk in reverse.
@@ -68,9 +99,9 @@ void Backward(const Tensor& root) {
 }
 
 void ZeroGradients(const Tensor& root) {
-  for (Node* node : internal::TopologicalOrder(root)) {
-    node->ZeroGrad();
-  }
+  thread_local std::vector<Node*> order;
+  internal::TopologicalOrderInto(root.get(), &order);
+  for (Node* node : order) node->ZeroGrad();
 }
 
 }  // namespace pup::ag

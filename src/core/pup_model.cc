@@ -231,49 +231,56 @@ train::BprTrainable::BatchGraph Pup::ForwardBatch(
     const std::vector<uint32_t>& neg_items, bool training) {
   PUP_CHECK(dataset_ != nullptr);
   const size_t b = users.size();
-  std::vector<uint32_t> user_nodes(b), pos_nodes(b), neg_nodes(b),
-      pos_cats(b), neg_cats(b), pos_prices(b), neg_prices(b);
+  user_nodes_.resize(b);
+  pos_nodes_.resize(b);
+  neg_nodes_.resize(b);
+  pos_cats_.resize(b);
+  neg_cats_.resize(b);
+  pos_prices_.resize(b);
+  neg_prices_.resize(b);
   for (size_t k = 0; k < b; ++k) {
-    user_nodes[k] = graph_->UserNode(users[k]);
-    pos_nodes[k] = graph_->ItemNode(pos_items[k]);
-    neg_nodes[k] = graph_->ItemNode(neg_items[k]);
+    user_nodes_[k] = graph_->UserNode(users[k]);
+    pos_nodes_[k] = graph_->ItemNode(pos_items[k]);
+    neg_nodes_[k] = graph_->ItemNode(neg_items[k]);
     if (config_.use_category) {
-      pos_cats[k] = graph_->CategoryNode(dataset_->item_category[pos_items[k]]);
-      neg_cats[k] = graph_->CategoryNode(dataset_->item_category[neg_items[k]]);
+      pos_cats_[k] =
+          graph_->CategoryNode(dataset_->item_category[pos_items[k]]);
+      neg_cats_[k] =
+          graph_->CategoryNode(dataset_->item_category[neg_items[k]]);
     }
     if (config_.use_price) {
-      pos_prices[k] =
+      pos_prices_[k] =
           graph_->PriceNode(dataset_->item_price_level[pos_items[k]]);
-      neg_prices[k] =
+      neg_prices_[k] =
           graph_->PriceNode(dataset_->item_price_level[neg_items[k]]);
     }
   }
 
   ag::Tensor fg = Propagate(global_, training);
-  ag::Tensor pos = DecodeGlobal(fg, user_nodes, pos_nodes, pos_cats,
-                                pos_prices);
-  ag::Tensor neg = DecodeGlobal(fg, user_nodes, neg_nodes, neg_cats,
-                                neg_prices);
+  ag::Tensor pos = DecodeGlobal(fg, user_nodes_, pos_nodes_, pos_cats_,
+                                pos_prices_);
+  ag::Tensor neg = DecodeGlobal(fg, user_nodes_, neg_nodes_, neg_cats_,
+                                neg_prices_);
   if (config_.two_branch) {
     ag::Tensor fc = Propagate(category_, training);
-    pos = ag::Add(pos, ag::Scale(DecodeCategory(fc, user_nodes, pos_cats,
-                                                pos_prices),
+    pos = ag::Add(pos, ag::Scale(DecodeCategory(fc, user_nodes_, pos_cats_,
+                                                pos_prices_),
                                  config_.alpha));
-    neg = ag::Add(neg, ag::Scale(DecodeCategory(fc, user_nodes, neg_cats,
-                                                neg_prices),
+    neg = ag::Add(neg, ag::Scale(DecodeCategory(fc, user_nodes_, neg_cats_,
+                                                neg_prices_),
                                  config_.alpha));
   }
 
   BatchGraph batch;
   batch.pos_scores = pos;
   batch.neg_scores = neg;
-  batch.l2_terms = {ag::Gather(global_.emb, user_nodes),
-                    ag::Gather(global_.emb, pos_nodes),
-                    ag::Gather(global_.emb, neg_nodes)};
+  batch.l2_terms = {ag::Gather(global_.emb, user_nodes_),
+                    ag::Gather(global_.emb, pos_nodes_),
+                    ag::Gather(global_.emb, neg_nodes_)};
   if (config_.two_branch) {
-    batch.l2_terms.push_back(ag::Gather(category_.emb, user_nodes));
-    batch.l2_terms.push_back(ag::Gather(category_.emb, pos_cats));
-    batch.l2_terms.push_back(ag::Gather(category_.emb, pos_prices));
+    batch.l2_terms.push_back(ag::Gather(category_.emb, user_nodes_));
+    batch.l2_terms.push_back(ag::Gather(category_.emb, pos_cats_));
+    batch.l2_terms.push_back(ag::Gather(category_.emb, pos_prices_));
   }
   return batch;
 }

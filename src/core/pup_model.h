@@ -125,6 +125,11 @@ class Pup : public models::Recommender, public train::BprTrainable {
   Rng dropout_rng_{0};
   models::DotScorer scorer_;
   size_t num_users_ = 0;
+
+  // Per-batch node-index scratch, reused across steps (ForwardBatch
+  // resizes; entries for disabled node types are never read).
+  std::vector<uint32_t> user_nodes_, pos_nodes_, neg_nodes_, pos_cats_,
+      neg_cats_, pos_prices_, neg_prices_;
 };
 
 }  // namespace pup::core

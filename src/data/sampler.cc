@@ -36,16 +36,22 @@ uint32_t NegativeSampler::SampleNegative(uint32_t user) {
 }
 
 std::vector<BprTriple> NegativeSampler::SampleEpoch(int rate) {
-  PUP_CHECK_GE(rate, 1);
   std::vector<BprTriple> triples;
-  triples.reserve(train_.size() * static_cast<size_t>(rate));
+  SampleEpoch(rate, &triples);
+  return triples;
+}
+
+void NegativeSampler::SampleEpoch(int rate, std::vector<BprTriple>* out) {
+  PUP_CHECK_GE(rate, 1);
+  PUP_CHECK(out != nullptr);
+  out->clear();
+  out->reserve(train_.size() * static_cast<size_t>(rate));
   for (const Interaction& x : train_) {
     for (int r = 0; r < rate; ++r) {
-      triples.push_back({x.user, x.item, SampleNegative(x.user)});
+      out->push_back({x.user, x.item, SampleNegative(x.user)});
     }
   }
-  rng_.Shuffle(&triples);
-  return triples;
+  rng_.Shuffle(out);
 }
 
 }  // namespace pup::data

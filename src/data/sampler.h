@@ -34,6 +34,12 @@ class NegativeSampler {
   /// paired with `rate` sampled negatives, in shuffled order.
   std::vector<BprTriple> SampleEpoch(int rate = 1);
 
+  /// Allocation-reusing variant: fills `out` (cleared first, capacity
+  /// retained) with the same triple sequence the value-returning overload
+  /// would produce. The trainer calls this with one buffer per run so
+  /// epochs after the first do not reallocate the triple list.
+  void SampleEpoch(int rate, std::vector<BprTriple>* out);
+
   /// True if (user, item) is a training positive.
   bool IsPositive(uint32_t user, uint32_t item) const;
 

@@ -10,9 +10,11 @@ namespace {
 
 // Resize without zeroing; every kernel below either overwrites each entry
 // or explicitly initializes the rows it owns inside its parallel region.
+// ResizeNoZero retains the buffer's capacity, so a recycled output matrix
+// (tape arena / workspace cache) reaches steady state with no allocation.
 void EnsureShapeNoZero(size_t rows, size_t cols, Matrix* out) {
   if (out->rows() != rows || out->cols() != cols) {
-    *out = Matrix(rows, cols);
+    out->ResizeNoZero(rows, cols);
   }
 }
 
@@ -229,6 +231,24 @@ void GatherRows(const Matrix& table, const std::vector<uint32_t>& idx,
   });
 }
 
+void GatherRowsAdd(const Matrix& table_a, const std::vector<uint32_t>& idx_a,
+                   const Matrix& table_b, const std::vector<uint32_t>& idx_b,
+                   Matrix* out) {
+  PUP_CHECK_EQ(idx_a.size(), idx_b.size());
+  PUP_CHECK_EQ(table_a.cols(), table_b.cols());
+  const size_t cols = table_a.cols();
+  EnsureShapeNoZero(idx_a.size(), cols, out);
+  ParallelFor(0, idx_a.size(), RowGrain(2 * cols), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      PUP_DCHECK(idx_a[i] < table_a.rows() && idx_b[i] < table_b.rows());
+      const float* ra = table_a.Row(idx_a[i]);
+      const float* rb = table_b.Row(idx_b[i]);
+      float* dst = out->Row(i);
+      for (size_t j = 0; j < cols; ++j) dst[j] = ra[j] + rb[j];
+    }
+  });
+}
+
 void ScatterAddRows(const Matrix& src, const std::vector<uint32_t>& idx,
                     Matrix* table) {
   PUP_CHECK_EQ(src.rows(), idx.size());
@@ -273,6 +293,28 @@ void RowDot(const Matrix& x, const Matrix& y, Matrix* out) {
       float acc = 0.0f;
       for (size_t j = 0; j < cols; ++j) acc += xr[j] * yr[j];
       (*out)(i, 0) = acc;
+    }
+  });
+}
+
+void RowDotDiff(const Matrix& x, const Matrix& a, const Matrix& b,
+                Matrix* out) {
+  PUP_CHECK(x.SameShape(a));
+  PUP_CHECK(x.SameShape(b));
+  EnsureShapeNoZero(x.rows(), 1, out);
+  const size_t cols = x.cols();
+  // Two independent row-dot accumulators per row, each in element order —
+  // bitwise-identical to RowDot(x, b) − RowDot(x, a) at any thread count.
+  ParallelFor(0, x.rows(), RowGrain(2 * cols), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float* xr = x.Row(i);
+      const float* ar = a.Row(i);
+      const float* br = b.Row(i);
+      float acc_a = 0.0f;
+      for (size_t j = 0; j < cols; ++j) acc_a += xr[j] * ar[j];
+      float acc_b = 0.0f;
+      for (size_t j = 0; j < cols; ++j) acc_b += xr[j] * br[j];
+      (*out)(i, 0) = acc_b - acc_a;
     }
   });
 }

@@ -59,12 +59,25 @@ void LeakyRelu(const Matrix& x, float slope, Matrix* out);
 void GatherRows(const Matrix& table, const std::vector<uint32_t>& idx,
                 Matrix* out);
 
+/// Fused gather + add: out.Row(i) = table_a.Row(idx_a[i]) +
+/// table_b.Row(idx_b[i]). One pass instead of two gathers and an add;
+/// bitwise-identical to the unfused composition.
+void GatherRowsAdd(const Matrix& table_a, const std::vector<uint32_t>& idx_a,
+                   const Matrix& table_b, const std::vector<uint32_t>& idx_b,
+                   Matrix* out);
+
 /// table.Row(idx[i]) += src.Row(i) for all i (duplicates accumulate).
 void ScatterAddRows(const Matrix& src, const std::vector<uint32_t>& idx,
                     Matrix* table);
 
 /// out(i,0) = dot(x.Row(i), y.Row(i)). Shapes: (n,d),(n,d) -> (n,1).
 void RowDot(const Matrix& x, const Matrix& y, Matrix* out);
+
+/// Pairwise score difference for BPR: out(i,0) = dot(x.Row(i), b.Row(i))
+/// − dot(x.Row(i), a.Row(i)), each dot accumulated independently in
+/// element order (bitwise-matching the two-RowDot composition).
+void RowDotDiff(const Matrix& x, const Matrix& a, const Matrix& b,
+                Matrix* out);
 
 /// out(i,0) = sum of row i. Shape: (n,d) -> (n,1).
 void RowSum(const Matrix& x, Matrix* out);

@@ -1,8 +1,34 @@
 #include "la/matrix.h"
 
+#include <atomic>
 #include <sstream>
 
 namespace pup::la {
+namespace {
+
+// Relaxed atomics: the counters are monotonic telemetry, not a
+// synchronization mechanism; concurrent kernel threads may bump them.
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+
+}  // namespace
+
+AllocStats MatrixAllocStats() {
+  AllocStats s;
+  s.count = g_alloc_count.load(std::memory_order_relaxed);
+  s.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace internal {
+
+void RecordMatrixAlloc(size_t num_floats) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(num_floats * sizeof(float),
+                          std::memory_order_relaxed);
+}
+
+}  // namespace internal
 
 Matrix Matrix::Gaussian(size_t rows, size_t cols, float stddev, Rng* rng) {
   PUP_CHECK(rng != nullptr);

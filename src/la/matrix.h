@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,23 @@
 #include "common/rng.h"
 
 namespace pup::la {
+
+/// Monotonic counters of float-buffer allocations made by Matrix.
+/// Snapshot before and after a region and take deltas; used to verify the
+/// zero-allocation steady state of the training step (see TapeArena).
+struct AllocStats {
+  uint64_t count = 0;  ///< Buffer allocations (fresh or capacity growth).
+  uint64_t bytes = 0;  ///< Bytes those allocations requested.
+};
+
+/// Current process-wide Matrix allocation counters (relaxed atomics; safe
+/// to read concurrently, values are monotonic).
+AllocStats MatrixAllocStats();
+
+namespace internal {
+/// Records one Matrix buffer allocation of `num_floats` floats.
+void RecordMatrixAlloc(size_t num_floats);
+}  // namespace internal
 
 /// Dense rows x cols matrix of float, row-major, value-semantic.
 ///
@@ -22,17 +40,38 @@ class Matrix {
 
   /// Zero-initialized rows x cols matrix.
   Matrix(size_t rows, size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+    if (!data_.empty()) internal::RecordMatrixAlloc(data_.size());
+  }
 
   /// Matrix filled with `fill`.
   Matrix(size_t rows, size_t cols, float fill)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    if (!data_.empty()) internal::RecordMatrixAlloc(data_.size());
+  }
 
   /// Builds from explicit row-major data; data.size() must equal rows*cols.
   Matrix(size_t rows, size_t cols, std::vector<float> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
     PUP_CHECK_EQ(data_.size(), rows_ * cols_);
   }
+
+  Matrix(const Matrix& other)
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+    if (!data_.empty()) internal::RecordMatrixAlloc(data_.size());
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      const bool grows = other.data_.size() > data_.capacity();
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = other.data_;
+      if (grows) internal::RecordMatrixAlloc(data_.size());
+    }
+    return *this;
+  }
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
 
   /// Matrix with i.i.d. N(0, stddev^2) entries.
   static Matrix Gaussian(size_t rows, size_t cols, float stddev, Rng* rng);
@@ -76,6 +115,21 @@ class Matrix {
 
   /// Sets every entry to zero.
   void Zero() { Fill(0.0f); }
+
+  /// Reshapes to rows x cols without clearing existing entries; only
+  /// growth beyond the current element count is zero-filled (vector
+  /// semantics). Capacity is retained, so repeatedly resizing to shapes
+  /// within the high-water mark performs no allocation — the backbone of
+  /// the per-step buffer reuse in the autograd arena (see
+  /// docs/architecture.md "Memory model"). Callers must overwrite the
+  /// retained prefix; every kernel in kernels.h does.
+  void ResizeNoZero(size_t rows, size_t cols) {
+    const size_t n = rows * cols;
+    if (n > data_.capacity()) internal::RecordMatrixAlloc(n);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(n);
+  }
 
   bool SameShape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;

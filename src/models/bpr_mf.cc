@@ -37,4 +37,16 @@ train::BprTrainable::BatchGraph BprMf::ForwardBatch(
   return batch;
 }
 
+train::BprTrainable::BatchLossGraph BprMf::ForwardBatchLoss(
+    const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
+    const std::vector<uint32_t>& neg_items, bool /*training*/) {
+  ag::Tensor u = ag::Gather(user_emb_, users);
+  ag::Tensor p = ag::Gather(item_emb_, pos_items);
+  ag::Tensor n = ag::Gather(item_emb_, neg_items);
+  BatchLossGraph graph;
+  graph.loss = ag::RowDotSigmoidBpr(u, p, n);
+  graph.l2_terms = {u, p, n};
+  return graph;
+}
+
 }  // namespace pup::models

@@ -79,18 +79,20 @@ ag::Tensor Fm::ScoreBatch(const std::vector<uint32_t>& users,
                           std::vector<ag::Tensor>* l2_terms,
                           FieldEmbeddings* fields) {
   PUP_CHECK(dataset_ != nullptr);
-  std::vector<uint32_t> f_user(users.size()), f_item(items.size()),
-      f_cat(items.size()), f_price(items.size());
+  f_user_.resize(users.size());
+  f_item_.resize(items.size());
+  f_cat_.resize(items.size());
+  f_price_.resize(items.size());
   for (size_t k = 0; k < users.size(); ++k) {
-    f_user[k] = UserFeature(users[k]);
-    f_item[k] = ItemFeature(items[k]);
-    f_cat[k] = CategoryFeature(dataset_->item_category[items[k]]);
-    f_price[k] = PriceFeature(dataset_->item_price_level[items[k]]);
+    f_user_[k] = UserFeature(users[k]);
+    f_item_[k] = ItemFeature(items[k]);
+    f_cat_[k] = CategoryFeature(dataset_->item_category[items[k]]);
+    f_price_[k] = PriceFeature(dataset_->item_price_level[items[k]]);
   }
-  ag::Tensor eu = ag::Gather(feature_emb_, f_user);
-  ag::Tensor ei = ag::Gather(feature_emb_, f_item);
-  ag::Tensor ec = ag::Gather(feature_emb_, f_cat);
-  ag::Tensor ep = ag::Gather(feature_emb_, f_price);
+  ag::Tensor eu = ag::Gather(feature_emb_, f_user_);
+  ag::Tensor ei = ag::Gather(feature_emb_, f_item_);
+  ag::Tensor ec = ag::Gather(feature_emb_, f_cat_);
+  ag::Tensor ep = ag::Gather(feature_emb_, f_price_);
 
   // Linear-time pairwise sum (eq. 7): ½(‖Σe‖² − Σ‖e‖²) per row.
   ag::Tensor sum = ag::Add(ag::Add(eu, ei), ag::Add(ec, ep));
@@ -99,11 +101,12 @@ ag::Tensor Fm::ScoreBatch(const std::vector<uint32_t>& users,
                           ag::Add(ag::RowDot(ec, ec), ag::RowDot(ep, ep)));
   ag::Tensor pairwise = ag::Scale(ag::Sub(s1, s2), 0.5f);
 
+  // Fused bias lookups: two GatherAdd nodes instead of four gathers and
+  // two adds; the backward scatter order into the shared bias table
+  // (price, cat, item, user) matches the unfused composition bitwise.
   ag::Tensor linear =
-      ag::Add(ag::Add(ag::Gather(feature_bias_, f_user),
-                      ag::Gather(feature_bias_, f_item)),
-              ag::Add(ag::Gather(feature_bias_, f_cat),
-                      ag::Gather(feature_bias_, f_price)));
+      ag::Add(ag::GatherAdd(feature_bias_, f_user_, feature_bias_, f_item_),
+              ag::GatherAdd(feature_bias_, f_cat_, feature_bias_, f_price_));
 
   if (fields != nullptr) {
     *fields = {eu, ei, ec, ep};

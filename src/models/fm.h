@@ -86,6 +86,11 @@ class Fm : public Recommender, public train::BprTrainable {
   ag::Tensor feature_emb_;   // (#features, d)
   ag::Tensor feature_bias_;  // (#features, 1)
   DotScorer scorer_;
+
+ private:
+  // Per-batch feature-index scratch, reused across steps (Gather copies
+  // the indices, so both ScoreBatch calls of one step may share these).
+  std::vector<uint32_t> f_user_, f_item_, f_cat_, f_price_;
 };
 
 }  // namespace pup::models

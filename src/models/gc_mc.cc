@@ -54,29 +54,53 @@ void GcMc::ScoreItems(uint32_t user, std::vector<float>* out) const {
 
 std::vector<ag::Tensor> GcMc::Parameters() { return {node_emb_, weight_}; }
 
+void GcMc::BuildBatchNodes(const std::vector<uint32_t>& users,
+                           const std::vector<uint32_t>& pos_items,
+                           const std::vector<uint32_t>& neg_items) {
+  user_nodes_.resize(users.size());
+  pos_nodes_.resize(pos_items.size());
+  neg_nodes_.resize(neg_items.size());
+  for (size_t k = 0; k < users.size(); ++k) {
+    user_nodes_[k] = graph_->UserNode(users[k]);
+    pos_nodes_[k] = graph_->ItemNode(pos_items[k]);
+    neg_nodes_[k] = graph_->ItemNode(neg_items[k]);
+  }
+}
+
 train::BprTrainable::BatchGraph GcMc::ForwardBatch(
     const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
     const std::vector<uint32_t>& neg_items, bool training) {
   ag::Tensor h = Propagate(training);
-  std::vector<uint32_t> user_nodes(users.size()), pos_nodes(pos_items.size()),
-      neg_nodes(neg_items.size());
-  for (size_t k = 0; k < users.size(); ++k) {
-    user_nodes[k] = graph_->UserNode(users[k]);
-    pos_nodes[k] = graph_->ItemNode(pos_items[k]);
-    neg_nodes[k] = graph_->ItemNode(neg_items[k]);
-  }
-  ag::Tensor hu = ag::Gather(h, user_nodes);
-  ag::Tensor hp = ag::Gather(h, pos_nodes);
-  ag::Tensor hn = ag::Gather(h, neg_nodes);
+  BuildBatchNodes(users, pos_items, neg_items);
+  ag::Tensor hu = ag::Gather(h, user_nodes_);
+  ag::Tensor hp = ag::Gather(h, pos_nodes_);
+  ag::Tensor hn = ag::Gather(h, neg_nodes_);
 
   BatchGraph batch;
   batch.pos_scores = ag::RowDot(hu, hp);
   batch.neg_scores = ag::RowDot(hu, hn);
   // Regularize the raw embeddings involved in this batch.
-  batch.l2_terms = {ag::Gather(node_emb_, user_nodes),
-                    ag::Gather(node_emb_, pos_nodes),
-                    ag::Gather(node_emb_, neg_nodes)};
+  batch.l2_terms = {ag::Gather(node_emb_, user_nodes_),
+                    ag::Gather(node_emb_, pos_nodes_),
+                    ag::Gather(node_emb_, neg_nodes_)};
   return batch;
+}
+
+train::BprTrainable::BatchLossGraph GcMc::ForwardBatchLoss(
+    const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
+    const std::vector<uint32_t>& neg_items, bool training) {
+  ag::Tensor h = Propagate(training);
+  BuildBatchNodes(users, pos_items, neg_items);
+  ag::Tensor hu = ag::Gather(h, user_nodes_);
+  ag::Tensor hp = ag::Gather(h, pos_nodes_);
+  ag::Tensor hn = ag::Gather(h, neg_nodes_);
+
+  BatchLossGraph graph;
+  graph.loss = ag::RowDotSigmoidBpr(hu, hp, hn);
+  graph.l2_terms = {ag::Gather(node_emb_, user_nodes_),
+                    ag::Gather(node_emb_, pos_nodes_),
+                    ag::Gather(node_emb_, neg_nodes_)};
+  return graph;
 }
 
 }  // namespace pup::models

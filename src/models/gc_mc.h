@@ -46,10 +46,21 @@ class GcMc : public Recommender, public train::BprTrainable {
                           const std::vector<uint32_t>& pos_items,
                           const std::vector<uint32_t>& neg_items,
                           bool training) override;
+  /// Fused training head (RowDotSigmoidBpr); bitwise-identical trajectory.
+  BatchLossGraph ForwardBatchLoss(const std::vector<uint32_t>& users,
+                                  const std::vector<uint32_t>& pos_items,
+                                  const std::vector<uint32_t>& neg_items,
+                                  bool training) override;
 
  private:
   /// Propagated node representations (num_nodes, d).
   ag::Tensor Propagate(bool training);
+
+  /// Maps a batch of user/item ids to graph node ids in the member
+  /// scratch vectors (reused across steps).
+  void BuildBatchNodes(const std::vector<uint32_t>& users,
+                       const std::vector<uint32_t>& pos_items,
+                       const std::vector<uint32_t>& neg_items);
 
   GcMcConfig config_;
   std::unique_ptr<graph::BipartiteGraph> graph_;
@@ -57,6 +68,9 @@ class GcMc : public Recommender, public train::BprTrainable {
   ag::Tensor weight_;    // (d, d)
   Rng dropout_rng_{0};
   DotScorer scorer_;
+
+  // Per-batch node-index scratch, reused across steps.
+  std::vector<uint32_t> user_nodes_, pos_nodes_, neg_nodes_;
 };
 
 }  // namespace pup::models

@@ -22,6 +22,18 @@ void Ngcf::Fit(const data::Dataset& dataset,
   graph_ = std::make_unique<graph::BipartiteGraph>(dataset.num_users,
                                                    dataset.num_items, pairs);
 
+  // Row-index maps for Propagate: static for the whole run.
+  user_rows_.resize(dataset.num_users);
+  item_rows_.resize(dataset.num_items);
+  price_rows_.resize(dataset.num_items);
+  for (uint32_t u = 0; u < dataset.num_users; ++u) {
+    user_rows_[u] = graph_->UserNode(u);
+  }
+  for (uint32_t i = 0; i < dataset.num_items; ++i) {
+    item_rows_[i] = graph_->ItemNode(i);
+    price_rows_[i] = item_price_level_[i];
+  }
+
   const size_t d = config_.embedding_dim;
   node_emb_ = ag::Param(
       la::Matrix::Gaussian(graph_->num_nodes(), d, config_.init_stddev, &rng));
@@ -49,19 +61,11 @@ void Ngcf::Fit(const data::Dataset& dataset,
 }
 
 ag::Tensor Ngcf::Propagate(bool training) {
-  // E⁰: id embeddings, with the price embedding added onto item rows.
-  const size_t num_users = graph_->num_users();
-  const size_t num_items = graph_->num_items();
-  std::vector<uint32_t> user_rows(num_users), item_rows(num_items),
-      price_rows(num_items);
-  for (uint32_t u = 0; u < num_users; ++u) user_rows[u] = graph_->UserNode(u);
-  for (uint32_t i = 0; i < num_items; ++i) {
-    item_rows[i] = graph_->ItemNode(i);
-    price_rows[i] = item_price_level_[i];
-  }
-  ag::Tensor e_users = ag::Gather(node_emb_, user_rows);
-  ag::Tensor e_items = ag::Add(ag::Gather(node_emb_, item_rows),
-                               ag::Gather(price_emb_, price_rows));
+  // E⁰: id embeddings, with the price embedding added onto item rows
+  // (fused gather-gather-add; one tape node, one buffer).
+  ag::Tensor e_users = ag::Gather(node_emb_, user_rows_);
+  ag::Tensor e_items = ag::GatherAdd(node_emb_, item_rows_,
+                                     price_emb_, price_rows_);
   ag::Tensor e0 = ag::ConcatRows({e_users, e_items});
 
   ag::Tensor conv = ag::Spmm(&graph_->adjacency(),
@@ -81,28 +85,52 @@ std::vector<ag::Tensor> Ngcf::Parameters() {
   return {node_emb_, price_emb_, w1_, w2_};
 }
 
+void Ngcf::BuildBatchNodes(const std::vector<uint32_t>& users,
+                           const std::vector<uint32_t>& pos_items,
+                           const std::vector<uint32_t>& neg_items) {
+  user_nodes_.resize(users.size());
+  pos_nodes_.resize(pos_items.size());
+  neg_nodes_.resize(neg_items.size());
+  for (size_t k = 0; k < users.size(); ++k) {
+    user_nodes_[k] = graph_->UserNode(users[k]);
+    pos_nodes_[k] = graph_->ItemNode(pos_items[k]);
+    neg_nodes_[k] = graph_->ItemNode(neg_items[k]);
+  }
+}
+
 train::BprTrainable::BatchGraph Ngcf::ForwardBatch(
     const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
     const std::vector<uint32_t>& neg_items, bool training) {
   ag::Tensor h = Propagate(training);
-  std::vector<uint32_t> user_nodes(users.size()), pos_nodes(pos_items.size()),
-      neg_nodes(neg_items.size());
-  for (size_t k = 0; k < users.size(); ++k) {
-    user_nodes[k] = graph_->UserNode(users[k]);
-    pos_nodes[k] = graph_->ItemNode(pos_items[k]);
-    neg_nodes[k] = graph_->ItemNode(neg_items[k]);
-  }
-  ag::Tensor hu = ag::Gather(h, user_nodes);
-  ag::Tensor hp = ag::Gather(h, pos_nodes);
-  ag::Tensor hn = ag::Gather(h, neg_nodes);
+  BuildBatchNodes(users, pos_items, neg_items);
+  ag::Tensor hu = ag::Gather(h, user_nodes_);
+  ag::Tensor hp = ag::Gather(h, pos_nodes_);
+  ag::Tensor hn = ag::Gather(h, neg_nodes_);
 
   BatchGraph batch;
   batch.pos_scores = ag::RowDot(hu, hp);
   batch.neg_scores = ag::RowDot(hu, hn);
-  batch.l2_terms = {ag::Gather(node_emb_, user_nodes),
-                    ag::Gather(node_emb_, pos_nodes),
-                    ag::Gather(node_emb_, neg_nodes)};
+  batch.l2_terms = {ag::Gather(node_emb_, user_nodes_),
+                    ag::Gather(node_emb_, pos_nodes_),
+                    ag::Gather(node_emb_, neg_nodes_)};
   return batch;
+}
+
+train::BprTrainable::BatchLossGraph Ngcf::ForwardBatchLoss(
+    const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
+    const std::vector<uint32_t>& neg_items, bool training) {
+  ag::Tensor h = Propagate(training);
+  BuildBatchNodes(users, pos_items, neg_items);
+  ag::Tensor hu = ag::Gather(h, user_nodes_);
+  ag::Tensor hp = ag::Gather(h, pos_nodes_);
+  ag::Tensor hn = ag::Gather(h, neg_nodes_);
+
+  BatchLossGraph graph;
+  graph.loss = ag::RowDotSigmoidBpr(hu, hp, hn);
+  graph.l2_terms = {ag::Gather(node_emb_, user_nodes_),
+                    ag::Gather(node_emb_, pos_nodes_),
+                    ag::Gather(node_emb_, neg_nodes_)};
+  return graph;
 }
 
 }  // namespace pup::models

@@ -50,10 +50,21 @@ class Ngcf : public Recommender, public train::BprTrainable {
                           const std::vector<uint32_t>& pos_items,
                           const std::vector<uint32_t>& neg_items,
                           bool training) override;
+  /// Fused training head (RowDotSigmoidBpr); bitwise-identical trajectory.
+  BatchLossGraph ForwardBatchLoss(const std::vector<uint32_t>& users,
+                                  const std::vector<uint32_t>& pos_items,
+                                  const std::vector<uint32_t>& neg_items,
+                                  bool training) override;
 
  private:
   /// Final node representations [E⁰ ‖ e¹], (num_nodes, 2d).
   ag::Tensor Propagate(bool training);
+
+  /// Maps a batch of user/item ids to graph node ids in the member
+  /// scratch vectors (reused across steps).
+  void BuildBatchNodes(const std::vector<uint32_t>& users,
+                       const std::vector<uint32_t>& pos_items,
+                       const std::vector<uint32_t>& neg_items);
 
   NgcfConfig config_;
   std::unique_ptr<graph::BipartiteGraph> graph_;
@@ -63,6 +74,11 @@ class Ngcf : public Recommender, public train::BprTrainable {
   ag::Tensor w1_, w2_;    // (d, d) each
   Rng dropout_rng_{0};
   DotScorer scorer_;
+
+  // Static row-index maps for Propagate, built once in Fit.
+  std::vector<uint32_t> user_rows_, item_rows_, price_rows_;
+  // Per-batch node-index scratch, reused across steps.
+  std::vector<uint32_t> user_nodes_, pos_nodes_, neg_nodes_;
 };
 
 }  // namespace pup::models

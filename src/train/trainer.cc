@@ -2,13 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
+#include "autograd/arena.h"
 #include "autograd/ops.h"
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
 namespace pup::train {
+
+BprTrainable::BatchLossGraph BprTrainable::ForwardBatchLoss(
+    const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
+    const std::vector<uint32_t>& neg_items, bool training) {
+  BatchGraph batch = ForwardBatch(users, pos_items, neg_items, training);
+  BatchLossGraph graph;
+  graph.loss = ag::BprLoss(batch.pos_scores, batch.neg_scores);
+  graph.l2_terms = std::move(batch.l2_terms);
+  return graph;
+}
 
 std::vector<EpochStats> TrainBpr(BprTrainable* model,
                                  const data::Dataset& dataset,
@@ -36,6 +49,16 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
   history.reserve(options.epochs);
   float lr = options.learning_rate;
 
+  // Buffers reused across every batch of every epoch: the epoch's triple
+  // list and the per-batch index columns. Together with the tape arena
+  // this makes steady-state steps allocation-free.
+  std::vector<data::BprTriple> triples;
+  std::vector<uint32_t> users, pos, neg;
+  users.reserve(options.batch_size);
+  pos.reserve(options.batch_size);
+  neg.reserve(options.batch_size);
+  ag::TapeArena arena;
+
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     for (int de : decay_epochs) {
       if (epoch == de && epoch > 0) {
@@ -45,44 +68,49 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
     }
 
     Stopwatch timer;
-    auto triples = sampler.SampleEpoch(options.negative_rate);
+    sampler.SampleEpoch(options.negative_rate, &triples);
     double loss_sum = 0.0;
     size_t num_batches = 0;
 
     for (size_t start = 0; start < triples.size();
          start += options.batch_size) {
       size_t end = std::min(start + options.batch_size, triples.size());
-      std::vector<uint32_t> users, pos, neg;
-      users.reserve(end - start);
-      pos.reserve(end - start);
-      neg.reserve(end - start);
+      users.clear();
+      pos.clear();
+      neg.clear();
       for (size_t k = start; k < end; ++k) {
         users.push_back(triples[k].user);
         pos.push_back(triples[k].pos_item);
         neg.push_back(triples[k].neg_item);
       }
 
-      auto batch = model->ForwardBatch(users, pos, neg, /*training=*/true);
-      ag::Tensor loss = ag::BprLoss(batch.pos_scores, batch.neg_scores);
-      if (options.l2_reg > 0.0f && !batch.l2_terms.empty()) {
-        std::vector<ag::Tensor> penalties;
-        penalties.reserve(batch.l2_terms.size());
-        for (const ag::Tensor& t : batch.l2_terms) {
-          penalties.push_back(ag::SquaredNorm(t));
-        }
-        ag::Tensor reg = penalties.size() == 1 ? penalties[0]
-                                               : ag::AddScalars(penalties);
-        loss = ag::AddScalars(
-            {loss, ag::Scale(reg, options.l2_reg /
-                                      static_cast<float>(users.size()))});
-      }
+      {
+        // All tape nodes and backward scratch built inside this scope draw
+        // from the arena; the handles must die before arena.Reset().
+        std::optional<ag::TapeArena::Scope> scope;
+        if (options.reuse_tape) scope.emplace(&arena);
 
-      loss_sum += loss->value(0, 0);
-      ++num_batches;
-      optimizer.ZeroGrad();
-      ag::Backward(loss);
-      optimizer.Step();
+        BprTrainable::BatchLossGraph graph =
+            model->ForwardBatchLoss(users, pos, neg, /*training=*/true);
+        ag::Tensor loss = std::move(graph.loss);
+        if (options.l2_reg > 0.0f && !graph.l2_terms.empty()) {
+          loss = ag::FusedL2Penalty(
+              loss, graph.l2_terms,
+              options.l2_reg / static_cast<float>(users.size()));
+        }
+
+        loss_sum += loss->value(0, 0);
+        ++num_batches;
+        optimizer.ZeroGrad();
+        ag::Backward(loss);
+        optimizer.Step();
+      }
+      if (options.reuse_tape) arena.Reset();
     }
+
+    // Epoch boundary: drop pooled backward scratch so an idle model does
+    // not pin peak workspace memory. Node blocks stay for the next epoch.
+    if (options.reuse_tape) arena.Trim();
 
     EpochStats stats;
     stats.epoch = epoch;

@@ -32,6 +32,11 @@ struct TrainOptions {
   /// Learning rate is divided by 10 when these fractions of the epochs
   /// complete (paper: "reduce the learning rate by a factor of 10 twice").
   std::vector<double> lr_decay_at = {0.5, 0.75};
+  /// Recycle tape nodes and backward scratch across steps through a
+  /// TapeArena (autograd/arena.h). Bitwise-identical trajectories either
+  /// way; off only costs per-step allocations (useful for A/B measurement
+  /// and as a fallback).
+  bool reuse_tape = true;
   bool verbose = false;
 };
 
@@ -56,6 +61,22 @@ class BprTrainable {
                                   const std::vector<uint32_t>& pos_items,
                                   const std::vector<uint32_t>& neg_items,
                                   bool training) = 0;
+
+  /// Differentiable loss for one batch: the BPR data term plus the tensors
+  /// to L2-regularize (the trainer adds the penalty).
+  struct BatchLossGraph {
+    ag::Tensor loss;  // (1, 1) BPR data term.
+    std::vector<ag::Tensor> l2_terms;
+  };
+
+  /// Builds the batch loss graph. The default composes
+  /// ForwardBatch + ag::BprLoss; models whose scores are plain row dots
+  /// override it with the fused ag::RowDotSigmoidBpr head (bitwise-equal,
+  /// fewer tape nodes and intermediates).
+  virtual BatchLossGraph ForwardBatchLoss(const std::vector<uint32_t>& users,
+                                          const std::vector<uint32_t>& pos_items,
+                                          const std::vector<uint32_t>& neg_items,
+                                          bool training);
 };
 
 /// Per-epoch telemetry.
