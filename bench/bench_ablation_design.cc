@@ -74,5 +74,5 @@ int main() {
               "citation); single-branch and alpha=0 drop the category-\n"
               "dependent price signal; moderate dropout beats both 0 and\n"
               "0.3 when the dataset is small.\n");
-  return 0;
+  return bench::Finish();
 }

@@ -5,6 +5,7 @@
 // skewed distribution — many users near zero, a long tail of high-entropy
 // users — is the motivating evidence that price sensitivity is
 // category-dependent for a substantial user population.
+#include <cmath>
 #include <cstdio>
 
 #include "common/check.h"
@@ -64,5 +65,8 @@ int main() {
               "(consistent users) and spread over positive entropy\n"
               "(inconsistent users). Reproduced if the histogram above is\n"
               "non-degenerate with a visible positive-entropy tail.\n");
-  return 0;
+  bench::RecordCase("fig1-cwtp-entropy",
+                    !values.empty() && std::isfinite(mean) && max_v > 0.0,
+                    "entropy distribution is degenerate");
+  return bench::Finish();
 }

@@ -76,5 +76,7 @@ int main() {
   std::printf("paper shape: each category row concentrates on one price\n"
               "level (high mode-share), and the chosen level differs across\n"
               "rows for the same user.\n");
-  return 0;
+  bench::RecordCase("fig2-price-category-heatmap", chosen.size() == 3,
+                    "fewer than 3 users with enough history");
+  return bench::Finish();
 }

@@ -39,5 +39,5 @@ int main() {
   std::printf("paper shape: performance peaks at a moderate number of\n"
               "levels (5-20) and degrades at the extremes (2 = too coarse,\n"
               "100 = near-duplicate levels fragment the price signal).\n");
-  return 0;
+  return bench::Finish();
 }

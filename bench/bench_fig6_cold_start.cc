@@ -76,6 +76,8 @@ int main() {
         *model, cir.candidates, cir.test_items, {50});
     auto ucir_result = eval::EvaluateRankingWithCandidates(
         *model, ucir.candidates, ucir.test_items, {50});
+    bench::RecordMetrics(model->name() + " (CIR)", cir_result, {50});
+    bench::RecordMetrics(model->name() + " (UCIR)", ucir_result, {50});
     table.AddRow({model->name(),
                   FormatFixed(cir_result.At(50).recall, 4),
                   FormatFixed(cir_result.At(50).ndcg, 4),
@@ -88,5 +90,5 @@ int main() {
               "protocols; PUP best overall; the CIR pool (only the\n"
               "test-positive categories) gives much higher absolute\n"
               "numbers than UCIR (every unexplored category).\n");
-  return 0;
+  return bench::Finish();
 }

@@ -150,5 +150,5 @@ int main() {
              {.deep_fm = 3e-3f, .pup = 1e-2f});
   std::printf("expected shape: ItemPop ≪ PaDQ < BPR-MF ≤ FM ≤\n"
               "{DeepFM, GC-MC, NGCF} < PUP on most metrics.\n");
-  return 0;
+  return bench::Finish();
 }

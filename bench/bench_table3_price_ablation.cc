@@ -44,5 +44,5 @@ int main() {
   std::printf("%s\n", table.ToString().c_str());
   std::printf("paper shape: 'PUP w/ p' clearly above 'PUP w/o c,p', and\n"
               "full PUP (price + category, two-branch) best overall.\n");
-  return 0;
+  return bench::Finish();
 }

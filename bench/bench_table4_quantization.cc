@@ -61,5 +61,5 @@ int main() {
               "price distribution is heavy-tailed (note the level-0 share\n"
               "column: uniform quantization crams most items into the\n"
               "cheapest level, starving the other price nodes).\n");
-  return 0;
+  return bench::Finish();
 }

@@ -51,5 +51,5 @@ int main() {
   std::printf("paper shape: recall rises as the global branch grows from\n"
               "1/4 to 7/8 of the dims, then dips when the category branch\n"
               "is squeezed to almost nothing.\n");
-  return 0;
+  return bench::Finish();
 }

@@ -76,6 +76,8 @@ int main() {
     auto pup_result =
         eval::EvaluateRanking(pup, d.dataset.num_users, d.dataset.num_items,
                               d.exclude, masked, {50});
+    bench::RecordMetrics(std::string("DeepFM/") + name, dfm_result, {50});
+    bench::RecordMetrics(std::string("PUP/") + name, pup_result, {50});
     double dfm_ndcg = dfm_result.At(50).ndcg;
     double pup_ndcg = pup_result.At(50).ndcg;
     table.AddRow({name, FormatFixed(dfm_ndcg, 4), FormatFixed(pup_ndcg, 4),
@@ -86,5 +88,5 @@ int main() {
   std::printf("paper shape: PUP ≥ DeepFM in both groups, with the larger\n"
               "boost on consistent users; both methods score higher on the\n"
               "consistent group than the inconsistent one.\n");
-  return 0;
+  return bench::Finish();
 }

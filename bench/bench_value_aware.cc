@@ -48,5 +48,5 @@ int main() {
   std::printf("expected: a frontier — small beta raises expected revenue\n"
               "with little recall loss; large beta chases expensive items\n"
               "the user will not buy, and both metrics collapse.\n");
-  return 0;
+  return bench::Finish();
 }

@@ -1,6 +1,7 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -11,6 +12,13 @@
 #include "data/kcore.h"
 
 namespace pup::bench {
+namespace {
+
+// Run-wide case tally behind Finish()'s exit code.
+size_t g_cases = 0;
+std::vector<std::string> g_failures;
+
+}  // namespace
 
 Env GetEnv() {
   Env env;
@@ -75,7 +83,49 @@ RunResult FitAndEvaluate(models::Recommender* model, const PreparedData& d,
   result.metrics =
       eval::EvaluateRanking(*model, d.dataset.num_users, d.dataset.num_items,
                             d.exclude, d.test_items, cutoffs);
+  RecordMetrics(model->name(), result.metrics, cutoffs);
   return result;
+}
+
+void RecordCase(const std::string& name, bool ok, const std::string& note) {
+  ++g_cases;
+  if (!ok) {
+    g_failures.push_back(name);
+    std::fprintf(stderr, "[bench] case FAILED: %s%s%s\n", name.c_str(),
+                 note.empty() ? "" : " — ", note.c_str());
+  }
+}
+
+void RecordMetrics(const std::string& name, const eval::EvalResult& result,
+                   const std::vector<int>& cutoffs) {
+  bool ok = true;
+  std::string note;
+  for (int k : cutoffs) {
+    for (double v : {result.At(k).recall, result.At(k).ndcg}) {
+      if (!std::isfinite(v) || v < 0.0 || v > 1.0) {
+        ok = false;
+        note = "metric out of [0,1] at cutoff " + std::to_string(k);
+      }
+    }
+  }
+  RecordCase(name, ok, note);
+}
+
+int Finish() {
+  std::string json = "{\"cases\":" + std::to_string(g_cases) +
+                     ",\"failed\":" + std::to_string(g_failures.size()) +
+                     ",\"failures\":[";
+  for (size_t i = 0; i < g_failures.size(); ++i) {
+    if (i > 0) json += ",";
+    json += "\"" + g_failures[i] + "\"";
+  }
+  json += "]}";
+  std::printf("%s\n", json.c_str());
+  if (g_cases == 0) {
+    std::fprintf(stderr, "[bench] FAILED: no cases were recorded\n");
+    return 1;
+  }
+  return g_failures.empty() ? 0 : 1;
 }
 
 std::vector<std::string> MetricCells(const eval::EvalResult& result,

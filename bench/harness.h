@@ -59,12 +59,32 @@ PreparedData Prepare(const data::SyntheticConfig& config, size_t price_levels,
                      data::QuantizationScheme scheme, size_t kcore = 5);
 
 /// Fit + evaluate one model; returns its metrics at the given cutoffs.
+/// Records one case (see RecordMetrics) toward the process exit code.
 struct RunResult {
   eval::EvalResult metrics;
   double fit_seconds = 0.0;
 };
 RunResult FitAndEvaluate(models::Recommender* model, const PreparedData& d,
                          const std::vector<int>& cutoffs = {50, 100});
+
+/// Counts one benchmark case toward the run summary. FitAndEvaluate
+/// records automatically; benches that fit/evaluate by hand or analyze
+/// data without a model record their cases explicitly.
+void RecordCase(const std::string& name, bool ok,
+                const std::string& note = "");
+
+/// Records `name` as passing iff every requested metric is finite and in
+/// [0, 1] — the signature of a training or evaluation blow-up (NaN loss,
+/// divergence) reaching the report.
+void RecordMetrics(const std::string& name, const eval::EvalResult& result,
+                   const std::vector<int>& cutoffs = {50, 100});
+
+/// Prints the machine-readable one-line JSON run summary
+/// (`{"cases":N,"failed":M,"failures":[…]}`) and returns the process exit
+/// code: 0 iff at least one case was recorded and none failed. Every
+/// table/figure bench main ends with `return bench::Finish();` so CI
+/// fails when a benchmark silently degenerates.
+int Finish();
 
 /// "Recall@50  NDCG@50  Recall@100  NDCG@100" cells for a table row.
 std::vector<std::string> MetricCells(const eval::EvalResult& result,

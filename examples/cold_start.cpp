@@ -21,7 +21,8 @@
 
 int main(int argc, char** argv) {
   using namespace pup;
-  ApplyThreadsFlag(Flags::Parse(argc, argv));  // --threads=N, default: all cores.
+  Flags flags = Flags::Parse(argc, argv);
+  ApplyThreadsFlag(flags);  // --threads=N, default: all cores.
 
   data::SyntheticConfig world = data::SyntheticConfig::YelpLike().Scaled(0.4);
   data::Dataset dataset = data::GenerateSynthetic(world);
@@ -38,14 +39,25 @@ int main(int argc, char** argv) {
   std::printf("users with unexplored-category test purchases: %zu (CIR)\n\n",
               cir.num_active_users);
 
+  // --ckpt-dir/--save-every/--resume make the training runs crash-safe;
+  // each model snapshots into its own subdirectory.
+  auto checkpoint_in = [&flags](const char* tag) {
+    train::CheckpointOptions c = train::CheckpointOptionsFromFlags(flags);
+    if (!c.directory.empty()) c.directory += std::string("/") + tag;
+    if (!c.resume_from.empty()) c.resume_from += std::string("/") + tag;
+    return c;
+  };
+
   models::GcMcConfig gc_config;
   gc_config.train.epochs = 20;
+  gc_config.train.checkpoint = checkpoint_in("gc-mc");
   models::GcMc gc_mc(gc_config);
   std::printf("training %s...\n", gc_mc.name().c_str());
   gc_mc.Fit(dataset, split.train);
 
   core::PupConfig pup_config = core::PupConfig::Full();
   pup_config.train.epochs = 20;
+  pup_config.train.checkpoint = checkpoint_in("pup");
   core::Pup pup(pup_config);
   std::printf("training %s...\n\n", pup.name().c_str());
   pup.Fit(dataset, split.train);

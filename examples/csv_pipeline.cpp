@@ -24,7 +24,8 @@
 
 int main(int argc, char** argv) {
   using namespace pup;
-  ApplyThreadsFlag(Flags::Parse(argc, argv));  // --threads=N, default: all cores.
+  Flags flags = Flags::Parse(argc, argv);
+  ApplyThreadsFlag(flags);  // --threads=N, default: all cores.
   const std::string dir = "/tmp";
 
   // 1. Export.
@@ -52,6 +53,8 @@ int main(int argc, char** argv) {
   // plus a bias column — framework-free deployment artifacts.
   core::PupConfig config = core::PupConfig::Full();
   config.train.epochs = 15;
+  // --ckpt-dir/--save-every/--resume make the training run crash-safe.
+  config.train.checkpoint = train::CheckpointOptionsFromFlags(flags);
   core::Pup model(config);
   model.Fit(dataset, split.train);
 

@@ -20,7 +20,8 @@
 
 int main(int argc, char** argv) {
   using namespace pup;
-  ApplyThreadsFlag(Flags::Parse(argc, argv));  // --threads=N, default: all cores.
+  Flags flags = Flags::Parse(argc, argv);
+  ApplyThreadsFlag(flags);  // --threads=N, default: all cores.
 
   data::SyntheticConfig world = data::SyntheticConfig::BeibeiLike().Scaled(0.3);
   data::Dataset dataset = data::GenerateSynthetic(world);
@@ -66,11 +67,22 @@ int main(int argc, char** argv) {
   auto test_items = data::BuildUserItems(dataset.num_users, split.test);
 
   TextTable table({"graph", "Recall@50", "NDCG@50"});
-  for (const Variant& variant : variants) {
+  for (size_t v = 0; v < variants.size(); ++v) {
+    const Variant& variant = variants[v];
     core::ExtendedPupConfig config;
     config.embedding_dim = 32;
     config.attributes = variant.attributes;
     config.train.epochs = 20;
+    // --ckpt-dir/--save-every/--resume make the training runs crash-safe;
+    // each variant snapshots into its own subdirectory.
+    config.train.checkpoint = train::CheckpointOptionsFromFlags(flags);
+    std::string tag = "/variant-" + std::to_string(v);
+    if (!config.train.checkpoint.directory.empty()) {
+      config.train.checkpoint.directory += tag;
+    }
+    if (!config.train.checkpoint.resume_from.empty()) {
+      config.train.checkpoint.resume_from += tag;
+    }
     core::ExtendedPup model(config);
     std::printf("training '%s'...\n", variant.label);
     model.Fit(dataset, split.train);

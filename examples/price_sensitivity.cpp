@@ -51,7 +51,8 @@ std::vector<double> PriceAffinity(const core::Pup& model,
 }  // namespace
 
 int main(int argc, char** argv) {
-  ApplyThreadsFlag(Flags::Parse(argc, argv));  // --threads=N, default: all cores.
+  Flags flags = Flags::Parse(argc, argv);
+  ApplyThreadsFlag(flags);  // --threads=N, default: all cores.
 
   // A world where budget is the dominant signal.
   data::SyntheticConfig world = data::SyntheticConfig::BeibeiLike().Scaled(0.3);
@@ -66,6 +67,8 @@ int main(int argc, char** argv) {
 
   core::PupConfig config = core::PupConfig::Full();
   config.train.epochs = 25;
+  // --ckpt-dir/--save-every/--resume make the training run crash-safe.
+  config.train.checkpoint = train::CheckpointOptionsFromFlags(flags);
   core::Pup model(config);
   std::printf("training %s...\n\n", model.name().c_str());
   model.Fit(dataset, dataset.interactions);

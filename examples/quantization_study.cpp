@@ -16,7 +16,8 @@
 
 int main(int argc, char** argv) {
   using namespace pup;
-  ApplyThreadsFlag(Flags::Parse(argc, argv));  // --threads=N, default: all cores.
+  Flags flags = Flags::Parse(argc, argv);
+  ApplyThreadsFlag(flags);  // --threads=N, default: all cores.
 
   // The paper's worked example.
   {

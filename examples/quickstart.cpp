@@ -6,6 +6,10 @@
 //   4. Rank unseen items for a user and print the top-10 with prices.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Training is crash-safe: pass --ckpt-dir DIR --save-every N to snapshot
+// every N epochs, and --resume DIR to continue an interrupted run
+// bitwise-identically (docs/checkpointing.md).
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
@@ -18,7 +22,8 @@
 
 int main(int argc, char** argv) {
   using namespace pup;
-  ApplyThreadsFlag(Flags::Parse(argc, argv));  // --threads=N, default: all cores.
+  Flags flags = Flags::Parse(argc, argv);
+  ApplyThreadsFlag(flags);  // --threads=N, default: all cores.
 
   // 1. A small e-commerce world. Swap in data::LoadCsv(...) for real data.
   data::SyntheticConfig world = data::SyntheticConfig::BeibeiLike().Scaled(0.3);
@@ -35,6 +40,7 @@ int main(int argc, char** argv) {
   data::DataSplit split = data::TemporalSplit(dataset);
   core::PupConfig config = core::PupConfig::Full();  // 56/8 two-branch.
   config.train.epochs = 20;
+  config.train.checkpoint = train::CheckpointOptionsFromFlags(flags);
   core::Pup model(config);
   std::printf("training %s (%d epochs)...\n", model.name().c_str(),
               config.train.epochs);

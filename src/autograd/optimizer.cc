@@ -18,6 +18,22 @@ void Optimizer::ZeroGrad() {
   for (const Tensor& p : params_) p->ZeroGrad();
 }
 
+OptimizerState Optimizer::ExportState() const {
+  OptimizerState state;
+  state.learning_rate = learning_rate_;
+  return state;
+}
+
+Status Optimizer::ImportState(const OptimizerState& state) {
+  if (!state.slots.empty()) {
+    return Status::InvalidArgument(
+        "optimizer state has " + std::to_string(state.slots.size()) +
+        " slots but this optimizer keeps none");
+  }
+  learning_rate_ = state.learning_rate;
+  return Status::OK();
+}
+
 Sgd::Sgd(std::vector<Tensor> params, float lr, float weight_decay)
     : Optimizer(std::move(params)), weight_decay_(weight_decay) {
   learning_rate_ = lr;
@@ -44,6 +60,39 @@ Adam::Adam(std::vector<Tensor> params, Options options)
     m_.emplace_back(p->value.rows(), p->value.cols());
     v_.emplace_back(p->value.rows(), p->value.cols());
   }
+}
+
+OptimizerState Adam::ExportState() const {
+  OptimizerState state;
+  state.step = t_;
+  state.learning_rate = learning_rate_;
+  state.slots.reserve(2 * params_.size());
+  for (const la::Matrix& m : m_) state.slots.push_back(m);
+  for (const la::Matrix& v : v_) state.slots.push_back(v);
+  return state;
+}
+
+Status Adam::ImportState(const OptimizerState& state) {
+  const size_t k = params_.size();
+  if (state.slots.size() != 2 * k) {
+    return Status::InvalidArgument(
+        "Adam state has " + std::to_string(state.slots.size()) +
+        " slots, expected " + std::to_string(2 * k));
+  }
+  for (size_t i = 0; i < k; ++i) {
+    if (!state.slots[i].SameShape(m_[i]) ||
+        !state.slots[k + i].SameShape(v_[i])) {
+      return Status::InvalidArgument(
+          "Adam moment shape mismatch at parameter " + std::to_string(i));
+    }
+  }
+  t_ = state.step;
+  learning_rate_ = state.learning_rate;
+  for (size_t i = 0; i < k; ++i) {
+    m_[i] = state.slots[i];
+    v_[i] = state.slots[k + i];
+  }
+  return Status::OK();
 }
 
 void Adam::Step() {

@@ -4,8 +4,20 @@
 #include <vector>
 
 #include "autograd/tensor.h"
+#include "common/status.h"
 
 namespace pup::ag {
+
+/// Serializable optimizer state: the step counter, the learning rate, and
+/// the moment/state buffers in an optimizer-defined slot order (Adam: all
+/// first moments, then all second moments). Restoring an exported state
+/// into a same-shaped optimizer replays updates bitwise-identically — the
+/// optimizer half of checkpoint resume (ckpt/).
+struct OptimizerState {
+  int64_t step = 0;
+  float learning_rate = 0.0f;
+  std::vector<la::Matrix> slots;
+};
 
 /// Base class: owns the parameter list, applies Step() from accumulated
 /// gradients, then the caller zeroes gradients for the next batch.
@@ -25,6 +37,15 @@ class Optimizer {
 
   /// Changes the learning rate (used for the paper's /10 decay schedule).
   void SetLearningRate(float lr) { learning_rate_ = lr; }
+
+  /// Exports the full update state (see OptimizerState). Base: step 0,
+  /// the learning rate, no slots.
+  virtual OptimizerState ExportState() const;
+
+  /// Restores a state exported by the same optimizer type over the same
+  /// parameter shapes. Validates everything before mutating, so a failed
+  /// import leaves the optimizer untouched.
+  virtual Status ImportState(const OptimizerState& state);
 
   const std::vector<Tensor>& params() const { return params_; }
 
@@ -59,6 +80,10 @@ class Adam : public Optimizer {
 
   Adam(std::vector<Tensor> params, Options options);
   void Step() override;
+
+  /// Slots: [m_0 … m_{k-1}, v_0 … v_{k-1}] for k parameters.
+  OptimizerState ExportState() const override;
+  Status ImportState(const OptimizerState& state) override;
 
  private:
   Options options_;

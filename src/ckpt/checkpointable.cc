@@ -1,0 +1,60 @@
+#include "ckpt/checkpointable.h"
+
+namespace pup::ckpt {
+
+void SaveMatrixSections(
+    const std::vector<std::pair<std::string, const la::Matrix*>>& entries,
+    Writer* writer) {
+  for (const auto& [name, matrix] : entries) {
+    writer->AddMatrix(name, *matrix);
+  }
+}
+
+Status LoadMatrixSections(
+    const Reader& reader,
+    const std::vector<std::pair<std::string, la::Matrix*>>& entries) {
+  std::vector<la::Matrix> staged;
+  staged.reserve(entries.size());
+  for (const auto& [name, dst] : entries) {
+    PUP_ASSIGN_OR_RETURN(la::Matrix m, reader.GetMatrix(name));
+    if (m.rows() != dst->rows() || m.cols() != dst->cols()) {
+      return Status::FailedPrecondition(
+          "section '" + name + "' is " + std::to_string(m.rows()) + "x" +
+          std::to_string(m.cols()) + ", model expects " +
+          std::to_string(dst->rows()) + "x" + std::to_string(dst->cols()));
+    }
+    staged.push_back(std::move(m));
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    *entries[i].second = std::move(staged[i]);
+  }
+  return Status::OK();
+}
+
+Status SaveOptimizerState(const ag::Optimizer& optimizer, Writer* writer) {
+  ag::OptimizerState state = optimizer.ExportState();
+  writer->AddU64("optim/step", static_cast<uint64_t>(state.step));
+  writer->AddF32("optim/lr", state.learning_rate);
+  writer->AddU64("optim/num_slots", state.slots.size());
+  for (size_t i = 0; i < state.slots.size(); ++i) {
+    writer->AddMatrix("optim/slot/" + std::to_string(i), state.slots[i]);
+  }
+  return Status::OK();
+}
+
+Status LoadOptimizerState(const Reader& reader, ag::Optimizer* optimizer) {
+  ag::OptimizerState state;
+  PUP_ASSIGN_OR_RETURN(uint64_t step, reader.GetU64("optim/step"));
+  state.step = static_cast<int64_t>(step);
+  PUP_ASSIGN_OR_RETURN(state.learning_rate, reader.GetF32("optim/lr"));
+  PUP_ASSIGN_OR_RETURN(uint64_t num_slots, reader.GetU64("optim/num_slots"));
+  state.slots.reserve(num_slots);
+  for (uint64_t i = 0; i < num_slots; ++i) {
+    PUP_ASSIGN_OR_RETURN(la::Matrix slot,
+                         reader.GetMatrix("optim/slot/" + std::to_string(i)));
+    state.slots.push_back(std::move(slot));
+  }
+  return optimizer->ImportState(state);
+}
+
+}  // namespace pup::ckpt

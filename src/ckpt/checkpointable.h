@@ -1,0 +1,63 @@
+// The model side of checkpointing: anything that can serialize its
+// trainable state into checkpoint sections and restore it bit-for-bit.
+//
+// Implemented by PUP, ExtendedPUP, BPR-MF, FM, GC-MC and NGCF. The
+// trainer detects the interface on its BprTrainable (dynamic_cast) and
+// snapshots the model together with the optimizer, sampler RNG, and epoch
+// cursor; models without it fall back to generic parameter sections.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/optimizer.h"
+#include "ckpt/checkpoint.h"
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace pup::ckpt {
+
+/// A model whose trainable state round-trips through a checkpoint.
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Stable identifier of the model family ("pup", "bpr-mf", …). Stored
+  /// in the checkpoint and verified on load so state is never applied to
+  /// the wrong architecture.
+  virtual std::string checkpoint_key() const = 0;
+
+  /// Writes every piece of state that training mutates — embedding
+  /// tables AND training-time RNG streams (dropout) — as "model/…"
+  /// sections. FailedPrecondition if the model has not been initialized.
+  virtual Status SaveState(Writer* writer) const = 0;
+
+  /// Restores state written by SaveState into an initialized model.
+  /// Implementations must validate every section (presence, shape)
+  /// before mutating anything, so a failed load leaves the model intact.
+  virtual Status LoadState(const Reader& reader) = 0;
+};
+
+/// Writes each (section name, matrix) pair. The building block for
+/// SaveState implementations.
+void SaveMatrixSections(
+    const std::vector<std::pair<std::string, const la::Matrix*>>& entries,
+    Writer* writer);
+
+/// Restores each named section into the matrix it is paired with — but
+/// only after every section has been found and shape-checked against its
+/// destination, so a failure leaves all destinations untouched. The
+/// building block for transactional LoadState implementations.
+Status LoadMatrixSections(
+    const Reader& reader,
+    const std::vector<std::pair<std::string, la::Matrix*>>& entries);
+
+/// Writes `optimizer`'s exported state as "optim/…" sections.
+Status SaveOptimizerState(const ag::Optimizer& optimizer, Writer* writer);
+
+/// Restores "optim/…" sections written by SaveOptimizerState. Validates
+/// slot count and shapes before committing (see Optimizer::ImportState).
+Status LoadOptimizerState(const Reader& reader, ag::Optimizer* optimizer);
+
+}  // namespace pup::ckpt

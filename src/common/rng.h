@@ -14,6 +14,17 @@
 
 namespace pup {
 
+/// Complete serializable state of an Rng stream. Restoring a saved state
+/// replays the exact continuation of the stream — the building block of
+/// bitwise-deterministic training resume (see ckpt/).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool have_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+
+  bool operator==(const RngState&) const = default;
+};
+
 /// xoshiro256++ PRNG with splitmix64 seeding.
 ///
 /// Fast, high-quality, and fully deterministic across platforms. Not
@@ -144,6 +155,23 @@ class Rng {
 
   /// Derives an independent child generator (for per-component streams).
   Rng Fork() { return Rng(NextU64()); }
+
+  /// Snapshot of the full generator state (including the Box-Muller cache,
+  /// so Gaussian streams resume mid-pair).
+  RngState SaveState() const {
+    RngState state;
+    for (int i = 0; i < 4; ++i) state.s[i] = state_[i];
+    state.have_cached_gaussian = have_cached_gaussian_;
+    state.cached_gaussian = cached_gaussian_;
+    return state;
+  }
+
+  /// Restores a snapshot taken by SaveState.
+  void RestoreState(const RngState& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+    have_cached_gaussian_ = state.have_cached_gaussian;
+    cached_gaussian_ = state.cached_gaussian;
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

@@ -145,6 +145,26 @@ void ExtendedPup::ScoreItems(uint32_t user, std::vector<float>* out) const {
 
 std::vector<ag::Tensor> ExtendedPup::Parameters() { return {node_emb_}; }
 
+Status ExtendedPup::SaveState(ckpt::Writer* writer) const {
+  if (node_emb_ == nullptr) {
+    return Status::FailedPrecondition("ExtendedPUP is not initialized");
+  }
+  ckpt::SaveMatrixSections({{"model/node_emb", &node_emb_->value}}, writer);
+  writer->AddRng("model/dropout_rng", dropout_rng_.SaveState());
+  return Status::OK();
+}
+
+Status ExtendedPup::LoadState(const ckpt::Reader& reader) {
+  if (node_emb_ == nullptr) {
+    return Status::FailedPrecondition("ExtendedPUP is not initialized");
+  }
+  PUP_ASSIGN_OR_RETURN(RngState rng, reader.GetRng("model/dropout_rng"));
+  PUP_RETURN_NOT_OK(ckpt::LoadMatrixSections(
+      reader, {{"model/node_emb", &node_emb_->value}}));
+  dropout_rng_.RestoreState(rng);
+  return Status::OK();
+}
+
 train::BprTrainable::BatchGraph ExtendedPup::ForwardBatch(
     const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
     const std::vector<uint32_t>& neg_items, bool training) {

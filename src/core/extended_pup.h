@@ -20,6 +20,7 @@
 #include <string>
 
 #include "autograd/tensor.h"
+#include "ckpt/checkpointable.h"
 #include "graph/attribute_graph.h"
 #include "models/recommender.h"
 #include "models/scoring.h"
@@ -47,7 +48,9 @@ struct ExtendedPupConfig {
 };
 
 /// PUP generalized to arbitrary categorical attribute blocks.
-class ExtendedPup : public models::Recommender, public train::BprTrainable {
+class ExtendedPup : public models::Recommender,
+                    public train::BprTrainable,
+                    public ckpt::Checkpointable {
  public:
   explicit ExtendedPup(ExtendedPupConfig config)
       : config_(std::move(config)) {}
@@ -66,6 +69,11 @@ class ExtendedPup : public models::Recommender, public train::BprTrainable {
                           bool training) override;
 
   const graph::AttributeGraph* graph() const { return graph_.get(); }
+
+  // ckpt::Checkpointable (includes the dropout RNG stream):
+  std::string checkpoint_key() const override { return "extended-pup"; }
+  Status SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(const ckpt::Reader& reader) override;
 
  private:
   /// Propagated representations tanh(Â E), with dropout when training.

@@ -285,6 +285,35 @@ train::BprTrainable::BatchGraph Pup::ForwardBatch(
   return batch;
 }
 
+Status Pup::SaveState(ckpt::Writer* writer) const {
+  if (global_.emb == nullptr) {
+    return Status::FailedPrecondition("PUP is not initialized");
+  }
+  std::vector<std::pair<std::string, const la::Matrix*>> entries = {
+      {"model/global_emb", &global_.emb->value}};
+  if (config_.two_branch) {
+    entries.emplace_back("model/category_emb", &category_.emb->value);
+  }
+  ckpt::SaveMatrixSections(entries, writer);
+  writer->AddRng("model/dropout_rng", dropout_rng_.SaveState());
+  return Status::OK();
+}
+
+Status Pup::LoadState(const ckpt::Reader& reader) {
+  if (global_.emb == nullptr) {
+    return Status::FailedPrecondition("PUP is not initialized");
+  }
+  std::vector<std::pair<std::string, la::Matrix*>> entries = {
+      {"model/global_emb", &global_.emb->value}};
+  if (config_.two_branch) {
+    entries.emplace_back("model/category_emb", &category_.emb->value);
+  }
+  PUP_ASSIGN_OR_RETURN(RngState rng, reader.GetRng("model/dropout_rng"));
+  PUP_RETURN_NOT_OK(ckpt::LoadMatrixSections(reader, entries));
+  dropout_rng_.RestoreState(rng);
+  return Status::OK();
+}
+
 la::Matrix Pup::GlobalPriceEmbeddings() const {
   if (!config_.use_price || graph_ == nullptr) return {};
   // Recompute a clean single propagation of the global branch (analysis

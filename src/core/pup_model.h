@@ -21,6 +21,7 @@
 #include <string>
 
 #include "autograd/tensor.h"
+#include "ckpt/checkpointable.h"
 #include "graph/hetero_graph.h"
 #include "models/recommender.h"
 #include "models/scoring.h"
@@ -71,7 +72,9 @@ struct PupConfig {
 };
 
 /// The PUP recommender.
-class Pup : public models::Recommender, public train::BprTrainable {
+class Pup : public models::Recommender,
+            public train::BprTrainable,
+            public ckpt::Checkpointable {
  public:
   explicit Pup(PupConfig config = PupConfig::Full());
 
@@ -89,6 +92,12 @@ class Pup : public models::Recommender, public train::BprTrainable {
                           bool training) override;
 
   const PupConfig& config() const { return config_; }
+
+  // ckpt::Checkpointable: both branch embedding tables plus the dropout
+  // RNG stream.
+  std::string checkpoint_key() const override { return "pup"; }
+  Status SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(const ckpt::Reader& reader) override;
 
   /// Propagated price-level embeddings of the global branch (the learned
   /// "purchasing power" axis) — used by analysis examples. Only valid

@@ -43,6 +43,12 @@ class NegativeSampler {
   /// True if (user, item) is a training positive.
   bool IsPositive(uint32_t user, uint32_t item) const;
 
+  /// Snapshot / restore of the sampling stream, taken at epoch boundaries
+  /// by the trainer's checkpoints: restoring the state after epoch k makes
+  /// epoch k+1 draw the exact triples an uninterrupted run would.
+  RngState rng_state() const { return rng_.SaveState(); }
+  void restore_rng_state(const RngState& state) { rng_.RestoreState(state); }
+
   size_t num_items() const { return num_items_; }
 
  private:

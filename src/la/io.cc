@@ -19,6 +19,38 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 }  // namespace
 
+void AppendMatrixBytes(const Matrix& m, std::string* out) {
+  uint64_t rows = m.rows(), cols = m.cols();
+  out->append(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out->append(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  if (m.size() > 0) {
+    out->append(reinterpret_cast<const char*>(m.data()),
+                m.size() * sizeof(float));
+  }
+}
+
+Result<Matrix> ParseMatrixBytes(const std::string& buf, size_t* offset) {
+  uint64_t rows = 0, cols = 0;
+  if (*offset + 2 * sizeof(uint64_t) > buf.size()) {
+    return Status::OutOfRange("matrix header past end of buffer");
+  }
+  std::memcpy(&rows, buf.data() + *offset, sizeof(rows));
+  std::memcpy(&cols, buf.data() + *offset + sizeof(rows), sizeof(cols));
+  size_t pos = *offset + 2 * sizeof(uint64_t);
+  constexpr uint64_t kMaxElements = 1ull << 32;
+  if (rows * cols > kMaxElements) {
+    return Status::InvalidArgument("matrix too large in serialized header");
+  }
+  const size_t bytes = static_cast<size_t>(rows * cols) * sizeof(float);
+  if (pos + bytes > buf.size()) {
+    return Status::OutOfRange("matrix data past end of buffer (truncated?)");
+  }
+  Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  if (bytes > 0) std::memcpy(m.data(), buf.data() + pos, bytes);
+  *offset = pos + bytes;
+  return m;
+}
+
 Status WriteMatrix(const Matrix& m, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::IOError("cannot open for write: " + path);

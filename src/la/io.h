@@ -19,4 +19,13 @@ Status WriteMatrix(const Matrix& m, const std::string& path);
 /// Reads a matrix previously written by WriteMatrix.
 Result<Matrix> ReadMatrix(const std::string& path);
 
+/// Appends the raw serialization of `m` (u64 rows, u64 cols, rows*cols
+/// float32, little-endian) to `out`. The in-memory building block shared
+/// by WriteMatrix and the checkpoint sections in ckpt/.
+void AppendMatrixBytes(const Matrix& m, std::string* out);
+
+/// Parses a matrix serialized by AppendMatrixBytes from `buf` starting at
+/// `*offset`; advances `*offset` past the consumed bytes on success.
+Result<Matrix> ParseMatrixBytes(const std::string& buf, size_t* offset);
+
 }  // namespace pup::la

@@ -37,6 +37,25 @@ train::BprTrainable::BatchGraph BprMf::ForwardBatch(
   return batch;
 }
 
+Status BprMf::SaveState(ckpt::Writer* writer) const {
+  if (user_emb_ == nullptr || item_emb_ == nullptr) {
+    return Status::FailedPrecondition("BPR-MF is not initialized");
+  }
+  ckpt::SaveMatrixSections({{"model/user_emb", &user_emb_->value},
+                            {"model/item_emb", &item_emb_->value}},
+                           writer);
+  return Status::OK();
+}
+
+Status BprMf::LoadState(const ckpt::Reader& reader) {
+  if (user_emb_ == nullptr || item_emb_ == nullptr) {
+    return Status::FailedPrecondition("BPR-MF is not initialized");
+  }
+  return ckpt::LoadMatrixSections(reader,
+                                  {{"model/user_emb", &user_emb_->value},
+                                   {"model/item_emb", &item_emb_->value}});
+}
+
 train::BprTrainable::BatchLossGraph BprMf::ForwardBatchLoss(
     const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
     const std::vector<uint32_t>& neg_items, bool /*training*/) {

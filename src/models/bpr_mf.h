@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "autograd/tensor.h"
+#include "ckpt/checkpointable.h"
 #include "models/recommender.h"
 #include "models/scoring.h"
 #include "train/trainer.h"
@@ -20,7 +21,9 @@ struct BprMfConfig {
 };
 
 /// score(u, i) = ⟨e_u, e_i⟩ with embeddings learned by minibatch BPR.
-class BprMf : public Recommender, public train::BprTrainable {
+class BprMf : public Recommender,
+              public train::BprTrainable,
+              public ckpt::Checkpointable {
  public:
   explicit BprMf(BprMfConfig config = {}) : config_(std::move(config)) {}
 
@@ -43,6 +46,11 @@ class BprMf : public Recommender, public train::BprTrainable {
                                   const std::vector<uint32_t>& pos_items,
                                   const std::vector<uint32_t>& neg_items,
                                   bool training) override;
+
+  // ckpt::Checkpointable:
+  std::string checkpoint_key() const override { return "bpr-mf"; }
+  Status SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(const ckpt::Reader& reader) override;
 
  private:
   BprMfConfig config_;

@@ -129,6 +129,39 @@ ag::Tensor DeepFm::DeepScore(const FieldEmbeddings& fields) {
   return ag::AddBroadcastRow(ag::MatMul(h2, w3_), b3_);
 }
 
+Status DeepFm::SaveState(ckpt::Writer* writer) const {
+  PUP_RETURN_NOT_OK(Fm::SaveState(writer));
+  if (w1_ == nullptr) {
+    return Status::FailedPrecondition("DeepFM is not initialized");
+  }
+  ckpt::SaveMatrixSections(
+      {{"model/w1", &w1_->value},
+       {"model/b1", &b1_->value},
+       {"model/w2", &w2_->value},
+       {"model/b2", &b2_->value},
+       {"model/w3", &w3_->value},
+       {"model/b3", &b3_->value}},
+      writer);
+  return Status::OK();
+}
+
+Status DeepFm::LoadState(const ckpt::Reader& reader) {
+  if (feature_emb_ == nullptr || w1_ == nullptr) {
+    return Status::FailedPrecondition("DeepFM is not initialized");
+  }
+  // One staged load over all tables so a bad MLP section cannot leave the
+  // FM tables half-restored.
+  return ckpt::LoadMatrixSections(
+      reader, {{"model/feature_emb", &feature_emb_->value},
+               {"model/feature_bias", &feature_bias_->value},
+               {"model/w1", &w1_->value},
+               {"model/b1", &b1_->value},
+               {"model/w2", &w2_->value},
+               {"model/b2", &b2_->value},
+               {"model/w3", &w3_->value},
+               {"model/b3", &b3_->value}});
+}
+
 train::BprTrainable::BatchGraph DeepFm::ForwardBatch(
     const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
     const std::vector<uint32_t>& neg_items, bool /*training*/) {

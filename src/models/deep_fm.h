@@ -43,6 +43,11 @@ class DeepFm : public Fm {
                           const std::vector<uint32_t>& neg_items,
                           bool training) override;
 
+  // ckpt::Checkpointable: the FM tables plus the MLP parameters.
+  std::string checkpoint_key() const override { return "deep-fm"; }
+  Status SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(const ckpt::Reader& reader) override;
+
  private:
   /// Deep-component score (B, 1) from the gathered field embeddings.
   ag::Tensor DeepScore(const FieldEmbeddings& fields);

@@ -120,6 +120,25 @@ ag::Tensor Fm::ScoreBatch(const std::vector<uint32_t>& users,
   return ag::Add(pairwise, linear);
 }
 
+Status Fm::SaveState(ckpt::Writer* writer) const {
+  if (feature_emb_ == nullptr || feature_bias_ == nullptr) {
+    return Status::FailedPrecondition("FM is not initialized");
+  }
+  ckpt::SaveMatrixSections({{"model/feature_emb", &feature_emb_->value},
+                            {"model/feature_bias", &feature_bias_->value}},
+                           writer);
+  return Status::OK();
+}
+
+Status Fm::LoadState(const ckpt::Reader& reader) {
+  if (feature_emb_ == nullptr || feature_bias_ == nullptr) {
+    return Status::FailedPrecondition("FM is not initialized");
+  }
+  return ckpt::LoadMatrixSections(
+      reader, {{"model/feature_emb", &feature_emb_->value},
+               {"model/feature_bias", &feature_bias_->value}});
+}
+
 train::BprTrainable::BatchGraph Fm::ForwardBatch(
     const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
     const std::vector<uint32_t>& neg_items, bool /*training*/) {

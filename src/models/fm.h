@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "autograd/tensor.h"
+#include "ckpt/checkpointable.h"
 #include "models/recommender.h"
 #include "common/rng.h"
 #include "models/scoring.h"
@@ -27,7 +28,9 @@ struct FmConfig {
 };
 
 /// 2-way FM over {user, item, category, price} features, BPR-trained.
-class Fm : public Recommender, public train::BprTrainable {
+class Fm : public Recommender,
+           public train::BprTrainable,
+           public ckpt::Checkpointable {
  public:
   explicit Fm(FmConfig config = {}) : config_(std::move(config)) {}
 
@@ -44,6 +47,11 @@ class Fm : public Recommender, public train::BprTrainable {
                           const std::vector<uint32_t>& pos_items,
                           const std::vector<uint32_t>& neg_items,
                           bool training) override;
+
+  // ckpt::Checkpointable (DeepFM overrides to add its MLP parameters):
+  std::string checkpoint_key() const override { return "fm"; }
+  Status SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(const ckpt::Reader& reader) override;
 
  protected:
   /// The four gathered per-example embedding blocks (B, d) each.

@@ -86,6 +86,29 @@ train::BprTrainable::BatchGraph GcMc::ForwardBatch(
   return batch;
 }
 
+Status GcMc::SaveState(ckpt::Writer* writer) const {
+  if (node_emb_ == nullptr || weight_ == nullptr) {
+    return Status::FailedPrecondition("GC-MC is not initialized");
+  }
+  ckpt::SaveMatrixSections({{"model/node_emb", &node_emb_->value},
+                            {"model/weight", &weight_->value}},
+                           writer);
+  writer->AddRng("model/dropout_rng", dropout_rng_.SaveState());
+  return Status::OK();
+}
+
+Status GcMc::LoadState(const ckpt::Reader& reader) {
+  if (node_emb_ == nullptr || weight_ == nullptr) {
+    return Status::FailedPrecondition("GC-MC is not initialized");
+  }
+  PUP_ASSIGN_OR_RETURN(RngState rng, reader.GetRng("model/dropout_rng"));
+  PUP_RETURN_NOT_OK(ckpt::LoadMatrixSections(
+      reader, {{"model/node_emb", &node_emb_->value},
+               {"model/weight", &weight_->value}}));
+  dropout_rng_.RestoreState(rng);
+  return Status::OK();
+}
+
 train::BprTrainable::BatchLossGraph GcMc::ForwardBatchLoss(
     const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
     const std::vector<uint32_t>& neg_items, bool training) {

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "autograd/tensor.h"
+#include "ckpt/checkpointable.h"
 #include "graph/hetero_graph.h"
 #include "models/recommender.h"
 #include "models/scoring.h"
@@ -30,7 +31,9 @@ struct GcMcConfig {
 };
 
 /// One-layer GCN on the bipartite graph with a dot decoder, BPR-trained.
-class GcMc : public Recommender, public train::BprTrainable {
+class GcMc : public Recommender,
+             public train::BprTrainable,
+             public ckpt::Checkpointable {
  public:
   explicit GcMc(GcMcConfig config = {}) : config_(std::move(config)) {}
 
@@ -51,6 +54,11 @@ class GcMc : public Recommender, public train::BprTrainable {
                                   const std::vector<uint32_t>& pos_items,
                                   const std::vector<uint32_t>& neg_items,
                                   bool training) override;
+
+  // ckpt::Checkpointable (includes the dropout RNG stream):
+  std::string checkpoint_key() const override { return "gc-mc"; }
+  Status SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(const ckpt::Reader& reader) override;
 
  private:
   /// Propagated node representations (num_nodes, d).

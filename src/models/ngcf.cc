@@ -116,6 +116,33 @@ train::BprTrainable::BatchGraph Ngcf::ForwardBatch(
   return batch;
 }
 
+Status Ngcf::SaveState(ckpt::Writer* writer) const {
+  if (node_emb_ == nullptr || price_emb_ == nullptr) {
+    return Status::FailedPrecondition("NGCF is not initialized");
+  }
+  ckpt::SaveMatrixSections({{"model/node_emb", &node_emb_->value},
+                            {"model/price_emb", &price_emb_->value},
+                            {"model/w1", &w1_->value},
+                            {"model/w2", &w2_->value}},
+                           writer);
+  writer->AddRng("model/dropout_rng", dropout_rng_.SaveState());
+  return Status::OK();
+}
+
+Status Ngcf::LoadState(const ckpt::Reader& reader) {
+  if (node_emb_ == nullptr || price_emb_ == nullptr) {
+    return Status::FailedPrecondition("NGCF is not initialized");
+  }
+  PUP_ASSIGN_OR_RETURN(RngState rng, reader.GetRng("model/dropout_rng"));
+  PUP_RETURN_NOT_OK(ckpt::LoadMatrixSections(
+      reader, {{"model/node_emb", &node_emb_->value},
+               {"model/price_emb", &price_emb_->value},
+               {"model/w1", &w1_->value},
+               {"model/w2", &w2_->value}}));
+  dropout_rng_.RestoreState(rng);
+  return Status::OK();
+}
+
 train::BprTrainable::BatchLossGraph Ngcf::ForwardBatchLoss(
     const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
     const std::vector<uint32_t>& neg_items, bool training) {

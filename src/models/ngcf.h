@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "autograd/tensor.h"
+#include "ckpt/checkpointable.h"
 #include "graph/hetero_graph.h"
 #include "models/recommender.h"
 #include "models/scoring.h"
@@ -34,7 +35,9 @@ struct NgcfConfig {
 };
 
 /// One-layer NGCF with price-augmented item input features.
-class Ngcf : public Recommender, public train::BprTrainable {
+class Ngcf : public Recommender,
+             public train::BprTrainable,
+             public ckpt::Checkpointable {
  public:
   explicit Ngcf(NgcfConfig config = {}) : config_(std::move(config)) {}
 
@@ -55,6 +58,11 @@ class Ngcf : public Recommender, public train::BprTrainable {
                                   const std::vector<uint32_t>& pos_items,
                                   const std::vector<uint32_t>& neg_items,
                                   bool training) override;
+
+  // ckpt::Checkpointable (includes the dropout RNG stream):
+  std::string checkpoint_key() const override { return "ngcf"; }
+  Status SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(const ckpt::Reader& reader) override;
 
  private:
   /// Final node representations [E⁰ ‖ e¹], (num_nodes, 2d).

@@ -2,16 +2,155 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <optional>
 #include <utility>
 
 #include "autograd/arena.h"
 #include "autograd/ops.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/checkpointable.h"
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
 namespace pup::train {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Snapshot file name for a run that has completed `epochs` epochs;
+// zero-padded so lexicographic order is epoch order.
+std::string CheckpointFileName(int epochs) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%06d.pupc", epochs);
+  return buf;
+}
+
+bool IsCheckpointFile(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name.starts_with("ckpt-") && name.ends_with(".pupc");
+}
+
+// Resume candidates, best first: the explicit file (if PATH is a file),
+// then every sibling snapshot newest-first — the last-good fallback chain.
+std::vector<std::string> ResumeCandidates(const std::string& resume_from) {
+  std::vector<std::string> candidates;
+  std::error_code ec;
+  fs::path dir;
+  if (fs::is_directory(resume_from, ec)) {
+    dir = resume_from;
+  } else {
+    candidates.push_back(resume_from);
+    dir = fs::path(resume_from).parent_path();
+  }
+  std::vector<std::string> siblings;
+  if (!dir.empty() && fs::is_directory(dir, ec)) {
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.is_regular_file(ec) && IsCheckpointFile(entry.path()) &&
+          entry.path().string() != resume_from) {
+        siblings.push_back(entry.path().string());
+      }
+    }
+  }
+  std::sort(siblings.rbegin(), siblings.rend());
+  candidates.insert(candidates.end(), siblings.begin(), siblings.end());
+  return candidates;
+}
+
+// Writes one training snapshot; `epochs` epochs are complete and `lr` is
+// the rate those epochs ended on.
+Status SaveTrainerCheckpoint(const ckpt::DatasetFingerprint& fingerprint,
+                             const std::string& model_key,
+                             BprTrainable* model,
+                             const ckpt::Checkpointable* checkpointable,
+                             const ag::Optimizer& optimizer,
+                             const data::NegativeSampler& sampler, int epochs,
+                             float lr, const std::string& path) {
+  ckpt::Writer writer(fingerprint);
+  writer.AddString("meta/model_key", model_key);
+  writer.AddU64("meta/epochs_completed", static_cast<uint64_t>(epochs));
+  writer.AddF32("trainer/lr", lr);
+  writer.AddRng("sampler/rng", sampler.rng_state());
+  PUP_RETURN_NOT_OK(ckpt::SaveOptimizerState(optimizer, &writer));
+  if (checkpointable != nullptr) {
+    PUP_RETURN_NOT_OK(checkpointable->SaveState(&writer));
+  } else {
+    std::vector<ag::Tensor> params = model->Parameters();
+    writer.AddU64("param/count", params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      writer.AddMatrix("param/" + std::to_string(i), params[i]->value);
+    }
+  }
+  return writer.WriteFile(path);
+}
+
+struct ResumePoint {
+  int epochs_completed = 0;
+  float lr = 0.0f;
+};
+
+// Applies one checkpoint file. Validation (CRC, fingerprint, model key,
+// cursor sanity) happens before any state is mutated; the mutating loads
+// that follow are themselves transactional per component.
+Result<ResumePoint> TryResume(const std::string& path,
+                              const ckpt::DatasetFingerprint& fingerprint,
+                              const std::string& model_key,
+                              BprTrainable* model,
+                              ckpt::Checkpointable* checkpointable,
+                              ag::Optimizer* optimizer,
+                              data::NegativeSampler* sampler,
+                              int total_epochs) {
+  PUP_ASSIGN_OR_RETURN(ckpt::Reader reader, ckpt::Reader::Open(path));
+  PUP_RETURN_NOT_OK(reader.CheckFingerprint(fingerprint));
+  PUP_ASSIGN_OR_RETURN(std::string stored_key,
+                       reader.GetString("meta/model_key"));
+  if (stored_key != model_key) {
+    return Status::FailedPrecondition("checkpoint holds a '" + stored_key +
+                                      "' model, not '" + model_key + "'");
+  }
+  ResumePoint point;
+  PUP_ASSIGN_OR_RETURN(uint64_t epochs,
+                       reader.GetU64("meta/epochs_completed"));
+  if (epochs > static_cast<uint64_t>(total_epochs)) {
+    return Status::OutOfRange("checkpoint is " + std::to_string(epochs) +
+                              " epochs in, past this run's " +
+                              std::to_string(total_epochs));
+  }
+  point.epochs_completed = static_cast<int>(epochs);
+  PUP_ASSIGN_OR_RETURN(point.lr, reader.GetF32("trainer/lr"));
+  PUP_ASSIGN_OR_RETURN(RngState sampler_rng, reader.GetRng("sampler/rng"));
+
+  if (checkpointable != nullptr) {
+    PUP_RETURN_NOT_OK(checkpointable->LoadState(reader));
+  } else {
+    std::vector<ag::Tensor> params = model->Parameters();
+    PUP_ASSIGN_OR_RETURN(uint64_t count, reader.GetU64("param/count"));
+    if (count != params.size()) {
+      return Status::FailedPrecondition(
+          "checkpoint has " + std::to_string(count) + " parameters, model " +
+          std::to_string(params.size()));
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      PUP_RETURN_NOT_OK(reader.ReadMatrixInto("param/" + std::to_string(i),
+                                              &params[i]->value));
+    }
+  }
+  PUP_RETURN_NOT_OK(ckpt::LoadOptimizerState(reader, optimizer));
+  sampler->restore_rng_state(sampler_rng);
+  return point;
+}
+
+}  // namespace
+
+CheckpointOptions CheckpointOptionsFromFlags(const Flags& flags) {
+  CheckpointOptions options;
+  options.directory = flags.GetString("ckpt-dir", "");
+  options.save_every = static_cast<int>(flags.GetInt("save-every", 0));
+  options.resume_from = flags.GetString("resume", "");
+  return options;
+}
 
 BprTrainable::BatchLossGraph BprTrainable::ForwardBatchLoss(
     const std::vector<uint32_t>& users, const std::vector<uint32_t>& pos_items,
@@ -49,6 +188,44 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
   history.reserve(options.epochs);
   float lr = options.learning_rate;
 
+  // Checkpointing: models that implement ckpt::Checkpointable snapshot
+  // their full state (including auxiliary RNG streams); others fall back
+  // to generic parameter sections.
+  const CheckpointOptions& ck = options.checkpoint;
+  const bool saving = !ck.directory.empty() && ck.save_every > 0;
+  auto* checkpointable = dynamic_cast<ckpt::Checkpointable*>(model);
+  const std::string model_key =
+      checkpointable != nullptr ? checkpointable->checkpoint_key() : "generic";
+  ckpt::DatasetFingerprint fingerprint;
+  if (saving || !ck.resume_from.empty()) {
+    fingerprint = ckpt::DatasetFingerprint::Of(dataset);
+  }
+
+  int start_epoch = 0;
+  if (!ck.resume_from.empty()) {
+    for (const std::string& candidate : ResumeCandidates(ck.resume_from)) {
+      Result<ResumePoint> point =
+          TryResume(candidate, fingerprint, model_key, model, checkpointable,
+                    &optimizer, &sampler, options.epochs);
+      if (!point.ok()) {
+        PUP_LOG_WARNING << "skipping checkpoint " << candidate << ": "
+                        << point.status().message();
+        continue;
+      }
+      start_epoch = point->epochs_completed;
+      lr = point->lr;
+      if (options.verbose) {
+        PUP_LOG_INFO << "resumed from " << candidate << " at epoch "
+                     << start_epoch;
+      }
+      break;
+    }
+    if (start_epoch == 0) {
+      PUP_LOG_WARNING << "no valid checkpoint under '" << ck.resume_from
+                      << "'; training from scratch";
+    }
+  }
+
   // Buffers reused across every batch of every epoch: the epoch's triple
   // list and the per-batch index columns. Together with the tape arena
   // this makes steady-state steps allocation-free.
@@ -59,7 +236,7 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
   neg.reserve(options.batch_size);
   ag::TapeArena arena;
 
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     for (int de : decay_epochs) {
       if (epoch == de && epoch > 0) {
         lr *= 0.1f;
@@ -121,6 +298,24 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
       PUP_LOG_INFO << "epoch " << epoch << " loss=" << stats.mean_loss
                    << " lr=" << lr << " (" << stats.seconds << "s)";
     }
+
+    if (saving &&
+        ((epoch + 1) % ck.save_every == 0 || epoch + 1 == options.epochs)) {
+      std::error_code ec;
+      fs::create_directories(ck.directory, ec);
+      const std::string path =
+          (fs::path(ck.directory) / CheckpointFileName(epoch + 1)).string();
+      Status st =
+          SaveTrainerCheckpoint(fingerprint, model_key, model, checkpointable,
+                                optimizer, sampler, epoch + 1, lr, path);
+      if (!st.ok()) {
+        PUP_LOG_WARNING << "checkpoint save failed (" << path
+                        << "): " << st.message();
+      } else if (options.verbose) {
+        PUP_LOG_INFO << "saved checkpoint " << path;
+      }
+    }
+
     if (callback && !callback(stats)) break;
   }
   return history;

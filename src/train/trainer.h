@@ -7,14 +7,41 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "autograd/optimizer.h"
 #include "autograd/tensor.h"
+#include "common/flags.h"
 #include "data/dataset.h"
 #include "data/sampler.h"
 
 namespace pup::train {
+
+/// Crash-safe checkpointing of a training run (see docs/checkpointing.md).
+///
+/// Snapshots capture the model's trainable state (via ckpt::Checkpointable
+/// when the model implements it, generic parameter sections otherwise),
+/// the optimizer moments, the sampler RNG, and the epoch cursor — enough
+/// that `train K epochs → kill → resume → N-K epochs` replays the exact
+/// losses and metrics of an uninterrupted N-epoch run, at any --threads.
+struct CheckpointOptions {
+  /// Directory for periodic snapshots (created if missing); empty
+  /// disables saving.
+  std::string directory;
+  /// Snapshot every N completed epochs, plus always after the final
+  /// epoch; 0 disables periodic saves.
+  int save_every = 0;
+  /// Checkpoint file — or directory holding `ckpt-*.pupc` snapshots — to
+  /// resume from; empty starts fresh. A corrupt or mismatched candidate
+  /// is skipped with a warning in favor of the newest valid one; if none
+  /// is valid, training starts from scratch rather than aborting.
+  std::string resume_from;
+};
+
+/// Reads the standard checkpoint flags — --ckpt-dir DIR, --save-every N,
+/// --resume PATH — shared by pup_cli and every example.
+CheckpointOptions CheckpointOptionsFromFlags(const Flags& flags);
 
 /// Hyper-parameters of a training run (§V-A3 defaults, scaled down).
 struct TrainOptions {
@@ -38,6 +65,8 @@ struct TrainOptions {
   /// and as a fallback).
   bool reuse_tape = true;
   bool verbose = false;
+  /// Crash-safe snapshot/resume of this run; disabled by default.
+  CheckpointOptions checkpoint;
 };
 
 /// A model trainable with BPR: builds the differentiable score graph for

@@ -1,0 +1,544 @@
+// Tests for pup::ckpt — format round-trips, corruption rejection, and
+// bitwise-deterministic training resume.
+//
+// Suites named CkptFormatTest are sub-second and carry the `smoke` ctest
+// label (plus `asan`); CkptResumeTest trains real models and runs in the
+// full suite only.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/checkpointable.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/pup_model.h"
+#include "data/quantization.h"
+#include "data/synthetic.h"
+#include "models/bpr_mf.h"
+#include "train/trainer.h"
+
+namespace pup {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/pup_ckpt_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+data::Dataset SmallDataset(uint64_t seed = 3) {
+  data::SyntheticConfig config = data::SyntheticConfig::YelpLike().Scaled(0.04);
+  config.num_interactions = 2000;
+  config.seed = seed;
+  data::Dataset ds = data::GenerateSynthetic(config);
+  EXPECT_TRUE(
+      data::QuantizeDataset(&ds, 5, data::QuantizationScheme::kRank).ok());
+  return ds;
+}
+
+ckpt::DatasetFingerprint TestFingerprint() {
+  ckpt::DatasetFingerprint fp;
+  fp.num_users = 10;
+  fp.num_items = 20;
+  fp.num_categories = 3;
+  fp.num_price_levels = 5;
+  fp.interaction_hash = 0xfeedface;
+  return fp;
+}
+
+// Overwrites `count` bytes at `offset` with their complement.
+void FlipBytes(const std::string& path, size_t offset, size_t count = 1) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(offset));
+  std::string bytes(count, '\0');
+  f.read(bytes.data(), static_cast<std::streamsize>(count));
+  for (char& c : bytes) c = static_cast<char>(~c);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(bytes.data(), static_cast<std::streamsize>(count));
+}
+
+TEST(CkptFormatTest, Crc32MatchesKnownVectors) {
+  // zlib convention: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(ckpt::Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(ckpt::Crc32("", 0), 0u);
+  // Incremental == one-shot.
+  uint32_t partial = ckpt::Crc32("12345", 5);
+  EXPECT_EQ(ckpt::Crc32("6789", 4, partial), 0xCBF43926u);
+}
+
+TEST(CkptFormatTest, WriterReaderRoundTrip) {
+  std::string path = FreshDir("roundtrip") + "/a.pupc";
+  Rng source(42);
+  source.NextGaussian();  // Populate the cached-gaussian half of the state.
+  RngState rng_state = source.SaveState();
+
+  la::Matrix m(3, 4);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) m(r, c) = static_cast<float>(r * 10 + c);
+  }
+
+  ckpt::Writer writer(TestFingerprint());
+  writer.AddMatrix("model/emb", m);
+  writer.AddU64("meta/epochs", 7);
+  writer.AddF32("trainer/lr", 0.125f);
+  writer.AddString("meta/key", "bpr-mf");
+  writer.AddRng("model/rng", rng_state);
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+
+  auto reader = ckpt::Reader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader->fingerprint() == TestFingerprint());
+  EXPECT_TRUE(reader->CheckFingerprint(TestFingerprint()).ok());
+  EXPECT_TRUE(reader->Has("model/emb"));
+  EXPECT_FALSE(reader->Has("model/missing"));
+  EXPECT_EQ(reader->SectionNames().size(), 5u);
+
+  auto back = reader->GetMatrix("model/emb");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->rows(), 3u);
+  ASSERT_EQ(back->cols(), 4u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) EXPECT_EQ((*back)(r, c), m(r, c));
+  }
+  EXPECT_EQ(reader->GetU64("meta/epochs").value(), 7u);
+  EXPECT_EQ(reader->GetF32("trainer/lr").value(), 0.125f);
+  EXPECT_EQ(reader->GetString("meta/key").value(), "bpr-mf");
+  auto rng_back = reader->GetRng("model/rng");
+  ASSERT_TRUE(rng_back.ok());
+  EXPECT_TRUE(*rng_back == rng_state);
+
+  // The restored RNG continues the source's exact stream.
+  Rng restored(0);
+  restored.RestoreState(*rng_back);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(restored.NextU64(), source.NextU64());
+    EXPECT_EQ(restored.NextGaussian(), source.NextGaussian());
+  }
+}
+
+TEST(CkptFormatTest, MissingSectionIsNotFound) {
+  std::string path = FreshDir("missing") + "/a.pupc";
+  ckpt::Writer writer(TestFingerprint());
+  writer.AddU64("meta/epochs", 1);
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+
+  auto reader = ckpt::Reader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->GetU64("meta/other").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(reader->GetMatrix("model/none").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CkptFormatTest, WrongTypeSizeRejected) {
+  std::string path = FreshDir("wrongtype") + "/a.pupc";
+  ckpt::Writer writer(TestFingerprint());
+  writer.AddString("meta/key", "pup");
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+
+  auto reader = ckpt::Reader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  // A 3-byte string section is not a u64/f32/rng payload.
+  EXPECT_FALSE(reader->GetU64("meta/key").ok());
+  EXPECT_FALSE(reader->GetF32("meta/key").ok());
+  EXPECT_FALSE(reader->GetRng("meta/key").ok());
+}
+
+TEST(CkptFormatTest, TruncatedFileRejected) {
+  std::string dir = FreshDir("truncated");
+  std::string path = dir + "/a.pupc";
+  ckpt::Writer writer(TestFingerprint());
+  writer.AddMatrix("model/emb", la::Matrix(8, 8, 1.0f));
+  writer.AddU64("meta/epochs", 3);
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  const auto full_size = static_cast<size_t>(fs::file_size(path));
+
+  // Cutting the file anywhere — inside the header, a section header, a
+  // payload, or the trailing CRC — must be rejected.
+  for (size_t keep : {size_t{0}, size_t{20}, size_t{55}, size_t{70},
+                      full_size - 1}) {
+    std::string cut = dir + "/cut.pupc";
+    std::string blob(keep, '\0');
+    {
+      std::ifstream in(path, std::ios::binary);
+      in.read(blob.data(), static_cast<std::streamsize>(keep));
+      std::ofstream out(cut, std::ios::binary | std::ios::trunc);
+      out.write(blob.data(), static_cast<std::streamsize>(keep));
+    }
+    EXPECT_FALSE(ckpt::Reader::Open(cut).ok()) << "kept " << keep << " bytes";
+  }
+
+  // Trailing garbage after the last section is corruption too.
+  std::string padded = dir + "/padded.pupc";
+  fs::copy_file(path, padded);
+  std::ofstream(padded, std::ios::binary | std::ios::app) << "junk";
+  EXPECT_FALSE(ckpt::Reader::Open(padded).ok());
+}
+
+TEST(CkptFormatTest, BitFlippedSectionRejected) {
+  std::string dir = FreshDir("bitflip");
+  std::string path = dir + "/a.pupc";
+  ckpt::Writer writer(TestFingerprint());
+  writer.AddMatrix("model/emb", la::Matrix(4, 4, 0.5f));
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  ASSERT_TRUE(ckpt::Reader::Open(path).ok());
+
+  // Flip one byte inside the section payload (past the 56-byte header and
+  // the section name) — the section CRC must catch it.
+  std::string corrupt = dir + "/corrupt.pupc";
+  fs::copy_file(path, corrupt);
+  FlipBytes(corrupt, 90);
+  auto bad = ckpt::Reader::Open(corrupt);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kIOError);
+
+  // Flip a byte inside the header — the header CRC must catch it.
+  std::string bad_header = dir + "/bad_header.pupc";
+  fs::copy_file(path, bad_header);
+  FlipBytes(bad_header, 10);
+  EXPECT_FALSE(ckpt::Reader::Open(bad_header).ok());
+
+  // Clobber the magic — rejected as a foreign file.
+  std::string foreign = dir + "/foreign.pupc";
+  fs::copy_file(path, foreign);
+  FlipBytes(foreign, 0, 4);
+  auto not_pupc = ckpt::Reader::Open(foreign);
+  ASSERT_FALSE(not_pupc.ok());
+  EXPECT_EQ(not_pupc.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CkptFormatTest, UnsupportedVersionRejected) {
+  std::string dir = FreshDir("version");
+  std::string path = dir + "/a.pupc";
+  ckpt::Writer writer(TestFingerprint());
+  writer.AddU64("meta/epochs", 1);
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  // Bytes 4..7 hold the format version; a bumped version must be refused
+  // even though that also breaks the header CRC — either error is fine,
+  // but the file must not load.
+  FlipBytes(path, 4);
+  EXPECT_FALSE(ckpt::Reader::Open(path).ok());
+}
+
+TEST(CkptFormatTest, FingerprintMismatchRejected) {
+  std::string path = FreshDir("fingerprint") + "/a.pupc";
+  ckpt::Writer writer(TestFingerprint());
+  writer.AddU64("meta/epochs", 1);
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+
+  auto reader = ckpt::Reader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  ckpt::DatasetFingerprint other = TestFingerprint();
+  other.interaction_hash ^= 1;
+  Status st = reader->CheckFingerprint(other);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CkptFormatTest, FingerprintSeparatesDatasets) {
+  data::Dataset a = SmallDataset(3);
+  data::Dataset b = SmallDataset(4);
+  EXPECT_TRUE(ckpt::DatasetFingerprint::Of(a) ==
+              ckpt::DatasetFingerprint::Of(a));
+  EXPECT_FALSE(ckpt::DatasetFingerprint::Of(a) ==
+               ckpt::DatasetFingerprint::Of(b));
+}
+
+TEST(CkptFormatTest, AtomicWriteKeepsPreviousFileOnOverwrite) {
+  std::string path = FreshDir("atomic") + "/a.pupc";
+  ckpt::Writer first(TestFingerprint());
+  first.AddU64("meta/epochs", 1);
+  ASSERT_TRUE(first.WriteFile(path).ok());
+  ckpt::Writer second(TestFingerprint());
+  second.AddU64("meta/epochs", 2);
+  ASSERT_TRUE(second.WriteFile(path).ok());
+  auto reader = ckpt::Reader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->GetU64("meta/epochs").value(), 2u);
+  // No stray tmp file left behind.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(CkptFormatTest, OptimizerStateRoundTrip) {
+  // Train a few steps so the moments are non-trivial, snapshot, restore
+  // into a fresh optimizer, and compare every slot bitwise.
+  Rng rng(11);
+  auto make_params = [&rng]() {
+    return std::vector<ag::Tensor>{
+        ag::Param(la::Matrix::Gaussian(6, 4, 0.1f, &rng)),
+        ag::Param(la::Matrix::Gaussian(3, 4, 0.1f, &rng))};
+  };
+  auto params = make_params();
+  ag::Adam adam(params, {.learning_rate = 0.05f});
+  for (int step = 0; step < 5; ++step) {
+    for (auto& p : params) {
+      p->EnsureGrad();
+      for (size_t i = 0; i < p->value.size(); ++i) {
+        p->grad.data()[i] = 0.01f * static_cast<float>(i + step);
+      }
+    }
+    adam.Step();
+    adam.ZeroGrad();
+  }
+
+  std::string path = FreshDir("optim") + "/a.pupc";
+  ckpt::Writer writer(TestFingerprint());
+  ASSERT_TRUE(ckpt::SaveOptimizerState(adam, &writer).ok());
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+
+  auto reader = ckpt::Reader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  auto params2 = make_params();
+  ag::Adam restored(params2, {.learning_rate = 0.5f});
+  ASSERT_TRUE(ckpt::LoadOptimizerState(*reader, &restored).ok());
+
+  ag::OptimizerState before = adam.ExportState();
+  ag::OptimizerState after = restored.ExportState();
+  EXPECT_EQ(before.step, after.step);
+  EXPECT_EQ(before.learning_rate, after.learning_rate);
+  ASSERT_EQ(before.slots.size(), after.slots.size());
+  for (size_t s = 0; s < before.slots.size(); ++s) {
+    ASSERT_EQ(before.slots[s].size(), after.slots[s].size());
+    for (size_t i = 0; i < before.slots[s].size(); ++i) {
+      EXPECT_EQ(before.slots[s].data()[i], after.slots[s].data()[i]);
+    }
+  }
+
+  // Mismatched parameter shapes must be refused without mutating.
+  auto small = std::vector<ag::Tensor>{
+      ag::Param(la::Matrix::Gaussian(2, 2, 0.1f, &rng))};
+  ag::Adam wrong(small, {.learning_rate = 0.5f});
+  EXPECT_FALSE(ckpt::LoadOptimizerState(*reader, &wrong).ok());
+  EXPECT_EQ(wrong.ExportState().learning_rate, 0.5f);
+}
+
+// ---------------------------------------------------------------------------
+// Resume parity: K epochs + resume == N epochs straight, bit for bit.
+// ---------------------------------------------------------------------------
+
+// Plain MF without Checkpointable — exercises the trainer's generic
+// "param/<i>" fallback path.
+class TinyMf : public train::BprTrainable {
+ public:
+  TinyMf(size_t num_users, size_t num_items, size_t dim, uint64_t seed) {
+    Rng rng(seed);
+    users_ = ag::Param(la::Matrix::Gaussian(num_users, dim, 0.1f, &rng));
+    items_ = ag::Param(la::Matrix::Gaussian(num_items, dim, 0.1f, &rng));
+  }
+
+  std::vector<ag::Tensor> Parameters() override { return {users_, items_}; }
+
+  BatchGraph ForwardBatch(const std::vector<uint32_t>& users,
+                          const std::vector<uint32_t>& pos,
+                          const std::vector<uint32_t>& neg,
+                          bool /*training*/) override {
+    ag::Tensor u = ag::Gather(users_, users);
+    BatchGraph b;
+    b.pos_scores = ag::RowDot(u, ag::Gather(items_, pos));
+    b.neg_scores = ag::RowDot(u, ag::Gather(items_, neg));
+    b.l2_terms = {u};
+    return b;
+  }
+
+  ag::Tensor users_, items_;
+};
+
+void ExpectParamsBitwiseEqual(std::vector<ag::Tensor> a,
+                              std::vector<ag::Tensor> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t p = 0; p < a.size(); ++p) {
+    ASSERT_EQ(a[p]->value.size(), b[p]->value.size());
+    for (size_t i = 0; i < a[p]->value.size(); ++i) {
+      ASSERT_EQ(a[p]->value.data()[i], b[p]->value.data()[i])
+          << "param " << p << " index " << i;
+    }
+  }
+}
+
+train::TrainOptions ResumeTestOptions() {
+  train::TrainOptions options;
+  options.epochs = 10;
+  options.batch_size = 256;
+  options.seed = 17;
+  return options;
+}
+
+TEST(CkptResumeTest, GenericModelLossParityAtEveryThreadCount) {
+  data::Dataset ds = SmallDataset();
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool::SetGlobalThreads(threads);
+    std::string dir = FreshDir("tinymf_t" + std::to_string(threads));
+
+    // Uninterrupted 10-epoch run, snapshotting every 4 epochs.
+    TinyMf full(ds.num_users, ds.num_items, 16, 5);
+    train::TrainOptions options = ResumeTestOptions();
+    options.checkpoint.directory = dir;
+    options.checkpoint.save_every = 4;
+    auto h_full = train::TrainBpr(&full, ds, ds.interactions, options);
+    ASSERT_EQ(h_full.size(), 10u);
+    ASSERT_TRUE(fs::exists(dir + "/ckpt-000004.pupc"));
+
+    // Fresh model resumed from the epoch-4 snapshot (identical to a run
+    // killed right after that save).
+    TinyMf resumed(ds.num_users, ds.num_items, 16, 5);
+    train::TrainOptions resume = ResumeTestOptions();
+    resume.checkpoint.resume_from = dir + "/ckpt-000004.pupc";
+    auto h_resumed = train::TrainBpr(&resumed, ds, ds.interactions, resume);
+
+    // The 6 resumed epochs replay epochs 4..9 bit for bit: same losses,
+    // same final parameters.
+    ASSERT_EQ(h_resumed.size(), 6u);
+    for (size_t i = 0; i < h_resumed.size(); ++i) {
+      EXPECT_EQ(h_resumed[i].epoch, static_cast<int>(4 + i));
+      EXPECT_EQ(h_resumed[i].mean_loss, h_full[4 + i].mean_loss)
+          << "epoch " << 4 + i;
+    }
+    ExpectParamsBitwiseEqual(full.Parameters(), resumed.Parameters());
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+// Full-model parity through Fit(): identical final embeddings and
+// identical recommendation scores. `save_every` covers epoch 4 so the
+// resumed run replays epochs 4..9. The lr-decay epochs (5 and 7 for 10
+// epochs) land inside the resumed stretch, so schedule restoration is
+// exercised too.
+template <typename Model, typename Config>
+void RunFitResumeParity(Config config, const std::string& tag) {
+  data::Dataset ds = SmallDataset();
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(tag + " threads=" + std::to_string(threads));
+    ThreadPool::SetGlobalThreads(threads);
+    std::string dir = FreshDir(tag + "_t" + std::to_string(threads));
+
+    Config full_config = config;
+    full_config.train.checkpoint.directory = dir;
+    full_config.train.checkpoint.save_every = 4;
+    Model full(full_config);
+    full.Fit(ds, ds.interactions);
+
+    Config resume_config = config;
+    resume_config.train.checkpoint.resume_from = dir + "/ckpt-000004.pupc";
+    Model resumed(resume_config);
+    resumed.Fit(ds, ds.interactions);
+
+    ExpectParamsBitwiseEqual(full.Parameters(), resumed.Parameters());
+    std::vector<float> scores_full, scores_resumed;
+    full.ScoreItems(0, &scores_full);
+    resumed.ScoreItems(0, &scores_resumed);
+    ASSERT_EQ(scores_full.size(), scores_resumed.size());
+    for (size_t i = 0; i < scores_full.size(); ++i) {
+      ASSERT_EQ(scores_full[i], scores_resumed[i]) << "item " << i;
+    }
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(CkptResumeTest, BprMfFitParityAtEveryThreadCount) {
+  models::BprMfConfig config;
+  config.embedding_dim = 16;
+  config.train = ResumeTestOptions();
+  RunFitResumeParity<models::BprMf>(config, "bprmf");
+}
+
+TEST(CkptResumeTest, PupFitParityAtEveryThreadCount) {
+  core::PupConfig config = core::PupConfig::Full();
+  config.embedding_dim = 16;
+  config.category_branch_dim = 4;
+  config.train = ResumeTestOptions();
+  RunFitResumeParity<core::Pup>(config, "pup");
+}
+
+TEST(CkptResumeTest, CorruptNewestFallsBackToOlderSnapshot) {
+  data::Dataset ds = SmallDataset();
+  ThreadPool::SetGlobalThreads(1);
+  std::string dir = FreshDir("fallback");
+
+  TinyMf full(ds.num_users, ds.num_items, 16, 5);
+  train::TrainOptions options = ResumeTestOptions();
+  options.checkpoint.directory = dir;
+  options.checkpoint.save_every = 2;
+  auto h_full = train::TrainBpr(&full, ds, ds.interactions, options);
+
+  // Corrupt the newest snapshots; resume must fall back to epoch 4 and —
+  // because the trajectory is deterministic — still reproduce the same
+  // final state.
+  FlipBytes(dir + "/ckpt-000008.pupc", 100);
+  FlipBytes(dir + "/ckpt-000006.pupc", 100);
+  fs::remove(dir + "/ckpt-000010.pupc");
+
+  TinyMf resumed(ds.num_users, ds.num_items, 16, 5);
+  train::TrainOptions resume = ResumeTestOptions();
+  resume.checkpoint.resume_from = dir;
+  auto h_resumed = train::TrainBpr(&resumed, ds, ds.interactions, resume);
+
+  ASSERT_EQ(h_resumed.size(), 6u);
+  EXPECT_EQ(h_resumed.front().epoch, 4);
+  EXPECT_EQ(h_resumed.back().mean_loss, h_full.back().mean_loss);
+  ExpectParamsBitwiseEqual(full.Parameters(), resumed.Parameters());
+}
+
+TEST(CkptResumeTest, MismatchedDatasetStartsFresh) {
+  data::Dataset ds_a = SmallDataset(3);
+  data::Dataset ds_b = SmallDataset(4);
+  ThreadPool::SetGlobalThreads(1);
+  std::string dir = FreshDir("mismatch");
+
+  TinyMf first(ds_a.num_users, ds_a.num_items, 16, 5);
+  train::TrainOptions options = ResumeTestOptions();
+  options.epochs = 4;
+  options.checkpoint.directory = dir;
+  options.checkpoint.save_every = 2;
+  train::TrainBpr(&first, ds_a, ds_a.interactions, options);
+
+  // Resuming against a different dataset must refuse every snapshot and
+  // train from scratch rather than corrupting state or aborting.
+  TinyMf second(ds_b.num_users, ds_b.num_items, 16, 5);
+  train::TrainOptions resume = ResumeTestOptions();
+  resume.epochs = 4;
+  resume.checkpoint.resume_from = dir;
+  auto history = train::TrainBpr(&second, ds_b, ds_b.interactions, resume);
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_EQ(history.front().epoch, 0);
+}
+
+TEST(CkptResumeTest, WrongModelKeyStartsFresh) {
+  data::Dataset ds = SmallDataset();
+  ThreadPool::SetGlobalThreads(1);
+  std::string dir = FreshDir("wrongkey");
+
+  models::BprMfConfig mf_config;
+  mf_config.embedding_dim = 16;
+  mf_config.train = ResumeTestOptions();
+  mf_config.train.epochs = 4;
+  mf_config.train.checkpoint.directory = dir;
+  mf_config.train.checkpoint.save_every = 2;
+  models::BprMf mf(mf_config);
+  mf.Fit(ds, ds.interactions);
+
+  // A PUP run pointed at BPR-MF snapshots must skip them all.
+  core::PupConfig pup_config = core::PupConfig::Full();
+  pup_config.embedding_dim = 16;
+  pup_config.category_branch_dim = 4;
+  pup_config.train = ResumeTestOptions();
+  pup_config.train.epochs = 4;
+  pup_config.train.checkpoint.resume_from = dir;
+  core::Pup pup(pup_config);
+  pup.Fit(ds, ds.interactions);  // Must not crash or load foreign state.
+  std::vector<float> scores;
+  pup.ScoreItems(0, &scores);
+  EXPECT_EQ(scores.size(), ds.num_items);
+}
+
+}  // namespace
+}  // namespace pup

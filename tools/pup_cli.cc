@@ -51,8 +51,14 @@ int Usage() {
                "[--model M] [--levels N] [--quantization uniform|rank]\n"
                "                     [--kcore N] [--epochs N] [--dim N] "
                "[--alpha F] [--l2 F] [--beta F] [--cutoffs 50,100]\n"
+               "                     [--ckpt-dir DIR] [--save-every N] "
+               "[--resume PATH]\n"
                "       global: --threads N (default: hardware concurrency; "
-               "1 = exact serial)\n");
+               "1 = exact serial)\n"
+               "       checkpoints: --save-every N snapshots DIR every N "
+               "epochs; --resume replays\n"
+               "       the run bitwise-identically from the newest valid "
+               "snapshot (see docs/checkpointing.md)\n");
   return 2;
 }
 
@@ -92,6 +98,11 @@ std::unique_ptr<models::Recommender> MakeModel(const std::string& name,
   t.epochs = static_cast<int>(flags.GetInt("epochs", 40));
   t.l2_reg = static_cast<float>(flags.GetDouble("l2", t.l2_reg));
   t.seed = static_cast<uint64_t>(flags.GetInt("seed", t.seed));
+  t.checkpoint = train::CheckpointOptionsFromFlags(flags);
+  if (t.checkpoint.save_every > 0 && t.checkpoint.directory.empty()) {
+    std::fprintf(stderr, "--save-every needs --ckpt-dir\n");
+    return nullptr;
+  }
   size_t dim = static_cast<size_t>(flags.GetInt("dim", 64));
 
   if (name == "itempop") return std::make_unique<models::ItemPop>();
