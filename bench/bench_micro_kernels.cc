@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "autograd/arena.h"
+#include "autograd/numeric_guard.h"
 #include "autograd/ops.h"
 #include "autograd/optimizer.h"
 #include "common/check.h"
@@ -219,6 +220,77 @@ void BM_TrainStep(benchmark::State& state) {
           : static_cast<double>(ag::HeapNodesAllocated() - heap0) / n_iters;
 }
 BENCHMARK(BM_TrainStep)->Arg(0)->Arg(1);
+
+// --- NumericGuard cost (Arg: 0 = guard off, 1 = guard on). -------------
+//
+// Same arena-backed step as BM_TrainStep/1 plus the two tape scans the
+// trainer runs under --check-numerics. The Arg(0) case records the
+// unguarded per-step time (registration order guarantees it runs first)
+// and reports check_numerics_overhead = 0; the Arg(1) case reports the
+// relative slowdown (guarded/unguarded - 1). The acceptance bar is
+// < 0.05. guard_allocs_per_step must read 0 in both cases: the guard's
+// clean path is allocation-free.
+double& UnguardedStepSeconds() {
+  static double seconds = 0.0;
+  return seconds;
+}
+
+void BM_TrainStepCheckNumerics(benchmark::State& state) {
+  const bool guarded = state.range(0) != 0;
+  la::CsrMatrix adj = MakeAdjacency(2000, 1200, 40000);
+  la::CsrMatrix adj_t = adj.Transposed();
+  Rng rng(7);
+  ag::Tensor emb =
+      ag::Param(la::Matrix::Gaussian(adj.rows(), 56, 0.05f, &rng));
+  ag::Sgd opt({emb}, 0.05f);
+  std::vector<uint32_t> users(1024), pos(1024), neg(1024);
+  for (size_t k = 0; k < 1024; ++k) {
+    users[k] = static_cast<uint32_t>(rng.NextBelow(2000));
+    pos[k] = 2000 + static_cast<uint32_t>(rng.NextBelow(1200));
+    neg[k] = 2000 + static_cast<uint32_t>(rng.NextBelow(1200));
+  }
+  ag::TapeArena arena;
+  ag::NumericGuard guard;
+  auto step = [&] {
+    ag::TapeArena::Scope scope(&arena);
+    ag::Tensor f = ag::Tanh(ag::Spmm(&adj, &adj_t, emb));
+    ag::Tensor u = ag::Gather(f, users);
+    ag::Tensor p = ag::Gather(f, pos);
+    ag::Tensor n = ag::Gather(f, neg);
+    ag::Tensor loss =
+        ag::FusedL2Penalty(ag::RowDotSigmoidBpr(u, p, n), {u, p, n}, 1e-4f);
+    if (guarded) PUP_CHECK(!guard.CheckForward(loss).found);
+    opt.ZeroGrad();
+    ag::Backward(loss);
+    if (guarded) PUP_CHECK(!guard.CheckBackward(loss).found);
+    opt.Step();
+    arena.Reset();
+  };
+  step();
+  step();
+  const la::AllocStats alloc0 = la::MatrixAllocStats();
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    step();
+    benchmark::DoNotOptimize(emb->value.data());
+    ++iters;
+  }
+  const double seconds = timer.Seconds();
+  const la::AllocStats alloc1 = la::MatrixAllocStats();
+  const double per_iter = seconds / static_cast<double>(iters);
+  state.counters["guard_allocs_per_step"] =
+      static_cast<double>(alloc1.count - alloc0.count) /
+      static_cast<double>(iters);
+  if (!guarded) {
+    UnguardedStepSeconds() = per_iter;
+    state.counters["check_numerics_overhead"] = 0.0;
+  } else if (UnguardedStepSeconds() > 0.0) {
+    state.counters["check_numerics_overhead"] =
+        per_iter / UnguardedStepSeconds() - 1.0;
+  }
+}
+BENCHMARK(BM_TrainStepCheckNumerics)->Arg(0)->Arg(1);
 
 // --- --threads sweeps: 1, 2, 4, hardware concurrency -------------------
 //

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   models::GcMcConfig gc_config;
   gc_config.train.epochs = 20;
   gc_config.train.checkpoint = checkpoint_in("gc-mc");
+  train::ApplyCheckNumericsFlag(flags, &gc_config.train);
   models::GcMc gc_mc(gc_config);
   std::printf("training %s...\n", gc_mc.name().c_str());
   gc_mc.Fit(dataset, split.train);
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
   core::PupConfig pup_config = core::PupConfig::Full();
   pup_config.train.epochs = 20;
   pup_config.train.checkpoint = checkpoint_in("pup");
+  train::ApplyCheckNumericsFlag(flags, &pup_config.train);
   core::Pup pup(pup_config);
   std::printf("training %s...\n\n", pup.name().c_str());
   pup.Fit(dataset, split.train);

@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
   config.train.epochs = 15;
   // --ckpt-dir/--save-every/--resume make the training run crash-safe.
   config.train.checkpoint = train::CheckpointOptionsFromFlags(flags);
+  train::ApplyCheckNumericsFlag(flags, &config.train);
   core::Pup model(config);
   model.Fit(dataset, split.train);
 

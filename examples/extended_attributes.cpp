@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
     // --ckpt-dir/--save-every/--resume make the training runs crash-safe;
     // each variant snapshots into its own subdirectory.
     config.train.checkpoint = train::CheckpointOptionsFromFlags(flags);
+    train::ApplyCheckNumericsFlag(flags, &config.train);
     std::string tag = "/variant-" + std::to_string(v);
     if (!config.train.checkpoint.directory.empty()) {
       config.train.checkpoint.directory += tag;

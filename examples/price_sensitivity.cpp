@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
   config.train.epochs = 25;
   // --ckpt-dir/--save-every/--resume make the training run crash-safe.
   config.train.checkpoint = train::CheckpointOptionsFromFlags(flags);
+  train::ApplyCheckNumericsFlag(flags, &config.train);
   core::Pup model(config);
   std::printf("training %s...\n\n", model.name().c_str());
   model.Fit(dataset, dataset.interactions);

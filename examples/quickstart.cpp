@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   core::PupConfig config = core::PupConfig::Full();  // 56/8 two-branch.
   config.train.epochs = 20;
   config.train.checkpoint = train::CheckpointOptionsFromFlags(flags);
+  train::ApplyCheckNumericsFlag(flags, &config.train);
   core::Pup model(config);
   std::printf("training %s (%d epochs)...\n", model.name().c_str(),
               config.train.epochs);

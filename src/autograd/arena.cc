@@ -33,6 +33,7 @@ void WorkspaceCache::Trim() { pool_.clear(); }
 
 size_t WorkspaceCache::pooled() const {
   size_t n = 0;
+  // NOLINTNEXTLINE(pup-unordered-iter) — pure count, order-insensitive.
   for (const auto& [key, buffers] : pool_) n += buffers.size();
   return n;
 }

@@ -1,0 +1,60 @@
+#include "autograd/numeric_guard.h"
+
+#include <cstdio>
+
+#include "la/kernels.h"
+
+namespace pup::ag {
+
+std::string NumericFinding::Describe() const {
+  if (!found) return "tape is finite";
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s of op '%s' (tape index %zu, shape %zux%zu) is non-finite: "
+      "%zu NaN, %zu Inf, first at flat index %zu",
+      phase == NumericPhase::kForward ? "forward value" : "backward gradient",
+      op, tape_index, rows, cols, nans, infs, first_flat_index);
+  return std::string(buf);
+}
+
+NumericFinding NumericGuard::CheckForward(const Tensor& root) {
+  return Check(root.get(), NumericPhase::kForward);
+}
+
+NumericFinding NumericGuard::CheckBackward(const Tensor& root) {
+  return Check(root.get(), NumericPhase::kBackward);
+}
+
+// PUP_HOT
+NumericFinding NumericGuard::Check(Node* root, NumericPhase phase) {
+  NumericFinding finding;
+  finding.phase = phase;
+  internal::TopologicalOrderInto(root, &order_);
+  const size_t n = order_.size();
+  // Forward values are produced parents-first (topological order);
+  // Backward produces gradients in the reverse walk. Scanning in the
+  // matching production order makes the first hit the origin op: every
+  // matrix produced before it was verified finite.
+  for (size_t step = 0; step < n; ++step) {
+    const size_t i = phase == NumericPhase::kForward ? step : n - 1 - step;
+    Node* node = order_[i];
+    const bool backward = phase == NumericPhase::kBackward;
+    if (backward && !node->grad_live()) continue;
+    const la::Matrix& m = backward ? node->grad : node->value;
+    if (la::AllFinite(m)) continue;  // Branch-free clean path, no alloc.
+    const la::NonFiniteCounts counts = la::CountNonFinite(m);
+    finding.found = true;
+    finding.op = node->op_name;
+    finding.tape_index = i;
+    finding.rows = m.rows();
+    finding.cols = m.cols();
+    finding.nans = counts.nans;
+    finding.infs = counts.infs;
+    finding.first_flat_index = counts.first_index;
+    return finding;
+  }
+  return finding;
+}
+
+}  // namespace pup::ag

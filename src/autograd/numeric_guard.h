@@ -1,0 +1,89 @@
+// Runtime numeric-safety sentinels for the autograd tape.
+//
+// NumericGuard scans a tape (every node reachable from a root) for NaN/Inf
+// at op granularity and reports the *producing* op — its name, output
+// shape, and tape index — rather than the downstream op where a NaN is
+// usually noticed. Two scans per step:
+//
+//   CheckForward:  walks the tape in topological order (parents before
+//                  children, the order values were produced) and returns
+//                  the first node whose forward value is non-finite.
+//   CheckBackward: walks in reverse topological order (the order Backward
+//                  produces gradients) and returns the first node whose
+//                  live gradient is non-finite.
+//
+// Because both walks follow production order, the first hit is the true
+// origin: everything scanned before it was clean, so the reported op is
+// where the non-finite value entered the computation.
+//
+// Cost model: the clean path is a branch-free la::AllFinite scan per
+// matrix (no allocation — the guard reuses its traversal buffer, so
+// enabling it keeps the training step's zero-allocation steady state).
+// Per-element localization runs only on the failure path. Enabled by
+// --check-numerics (TrainOptions::check_numerics); defaults on in Debug
+// builds and off in Release (kCheckNumericsDefault).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace pup::ag {
+
+/// Which scan detected the non-finite value.
+enum class NumericPhase { kForward, kBackward };
+
+/// Provenance of the first non-finite value in a tape scan.
+struct NumericFinding {
+  bool found = false;
+  NumericPhase phase = NumericPhase::kForward;
+  /// Name of the op whose output (forward) or gradient (backward) first
+  /// went non-finite; a string literal owned by the op registry.
+  const char* op = "";
+  /// Index of that node in topological order (parents first), stable for
+  /// a fixed graph shape — usable to cross-reference arena slots.
+  size_t tape_index = 0;
+  /// Shape of the offending matrix.
+  size_t rows = 0;
+  size_t cols = 0;
+  /// Diagnostics from the failure-path element scan.
+  size_t nans = 0;
+  size_t infs = 0;
+  size_t first_flat_index = 0;
+
+  /// One-line human-readable report ("forward value of op 'gather' ...").
+  /// Allocates; call only on the failure path.
+  std::string Describe() const;
+};
+
+/// Reusable tape scanner. Create once (per trainer) and call the Check*
+/// methods each step: the traversal buffer is recycled, so steady-state
+/// clean scans perform zero allocations.
+class NumericGuard {
+ public:
+  /// Scans forward values of every node reachable from `root`; returns
+  /// the first non-finite producer in value-production order.
+  NumericFinding CheckForward(const Tensor& root);
+
+  /// Scans live gradients after Backward(root); returns the first
+  /// non-finite gradient in gradient-production order. Nodes whose grad
+  /// is not live this step are skipped.
+  NumericFinding CheckBackward(const Tensor& root);
+
+ private:
+  NumericFinding Check(Node* root, NumericPhase phase);
+
+  std::vector<Node*> order_;  // Reused across steps; capacity persists.
+};
+
+/// Build-dependent default for TrainOptions::check_numerics and the
+/// --check-numerics flag: on when assertions are on.
+#ifdef NDEBUG
+inline constexpr bool kCheckNumericsDefault = false;
+#else
+inline constexpr bool kCheckNumericsDefault = true;
+#endif
+
+}  // namespace pup::ag

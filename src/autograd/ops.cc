@@ -14,15 +14,20 @@ namespace {
 // Node factory: draws from the active TapeArena when a step scope is open
 // (recycled slot, zero allocations in steady state), else heap-allocates
 // exactly as the historical tape did. Parents are appended into the
-// node's recycled vector — no temporary initializer-list vector.
+// node's recycled vector — no temporary initializer-list vector. `name`
+// must be a string literal; it is the provenance NumericGuard reports.
+// PUP_HOT
 template <typename... Parents>
-Tensor NewOpNode(Node::BackwardFn fn, const Parents&... parents) {
+Tensor NewOpNode(const char* name, Node::BackwardFn fn,
+                 const Parents&... parents) {
   Tensor node;
   if (TapeArena* arena = TapeArena::Current()) {
     node = arena->NewNode();
   } else {
     node = internal::NewHeapNode();
   }
+  node->op_name = name;
+  // NOLINTNEXTLINE(pup-hot-alloc) — recycled nodes keep parent capacity.
   (node->parents.push_back(parents), ...);
   for (const Tensor& p : node->parents) {
     if (p->requires_grad) {
@@ -34,13 +39,17 @@ Tensor NewOpNode(Node::BackwardFn fn, const Parents&... parents) {
   return node;
 }
 
-Tensor NewOpNode(Node::BackwardFn fn, const std::vector<Tensor>& parents) {
+// PUP_HOT
+Tensor NewOpNode(const char* name, Node::BackwardFn fn,
+                 const std::vector<Tensor>& parents) {
   Tensor node;
   if (TapeArena* arena = TapeArena::Current()) {
     node = arena->NewNode();
   } else {
     node = internal::NewHeapNode();
   }
+  node->op_name = name;
+  // NOLINTNEXTLINE(pup-hot-alloc) — recycled nodes keep parent capacity.
   for (const Tensor& p : parents) node->parents.push_back(p);
   for (const Tensor& p : node->parents) {
     if (p->requires_grad) {
@@ -89,6 +98,7 @@ void Accumulate(const Tensor& parent, const la::Matrix& contribution) {
   la::Axpy(1.0f, contribution, &parent->grad);
 }
 
+// PUP_HOT
 void GatherBackward(Node* self) {
   const Tensor& table = self->parents[0];
   if (!table->requires_grad) return;
@@ -96,6 +106,7 @@ void GatherBackward(Node* self) {
   la::ScatterAddRows(self->grad, self->idx, &table->grad);
 }
 
+// PUP_HOT
 void GatherAddBackward(Node* self) {
   const Tensor& table_a = self->parents[0];
   const Tensor& table_b = self->parents[1];
@@ -344,6 +355,7 @@ void MseLossBackward(Node* self) {
   }
 }
 
+// PUP_HOT
 void RowDotSigmoidBprBackward(Node* self) {
   const Tensor& u = self->parents[0];
   const Tensor& p = self->parents[1];
@@ -389,6 +401,7 @@ void RowDotSigmoidBprBackward(Node* self) {
   });
 }
 
+// PUP_HOT
 void FusedL2PenaltyBackward(Node* self) {
   const float g = self->grad(0, 0);
   const Tensor& base = self->parents[0];
@@ -414,18 +427,23 @@ void FusedL2PenaltyBackward(Node* self) {
 
 }  // namespace
 
+// PUP_HOT
 Tensor Gather(const Tensor& table, const std::vector<uint32_t>& idx) {
-  Tensor node = NewOpNode(&GatherBackward, table);
+  Tensor node = NewOpNode("gather", &GatherBackward, table);
+  // NOLINTNEXTLINE(pup-hot-alloc) — assign reuses the recycled capacity.
   node->idx.assign(idx.begin(), idx.end());
   la::GatherRows(table->value, node->idx, &node->value);
   return node;
 }
 
+// PUP_HOT
 Tensor GatherAdd(const Tensor& table_a, const std::vector<uint32_t>& idx_a,
                  const Tensor& table_b, const std::vector<uint32_t>& idx_b) {
   PUP_CHECK_EQ(idx_a.size(), idx_b.size());
-  Tensor node = NewOpNode(&GatherAddBackward, table_a, table_b);
+  Tensor node = NewOpNode("gather_add", &GatherAddBackward, table_a, table_b);
+  // NOLINTNEXTLINE(pup-hot-alloc) — assign reuses the recycled capacity.
   node->idx.assign(idx_a.begin(), idx_a.end());
+  // NOLINTNEXTLINE(pup-hot-alloc) — assign reuses the recycled capacity.
   node->idx2.assign(idx_b.begin(), idx_b.end());
   la::GatherRowsAdd(table_a->value, node->idx, table_b->value, node->idx2,
                     &node->value);
@@ -437,38 +455,38 @@ Tensor Spmm(const la::CsrMatrix* a, const la::CsrMatrix* a_transposed,
   PUP_CHECK(a != nullptr && a_transposed != nullptr);
   PUP_CHECK_EQ(a->rows(), a_transposed->cols());
   PUP_CHECK_EQ(a->cols(), a_transposed->rows());
-  Tensor node = NewOpNode(&SpmmBackward, x);
+  Tensor node = NewOpNode("spmm", &SpmmBackward, x);
   node->csr = a_transposed;
   la::Spmm(*a, x->value, &node->value);
   return node;
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  Tensor node = NewOpNode(&MatMulBackward, a, b);
+  Tensor node = NewOpNode("matmul", &MatMulBackward, a, b);
   la::Gemm(a->value, b->value, &node->value);
   return node;
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  Tensor node = NewOpNode(&AddBackward, a, b);
+  Tensor node = NewOpNode("add", &AddBackward, a, b);
   la::Add(a->value, b->value, &node->value);
   return node;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  Tensor node = NewOpNode(&SubBackward, a, b);
+  Tensor node = NewOpNode("sub", &SubBackward, a, b);
   la::Sub(a->value, b->value, &node->value);
   return node;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  Tensor node = NewOpNode(&MulBackward, a, b);
+  Tensor node = NewOpNode("mul", &MulBackward, a, b);
   la::Mul(a->value, b->value, &node->value);
   return node;
 }
 
 Tensor Scale(const Tensor& x, float alpha) {
-  Tensor node = NewOpNode(&ScaleBackward, x);
+  Tensor node = NewOpNode("scale", &ScaleBackward, x);
   node->alpha = alpha;
   la::Scale(alpha, x->value, &node->value);
   return node;
@@ -477,7 +495,7 @@ Tensor Scale(const Tensor& x, float alpha) {
 Tensor AddBroadcastRow(const Tensor& x, const Tensor& bias) {
   PUP_CHECK_EQ(bias->value.rows(), 1u);
   PUP_CHECK_EQ(bias->value.cols(), x->value.cols());
-  Tensor node = NewOpNode(&AddBroadcastRowBackward, x, bias);
+  Tensor node = NewOpNode("add_broadcast_row", &AddBroadcastRowBackward, x, bias);
   const size_t rows = x->value.rows(), cols = x->value.cols();
   node->value.ResizeNoZero(rows, cols);
   const float* b = bias->value.Row(0);
@@ -490,32 +508,32 @@ Tensor AddBroadcastRow(const Tensor& x, const Tensor& bias) {
 }
 
 Tensor Tanh(const Tensor& x) {
-  Tensor node = NewOpNode(&TanhBackward, x);
+  Tensor node = NewOpNode("tanh", &TanhBackward, x);
   la::Tanh(x->value, &node->value);
   return node;
 }
 
 Tensor Sigmoid(const Tensor& x) {
-  Tensor node = NewOpNode(&SigmoidBackward, x);
+  Tensor node = NewOpNode("sigmoid", &SigmoidBackward, x);
   la::Sigmoid(x->value, &node->value);
   return node;
 }
 
 Tensor LeakyRelu(const Tensor& x, float slope) {
-  Tensor node = NewOpNode(&LeakyReluBackward, x);
+  Tensor node = NewOpNode("leaky_relu", &LeakyReluBackward, x);
   node->alpha = slope;
   la::LeakyRelu(x->value, slope, &node->value);
   return node;
 }
 
 Tensor RowDot(const Tensor& a, const Tensor& b) {
-  Tensor node = NewOpNode(&RowDotBackward, a, b);
+  Tensor node = NewOpNode("row_dot", &RowDotBackward, a, b);
   la::RowDot(a->value, b->value, &node->value);
   return node;
 }
 
 Tensor RowSum(const Tensor& x) {
-  Tensor node = NewOpNode(&RowSumBackward, x);
+  Tensor node = NewOpNode("row_sum", &RowSumBackward, x);
   la::RowSum(x->value, &node->value);
   return node;
 }
@@ -528,7 +546,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     PUP_CHECK_EQ(p->value.rows(), rows);
     total_cols += p->value.cols();
   }
-  Tensor node = NewOpNode(&ConcatColsBackward, parts);
+  Tensor node = NewOpNode("concat_cols", &ConcatColsBackward, parts);
   node->value.ResizeNoZero(rows, total_cols);
   size_t offset = 0;
   for (const Tensor& p : parts) {
@@ -550,7 +568,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     PUP_CHECK_EQ(p->value.cols(), cols);
     total_rows += p->value.rows();
   }
-  Tensor node = NewOpNode(&ConcatRowsBackward, parts);
+  Tensor node = NewOpNode("concat_rows", &ConcatRowsBackward, parts);
   node->value.ResizeNoZero(total_rows, cols);
   size_t offset = 0;
   for (const Tensor& p : parts) {
@@ -565,7 +583,7 @@ Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
   if (!training || p <= 0.0f) return x;
   PUP_CHECK_MSG(p < 1.0f, "dropout probability must be < 1");
   PUP_CHECK(rng != nullptr);
-  Tensor node = NewOpNode(&DropoutBackward, x);
+  Tensor node = NewOpNode("dropout", &DropoutBackward, x);
   node->aux.ResizeNoZero(x->value.rows(), x->value.cols());
   float keep_scale = 1.0f / (1.0f - p);
   for (size_t i = 0; i < node->aux.size(); ++i) {
@@ -577,7 +595,7 @@ Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
 
 Tensor Mean(const Tensor& x) {
   PUP_CHECK_GT(x->value.size(), 0u);
-  Tensor node = NewOpNode(&MeanBackward, x);
+  Tensor node = NewOpNode("mean", &MeanBackward, x);
   node->value.ResizeNoZero(1, 1);
   node->value(0, 0) = static_cast<float>(la::Sum(x->value) /
                                          static_cast<double>(x->value.size()));
@@ -585,14 +603,14 @@ Tensor Mean(const Tensor& x) {
 }
 
 Tensor SumAll(const Tensor& x) {
-  Tensor node = NewOpNode(&SumAllBackward, x);
+  Tensor node = NewOpNode("sum_all", &SumAllBackward, x);
   node->value.ResizeNoZero(1, 1);
   node->value(0, 0) = static_cast<float>(la::Sum(x->value));
   return node;
 }
 
 Tensor SquaredNorm(const Tensor& x) {
-  Tensor node = NewOpNode(&SquaredNormBackward, x);
+  Tensor node = NewOpNode("squared_norm", &SquaredNormBackward, x);
   node->value.ResizeNoZero(1, 1);
   node->value(0, 0) = static_cast<float>(la::SquaredNorm(x->value));
   return node;
@@ -605,7 +623,7 @@ Tensor AddScalars(const std::vector<Tensor>& scalars) {
     PUP_CHECK(s->value.rows() == 1 && s->value.cols() == 1);
     acc += s->value(0, 0);
   }
-  Tensor node = NewOpNode(&AddScalarsBackward, scalars);
+  Tensor node = NewOpNode("add_scalars", &AddScalarsBackward, scalars);
   node->value.ResizeNoZero(1, 1);
   node->value(0, 0) = acc;
   return node;
@@ -617,7 +635,7 @@ Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores) {
   const size_t n = pos_scores->value.rows();
   PUP_CHECK_GT(n, 0u);
 
-  Tensor node = NewOpNode(&BprLossBackward, pos_scores, neg_scores);
+  Tensor node = NewOpNode("bpr_loss", &BprLossBackward, pos_scores, neg_scores);
   // Cache σ(neg − pos) in aux: both the backward factor and 1 − σ(diff).
   node->aux.ResizeNoZero(n, 1);
   double total = 0.0;
@@ -639,7 +657,7 @@ Tensor MseLoss(const Tensor& pred, const la::Matrix& target) {
   PUP_CHECK(pred->value.SameShape(target));
   const size_t n = pred->value.size();
   PUP_CHECK_GT(n, 0u);
-  Tensor node = NewOpNode(&MseLossBackward, pred);
+  Tensor node = NewOpNode("mse_loss", &MseLossBackward, pred);
   la::Sub(pred->value, target, &node->aux);
   node->value.ResizeNoZero(1, 1);
   node->value(0, 0) =
@@ -647,12 +665,13 @@ Tensor MseLoss(const Tensor& pred, const la::Matrix& target) {
   return node;
 }
 
+// PUP_HOT
 Tensor RowDotSigmoidBpr(const Tensor& u, const Tensor& p, const Tensor& n) {
   PUP_CHECK(u->value.SameShape(p->value));
   PUP_CHECK(u->value.SameShape(n->value));
   const size_t rows = u->value.rows();
   PUP_CHECK_GT(rows, 0u);
-  Tensor node = NewOpNode(&RowDotSigmoidBprBackward, u, p, n);
+  Tensor node = NewOpNode("row_dot_sigmoid_bpr", &RowDotSigmoidBprBackward, u, p, n);
   // aux(i, 0) holds the score difference neg − pos, then (in the serial
   // reduction below) is overwritten with σ(diff), the backward factor.
   la::RowDotDiff(u->value, p->value, n->value, &node->aux);
@@ -670,6 +689,7 @@ Tensor RowDotSigmoidBpr(const Tensor& u, const Tensor& p, const Tensor& n) {
   return node;
 }
 
+// PUP_HOT
 Tensor FusedL2Penalty(const Tensor& base, const std::vector<Tensor>& terms,
                       float factor) {
   PUP_CHECK(base->value.rows() == 1 && base->value.cols() == 1);
@@ -680,7 +700,10 @@ Tensor FusedL2Penalty(const Tensor& base, const std::vector<Tensor>& terms,
   } else {
     node = internal::NewHeapNode();
   }
+  node->op_name = "fused_l2_penalty";
+  // NOLINTNEXTLINE(pup-hot-alloc) — recycled nodes keep parent capacity.
   node->parents.push_back(base);
+  // NOLINTNEXTLINE(pup-hot-alloc) — recycled nodes keep parent capacity.
   for (const Tensor& t : terms) node->parents.push_back(t);
   for (const Tensor& p : node->parents) {
     if (p->requires_grad) {

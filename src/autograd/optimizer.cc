@@ -39,6 +39,7 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float weight_decay)
   learning_rate_ = lr;
 }
 
+// PUP_HOT
 void Sgd::Step() {
   for (const Tensor& p : params_) {
     if (!p->grad_live()) continue;  // Never touched this step.
@@ -95,6 +96,7 @@ Status Adam::ImportState(const OptimizerState& state) {
   return Status::OK();
 }
 
+// PUP_HOT
 void Adam::Step() {
   ++t_;
   const float b1 = options_.beta1;

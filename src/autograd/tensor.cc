@@ -71,6 +71,7 @@ Tensor Param(la::Matrix value) {
   Tensor node = internal::NewHeapNode();
   node->value = std::move(value);
   node->requires_grad = true;
+  node->op_name = "param";
   return node;
 }
 
@@ -78,6 +79,7 @@ Tensor Constant(la::Matrix value) {
   Tensor node = internal::NewHeapNode();
   node->value = std::move(value);
   node->requires_grad = false;
+  node->op_name = "constant";
   return node;
 }
 

@@ -53,6 +53,11 @@ class Node {
   /// Backward function; null for leaves.
   BackwardFn backward_fn = nullptr;
 
+  /// Static name of the op that produced `value` ("gather", "gemm", ...;
+  /// "param"/"constant" for leaves). Provenance for numeric-safety
+  /// diagnostics (NumericGuard); always a string literal, never owned.
+  const char* op_name = "leaf";
+
   // --- Op state (replaces closure captures; reused across arena steps) ---
 
   /// Row indices (Gather / GatherAdd first table).
@@ -97,6 +102,7 @@ class Node {
   void ResetForReuse() {
     parents.clear();
     backward_fn = nullptr;
+    op_name = "leaf";
     requires_grad = false;
     grad_live_ = false;
     alpha = 0.0f;

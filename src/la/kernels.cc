@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "common/thread_pool.h"
 
@@ -49,6 +51,7 @@ double ChunkedReduce(size_t n, const ChunkFn& chunk_sum) {
 
 }  // namespace
 
+// PUP_HOT
 void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
   PUP_CHECK_EQ(a.cols(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
@@ -71,6 +74,7 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
   PUP_CHECK_EQ(a.rows(), b.rows());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
@@ -90,6 +94,7 @@ void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
   PUP_CHECK_EQ(a.cols(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
@@ -108,6 +113,7 @@ void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void Spmm(const CsrMatrix& sparse, const Matrix& dense, Matrix* out) {
   PUP_CHECK_EQ(sparse.cols(), dense.rows());
   const size_t m = sparse.rows(), n = dense.cols();
@@ -131,6 +137,7 @@ void Spmm(const CsrMatrix& sparse, const Matrix& dense, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void Axpy(float alpha, const Matrix& x, Matrix* out) {
   PUP_CHECK(x.SameShape(*out));
   const float* xd = x.data();
@@ -140,6 +147,7 @@ void Axpy(float alpha, const Matrix& x, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void Add(const Matrix& x, const Matrix& y, Matrix* out) {
   PUP_CHECK(x.SameShape(y));
   EnsureShapeNoZero(x.rows(), x.cols(), out);
@@ -151,6 +159,7 @@ void Add(const Matrix& x, const Matrix& y, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void Sub(const Matrix& x, const Matrix& y, Matrix* out) {
   PUP_CHECK(x.SameShape(y));
   EnsureShapeNoZero(x.rows(), x.cols(), out);
@@ -162,6 +171,7 @@ void Sub(const Matrix& x, const Matrix& y, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void Mul(const Matrix& x, const Matrix& y, Matrix* out) {
   PUP_CHECK(x.SameShape(y));
   EnsureShapeNoZero(x.rows(), x.cols(), out);
@@ -173,6 +183,7 @@ void Mul(const Matrix& x, const Matrix& y, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void Scale(float alpha, const Matrix& x, Matrix* out) {
   EnsureShapeNoZero(x.rows(), x.cols(), out);
   const float* xd = x.data();
@@ -182,6 +193,7 @@ void Scale(float alpha, const Matrix& x, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void Tanh(const Matrix& x, Matrix* out) {
   EnsureShapeNoZero(x.rows(), x.cols(), out);
   const float* xd = x.data();
@@ -192,6 +204,7 @@ void Tanh(const Matrix& x, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void Sigmoid(const Matrix& x, Matrix* out) {
   EnsureShapeNoZero(x.rows(), x.cols(), out);
   const float* xd = x.data();
@@ -206,6 +219,7 @@ void Sigmoid(const Matrix& x, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void LeakyRelu(const Matrix& x, float slope, Matrix* out) {
   EnsureShapeNoZero(x.rows(), x.cols(), out);
   const float* xd = x.data();
@@ -218,6 +232,7 @@ void LeakyRelu(const Matrix& x, float slope, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void GatherRows(const Matrix& table, const std::vector<uint32_t>& idx,
                 Matrix* out) {
   EnsureShapeNoZero(idx.size(), table.cols(), out);
@@ -231,6 +246,7 @@ void GatherRows(const Matrix& table, const std::vector<uint32_t>& idx,
   });
 }
 
+// PUP_HOT
 void GatherRowsAdd(const Matrix& table_a, const std::vector<uint32_t>& idx_a,
                    const Matrix& table_b, const std::vector<uint32_t>& idx_b,
                    Matrix* out) {
@@ -249,6 +265,7 @@ void GatherRowsAdd(const Matrix& table_a, const std::vector<uint32_t>& idx_a,
   });
 }
 
+// PUP_HOT
 void ScatterAddRows(const Matrix& src, const std::vector<uint32_t>& idx,
                     Matrix* table) {
   PUP_CHECK_EQ(src.rows(), idx.size());
@@ -269,7 +286,10 @@ void ScatterAddRows(const Matrix& src, const std::vector<uint32_t>& idx,
   // destination row accumulates its contributions in ascending i — the
   // exact serial order. Results are bitwise-identical to the serial loop
   // for any shard count; duplicates in idx are handled by construction.
-  ParallelFor(0, shards, 1, [&](size_t lo, size_t hi) {
+  // One shard per chunk: shards are already sized to the pool, so any
+  // coarser grain would idle workers.
+  constexpr size_t kOneShardPerChunk = 1;
+  ParallelFor(0, shards, kOneShardPerChunk, [&](size_t lo, size_t hi) {
     for (size_t s = lo; s < hi; ++s) {
       for (size_t i = 0; i < idx.size(); ++i) {
         if (idx[i] % shards != s) continue;
@@ -282,6 +302,7 @@ void ScatterAddRows(const Matrix& src, const std::vector<uint32_t>& idx,
   });
 }
 
+// PUP_HOT
 void RowDot(const Matrix& x, const Matrix& y, Matrix* out) {
   PUP_CHECK(x.SameShape(y));
   EnsureShapeNoZero(x.rows(), 1, out);
@@ -297,6 +318,7 @@ void RowDot(const Matrix& x, const Matrix& y, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void RowDotDiff(const Matrix& x, const Matrix& a, const Matrix& b,
                 Matrix* out) {
   PUP_CHECK(x.SameShape(a));
@@ -319,6 +341,7 @@ void RowDotDiff(const Matrix& x, const Matrix& a, const Matrix& b,
   });
 }
 
+// PUP_HOT
 void RowSum(const Matrix& x, Matrix* out) {
   EnsureShapeNoZero(x.rows(), 1, out);
   const size_t cols = x.cols();
@@ -332,6 +355,7 @@ void RowSum(const Matrix& x, Matrix* out) {
   });
 }
 
+// PUP_HOT
 void RowScale(const Matrix& x, const Matrix& s, Matrix* out) {
   PUP_CHECK_EQ(s.rows(), x.rows());
   PUP_CHECK_EQ(s.cols(), 1u);
@@ -404,6 +428,7 @@ float MaxAbs(const Matrix& x) {
   return m;
 }
 
+// PUP_HOT
 void Gemv(const Matrix& a, const Matrix& x, Matrix* out) {
   PUP_CHECK_EQ(x.cols(), 1u);
   PUP_CHECK_EQ(a.cols(), x.rows());
@@ -417,6 +442,62 @@ void Gemv(const Matrix& a, const Matrix& x, Matrix* out) {
       (*out)(i, 0) = acc;
     }
   });
+}
+
+// PUP_HOT: runs inside every guarded training step; must not allocate.
+bool AllFinite(const Matrix& x) {
+  const float* xd = x.data();
+  const size_t n = x.size();
+  // A float is non-finite iff its exponent field is all ones; masking the
+  // exponent and adding one exponent ulp carries into the sign bit exactly
+  // for NaN/Inf, so OR-accumulating the sums leaves the verdict in the
+  // sign bit. The integer OR reduction is associative (unlike an FP add
+  // chain), so the compiler can unroll/vectorize it; the blocking bounds
+  // how far we scan past the first bad entry. Branch-free per element and
+  // serial: the scan is memory-bound and the guard's callers already sit
+  // inside per-step parallel regions.
+  constexpr size_t kBlock = size_t{1} << 12;
+  constexpr uint32_t kExpMask = 0x7f800000u;
+  constexpr uint32_t kExpUlp = 0x00800000u;
+  for (size_t lo = 0; lo < n; lo += kBlock) {
+    const size_t hi = std::min(n, lo + kBlock);
+    // Four independent accumulators: the OR chains interleave instead of
+    // serializing at one element per cycle.
+    uint32_t lanes[4] = {0, 0, 0, 0};
+    size_t i = lo;
+    for (; i + 4 <= hi; i += 4) {
+      uint32_t bits[4];
+      std::memcpy(bits, &xd[i], sizeof(bits));
+      lanes[0] |= (bits[0] & kExpMask) + kExpUlp;
+      lanes[1] |= (bits[1] & kExpMask) + kExpUlp;
+      lanes[2] |= (bits[2] & kExpMask) + kExpUlp;
+      lanes[3] |= (bits[3] & kExpMask) + kExpUlp;
+    }
+    for (; i < hi; ++i) {
+      uint32_t bits;
+      std::memcpy(&bits, &xd[i], sizeof(bits));
+      lanes[0] |= (bits & kExpMask) + kExpUlp;
+    }
+    const uint32_t acc = lanes[0] | lanes[1] | lanes[2] | lanes[3];
+    if ((acc & 0x80000000u) != 0) return false;
+  }
+  return true;
+}
+
+NonFiniteCounts CountNonFinite(const Matrix& x) {
+  NonFiniteCounts counts;
+  const float* xd = x.data();
+  const size_t n = x.size();
+  counts.first_index = n;
+  for (size_t i = 0; i < n; ++i) {
+    const bool nan = std::isnan(xd[i]);
+    const bool inf = std::isinf(xd[i]);
+    if (!nan && !inf) continue;
+    if (counts.first_index == n) counts.first_index = i;
+    counts.nans += nan ? 1 : 0;
+    counts.infs += inf ? 1 : 0;
+  }
+  return counts;
 }
 
 }  // namespace pup::la

@@ -101,4 +101,23 @@ float MaxAbs(const Matrix& x);
 /// y = A x for a dense (m,d) matrix and a length-d vector (d,1) -> (m,1).
 void Gemv(const Matrix& a, const Matrix& x, Matrix* out);
 
+/// True iff every entry is finite (no NaN, no ±Inf). Branch-free blockwise
+/// scan (one multiply + compare per element, vectorizable) — the fast path
+/// of the numeric sentinels (ag::NumericGuard, Matrix::AssertFinite).
+/// Never allocates, so clean training steps stay allocation-free.
+bool AllFinite(const Matrix& x);
+
+/// Failure-path diagnostics for a matrix that failed AllFinite.
+struct NonFiniteCounts {
+  size_t nans = 0;
+  size_t infs = 0;
+  /// Flat (row-major) index of the first non-finite entry; x.size() when
+  /// the matrix is clean.
+  size_t first_index = 0;
+};
+
+/// Counts NaN / ±Inf entries and locates the first one. Serial elementwise
+/// walk; only ever called after AllFinite has already failed.
+NonFiniteCounts CountNonFinite(const Matrix& x);
+
 }  // namespace pup::la

@@ -1,7 +1,10 @@
 #include "la/matrix.h"
 
 #include <atomic>
+#include <cstdio>
 #include <sstream>
+
+#include "la/kernels.h"
 
 namespace pup::la {
 namespace {
@@ -53,6 +56,21 @@ Matrix Matrix::Identity(size_t n) {
   Matrix m(n, n);
   for (size_t i = 0; i < n; ++i) m(i, i) = 1.0f;
   return m;
+}
+
+void Matrix::AssertFinite(const char* what) const {
+  if (AllFinite(*this)) return;  // Branch-free fast path; no allocation.
+  const NonFiniteCounts counts = CountNonFinite(*this);
+  char msg[256];
+  std::snprintf(msg, sizeof(msg),
+                "%s (%zux%zu) is not finite: %zu NaN, %zu Inf, first at "
+                "flat index %zu (row %zu, col %zu)",
+                what, rows_, cols_, counts.nans, counts.infs,
+                counts.first_index,
+                cols_ == 0 ? 0 : counts.first_index / cols_,
+                cols_ == 0 ? 0 : counts.first_index % cols_);
+  ::pup::internal::CheckFailed(__FILE__, __LINE__, "Matrix::AssertFinite",
+                               msg);
 }
 
 std::string Matrix::ToString() const {

@@ -135,6 +135,13 @@ class Matrix {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
+  /// Aborts (via PUP_CHECK machinery) if any entry is NaN or ±Inf,
+  /// reporting `what`, the shape, the first bad flat index, and NaN/Inf
+  /// counts. The clean path is a branch-free scan with no allocation; the
+  /// trainer calls this on the loss every step (see ag::NumericGuard for
+  /// the op-level tape scan).
+  void AssertFinite(const char* what) const;
+
   /// Human-readable dump (small matrices; for tests and debugging).
   std::string ToString() const;
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "autograd/numeric_guard.h"
 #include "autograd/optimizer.h"
 #include "autograd/tensor.h"
 #include "common/flags.h"
@@ -67,7 +68,16 @@ struct TrainOptions {
   bool verbose = false;
   /// Crash-safe snapshot/resume of this run; disabled by default.
   CheckpointOptions checkpoint;
+  /// Scan every step's forward activations and backward gradients for
+  /// NaN/Inf (ag::NumericGuard, op-level provenance). The scalar batch
+  /// loss is validated every step regardless. Defaults on in Debug
+  /// builds, off in Release; --check-numerics overrides either way.
+  bool check_numerics = ag::kCheckNumericsDefault;
 };
+
+/// Applies the --check-numerics[=0|1] flag to `options` — shared by
+/// pup_cli and every example (mirrors CheckpointOptionsFromFlags).
+void ApplyCheckNumericsFlag(const Flags& flags, TrainOptions* options);
 
 /// A model trainable with BPR: builds the differentiable score graph for
 /// one (users, positives, negatives) batch.

@@ -1,0 +1,249 @@
+// Golden tests for pup_lint, the project's determinism/invariant
+// analyzer. Each check gets a minimal fixture that must fire exactly
+// once, suppressions (NOLINT / NOLINTNEXTLINE) must silence findings,
+// clean files must exit 0, and — the self-check that keeps the tool
+// honest — the shipped tree itself must be lint-clean.
+//
+// The binary path and source root are injected at compile time
+// (PUP_LINT_BINARY, PUP_SOURCE_DIR) so the test runs the same artifact
+// the `lint` target uses.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+std::string TempDir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = std::string(base ? base : "/tmp") + "/pup_lint_test_" +
+                    std::to_string(::testing::UnitTest::GetInstance()
+                                       ->random_seed()) +
+                    "_" + std::to_string(::getpid());
+  std::string cmd = "mkdir -p " + dir;
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  return dir;
+}
+
+/// Runs pup_lint over `args`, capturing stdout+stderr and the exit code.
+LintRun RunLint(const std::string& args) {
+  const std::string log = TempDir() + "/out.txt";
+  const std::string cmd =
+      std::string(PUP_LINT_BINARY) + " " + args + " > " + log + " 2>&1";
+  LintRun run;
+  const int raw = std::system(cmd.c_str());
+  run.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(log);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  run.output = buf.str();
+  return run;
+}
+
+/// Writes `content` to a fresh fixture file and lints just that file's
+/// directory; returns the run.
+LintRun LintFixture(const std::string& content, const char* extra = "") {
+  const std::string dir = TempDir();
+  std::ofstream out(dir + "/fixture.cc");
+  out << content;
+  out.close();
+  return RunLint(std::string(extra) + (*extra ? " " : "") + dir);
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Each check fires on its fixture
+// ---------------------------------------------------------------------------
+
+TEST(LintCheckTest, PupRandFiresOnStdRandomness) {
+  LintRun run = LintFixture(
+      "#include <random>\n"
+      "int f() { std::mt19937 gen(42); return (int)gen(); }\n");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-rand]"), 1u) << run.output;
+}
+
+TEST(LintCheckTest, PupUnorderedIterFiresOnRangeForOverUnorderedMap) {
+  LintRun run = LintFixture(
+      "#include <unordered_map>\n"
+      "int f(const std::unordered_map<int, int>& counts) {\n"
+      "  int total = 0;\n"
+      "  for (const auto& [k, v] : counts) total += v;\n"
+      "  return total;\n"
+      "}\n");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-unordered-iter]"), 1u)
+      << run.output;
+}
+
+TEST(LintCheckTest, PupHotAllocFiresInsideMarkedFunctionOnly) {
+  LintRun run = LintFixture(
+      "#include <vector>\n"
+      "void cold(std::vector<int>* v) { v->push_back(1); }\n"  // Unmarked: OK.
+      "// PUP_HOT\n"
+      "void hot(std::vector<int>* v) {\n"
+      "  v->push_back(2);\n"   // Finding 1: container growth.
+      "  int* p = new int(3);\n"  // Finding 2: raw allocation.
+      "  delete p;\n"             // Finding 3: raw deallocation.
+      "}\n"
+      "void cold2(std::vector<int>* v) { v->resize(8); }\n");  // After the
+                                                               // hot region.
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-hot-alloc]"), 3u)
+      << run.output;
+}
+
+TEST(LintCheckTest, PupNarrowingFiresOnUnsuffixedDoubleLiteral) {
+  LintRun run = LintFixture(
+      "float lr() { float rate = 0.01; return rate; }\n"   // Finding.
+      "float ok() { float rate = 0.01f; return rate; }\n");  // Suffixed: OK.
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-narrowing]"), 1u)
+      << run.output;
+}
+
+TEST(LintCheckTest, PupStatusValueFiresOnUncheckedValue) {
+  LintRun run = LintFixture(
+      "#include <optional>\n"
+      "int f(const std::optional<int>& maybe) { return maybe.value(); }\n");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-status-value]"), 1u)
+      << run.output;
+}
+
+TEST(LintCheckTest, PupStatusValueAcceptsNearbyOkEvidence) {
+  LintRun run = LintFixture(
+      "#include <optional>\n"
+      "int f(const std::optional<int>& maybe) {\n"
+      "  if (!maybe.has_value()) return -1;\n"
+      "  return maybe.value();\n"
+      "}\n");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintCheckTest, PupParallelGrainFiresOnBareLiteralGrain) {
+  LintRun run = LintFixture(
+      "void ParallelFor(unsigned long, unsigned long, unsigned long,\n"
+      "                 void (*)(unsigned long));\n"
+      "void body(unsigned long);\n"
+      "void f() { ParallelFor(0, 100, 64, body); }\n"  // Bare 64: finding.
+      "void g() {\n"
+      "  constexpr unsigned long kGrain = 64;\n"
+      "  ParallelFor(0, 100, kGrain, body);\n"  // Named: OK.
+      "}\n");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-parallel-grain]"), 1u)
+      << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression and output contract
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppressionTest, SameLineNolintSilencesTheNamedCheck) {
+  LintRun run = LintFixture(
+      "#include <random>\n"
+      "int f() {\n"
+      "  std::mt19937 gen(42);  // NOLINT(pup-rand) — fixture needs it.\n"
+      "  return (int)gen();\n"
+      "}\n");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintSuppressionTest, NolintNextLineSilencesTheFollowingLine) {
+  LintRun run = LintFixture(
+      "float lr() {\n"
+      "  // NOLINTNEXTLINE(pup-narrowing) — double precision intended.\n"
+      "  float rate = 0.01;\n"
+      "  return rate;\n"
+      "}\n");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintSuppressionTest, NolintForADifferentCheckDoesNotSilence) {
+  LintRun run = LintFixture(
+      "float lr() {\n"
+      "  float rate = 0.01;  // NOLINT(pup-rand) — wrong check id.\n"
+      "  return rate;\n"
+      "}\n");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-narrowing]"), 1u)
+      << run.output;
+}
+
+TEST(LintOutputTest, CleanFileExitsZeroAndReportsClean) {
+  LintRun run = LintFixture(
+      "int add(int a, int b) { return a + b; }\n");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.output.find("pup_lint: clean"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintOutputTest, FindingsAreFileLineCheckIdFormatted) {
+  LintRun run = LintFixture(
+      "float lr() { float rate = 0.01; return rate; }\n");
+  EXPECT_EQ(run.exit_code, 1);
+  // file:line: [check-id] message
+  EXPECT_NE(run.output.find("fixture.cc:1: [pup-narrowing]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintOutputTest, FixSuggestionsModeAddsHints) {
+  LintRun run = LintFixture(
+      "float lr() { float rate = 0.01; return rate; }\n",
+      "--fix-suggestions");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("fix suggestions:"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("f-suffixed literal"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintOutputTest, CommentsAndStringsDoNotTriggerChecks) {
+  LintRun run = LintFixture(
+      "// std::mt19937 in a comment is fine\n"
+      "/* float rate = 0.01; also fine */\n"
+      "const char* doc() { return \"rand() and maybe.value()\"; }\n");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintOutputTest, UsageErrorExitsTwo) {
+  LintRun run = RunLint("");
+  EXPECT_EQ(run.exit_code, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Self-check: the shipped tree is lint-clean
+// ---------------------------------------------------------------------------
+
+TEST(LintSelfCheckTest, ShippedTreeIsLintClean) {
+  const std::string root(PUP_SOURCE_DIR);
+  LintRun run = RunLint(root + "/src " + root + "/bench " + root +
+                        "/examples " + root + "/tools");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("pup_lint: clean"), std::string::npos)
+      << run.output;
+}
+
+}  // namespace

@@ -55,6 +55,8 @@ int Usage() {
                "[--resume PATH]\n"
                "       global: --threads N (default: hardware concurrency; "
                "1 = exact serial)\n"
+               "               --check-numerics[=0|1] NaN/Inf tape scan "
+               "each step (default: on in Debug)\n"
                "       checkpoints: --save-every N snapshots DIR every N "
                "epochs; --resume replays\n"
                "       the run bitwise-identically from the newest valid "
@@ -99,6 +101,7 @@ std::unique_ptr<models::Recommender> MakeModel(const std::string& name,
   t.l2_reg = static_cast<float>(flags.GetDouble("l2", t.l2_reg));
   t.seed = static_cast<uint64_t>(flags.GetInt("seed", t.seed));
   t.checkpoint = train::CheckpointOptionsFromFlags(flags);
+  train::ApplyCheckNumericsFlag(flags, &t);
   if (t.checkpoint.save_every > 0 && t.checkpoint.directory.empty()) {
     std::fprintf(stderr, "--save-every needs --ckpt-dir\n");
     return nullptr;
