@@ -22,6 +22,7 @@
 #include "eval/metrics.h"
 #include "graph/hetero_graph.h"
 #include "la/kernels.h"
+#include "obs/registry.h"
 
 namespace {
 
@@ -291,6 +292,79 @@ void BM_TrainStepCheckNumerics(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrainStepCheckNumerics)->Arg(0)->Arg(1);
+
+// --- pup::obs cost (Arg: 0 = metrics off, 1 = metrics on). -------------
+//
+// Same arena-backed step as BM_TrainStep/1, run with the global metrics
+// switch toggled. The step already passes through every instrumented
+// layer (la dispatch counters, thread-pool spans) and adds the same
+// scoped timer the trainer wraps around RunBatchStep, so Arg(1) measures
+// the real end-to-end recording cost. Registration order guarantees the
+// metrics-off baseline runs first; the Arg(1) case reports
+// metrics_overhead = on/off - 1 with an acceptance bar of < 0.03.
+// obs_allocs_per_step must read 0 in both cases: steady-state recording
+// through cached handles is allocation-free by contract.
+double& MetricsOffStepSeconds() {
+  static double seconds = 0.0;
+  return seconds;
+}
+
+void BM_TrainStepMetrics(benchmark::State& state) {
+  const bool metrics_on = state.range(0) != 0;
+  obs::SetEnabled(metrics_on);
+  la::CsrMatrix adj = MakeAdjacency(2000, 1200, 40000);
+  la::CsrMatrix adj_t = adj.Transposed();
+  Rng rng(7);
+  ag::Tensor emb =
+      ag::Param(la::Matrix::Gaussian(adj.rows(), 56, 0.05f, &rng));
+  ag::Sgd opt({emb}, 0.05f);
+  std::vector<uint32_t> users(1024), pos(1024), neg(1024);
+  for (size_t k = 0; k < 1024; ++k) {
+    users[k] = static_cast<uint32_t>(rng.NextBelow(2000));
+    pos[k] = 2000 + static_cast<uint32_t>(rng.NextBelow(1200));
+    neg[k] = 2000 + static_cast<uint32_t>(rng.NextBelow(1200));
+  }
+  ag::TapeArena arena;
+  auto step = [&] {
+    PUP_OBS_SCOPED_TIMER("bench/train_step");
+    ag::TapeArena::Scope scope(&arena);
+    ag::Tensor f = ag::Tanh(ag::Spmm(&adj, &adj_t, emb));
+    ag::Tensor u = ag::Gather(f, users);
+    ag::Tensor p = ag::Gather(f, pos);
+    ag::Tensor n = ag::Gather(f, neg);
+    ag::Tensor loss =
+        ag::FusedL2Penalty(ag::RowDotSigmoidBpr(u, p, n), {u, p, n}, 1e-4f);
+    opt.ZeroGrad();
+    ag::Backward(loss);
+    opt.Step();
+    arena.Reset();
+  };
+  step();
+  step();
+  const uint64_t obs_allocs0 = obs::AllocationCount();
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    step();
+    benchmark::DoNotOptimize(emb->value.data());
+    ++iters;
+  }
+  const double seconds = timer.Seconds();
+  const uint64_t obs_allocs1 = obs::AllocationCount();
+  const double per_iter = seconds / static_cast<double>(iters);
+  state.counters["obs_allocs_per_step"] =
+      static_cast<double>(obs_allocs1 - obs_allocs0) /
+      static_cast<double>(iters);
+  if (!metrics_on) {
+    MetricsOffStepSeconds() = per_iter;
+    state.counters["metrics_overhead"] = 0.0;
+  } else if (MetricsOffStepSeconds() > 0.0) {
+    state.counters["metrics_overhead"] =
+        per_iter / MetricsOffStepSeconds() - 1.0;
+  }
+  obs::SetEnabled(true);
+}
+BENCHMARK(BM_TrainStepMetrics)->Arg(0)->Arg(1);
 
 // --- --threads sweeps: 1, 2, 4, hardware concurrency -------------------
 //

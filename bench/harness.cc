@@ -10,6 +10,7 @@
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "data/kcore.h"
+#include "obs/registry.h"
 
 namespace pup::bench {
 namespace {
@@ -119,7 +120,11 @@ int Finish() {
     if (i > 0) json += ",";
     json += "\"" + g_failures[i] + "\"";
   }
-  json += "]}";
+  // Every summary carries the run's metrics registry, so BENCH_*.json
+  // captures where the time and work went (spans, kernel dispatches,
+  // checkpoint bytes) alongside the pass/fail tally.
+  json += "],\"obs\":" + obs::Registry::Global().ToJson();
+  json += "}";
   std::printf("%s\n", json.c_str());
   if (g_cases == 0) {
     std::fprintf(stderr, "[bench] FAILED: no cases were recorded\n");

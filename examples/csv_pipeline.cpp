@@ -13,6 +13,7 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "obs/export.h"
 #include "core/pup_model.h"
 #include "data/csv.h"
 #include "data/kcore.h"
@@ -26,6 +27,10 @@ int main(int argc, char** argv) {
   using namespace pup;
   Flags flags = Flags::Parse(argc, argv);
   ApplyThreadsFlag(flags);  // --threads=N, default: all cores.
+  // --metrics-out / --trace-out: dump metrics JSON ("-" = table on
+  // stderr) and a chrome://tracing event trace at exit.
+  obs::ScopedExport obs_export(flags.GetString("metrics-out", ""),
+                               flags.GetString("trace-out", ""));
   const std::string dir = "/tmp";
 
   // 1. Export.

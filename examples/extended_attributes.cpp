@@ -12,6 +12,7 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "obs/export.h"
 #include "common/table.h"
 #include "core/extended_pup.h"
 #include "data/quantization.h"
@@ -22,6 +23,10 @@ int main(int argc, char** argv) {
   using namespace pup;
   Flags flags = Flags::Parse(argc, argv);
   ApplyThreadsFlag(flags);  // --threads=N, default: all cores.
+  // --metrics-out / --trace-out: dump metrics JSON ("-" = table on
+  // stderr) and a chrome://tracing event trace at exit.
+  obs::ScopedExport obs_export(flags.GetString("metrics-out", ""),
+                               flags.GetString("trace-out", ""));
 
   data::SyntheticConfig world = data::SyntheticConfig::BeibeiLike().Scaled(0.3);
   data::Dataset dataset = data::GenerateSynthetic(world);

@@ -16,6 +16,7 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "obs/export.h"
 #include "common/table.h"
 #include "core/pup_model.h"
 #include "data/quantization.h"
@@ -53,6 +54,10 @@ std::vector<double> PriceAffinity(const core::Pup& model,
 int main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   ApplyThreadsFlag(flags);  // --threads=N, default: all cores.
+  // --metrics-out / --trace-out: dump metrics JSON ("-" = table on
+  // stderr) and a chrome://tracing event trace at exit.
+  obs::ScopedExport obs_export(flags.GetString("metrics-out", ""),
+                               flags.GetString("trace-out", ""));
 
   // A world where budget is the dominant signal.
   data::SyntheticConfig world = data::SyntheticConfig::BeibeiLike().Scaled(0.3);

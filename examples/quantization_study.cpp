@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "obs/export.h"
 #include "common/table.h"
 #include "data/quantization.h"
 #include "data/synthetic.h"
@@ -18,6 +19,10 @@ int main(int argc, char** argv) {
   using namespace pup;
   Flags flags = Flags::Parse(argc, argv);
   ApplyThreadsFlag(flags);  // --threads=N, default: all cores.
+  // --metrics-out / --trace-out: dump metrics JSON ("-" = table on
+  // stderr) and a chrome://tracing event trace at exit.
+  obs::ScopedExport obs_export(flags.GetString("metrics-out", ""),
+                               flags.GetString("trace-out", ""));
 
   // The paper's worked example.
   {

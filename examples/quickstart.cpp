@@ -15,6 +15,7 @@
 #include <numeric>
 
 #include "common/flags.h"
+#include "obs/export.h"
 #include "core/pup_model.h"
 #include "data/quantization.h"
 #include "data/synthetic.h"
@@ -24,6 +25,10 @@ int main(int argc, char** argv) {
   using namespace pup;
   Flags flags = Flags::Parse(argc, argv);
   ApplyThreadsFlag(flags);  // --threads=N, default: all cores.
+  // --metrics-out / --trace-out: dump metrics JSON ("-" = table on
+  // stderr) and a chrome://tracing event trace at exit.
+  obs::ScopedExport obs_export(flags.GetString("metrics-out", ""),
+                               flags.GetString("trace-out", ""));
 
   // 1. A small e-commerce world. Swap in data::LoadCsv(...) for real data.
   data::SyntheticConfig world = data::SyntheticConfig::BeibeiLike().Scaled(0.3);

@@ -24,12 +24,17 @@ OptimizerState Optimizer::ExportState() const {
   return state;
 }
 
-Status Optimizer::ImportState(const OptimizerState& state) {
+Status Optimizer::ValidateState(const OptimizerState& state) const {
   if (!state.slots.empty()) {
     return Status::InvalidArgument(
         "optimizer state has " + std::to_string(state.slots.size()) +
         " slots but this optimizer keeps none");
   }
+  return Status::OK();
+}
+
+Status Optimizer::ImportState(const OptimizerState& state) {
+  PUP_RETURN_NOT_OK(ValidateState(state));
   learning_rate_ = state.learning_rate;
   return Status::OK();
 }
@@ -73,7 +78,7 @@ OptimizerState Adam::ExportState() const {
   return state;
 }
 
-Status Adam::ImportState(const OptimizerState& state) {
+Status Adam::ValidateState(const OptimizerState& state) const {
   const size_t k = params_.size();
   if (state.slots.size() != 2 * k) {
     return Status::InvalidArgument(
@@ -87,6 +92,12 @@ Status Adam::ImportState(const OptimizerState& state) {
           "Adam moment shape mismatch at parameter " + std::to_string(i));
     }
   }
+  return Status::OK();
+}
+
+Status Adam::ImportState(const OptimizerState& state) {
+  PUP_RETURN_NOT_OK(ValidateState(state));
+  const size_t k = params_.size();
   t_ = state.step;
   learning_rate_ = state.learning_rate;
   for (size_t i = 0; i < k; ++i) {

@@ -42,9 +42,16 @@ class Optimizer {
   /// the learning rate, no slots.
   virtual OptimizerState ExportState() const;
 
+  /// Checks that `state` could be imported into this optimizer (slot
+  /// count and shapes) without mutating anything. ImportState runs the
+  /// same check first; callers that must sequence several restores
+  /// all-or-nothing (train::TryResumeCheckpoint) call this up front so a
+  /// doomed import is rejected before any sibling state is mutated.
+  virtual Status ValidateState(const OptimizerState& state) const;
+
   /// Restores a state exported by the same optimizer type over the same
-  /// parameter shapes. Validates everything before mutating, so a failed
-  /// import leaves the optimizer untouched.
+  /// parameter shapes. Validates everything (ValidateState) before
+  /// mutating, so a failed import leaves the optimizer untouched.
   virtual Status ImportState(const OptimizerState& state);
 
   const std::vector<Tensor>& params() const { return params_; }
@@ -83,6 +90,7 @@ class Adam : public Optimizer {
 
   /// Slots: [m_0 … m_{k-1}, v_0 … v_{k-1}] for k parameters.
   OptimizerState ExportState() const override;
+  Status ValidateState(const OptimizerState& state) const override;
   Status ImportState(const OptimizerState& state) override;
 
  private:

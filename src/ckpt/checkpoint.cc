@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "la/io.h"
+#include "obs/registry.h"
 
 namespace pup::ckpt {
 namespace {
@@ -145,6 +146,7 @@ void Writer::AddRng(const std::string& name, const RngState& state) {
 }
 
 Status Writer::WriteFile(const std::string& path) const {
+  PUP_OBS_SCOPED_TIMER("ckpt/write");
   std::string blob;
   blob.reserve(kHeaderSize);
   blob.append(kMagic, 4);
@@ -185,10 +187,13 @@ Status Writer::WriteFile(const std::string& path) const {
     std::remove(tmp.c_str());
     return Status::IOError("rename to " + path + " failed");
   }
+  PUP_OBS_COUNT("ckpt/files_written", 1);
+  PUP_OBS_COUNT("ckpt/bytes_written", blob.size());
   return Status::OK();
 }
 
 Result<Reader> Reader::Open(const std::string& path) {
+  PUP_OBS_SCOPED_TIMER("ckpt/open");
   std::string blob;
   {
     FilePtr f(std::fopen(path.c_str(), "rb"));
@@ -210,6 +215,10 @@ Result<Reader> Reader::Open(const std::string& path) {
     return Status::InvalidArgument("not a PUPC checkpoint: " + path);
   }
 
+  // Everything from here to the return is header parsing plus the
+  // upfront CRC sweep over every section — the cost of the
+  // all-CRCs-validated-at-Open design, reported as its own span.
+  PUP_OBS_SCOPED_TIMER("ckpt/crc_validate");
   size_t offset = 4;
   uint32_t version = 0;
   Reader reader;
@@ -269,6 +278,8 @@ Result<Reader> Reader::Open(const std::string& path) {
   if (offset != blob.size()) {
     return Status::IOError("checkpoint has trailing garbage: " + path);
   }
+  PUP_OBS_COUNT("ckpt/files_read", 1);
+  PUP_OBS_COUNT("ckpt/bytes_read", blob.size());
   return reader;
 }
 

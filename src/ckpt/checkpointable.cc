@@ -42,7 +42,7 @@ Status SaveOptimizerState(const ag::Optimizer& optimizer, Writer* writer) {
   return Status::OK();
 }
 
-Status LoadOptimizerState(const Reader& reader, ag::Optimizer* optimizer) {
+Result<ag::OptimizerState> ReadOptimizerState(const Reader& reader) {
   ag::OptimizerState state;
   PUP_ASSIGN_OR_RETURN(uint64_t step, reader.GetU64("optim/step"));
   state.step = static_cast<int64_t>(step);
@@ -54,6 +54,11 @@ Status LoadOptimizerState(const Reader& reader, ag::Optimizer* optimizer) {
                          reader.GetMatrix("optim/slot/" + std::to_string(i)));
     state.slots.push_back(std::move(slot));
   }
+  return state;
+}
+
+Status LoadOptimizerState(const Reader& reader, ag::Optimizer* optimizer) {
+  PUP_ASSIGN_OR_RETURN(ag::OptimizerState state, ReadOptimizerState(reader));
   return optimizer->ImportState(state);
 }
 

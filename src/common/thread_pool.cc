@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/registry.h"
+
 namespace pup {
 namespace {
 
@@ -70,6 +72,8 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   if (end <= begin) return;
   if (grain == 0) grain = 1;
   const size_t num_chunks = (end - begin + grain - 1) / grain;
+  PUP_OBS_COUNT("threadpool/parallel_fors", 1);
+  PUP_OBS_COUNT("threadpool/chunks", num_chunks);
   if (num_threads_ <= 1 || num_chunks <= 1 || tls_in_parallel) {
     fn(begin, end);
     return;
@@ -98,17 +102,29 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 
   const size_t helpers = std::min(num_threads_ - 1, num_chunks - 1);
   state->pending_helpers = helpers;
+  // Wall time between a helper task entering the queue and a worker
+  // picking it up — the pool's scheduling latency.
+  static obs::Histogram& task_wait =
+      *obs::Registry::Global().GetTimer("threadpool/task_wait");
+  static obs::Gauge& queue_depth =
+      *obs::Registry::Global().GetGauge("threadpool/queue_depth");
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t h = 0; h < helpers; ++h) {
-      queue_.push_back([state, work] {
+      const uint64_t enqueued_ns = obs::Enabled() ? obs::NowNanos() : 0;
+      queue_.push_back([state, work, enqueued_ns] {
+        if (enqueued_ns != 0) {
+          task_wait.Observe(obs::NowNanos() - enqueued_ns);
+        }
         work();
         std::lock_guard<std::mutex> l(state->mu);
         if (--state->pending_helpers == 0) state->cv.notify_one();
       });
     }
+    queue_depth.Set(static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_all();
+  PUP_OBS_COUNT("threadpool/tasks", helpers);
 
   work();  // The calling thread participates.
   std::unique_lock<std::mutex> lock(state->mu);

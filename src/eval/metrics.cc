@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/registry.h"
 
 namespace pup::eval {
 namespace {
@@ -122,12 +123,14 @@ EvalResult EvaluateRanking(
     const std::vector<int>& cutoffs) {
   PUP_CHECK_EQ(exclude_items.size(), num_users);
   PUP_CHECK_EQ(test_items.size(), num_users);
+  PUP_OBS_SCOPED_TIMER("eval/full_ranking");
   const size_t num_chunks =
       (num_users + kUsersPerChunk - 1) / kUsersPerChunk;
   std::vector<ChunkAccumulator> partial(num_chunks);
   // Each chunk of users is scored independently with its own score
   // buffer; Scorer::ScoreItems is const and must be thread-safe.
   ParallelFor(0, num_users, kUsersPerChunk, [&](size_t lo, size_t hi) {
+    PUP_OBS_SCOPED_TIMER("eval/chunk");
     ChunkAccumulator* ca = &partial[lo / kUsersPerChunk];
     std::vector<float> scores;
     for (size_t u = lo; u < hi; ++u) {
@@ -139,6 +142,7 @@ EvalResult EvaluateRanking(
       for (uint32_t item : exclude_items[u]) scores[item] = kNegInf;
       for (int k : cutoffs) AccumulateUser(scores, test, k, &ca->acc[k]);
     }
+    PUP_OBS_COUNT("eval/users_evaluated", ca->evaluated);
   });
   return CombineChunks(partial, cutoffs);
 }
@@ -149,11 +153,13 @@ EvalResult EvaluateRankingWithCandidates(
     const std::vector<std::vector<uint32_t>>& test_items,
     const std::vector<int>& cutoffs) {
   PUP_CHECK_EQ(candidates.size(), test_items.size());
+  PUP_OBS_SCOPED_TIMER("eval/candidate_ranking");
   const size_t num_users = candidates.size();
   const size_t num_chunks =
       (num_users + kUsersPerChunk - 1) / kUsersPerChunk;
   std::vector<ChunkAccumulator> partial(num_chunks);
   ParallelFor(0, num_users, kUsersPerChunk, [&](size_t lo, size_t hi) {
+    PUP_OBS_SCOPED_TIMER("eval/chunk");
     ChunkAccumulator* ca = &partial[lo / kUsersPerChunk];
     std::vector<float> scores;
     std::vector<float> masked;
@@ -162,13 +168,21 @@ EvalResult EvaluateRankingWithCandidates(
       if (test.empty() || candidates[u].empty()) continue;
       ++ca->evaluated;
       scorer.ScoreItems(static_cast<uint32_t>(u), &scores);
+      // Candidate lists come from callers (cold-start pools, external
+      // input), so each user's list is validated for real before any
+      // score is written into the mask: a PUP_DCHECK vanishes in Release
+      // and an out-of-range id would be a silent OOB read/write.
+      for (uint32_t item : candidates[u]) {
+        PUP_CHECK_MSG(item < scores.size(),
+                      "candidate item id out of range for scorer");
+      }
       masked.assign(scores.size(), kNegInf);
       for (uint32_t item : candidates[u]) {
-        PUP_DCHECK(item < scores.size());
         masked[item] = scores[item];
       }
       for (int k : cutoffs) AccumulateUser(masked, test, k, &ca->acc[k]);
     }
+    PUP_OBS_COUNT("eval/users_evaluated", ca->evaluated);
   });
   return CombineChunks(partial, cutoffs);
 }

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "obs/registry.h"
 
 namespace pup::la {
 namespace {
@@ -53,6 +54,7 @@ double ChunkedReduce(size_t n, const ChunkFn& chunk_sum) {
 
 // PUP_HOT
 void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
+  PUP_OBS_COUNT("la/gemm", 1);
   PUP_CHECK_EQ(a.cols(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   EnsureShapeNoZero(m, n, out);
@@ -76,6 +78,7 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
 
 // PUP_HOT
 void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
+  PUP_OBS_COUNT("la/gemm_ta", 1);
   PUP_CHECK_EQ(a.rows(), b.rows());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   EnsureShapeNoZero(m, n, out);
@@ -96,6 +99,7 @@ void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
 
 // PUP_HOT
 void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  PUP_OBS_COUNT("la/gemm_tb", 1);
   PUP_CHECK_EQ(a.cols(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
   EnsureShapeNoZero(m, n, out);
@@ -115,6 +119,7 @@ void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
 
 // PUP_HOT
 void Spmm(const CsrMatrix& sparse, const Matrix& dense, Matrix* out) {
+  PUP_OBS_COUNT("la/spmm", 1);
   PUP_CHECK_EQ(sparse.cols(), dense.rows());
   const size_t m = sparse.rows(), n = dense.cols();
   EnsureShapeNoZero(m, n, out);
@@ -235,6 +240,7 @@ void LeakyRelu(const Matrix& x, float slope, Matrix* out) {
 // PUP_HOT
 void GatherRows(const Matrix& table, const std::vector<uint32_t>& idx,
                 Matrix* out) {
+  PUP_OBS_COUNT("la/gather_rows", 1);
   EnsureShapeNoZero(idx.size(), table.cols(), out);
   const size_t cols = table.cols();
   ParallelFor(0, idx.size(), RowGrain(cols), [&](size_t lo, size_t hi) {
@@ -250,6 +256,7 @@ void GatherRows(const Matrix& table, const std::vector<uint32_t>& idx,
 void GatherRowsAdd(const Matrix& table_a, const std::vector<uint32_t>& idx_a,
                    const Matrix& table_b, const std::vector<uint32_t>& idx_b,
                    Matrix* out) {
+  PUP_OBS_COUNT("la/gather_rows_add", 1);
   PUP_CHECK_EQ(idx_a.size(), idx_b.size());
   PUP_CHECK_EQ(table_a.cols(), table_b.cols());
   const size_t cols = table_a.cols();
@@ -268,6 +275,7 @@ void GatherRowsAdd(const Matrix& table_a, const std::vector<uint32_t>& idx_a,
 // PUP_HOT
 void ScatterAddRows(const Matrix& src, const std::vector<uint32_t>& idx,
                     Matrix* table) {
+  PUP_OBS_COUNT("la/scatter_add_rows", 1);
   PUP_CHECK_EQ(src.rows(), idx.size());
   PUP_CHECK_EQ(src.cols(), table->cols());
   const size_t d = src.cols();
@@ -304,6 +312,7 @@ void ScatterAddRows(const Matrix& src, const std::vector<uint32_t>& idx,
 
 // PUP_HOT
 void RowDot(const Matrix& x, const Matrix& y, Matrix* out) {
+  PUP_OBS_COUNT("la/row_dot", 1);
   PUP_CHECK(x.SameShape(y));
   EnsureShapeNoZero(x.rows(), 1, out);
   const size_t cols = x.cols();
@@ -321,6 +330,7 @@ void RowDot(const Matrix& x, const Matrix& y, Matrix* out) {
 // PUP_HOT
 void RowDotDiff(const Matrix& x, const Matrix& a, const Matrix& b,
                 Matrix* out) {
+  PUP_OBS_COUNT("la/row_dot_diff", 1);
   PUP_CHECK(x.SameShape(a));
   PUP_CHECK(x.SameShape(b));
   EnsureShapeNoZero(x.rows(), 1, out);
@@ -430,6 +440,7 @@ float MaxAbs(const Matrix& x) {
 
 // PUP_HOT
 void Gemv(const Matrix& a, const Matrix& x, Matrix* out) {
+  PUP_OBS_COUNT("la/gemv", 1);
   PUP_CHECK_EQ(x.cols(), 1u);
   PUP_CHECK_EQ(a.cols(), x.rows());
   EnsureShapeNoZero(a.rows(), 1, out);

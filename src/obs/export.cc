@@ -1,0 +1,57 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "obs/registry.h"
+
+namespace pup::obs {
+
+ScopedExport::ScopedExport(std::string metrics_path, std::string trace_path)
+    : metrics_path_(std::move(metrics_path)),
+      trace_path_(std::move(trace_path)) {
+  if (!trace_path_.empty()) {
+    recorder_ = std::make_unique<TraceRecorder>();
+    TraceRecorder::Install(recorder_.get());
+  }
+}
+
+ScopedExport::~ScopedExport() {
+  if (recorder_ != nullptr) {
+    TraceRecorder::Install(nullptr);
+    if (recorder_->WriteJson(trace_path_)) {
+      std::fprintf(stderr, "[obs] trace written to %s (%zu events",
+                   trace_path_.c_str(), recorder_->size());
+      if (recorder_->dropped() > 0) {
+        std::fprintf(stderr, ", %llu dropped",
+                     static_cast<unsigned long long>(recorder_->dropped()));
+      }
+      std::fprintf(stderr, ")\n");
+    } else {
+      std::fprintf(stderr, "[obs] FAILED to write trace to %s\n",
+                   trace_path_.c_str());
+    }
+  }
+  if (metrics_path_.empty()) return;
+  if (metrics_path_ == "-") {
+    std::fprintf(stderr, "%s", Registry::Global().ToTable().c_str());
+    return;
+  }
+  const std::string json = Registry::Global().ToJson();
+  std::FILE* f = std::fopen(metrics_path_.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[obs] FAILED to open metrics path %s\n",
+                 metrics_path_.c_str());
+    return;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written == json.size() && closed) {
+    std::fprintf(stderr, "[obs] metrics written to %s\n",
+                 metrics_path_.c_str());
+  } else {
+    std::fprintf(stderr, "[obs] FAILED to write metrics to %s\n",
+                 metrics_path_.c_str());
+  }
+}
+
+}  // namespace pup::obs

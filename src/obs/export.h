@@ -1,0 +1,33 @@
+// ScopedExport — one-object wiring for `--metrics-out` / `--trace-out`.
+// Constructed early in a binary's main() with the (possibly empty) flag
+// values; on destruction it dumps the global registry as JSON to the
+// metrics path ("-" prints the human-readable table to stderr instead)
+// and, when a trace path was given, uninstalls the recorder it installed
+// at construction and writes the chrome://tracing file.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace pup::obs {
+
+class ScopedExport {
+ public:
+  /// Empty paths disable the corresponding output; a non-empty
+  /// `trace_path` installs a process-wide TraceRecorder for the object's
+  /// lifetime.
+  ScopedExport(std::string metrics_path, std::string trace_path);
+  ~ScopedExport();
+
+  ScopedExport(const ScopedExport&) = delete;
+  ScopedExport& operator=(const ScopedExport&) = delete;
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::unique_ptr<TraceRecorder> recorder_;
+};
+
+}  // namespace pup::obs

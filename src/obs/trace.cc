@@ -1,0 +1,79 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/registry.h"
+
+namespace pup::obs {
+namespace {
+
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+
+// Small dense per-thread ids (0, 1, 2, …) so trace rows group nicely in
+// the viewer; std::thread::id would render as opaque large numbers.
+uint32_t ThreadTraceId() {
+  static std::atomic<uint32_t> next_tid{0};
+  thread_local uint32_t tid = next_tid.fetch_add(1);
+  return tid;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t capacity) : events_(capacity) {
+  internal::RecordAlloc();  // One up-front buffer; Emit never allocates.
+}
+
+TraceRecorder* TraceRecorder::Current() {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+void TraceRecorder::Install(TraceRecorder* recorder) {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+void TraceRecorder::Emit(const char* name, uint64_t start_ns,
+                         uint64_t dur_ns) {
+  const size_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= events_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_[idx] = TraceEvent{name, start_ns, dur_ns, ThreadTraceId()};
+}
+
+size_t TraceRecorder::size() const {
+  const size_t n = next_.load(std::memory_order_relaxed);
+  return n < events_.size() ? n : events_.size();
+}
+
+std::string TraceRecorder::ToJson() const {
+  internal::RecordAlloc();  // Export path; not hot.
+  const size_t n = size();
+  std::string out = "[";
+  char buf[256];
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[i];
+    if (e.name == nullptr) continue;  // racing writer; skip half-written slot
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%" PRIu32
+                  ",\"ts\":%.3f,\"dur\":%.3f}",
+                  i == 0 ? "" : ",", e.name, e.tid,
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+bool TraceRecorder::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  return written == json.size() && closed;
+}
+
+}  // namespace pup::obs

@@ -1,0 +1,59 @@
+// Per-step event tracing in chrome://tracing format. A TraceRecorder is
+// a fixed-capacity, preallocated event buffer: Emit is one atomic
+// fetch_add plus a struct store (drop-on-full, counted), so scoped
+// timers can feed it from `// PUP_HOT` regions and from worker threads
+// without locks or allocation. WriteJson dumps the buffer as a JSON
+// array of "ph":"X" complete events that chrome://tracing and Perfetto
+// load directly (`--trace-out` on pup_cli and the examples).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pup::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  // string literal; stored by pointer
+  uint64_t start_ns = 0;       // NowNanos() base (process start)
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  // small per-thread id, allocated on first emit
+};
+
+class TraceRecorder {
+ public:
+  /// Preallocates space for `capacity` events; events past that are
+  /// dropped (and counted) rather than grown into.
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+
+  /// The recorder scoped timers emit into, or nullptr when tracing is
+  /// off. Install(nullptr) detaches. The caller keeps ownership and must
+  /// detach before destroying the recorder.
+  static TraceRecorder* Current();
+  static void Install(TraceRecorder* recorder);
+
+  /// Records one complete event. `name` must be a string literal.
+  /// Allocation-free; safe from any thread.
+  void Emit(const char* name, uint64_t start_ns, uint64_t dur_ns);
+
+  /// Writes the recorded events as a chrome://tracing JSON array
+  /// (ts/dur in microseconds). Returns false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+  /// Same JSON, returned as a string (for tests).
+  std::string ToJson() const;
+
+  size_t size() const;
+  size_t capacity() const { return events_.size(); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  static constexpr size_t kDefaultCapacity = size_t{1} << 16;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::atomic<size_t> next_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace pup::obs

@@ -14,6 +14,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/registry.h"
 
 namespace pup::train {
 namespace {
@@ -86,62 +87,6 @@ Status SaveTrainerCheckpoint(const ckpt::DatasetFingerprint& fingerprint,
   return writer.WriteFile(path);
 }
 
-struct ResumePoint {
-  int epochs_completed = 0;
-  float lr = 0.0f;
-};
-
-// Applies one checkpoint file. Validation (CRC, fingerprint, model key,
-// cursor sanity) happens before any state is mutated; the mutating loads
-// that follow are themselves transactional per component.
-Result<ResumePoint> TryResume(const std::string& path,
-                              const ckpt::DatasetFingerprint& fingerprint,
-                              const std::string& model_key,
-                              BprTrainable* model,
-                              ckpt::Checkpointable* checkpointable,
-                              ag::Optimizer* optimizer,
-                              data::NegativeSampler* sampler,
-                              int total_epochs) {
-  PUP_ASSIGN_OR_RETURN(ckpt::Reader reader, ckpt::Reader::Open(path));
-  PUP_RETURN_NOT_OK(reader.CheckFingerprint(fingerprint));
-  PUP_ASSIGN_OR_RETURN(std::string stored_key,
-                       reader.GetString("meta/model_key"));
-  if (stored_key != model_key) {
-    return Status::FailedPrecondition("checkpoint holds a '" + stored_key +
-                                      "' model, not '" + model_key + "'");
-  }
-  ResumePoint point;
-  PUP_ASSIGN_OR_RETURN(uint64_t epochs,
-                       reader.GetU64("meta/epochs_completed"));
-  if (epochs > static_cast<uint64_t>(total_epochs)) {
-    return Status::OutOfRange("checkpoint is " + std::to_string(epochs) +
-                              " epochs in, past this run's " +
-                              std::to_string(total_epochs));
-  }
-  point.epochs_completed = static_cast<int>(epochs);
-  PUP_ASSIGN_OR_RETURN(point.lr, reader.GetF32("trainer/lr"));
-  PUP_ASSIGN_OR_RETURN(RngState sampler_rng, reader.GetRng("sampler/rng"));
-
-  if (checkpointable != nullptr) {
-    PUP_RETURN_NOT_OK(checkpointable->LoadState(reader));
-  } else {
-    std::vector<ag::Tensor> params = model->Parameters();
-    PUP_ASSIGN_OR_RETURN(uint64_t count, reader.GetU64("param/count"));
-    if (count != params.size()) {
-      return Status::FailedPrecondition(
-          "checkpoint has " + std::to_string(count) + " parameters, model " +
-          std::to_string(params.size()));
-    }
-    for (size_t i = 0; i < params.size(); ++i) {
-      PUP_RETURN_NOT_OK(reader.ReadMatrixInto("param/" + std::to_string(i),
-                                              &params[i]->value));
-    }
-  }
-  PUP_RETURN_NOT_OK(ckpt::LoadOptimizerState(reader, optimizer));
-  sampler->restore_rng_state(sampler_rng);
-  return point;
-}
-
 // One minibatch: forward, L2 penalty, numeric sentinels, backward,
 // parameter update. Returns the batch loss.
 // PUP_HOT: with the arena on and capacities warmed this performs no heap
@@ -151,6 +96,7 @@ float RunBatchStep(BprTrainable* model, const std::vector<uint32_t>& users,
                    const std::vector<uint32_t>& neg,
                    const TrainOptions& options, ag::Adam* optimizer,
                    ag::NumericGuard* guard) {
+  PUP_OBS_SCOPED_TIMER("train/batch_step");
   BprTrainable::BatchLossGraph graph =
       model->ForwardBatchLoss(users, pos, neg, /*training=*/true);
   ag::Tensor loss = std::move(graph.loss);
@@ -177,6 +123,84 @@ float RunBatchStep(BprTrainable* model, const std::vector<uint32_t>& users,
 }
 
 }  // namespace
+
+Result<ResumePoint> TryResumeCheckpoint(
+    const std::string& path, const ckpt::DatasetFingerprint& fingerprint,
+    const std::string& model_key, BprTrainable* model,
+    ckpt::Checkpointable* checkpointable, ag::Optimizer* optimizer,
+    data::NegativeSampler* sampler, int total_epochs) {
+  PUP_OBS_COUNT("train/resume_attempts", 1);
+  PUP_OBS_SCOPED_TIMER("train/resume");
+  // Phase 1 — stage and validate. Everything below is pure reads into
+  // locals; any failure returns before live state is touched.
+  PUP_ASSIGN_OR_RETURN(ckpt::Reader reader, ckpt::Reader::Open(path));
+  PUP_RETURN_NOT_OK(reader.CheckFingerprint(fingerprint));
+  PUP_ASSIGN_OR_RETURN(std::string stored_key,
+                       reader.GetString("meta/model_key"));
+  if (stored_key != model_key) {
+    return Status::FailedPrecondition("checkpoint holds a '" + stored_key +
+                                      "' model, not '" + model_key + "'");
+  }
+  ResumePoint point;
+  PUP_ASSIGN_OR_RETURN(uint64_t epochs,
+                       reader.GetU64("meta/epochs_completed"));
+  if (epochs > static_cast<uint64_t>(total_epochs)) {
+    return Status::OutOfRange("checkpoint is " + std::to_string(epochs) +
+                              " epochs in, past this run's " +
+                              std::to_string(total_epochs));
+  }
+  point.epochs_completed = static_cast<int>(epochs);
+  PUP_ASSIGN_OR_RETURN(point.lr, reader.GetF32("trainer/lr"));
+  PUP_ASSIGN_OR_RETURN(RngState sampler_rng, reader.GetRng("sampler/rng"));
+  // The optimizer sections are staged and pre-validated here, NOT loaded:
+  // they are the last sections in the file, and committing the model
+  // first would tear the restore when they turn out corrupt — the model
+  // would keep the checkpoint weights while training "from scratch".
+  PUP_ASSIGN_OR_RETURN(ag::OptimizerState optim_state,
+                       ckpt::ReadOptimizerState(reader));
+  PUP_RETURN_NOT_OK(optimizer->ValidateState(optim_state));
+  std::vector<la::Matrix> staged_params;
+  std::vector<ag::Tensor> params;
+  if (checkpointable == nullptr) {
+    params = model->Parameters();
+    PUP_ASSIGN_OR_RETURN(uint64_t count, reader.GetU64("param/count"));
+    if (count != params.size()) {
+      return Status::FailedPrecondition(
+          "checkpoint has " + std::to_string(count) + " parameters, model " +
+          std::to_string(params.size()));
+    }
+    staged_params.reserve(params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      PUP_ASSIGN_OR_RETURN(la::Matrix m,
+                           reader.GetMatrix("param/" + std::to_string(i)));
+      if (!m.SameShape(params[i]->value)) {
+        return Status::FailedPrecondition(
+            "parameter " + std::to_string(i) + " is " +
+            std::to_string(m.rows()) + "x" + std::to_string(m.cols()) +
+            ", model expects " + std::to_string(params[i]->value.rows()) +
+            "x" + std::to_string(params[i]->value.cols()));
+      }
+      staged_params.push_back(std::move(m));
+    }
+  }
+
+  // Phase 2 — commit. From here on nothing can fail: the generic
+  // parameters and optimizer state were staged above, and a
+  // Checkpointable's LoadState is itself transactional (validates every
+  // section before mutating; see ckpt::Checkpointable).
+  if (checkpointable != nullptr) {
+    PUP_RETURN_NOT_OK(checkpointable->LoadState(reader));
+  } else {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = std::move(staged_params[i]);
+    }
+  }
+  Status optim_commit = optimizer->ImportState(optim_state);
+  PUP_CHECK_MSG(optim_commit.ok(),
+                "optimizer state failed to commit after validation");
+  sampler->restore_rng_state(sampler_rng);
+  return point;
+}
 
 void ApplyCheckNumericsFlag(const Flags& flags, TrainOptions* options) {
   options->check_numerics =
@@ -217,11 +241,17 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
                      {.learning_rate = options.learning_rate});
 
   // Epochs (0-based) at which the learning rate is divided by 10.
+  // Distinct fractions can floor to the same epoch on short runs (e.g.
+  // {0.5, 0.55} of 10 epochs); each decay epoch must divide the rate
+  // exactly once, so duplicates are dropped.
   std::vector<int> decay_epochs;
   for (double frac : options.lr_decay_at) {
     decay_epochs.push_back(
         static_cast<int>(std::floor(options.epochs * frac)));
   }
+  std::sort(decay_epochs.begin(), decay_epochs.end());
+  decay_epochs.erase(std::unique(decay_epochs.begin(), decay_epochs.end()),
+                     decay_epochs.end());
 
   std::vector<EpochStats> history;
   history.reserve(options.epochs);
@@ -243,10 +273,11 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
   int start_epoch = 0;
   if (!ck.resume_from.empty()) {
     for (const std::string& candidate : ResumeCandidates(ck.resume_from)) {
-      Result<ResumePoint> point =
-          TryResume(candidate, fingerprint, model_key, model, checkpointable,
-                    &optimizer, &sampler, options.epochs);
+      Result<ResumePoint> point = TryResumeCheckpoint(
+          candidate, fingerprint, model_key, model, checkpointable,
+          &optimizer, &sampler, options.epochs);
       if (!point.ok()) {
+        PUP_OBS_COUNT("train/resume_rejected", 1);
         PUP_LOG_WARNING << "skipping checkpoint " << candidate << ": "
                         << point.status().message();
         continue;
@@ -279,6 +310,7 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
   ag::NumericGuard guard;
 
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
+    PUP_OBS_SCOPED_TIMER("train/epoch");
     for (int de : decay_epochs) {
       if (epoch == de && epoch > 0) {
         lr *= 0.1f;
@@ -287,7 +319,11 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
     }
 
     Stopwatch timer;
-    sampler.SampleEpoch(options.negative_rate, &triples);
+    {
+      PUP_OBS_SCOPED_TIMER("train/sample_epoch");
+      sampler.SampleEpoch(options.negative_rate, &triples);
+    }
+    PUP_OBS_COUNT("train/triples", triples.size());
     double loss_sum = 0.0;
     size_t num_batches = 0;
 
@@ -319,10 +355,14 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
     // not pin peak workspace memory. Node blocks stay for the next epoch.
     if (options.reuse_tape) arena.Trim();
 
+    PUP_OBS_COUNT("train/batches", num_batches);
+    PUP_OBS_COUNT("train/epochs", 1);
+
     EpochStats stats;
     stats.epoch = epoch;
     stats.mean_loss = num_batches > 0 ? loss_sum / num_batches : 0.0;
     stats.seconds = timer.Seconds();
+    stats.lr = lr;
     history.push_back(stats);
     if (options.verbose) {
       PUP_LOG_INFO << "epoch " << epoch << " loss=" << stats.mean_loss
@@ -335,6 +375,7 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
       fs::create_directories(ck.directory, ec);
       const std::string path =
           (fs::path(ck.directory) / CheckpointFileName(epoch + 1)).string();
+      PUP_OBS_SCOPED_TIMER("train/checkpoint_save");
       Status st =
           SaveTrainerCheckpoint(fingerprint, model_key, model, checkpointable,
                                 optimizer, sampler, epoch + 1, lr, path);

@@ -13,7 +13,10 @@
 #include "autograd/numeric_guard.h"
 #include "autograd/optimizer.h"
 #include "autograd/tensor.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/checkpointable.h"
 #include "common/flags.h"
+#include "common/status.h"
 #include "data/dataset.h"
 #include "data/sampler.h"
 
@@ -123,10 +126,37 @@ struct EpochStats {
   int epoch = 0;
   double mean_loss = 0.0;
   double seconds = 0.0;
+  /// Learning rate the epoch ran at (after any decay applied on entry).
+  float lr = 0.0f;
 };
 
 /// Called after each epoch; return false to stop early.
 using EpochCallback = std::function<bool(const EpochStats&)>;
+
+/// Where a successful resume left the run.
+struct ResumePoint {
+  int epochs_completed = 0;
+  float lr = 0.0f;
+};
+
+/// Applies one checkpoint file to (model, optimizer, sampler) —
+/// all-or-nothing. Every section is read and validated into staged
+/// locals first (header, fingerprint, model key, epoch cursor, lr,
+/// sampler RNG, optimizer state via Optimizer::ValidateState, model
+/// sections via the models' transactional LoadState / staged generic
+/// parameters); live state is mutated only after the entire file has
+/// been accepted, so a rejected checkpoint — truncated, bit-flipped, or
+/// from a different architecture — leaves model, optimizer, and sampler
+/// bitwise-untouched and the caller free to try the next candidate.
+/// `model` must expose the same parameter list the checkpoint was saved
+/// from; pass `checkpointable` when the model implements it (the trainer
+/// detects this via dynamic_cast). TrainBpr calls this for every resume
+/// candidate; it is public so tests can prove the no-mutation contract.
+Result<ResumePoint> TryResumeCheckpoint(
+    const std::string& path, const ckpt::DatasetFingerprint& fingerprint,
+    const std::string& model_key, BprTrainable* model,
+    ckpt::Checkpointable* checkpointable, ag::Optimizer* optimizer,
+    data::NegativeSampler* sampler, int total_epochs);
 
 /// Runs the full BPR training loop on `train` interactions.
 /// Returns per-epoch stats.

@@ -512,6 +512,132 @@ TEST(CkptResumeTest, MismatchedDatasetStartsFresh) {
   EXPECT_EQ(history.front().epoch, 0);
 }
 
+// Rewrites the checkpoint at `path` so every CRC still validates but the
+// optimizer state is semantically broken: "optim/slot/0" is replaced by a
+// 1x1 matrix no model shape can match. Reader::Open accepts the file;
+// only Optimizer::ValidateState can reject it — exactly the torn-restore
+// scenario where the model sections are fine and the tail is not.
+void BreakOptimizerSlotKeepingCrcsValid(const std::string& path) {
+  auto reader = ckpt::Reader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  ckpt::Writer writer(reader->fingerprint());
+  for (const std::string& name : reader->SectionNames()) {
+    if (name == "optim/slot/0") {
+      writer.AddMatrix(name, la::Matrix(1, 1));
+    } else {
+      auto payload = reader->GetString(name);
+      ASSERT_TRUE(payload.ok());
+      writer.AddBytes(name, *payload);
+    }
+  }
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+}
+
+// The all-or-nothing contract of TryResumeCheckpoint, proven directly: a
+// checkpoint whose CRCs pass but whose optimizer section is broken must
+// be rejected WITHOUT touching the model — before the staged-commit fix,
+// the model kept the checkpoint weights while the optimizer (and the
+// epoch cursor) trained "from scratch", a torn hybrid of both runs.
+TEST(CkptResumeTest, TornOptimizerSectionLeavesModelUntouched) {
+  data::Dataset ds = SmallDataset();
+  ThreadPool::SetGlobalThreads(1);
+  std::string dir = FreshDir("torn_direct");
+
+  TinyMf trained(ds.num_users, ds.num_items, 16, 5);
+  train::TrainOptions options = ResumeTestOptions();
+  options.epochs = 4;
+  options.checkpoint.directory = dir;
+  options.checkpoint.save_every = 4;
+  train::TrainBpr(&trained, ds, ds.interactions, options);
+  const std::string path = dir + "/ckpt-000004.pupc";
+  ASSERT_TRUE(fs::exists(path));
+  BreakOptimizerSlotKeepingCrcsValid(path);
+
+  // Two bitwise-identical fresh models: `victim` attempts the resume,
+  // `reference` never sees the checkpoint.
+  TinyMf victim(ds.num_users, ds.num_items, 16, 5);
+  TinyMf reference(ds.num_users, ds.num_items, 16, 5);
+  ag::Adam optimizer(victim.Parameters(), {.learning_rate = 1e-2f});
+  data::NegativeSampler sampler(ds.num_users, ds.num_items, ds.interactions,
+                                options.seed);
+  const RngState sampler_rng_before = sampler.rng_state();
+
+  auto point = train::TryResumeCheckpoint(
+      path, ckpt::DatasetFingerprint::Of(ds), "generic", &victim,
+      /*checkpointable=*/nullptr, &optimizer, &sampler, options.epochs);
+  ASSERT_FALSE(point.ok());
+
+  // The rejected file must not have mutated anything: parameters are
+  // bitwise the fresh initialization, and the sampler stream is intact.
+  ExpectParamsBitwiseEqual(victim.Parameters(), reference.Parameters());
+  EXPECT_TRUE(sampler.rng_state() == sampler_rng_before);
+}
+
+// End-to-end flavor of the same bug: the newest snapshot is CRC-valid
+// but optimizer-torn, so TrainBpr must reject it wholesale and resume
+// from the sibling — reproducing the uninterrupted run bit for bit. A
+// torn (partial) restore of ckpt-000008 would poison every later epoch.
+TEST(CkptResumeTest, TornNewestFallsBackToSiblingBitwise) {
+  data::Dataset ds = SmallDataset();
+  ThreadPool::SetGlobalThreads(1);
+  std::string dir = FreshDir("torn_fallback");
+
+  TinyMf full(ds.num_users, ds.num_items, 16, 5);
+  train::TrainOptions options = ResumeTestOptions();
+  options.checkpoint.directory = dir;
+  options.checkpoint.save_every = 2;
+  auto h_full = train::TrainBpr(&full, ds, ds.interactions, options);
+
+  fs::remove(dir + "/ckpt-000010.pupc");
+  BreakOptimizerSlotKeepingCrcsValid(dir + "/ckpt-000008.pupc");
+
+  TinyMf resumed(ds.num_users, ds.num_items, 16, 5);
+  train::TrainOptions resume = ResumeTestOptions();
+  resume.checkpoint.resume_from = dir;
+  auto h_resumed = train::TrainBpr(&resumed, ds, ds.interactions, resume);
+
+  ASSERT_EQ(h_resumed.size(), 4u);
+  EXPECT_EQ(h_resumed.front().epoch, 6);
+  EXPECT_EQ(h_resumed.back().mean_loss, h_full.back().mean_loss);
+  ExpectParamsBitwiseEqual(full.Parameters(), resumed.Parameters());
+}
+
+// Resume from a snapshot taken AFTER the first lr decay (epoch 5 of 10)
+// but BEFORE the second (epoch 7): the restored run must carry the
+// already-decayed rate forward without re-applying the first decay, then
+// apply the second exactly once. EpochStats.lr makes the schedule
+// directly observable.
+TEST(CkptResumeTest, ResumeStraddlingDecayEpochKeepsSchedule) {
+  data::Dataset ds = SmallDataset();
+  ThreadPool::SetGlobalThreads(1);
+  std::string dir = FreshDir("decay_straddle");
+
+  TinyMf full(ds.num_users, ds.num_items, 16, 5);
+  train::TrainOptions options = ResumeTestOptions();
+  options.checkpoint.directory = dir;
+  options.checkpoint.save_every = 3;  // Snapshots at epochs 3, 6, 9, 10.
+  auto h_full = train::TrainBpr(&full, ds, ds.interactions, options);
+  ASSERT_EQ(h_full.size(), 10u);
+  const float lr0 = options.learning_rate;
+  EXPECT_EQ(h_full[4].lr, lr0);  // Decays land at epochs 5 and 7.
+  EXPECT_EQ(h_full[5].lr, lr0 * 0.1f);
+  EXPECT_EQ(h_full[7].lr, lr0 * 0.1f * 0.1f);
+
+  TinyMf resumed(ds.num_users, ds.num_items, 16, 5);
+  train::TrainOptions resume = ResumeTestOptions();
+  resume.checkpoint.resume_from = dir + "/ckpt-000006.pupc";
+  auto h_resumed = train::TrainBpr(&resumed, ds, ds.interactions, resume);
+
+  ASSERT_EQ(h_resumed.size(), 4u);
+  for (size_t i = 0; i < h_resumed.size(); ++i) {
+    EXPECT_EQ(h_resumed[i].epoch, static_cast<int>(6 + i));
+    EXPECT_EQ(h_resumed[i].lr, h_full[6 + i].lr) << "epoch " << 6 + i;
+    EXPECT_EQ(h_resumed[i].mean_loss, h_full[6 + i].mean_loss)
+        << "epoch " << 6 + i;
+  }
+  ExpectParamsBitwiseEqual(full.Parameters(), resumed.Parameters());
+}
+
 TEST(CkptResumeTest, WrongModelKeyStartsFresh) {
   data::Dataset ds = SmallDataset();
   ThreadPool::SetGlobalThreads(1);

@@ -124,6 +124,15 @@ TEST(EvaluateWithCandidatesTest, SkipsEmptyTasks) {
   EXPECT_EQ(result.num_users_evaluated, 1u);  // Only user 2 active.
 }
 
+// Candidate ids must be validated in Release builds too — an
+// out-of-range id used to be a PUP_DCHECK, i.e. a silent out-of-bounds
+// read/write outside Debug. The check fires before any score is written.
+TEST(EvaluateWithCandidatesDeathTest, OutOfRangeCandidateAborts) {
+  FixedScorer scorer({{1.0f, 0.5f, 9.0f}});
+  EXPECT_DEATH(EvaluateRankingWithCandidates(scorer, {{0, 7}}, {{0}}, {1}),
+               "candidate item id out of range");
+}
+
 // --------------------------------- CWTP --------------------------------
 
 data::Dataset MakeCwtpDataset() {

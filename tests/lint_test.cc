@@ -113,6 +113,28 @@ TEST(LintCheckTest, PupHotAllocFiresInsideMarkedFunctionOnly) {
       << run.output;
 }
 
+// pup::obs instrumentation is exempt inside PUP_HOT functions: the
+// macros register once into function-local statics and then record via
+// relaxed atomics, so neither the macro spelling nor a cached obs::
+// handle may fire pup-hot-alloc — while real allocations on other lines
+// of the same function must still be reported.
+TEST(LintCheckTest, PupHotAllocExemptsObsInstrumentation) {
+  LintRun run = LintFixture(
+      "#include <vector>\n"
+      "// PUP_HOT\n"
+      "void hot(std::vector<int>* v) {\n"
+      "  PUP_OBS_SCOPED_TIMER(\"train/batch_step\");\n"  // Exempt macro.
+      // `new` would fire pup-hot-alloc; the obs:: handle exempts the line.
+      "  auto* h = new pup::obs::Histogram(); (void)h;\n"
+      // push_back would fire; caching an obs::Counter handle exempts it.
+      "  handles.push_back(pup::obs::Counter());\n"
+      "  v->push_back(2);\n"  // Still a finding: real container growth.
+      "}\n");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-hot-alloc]"), 1u)
+      << run.output;
+}
+
 TEST(LintCheckTest, PupNarrowingFiresOnUnsuffixedDoubleLiteral) {
   LintRun run = LintFixture(
       "float lr() { float rate = 0.01; return rate; }\n"   // Finding.

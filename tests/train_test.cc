@@ -107,6 +107,58 @@ TEST(TrainerTest, L2RegularizationShrinksEmbeddings) {
             la::SquaredNorm(free.users_->value));
 }
 
+// Observable lr schedule: with the default {0.5, 0.75} fractions on 10
+// epochs the rate drops by 10x entering epochs 5 and 7, and EpochStats
+// reports the rate each epoch actually ran at.
+TEST(TrainerTest, EpochStatsReportLearningRateSchedule) {
+  data::Dataset ds = SmallDataset();
+  TinyMf model(ds.num_users, ds.num_items, 8, 11);
+  TrainOptions options;
+  options.epochs = 10;
+  auto history = TrainBpr(&model, ds, ds.interactions, options);
+  ASSERT_EQ(history.size(), 10u);
+  const float lr0 = options.learning_rate;
+  for (int e = 0; e < 5; ++e) EXPECT_EQ(history[e].lr, lr0) << "epoch " << e;
+  for (int e = 5; e < 7; ++e) {
+    EXPECT_EQ(history[e].lr, lr0 * 0.1f) << "epoch " << e;
+  }
+  for (int e = 7; e < 10; ++e) {
+    EXPECT_EQ(history[e].lr, lr0 * 0.1f * 0.1f) << "epoch " << e;
+  }
+}
+
+// Two decay fractions can floor to the same epoch on short runs —
+// {0.5, 0.55} of 10 epochs both land on epoch 5. The rate must be
+// divided by 10 once there, not once per fraction: the trajectory has to
+// match a run configured with the single fraction {0.5}.
+TEST(TrainerTest, DuplicateDecayFractionsDecayOnce) {
+  data::Dataset ds = SmallDataset();
+  TrainOptions options;
+  options.epochs = 10;
+  options.lr_decay_at = {0.5, 0.55};  // floor(5.0) == floor(5.5) == 5.
+
+  TinyMf dup(ds.num_users, ds.num_items, 8, 12);
+  auto h_dup = TrainBpr(&dup, ds, ds.interactions, options);
+  ASSERT_EQ(h_dup.size(), 10u);
+  const float lr0 = options.learning_rate;
+  // One decay, not two: epoch 5 runs at lr0/10, never lr0/100.
+  EXPECT_EQ(h_dup[4].lr, lr0);
+  for (int e = 5; e < 10; ++e) {
+    EXPECT_EQ(h_dup[e].lr, lr0 * 0.1f) << "epoch " << e;
+  }
+
+  // And the whole trajectory matches the de-duplicated schedule.
+  options.lr_decay_at = {0.5};
+  TinyMf single(ds.num_users, ds.num_items, 8, 12);
+  auto h_single = TrainBpr(&single, ds, ds.interactions, options);
+  for (int e = 0; e < 10; ++e) {
+    EXPECT_EQ(h_dup[e].mean_loss, h_single[e].mean_loss) << "epoch " << e;
+  }
+  for (size_t i = 0; i < dup.users_->value.size(); ++i) {
+    ASSERT_EQ(dup.users_->value.data()[i], single.users_->value.data()[i]);
+  }
+}
+
 TEST(TrainerTest, NegativeRateScalesWork) {
   data::Dataset ds = SmallDataset();
   TinyMf model(ds.num_users, ds.num_items, 8, 7);

@@ -38,6 +38,7 @@
 #include "models/item_pop.h"
 #include "models/ngcf.h"
 #include "models/padq.h"
+#include "obs/export.h"
 
 namespace {
 
@@ -57,6 +58,10 @@ int Usage() {
                "1 = exact serial)\n"
                "               --check-numerics[=0|1] NaN/Inf tape scan "
                "each step (default: on in Debug)\n"
+               "               --metrics-out PATH dump the metrics "
+               "registry as JSON at exit (- = table on stderr)\n"
+               "               --trace-out PATH write a chrome://tracing "
+               "event trace at exit\n"
                "       checkpoints: --save-every N snapshots DIR every N "
                "epochs; --resume replays\n"
                "       the run bitwise-identically from the newest valid "
@@ -257,6 +262,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Flags flags = Flags::Parse(argc, argv);
   ApplyThreadsFlag(flags);
+  // Dumps the metrics registry / chrome trace when main returns.
+  obs::ScopedExport obs_export(flags.GetString("metrics-out", ""),
+                               flags.GetString("trace-out", ""));
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
   if (command == "generate") return RunGenerate(flags);

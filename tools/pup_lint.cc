@@ -60,7 +60,9 @@ constexpr CheckInfo kChecks[] = {
      "steady state",
      "hoist the buffer to the caller, use the TapeArena workspace, or use "
      "capacity-retaining resize (Matrix::ResizeNoZero); suppress growth "
-     "calls whose capacity is provably reused across steps"},
+     "calls whose capacity is provably reused across steps; pup::obs "
+     "instrumentation (PUP_OBS_* macros, cached obs:: handles) is exempt "
+     "— it registers once and records via relaxed atomics"},
     {"pup-narrowing",
      "unsuffixed floating literal is double and narrows to float",
      "write an f-suffixed literal (0.5f) so the value is exact and the "
@@ -369,6 +371,14 @@ class FileLinter {
         R"([.>]\s*(push_back|emplace_back|resize|reserve|assign|insert|append)\s*\()");
     static const std::regex kRawAlloc(
         R"(\b(new|delete)\b|\b(malloc|calloc|realloc)\s*\(|\bmake_(shared|unique)\s*<)");
+    // The pup::obs instrumentation idiom is exempt: PUP_OBS_* macros and
+    // obs::ScopedTimer/Counter/Gauge/Histogram handles allocate only at
+    // first-use registration (a function-local static); steady-state
+    // recording is pure relaxed atomics (src/obs/registry.h). Flagging
+    // these lines would force NOLINT on every instrumented kernel.
+    static const std::regex kObsIdiom(
+        R"(\bPUP_OBS_\w+\s*\(|\bobs\s*::\s*(ScopedTimer|Registry|Counter|Gauge|Histogram)\b)");
+    if (std::regex_search(line, kObsIdiom)) return;
     std::smatch m;
     if (std::regex_search(line, m, kRawAlloc)) {
       Report(idx, "pup-hot-alloc",
