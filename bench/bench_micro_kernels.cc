@@ -17,6 +17,7 @@
 #include "autograd/optimizer.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "eval/metrics.h"
@@ -489,6 +490,202 @@ BENCHMARK(BM_EvaluateRankingThreads)
     ->Arg(2)
     ->Arg(4)
     ->Arg(HardwareThreads());
+
+// --- --simd sweeps: scalar golden path vs every vector backend ---------
+//
+// Each family runs its --simd=off case first (registration order), then
+// every backend the host supports. Vectorized cases report
+// "speedup_vs_scalar" — vector per-iter time relative to the scalar
+// golden path at the same shape and thread count — plus "gflops" from
+// the family's nominal flop count (2·k per dot lane, transcendental
+// elementwise counted at its polynomial cost), and "lane_width" so the
+// JSON rows are self-describing.
+
+std::map<std::string, double>& ScalarBaseline() {
+  static std::map<std::string, double> baseline;
+  return baseline;
+}
+
+void RecordSimdSweep(benchmark::State& state, const std::string& family,
+                     simd::Isa isa, double seconds, size_t iterations,
+                     double flops_per_iter) {
+  const double per_iter = seconds / static_cast<double>(iterations);
+  if (isa == simd::Isa::kOff) ScalarBaseline()[family] = per_iter;
+  state.counters["lane_width"] =
+      static_cast<double>(simd::IsaLaneWidth(isa));
+  if (per_iter > 0.0) {
+    state.counters["gflops"] = flops_per_iter / per_iter / 1e9;
+    auto it = ScalarBaseline().find(family);
+    if (it != ScalarBaseline().end()) {
+      state.counters["speedup_vs_scalar"] = it->second / per_iter;
+    }
+  }
+  state.SetLabel(simd::IsaName(isa));
+}
+
+// Registers Arg(kOff) first, then each backend this host can run.
+void SimdSweepArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(static_cast<int>(simd::Isa::kOff));
+  for (simd::Isa isa :
+       {simd::Isa::kNeon, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (simd::IsaSupported(isa)) b->Arg(static_cast<int>(isa));
+  }
+}
+
+// Pins the requested backend for the timed loop, restoring the
+// harness-selected one (PUP_BENCH_SIMD or auto) afterwards.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(simd::Isa isa) : prev_(simd::ActiveIsa()) {
+    simd::SetActiveIsa(isa);
+  }
+  ~ScopedIsa() { simd::SetActiveIsa(prev_); }
+
+ private:
+  simd::Isa prev_;
+};
+
+void BM_RowDotSimd(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  ScopedIsa pin(isa);
+  constexpr size_t kRows = 4096, kD = 64;
+  la::Matrix x = RandomMatrix(kRows, kD, 1), y = RandomMatrix(kRows, kD, 2);
+  la::Matrix out;
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    la::RowDot(x, y, &out);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  RecordSimdSweep(state, "row_dot_4096x64", isa, timer.Seconds(), iters,
+                  2.0 * kRows * kD);
+}
+BENCHMARK(BM_RowDotSimd)->Apply(SimdSweepArgs);
+
+void BM_GemmSimd(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  ScopedIsa pin(isa);
+  constexpr size_t kM = 256, kK = 64, kN = 256;
+  la::Matrix a = RandomMatrix(kM, kK, 3), b = RandomMatrix(kK, kN, 4), out;
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    la::Gemm(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  RecordSimdSweep(state, "gemm_256x64x256", isa, timer.Seconds(), iters,
+                  2.0 * kM * kK * kN);
+}
+BENCHMARK(BM_GemmSimd)->Apply(SimdSweepArgs);
+
+void BM_GemmTransBSimd(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  ScopedIsa pin(isa);
+  constexpr size_t kM = 512, kK = 64, kN = 512;
+  la::Matrix a = RandomMatrix(kM, kK, 5), b = RandomMatrix(kN, kK, 6), out;
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    la::GemmTransB(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  RecordSimdSweep(state, "gemm_tb_512x64x512", isa, timer.Seconds(), iters,
+                  2.0 * kM * kK * kN);
+}
+BENCHMARK(BM_GemmTransBSimd)->Apply(SimdSweepArgs);
+
+void BM_GemvSimd(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  ScopedIsa pin(isa);
+  constexpr size_t kRows = 4096, kD = 64;
+  la::Matrix a = RandomMatrix(kRows, kD, 7), x = RandomMatrix(kD, 1, 8), out;
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    la::Gemv(a, x, &out);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  RecordSimdSweep(state, "gemv_4096x64", isa, timer.Seconds(), iters,
+                  2.0 * kRows * kD);
+}
+BENCHMARK(BM_GemvSimd)->Apply(SimdSweepArgs);
+
+void BM_AxpySimd(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  ScopedIsa pin(isa);
+  constexpr size_t kRows = 4096, kD = 64;
+  la::Matrix x = RandomMatrix(kRows, kD, 9), out = RandomMatrix(kRows, kD, 10);
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    la::Axpy(0.5f, x, &out);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  RecordSimdSweep(state, "axpy_4096x64", isa, timer.Seconds(), iters,
+                  2.0 * kRows * kD);
+}
+BENCHMARK(BM_AxpySimd)->Apply(SimdSweepArgs);
+
+void BM_SigmoidSimd(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  ScopedIsa pin(isa);
+  constexpr size_t kRows = 4096, kD = 64;
+  la::Matrix x = RandomMatrix(kRows, kD, 11), out;
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    la::Sigmoid(x, &out);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  // Nominal cost of the vector formulation: exp polynomial + divide,
+  // ~20 flops per element.
+  RecordSimdSweep(state, "sigmoid_4096x64", isa, timer.Seconds(), iters,
+                  20.0 * kRows * kD);
+}
+BENCHMARK(BM_SigmoidSimd)->Apply(SimdSweepArgs);
+
+void BM_TanhSimd(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  ScopedIsa pin(isa);
+  constexpr size_t kRows = 4096, kD = 64;
+  la::Matrix x = RandomMatrix(kRows, kD, 12), out;
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    la::Tanh(x, &out);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  // Nominal cost of the rational form: two polynomials + divide,
+  // ~15 flops per element.
+  RecordSimdSweep(state, "tanh_4096x64", isa, timer.Seconds(), iters,
+                  15.0 * kRows * kD);
+}
+BENCHMARK(BM_TanhSimd)->Apply(SimdSweepArgs);
+
+void BM_FindNonFiniteSimd(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  ScopedIsa pin(isa);
+  constexpr size_t kRows = 4096, kD = 64;
+  la::Matrix x = RandomMatrix(kRows, kD, 13);
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    bool ok = la::AllFinite(x);
+    benchmark::DoNotOptimize(ok);
+    ++iters;
+  }
+  // One exponent-field test per element.
+  RecordSimdSweep(state, "all_finite_4096x64", isa, timer.Seconds(), iters,
+                  1.0 * kRows * kD);
+}
+BENCHMARK(BM_FindNonFiniteSimd)->Apply(SimdSweepArgs);
 
 }  // namespace
 

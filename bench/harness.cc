@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
@@ -39,6 +40,12 @@ Env GetEnv() {
     env.threads = std::atoi(s);
   }
   ThreadPool::SetGlobalThreads(env.threads);
+  // PUP_BENCH_SIMD mirrors the --simd flag (auto|off|neon|avx2|avx512);
+  // unset keeps the auto-detected backend.
+  if (const char* s = std::getenv("PUP_BENCH_SIMD")) {
+    const Status st = simd::SetActiveIsaFromString(s);
+    PUP_CHECK_MSG(st.ok(), st.message().c_str());
+  }
   return env;
 }
 
@@ -120,10 +127,15 @@ int Finish() {
     if (i > 0) json += ",";
     json += "\"" + g_failures[i] + "\"";
   }
+  // Every summary names the SIMD backend that produced it — a bench
+  // number is meaningless without the hardware path attached.
+  const simd::Isa isa = simd::ActiveIsa();
+  json += std::string("],\"simd\":{\"isa\":\"") + simd::IsaName(isa) +
+          "\",\"lane_width\":" + std::to_string(simd::IsaLaneWidth(isa)) + "}";
   // Every summary carries the run's metrics registry, so BENCH_*.json
   // captures where the time and work went (spans, kernel dispatches,
   // checkpoint bytes) alongside the pass/fail tally.
-  json += "],\"obs\":" + obs::Registry::Global().ToJson();
+  json += ",\"obs\":" + obs::Registry::Global().ToJson();
   json += "}";
   std::printf("%s\n", json.c_str());
   if (g_cases == 0) {
@@ -149,8 +161,10 @@ void PrintHeader(const std::string& title, const PreparedData& d,
   std::printf("dataset: %s | train/valid/test = %zu/%zu/%zu\n",
               d.dataset.Summary().c_str(), d.train.size(), d.valid.size(),
               d.test.size());
-  std::printf("env: scale=%.2f epochs=%d dim=%zu threads=%zu\n\n", env.scale,
-              env.epochs, env.embedding_dim, ThreadPool::GlobalThreads());
+  std::printf("env: scale=%.2f epochs=%d dim=%zu threads=%zu simd=%s(x%zu)\n\n",
+              env.scale, env.epochs, env.embedding_dim,
+              ThreadPool::GlobalThreads(), simd::IsaName(simd::ActiveIsa()),
+              simd::IsaLaneWidth(simd::ActiveIsa()));
 }
 
 }  // namespace pup::bench

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace pup;
   Flags flags = Flags::Parse(argc, argv);
   ApplyThreadsFlag(flags);  // --threads=N, default: all cores.
+  ApplySimdFlag(flags);     // --simd=auto|off|..., default: auto.
   // --metrics-out / --trace-out: dump metrics JSON ("-" = table on
   // stderr) and a chrome://tracing event trace at exit.
   obs::ScopedExport obs_export(flags.GetString("metrics-out", ""),

@@ -202,9 +202,13 @@ void TanhBackward(Node* self) {
   const Tensor& x = self->parents[0];
   if (!x->requires_grad) return;
   x->EnsureGrad();
-  for (size_t i = 0; i < self->value.size(); ++i) {
-    float y = self->value.data()[i];
-    x->grad.data()[i] += self->grad.data()[i] * (1.0f - y * y);
+  for (size_t r = 0; r < self->value.rows(); ++r) {
+    const float* y = self->value.Row(r);
+    const float* g = self->grad.Row(r);
+    float* gx = x->grad.Row(r);
+    for (size_t c = 0; c < self->value.cols(); ++c) {
+      gx[c] += g[c] * (1.0f - y[c] * y[c]);
+    }
   }
 }
 
@@ -212,9 +216,13 @@ void SigmoidBackward(Node* self) {
   const Tensor& x = self->parents[0];
   if (!x->requires_grad) return;
   x->EnsureGrad();
-  for (size_t i = 0; i < self->value.size(); ++i) {
-    float y = self->value.data()[i];
-    x->grad.data()[i] += self->grad.data()[i] * y * (1.0f - y);
+  for (size_t r = 0; r < self->value.rows(); ++r) {
+    const float* y = self->value.Row(r);
+    const float* g = self->grad.Row(r);
+    float* gx = x->grad.Row(r);
+    for (size_t c = 0; c < self->value.cols(); ++c) {
+      gx[c] += g[c] * y[c] * (1.0f - y[c]);
+    }
   }
 }
 
@@ -222,9 +230,14 @@ void LeakyReluBackward(Node* self) {
   const Tensor& x = self->parents[0];
   if (!x->requires_grad) return;
   x->EnsureGrad();
-  for (size_t i = 0; i < self->value.size(); ++i) {
-    float factor = x->value.data()[i] > 0.0f ? 1.0f : self->alpha;
-    x->grad.data()[i] += self->grad.data()[i] * factor;
+  for (size_t r = 0; r < x->value.rows(); ++r) {
+    const float* xv = x->value.Row(r);
+    const float* g = self->grad.Row(r);
+    float* gx = x->grad.Row(r);
+    for (size_t c = 0; c < x->value.cols(); ++c) {
+      float factor = xv[c] > 0.0f ? 1.0f : self->alpha;
+      gx[c] += g[c] * factor;
+    }
   }
 }
 
@@ -275,9 +288,11 @@ void ConcatRowsBackward(Node* self) {
   for (const Tensor& p : self->parents) {
     if (p->requires_grad) {
       p->EnsureGrad();
-      const float* g = self->grad.Row(offs);
-      float* dst = p->grad.data();
-      for (size_t i = 0; i < p->value.size(); ++i) dst[i] += g[i];
+      for (size_t r = 0; r < p->value.rows(); ++r) {
+        const float* g = self->grad.Row(offs + r);
+        float* dst = p->grad.Row(r);
+        for (size_t c = 0; c < p->value.cols(); ++c) dst[c] += g[c];
+      }
     }
     offs += p->value.rows();
   }
@@ -296,7 +311,10 @@ void MeanBackward(Node* self) {
   if (!x->requires_grad) return;
   x->EnsureGrad();
   float g = self->grad(0, 0) / static_cast<float>(x->value.size());
-  for (size_t i = 0; i < x->grad.size(); ++i) x->grad.data()[i] += g;
+  for (size_t r = 0; r < x->grad.rows(); ++r) {
+    float* row = x->grad.Row(r);
+    for (size_t c = 0; c < x->grad.cols(); ++c) row[c] += g;
+  }
 }
 
 void SumAllBackward(Node* self) {
@@ -304,7 +322,10 @@ void SumAllBackward(Node* self) {
   if (!x->requires_grad) return;
   x->EnsureGrad();
   float g = self->grad(0, 0);
-  for (size_t i = 0; i < x->grad.size(); ++i) x->grad.data()[i] += g;
+  for (size_t r = 0; r < x->grad.rows(); ++r) {
+    float* row = x->grad.Row(r);
+    for (size_t c = 0; c < x->grad.cols(); ++c) row[c] += g;
+  }
 }
 
 void SquaredNormBackward(Node* self) {
@@ -312,8 +333,10 @@ void SquaredNormBackward(Node* self) {
   if (!x->requires_grad) return;
   x->EnsureGrad();
   float g = 2.0f * self->grad(0, 0);
-  for (size_t i = 0; i < x->grad.size(); ++i) {
-    x->grad.data()[i] += g * x->value.data()[i];
+  for (size_t r = 0; r < x->grad.rows(); ++r) {
+    const float* xv = x->value.Row(r);
+    float* row = x->grad.Row(r);
+    for (size_t c = 0; c < x->grad.cols(); ++c) row[c] += g * xv[c];
   }
 }
 
@@ -350,8 +373,10 @@ void MseLossBackward(Node* self) {
   pred->EnsureGrad();
   const size_t n = self->aux.size();
   float g = 2.0f * self->grad(0, 0) / static_cast<float>(n);
-  for (size_t i = 0; i < n; ++i) {
-    pred->grad.data()[i] += g * self->aux.data()[i];
+  for (size_t r = 0; r < self->aux.rows(); ++r) {
+    const float* d = self->aux.Row(r);
+    float* gp = pred->grad.Row(r);
+    for (size_t c = 0; c < self->aux.cols(); ++c) gp[c] += g * d[c];
   }
 }
 
@@ -418,10 +443,11 @@ void FusedL2PenaltyBackward(Node* self) {
     const Tensor& t = self->parents[k];
     if (!t->requires_grad) continue;
     t->EnsureGrad();
-    const float* x = t->value.data();
-    float* gd = t->grad.data();
-    const size_t size = t->value.size();
-    for (size_t i = 0; i < size; ++i) gd[i] += gterm * x[i];
+    for (size_t r = 0; r < t->value.rows(); ++r) {
+      const float* x = t->value.Row(r);
+      float* gd = t->grad.Row(r);
+      for (size_t c = 0; c < t->value.cols(); ++c) gd[c] += gterm * x[c];
+    }
   }
 }
 
@@ -572,8 +598,10 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
   node->value.ResizeNoZero(total_rows, cols);
   size_t offset = 0;
   for (const Tensor& p : parts) {
-    std::copy(p->value.data(), p->value.data() + p->value.size(),
-              node->value.Row(offset));
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      const float* src = p->value.Row(r);
+      std::copy(src, src + cols, node->value.Row(offset + r));
+    }
     offset += p->value.rows();
   }
   return node;
@@ -586,8 +614,13 @@ Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
   Tensor node = NewOpNode("dropout", &DropoutBackward, x);
   node->aux.ResizeNoZero(x->value.rows(), x->value.cols());
   float keep_scale = 1.0f / (1.0f - p);
-  for (size_t i = 0; i < node->aux.size(); ++i) {
-    node->aux.data()[i] = rng->NextBernoulli(p) ? 0.0f : keep_scale;
+  // Row-major over the logical elements: the RNG draw sequence is
+  // independent of the padded stride (matrix.h).
+  for (size_t r = 0; r < node->aux.rows(); ++r) {
+    float* row = node->aux.Row(r);
+    for (size_t c = 0; c < node->aux.cols(); ++c) {
+      row[c] = rng->NextBernoulli(p) ? 0.0f : keep_scale;
+    }
   }
   la::Mul(x->value, node->aux, &node->value);
   return node;

@@ -48,11 +48,13 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float weight_decay)
 void Sgd::Step() {
   for (const Tensor& p : params_) {
     if (!p->grad_live()) continue;  // Never touched this step.
-    float* value = p->value.data();
-    const float* grad = p->grad.data();
-    for (size_t i = 0; i < p->value.size(); ++i) {
-      float g = grad[i] + weight_decay_ * value[i];
-      value[i] -= learning_rate_ * g;
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      float* value = p->value.Row(r);
+      const float* grad = p->grad.Row(r);
+      for (size_t c = 0; c < p->value.cols(); ++c) {
+        float g = grad[c] + weight_decay_ * value[c];
+        value[c] -= learning_rate_ * g;
+      }
     }
   }
 }
@@ -119,18 +121,20 @@ void Adam::Step() {
   for (size_t k = 0; k < params_.size(); ++k) {
     const Tensor& p = params_[k];
     if (!p->grad_live()) continue;  // Never touched this step.
-    float* value = p->value.data();
-    const float* grad = p->grad.data();
-    float* m = m_[k].data();
-    float* v = v_[k].data();
-    for (size_t i = 0; i < p->value.size(); ++i) {
-      float g = grad[i] + options_.weight_decay * value[i];
-      m[i] = b1 * m[i] + (1.0f - b1) * g;
-      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
-      float m_hat = m[i] / bias1;
-      float v_hat = v[i] / bias2;
-      value[i] -=
-          learning_rate_ * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      float* value = p->value.Row(r);
+      const float* grad = p->grad.Row(r);
+      float* m = m_[k].Row(r);
+      float* v = v_[k].Row(r);
+      for (size_t c = 0; c < p->value.cols(); ++c) {
+        float g = grad[c] + options_.weight_decay * value[c];
+        m[c] = b1 * m[c] + (1.0f - b1) * g;
+        v[c] = b2 * v[c] + (1.0f - b2) * g * g;
+        float m_hat = m[c] / bias1;
+        float v_hat = v[c] / bias2;
+        value[c] -=
+            learning_rate_ * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+      }
     }
   }
 }

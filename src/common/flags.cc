@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/check.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace pup {
@@ -68,6 +70,12 @@ std::vector<std::string> Flags::UnusedFlags() const {
 
 void ApplyThreadsFlag(const Flags& flags) {
   ThreadPool::SetGlobalThreads(static_cast<int>(flags.GetInt("threads", 0)));
+}
+
+void ApplySimdFlag(const Flags& flags) {
+  const Status s =
+      simd::SetActiveIsaFromString(flags.GetString("simd", "auto"));
+  PUP_CHECK_MSG(s.ok(), s.message().c_str());
 }
 
 }  // namespace pup

@@ -47,4 +47,11 @@ class Flags {
 /// behavior). Call once at startup, before any parallel work runs.
 void ApplyThreadsFlag(const Flags& flags);
 
+/// Pins the SIMD kernel backend from the standard --simd flag
+/// (auto|off|neon|avx2|avx512; default auto = widest supported ISA,
+/// --simd=off restores the exact scalar golden path). Aborts with a
+/// diagnostic on unknown or unsupported values. Call once at startup,
+/// before any kernel runs.
+void ApplySimdFlag(const Flags& flags);
+
 }  // namespace pup

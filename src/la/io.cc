@@ -19,13 +19,17 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 }  // namespace
 
+// Serialization is dense row-major over the LOGICAL elements only — the
+// padded leading dimension (matrix.h) is an in-memory layout detail, so
+// the byte format is identical whatever the stride and stays compatible
+// with pre-padding checkpoints/files.
 void AppendMatrixBytes(const Matrix& m, std::string* out) {
   uint64_t rows = m.rows(), cols = m.cols();
   out->append(reinterpret_cast<const char*>(&rows), sizeof(rows));
   out->append(reinterpret_cast<const char*>(&cols), sizeof(cols));
-  if (m.size() > 0) {
-    out->append(reinterpret_cast<const char*>(m.data()),
-                m.size() * sizeof(float));
+  for (size_t r = 0; r < m.rows(); ++r) {
+    out->append(reinterpret_cast<const char*>(m.Row(r)),
+                m.cols() * sizeof(float));
   }
 }
 
@@ -46,7 +50,10 @@ Result<Matrix> ParseMatrixBytes(const std::string& buf, size_t* offset) {
     return Status::OutOfRange("matrix data past end of buffer (truncated?)");
   }
   Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
-  if (bytes > 0) std::memcpy(m.data(), buf.data() + pos, bytes);
+  const size_t row_bytes = m.cols() * sizeof(float);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    std::memcpy(m.Row(r), buf.data() + pos + r * row_bytes, row_bytes);
+  }
   *offset = pos + bytes;
   return m;
 }
@@ -60,9 +67,10 @@ Status WriteMatrix(const Matrix& m, const std::string& path) {
       std::fwrite(&cols, sizeof(cols), 1, f.get()) != 1) {
     return Status::IOError("header write failed: " + path);
   }
-  if (m.size() > 0 &&
-      std::fwrite(m.data(), sizeof(float), m.size(), f.get()) != m.size()) {
-    return Status::IOError("data write failed: " + path);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    if (std::fwrite(m.Row(r), sizeof(float), m.cols(), f.get()) != m.cols()) {
+      return Status::IOError("data write failed: " + path);
+    }
   }
   return Status::OK();
 }
@@ -86,9 +94,10 @@ Result<Matrix> ReadMatrix(const std::string& path) {
     return Status::InvalidArgument("matrix too large in header: " + path);
   }
   Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
-  if (m.size() > 0 &&
-      std::fread(m.data(), sizeof(float), m.size(), f.get()) != m.size()) {
-    return Status::IOError("data read failed (truncated?): " + path);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    if (std::fread(m.Row(r), sizeof(float), m.cols(), f.get()) != m.cols()) {
+      return Status::IOError("data read failed (truncated?): " + path);
+    }
   }
   return m;
 }

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "la/simd/backend.h"
 #include "obs/registry.h"
 
 namespace pup::la {
@@ -22,7 +23,9 @@ void EnsureShapeNoZero(size_t rows, size_t cols, Matrix* out) {
 }
 
 // Minimum scalar operations per ParallelFor chunk; keeps scheduling
-// overhead well under the cost of the work itself.
+// overhead well under the cost of the work itself. Also a multiple of
+// Matrix::kAlignFloats, so flat elementwise chunks cover whole aligned
+// lanes (the SIMD backends rely on this; see docs/simd.md).
 constexpr size_t kMinWorkPerChunk = size_t{1} << 14;
 
 // Rows per chunk for a kernel whose per-row cost is `row_cost` scalar ops.
@@ -50,6 +53,68 @@ double ChunkedReduce(size_t n, const ChunkFn& chunk_sum) {
   return acc;
 }
 
+// Invokes fn(ptr, len) for the maximal contiguous buffer runs holding the
+// logical elements with flat indices [lo, hi) — one run when the matrix
+// is contiguous, per-row (or row-fragment) runs when the leading
+// dimension is padded. Reductions iterate logically through this so
+// their accumulation order is independent of the padded layout.
+template <typename Fn>
+void ForEachLogicalRun(const Matrix& x, size_t lo, size_t hi, const Fn& fn) {
+  if (lo >= hi) return;
+  if (x.IsContiguous()) {
+    fn(x.data() + lo, hi - lo);
+    return;
+  }
+  const size_t cols = x.cols();
+  size_t i = lo;
+  while (i < hi) {
+    const size_t r = i / cols;
+    const size_t c = i % cols;
+    const size_t len = std::min(cols - c, hi - i);
+    fn(x.Row(r) + c, len);
+    i += len;
+  }
+}
+
+// Two-matrix variant for Dot: x and y have the same shape, hence the same
+// run decomposition.
+template <typename Fn>
+void ForEachLogicalRun2(const Matrix& x, const Matrix& y, size_t lo,
+                        size_t hi, const Fn& fn) {
+  if (lo >= hi) return;
+  if (x.IsContiguous() && y.IsContiguous()) {
+    fn(x.data() + lo, y.data() + lo, hi - lo);
+    return;
+  }
+  const size_t cols = x.cols();
+  size_t i = lo;
+  while (i < hi) {
+    const size_t r = i / cols;
+    const size_t c = i % cols;
+    const size_t len = std::min(cols - c, hi - i);
+    fn(x.Row(r) + c, y.Row(r) + c, len);
+    i += len;
+  }
+}
+
+// Shared verdict primitive behind AllFinite / CountNonFinite (and
+// therefore Matrix::AssertFinite and ag::NumericGuard): the logical flat
+// index of the first non-finite element, or size(). One dispatched
+// implementation path, so the SIMD and scalar provenance scans cannot
+// diverge on the verdict or the reported index.
+size_t FirstNonFinite(const Matrix& x) {
+  const simd::Backend& be = simd::Active();
+  if (x.IsContiguous()) {
+    return be.find_nonfinite(x.data(), x.size());
+  }
+  const size_t cols = x.cols();
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const size_t idx = be.find_nonfinite(x.Row(r), cols);
+    if (idx < cols) return r * cols + idx;
+  }
+  return x.size();
+}
+
 }  // namespace
 
 // PUP_HOT
@@ -58,21 +123,14 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
   PUP_CHECK_EQ(a.cols(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   EnsureShapeNoZero(m, n, out);
-  // ikj loop order: streams through b and out rows contiguously. Each
-  // chunk owns a disjoint block of out rows, initialized once here (not
-  // pre-zeroed by the resize) and accumulated branch-free so the inner
-  // loop vectorizes.
+  const simd::Backend& be = simd::Active();
+  // Vector backends compute the full padded row width (whole lanes; the
+  // b and out strides are equal by layout), scalar exactly the logical
+  // columns — out's pad lanes are never consumed either way.
+  const size_t nw = n <= 1 ? n : out->stride();
   ParallelFor(0, m, RowGrain(k * n), [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      const float* arow = a.Row(i);
-      float* orow = out->Row(i);
-      std::fill(orow, orow + n, 0.0f);
-      for (size_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        const float* brow = b.Row(p);
-        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
+    be.gemm_rows(a.data(), a.stride(), b.data(), b.stride(), out->data(),
+                 out->stride(), lo, hi, k, n, nw);
   });
 }
 
@@ -82,18 +140,13 @@ void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
   PUP_CHECK_EQ(a.rows(), b.rows());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   EnsureShapeNoZero(m, n, out);
+  const simd::Backend& be = simd::Active();
+  const size_t nw = n <= 1 ? n : out->stride();
   // out(i,j) = Σ_p a(p,i)·b(p,j); p stays the innermost accumulation
   // order so results match the historical p-outer loop bitwise.
   ParallelFor(0, m, RowGrain(k * n), [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      float* orow = out->Row(i);
-      std::fill(orow, orow + n, 0.0f);
-      for (size_t p = 0; p < k; ++p) {
-        const float av = a(p, i);
-        const float* brow = b.Row(p);
-        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
+    be.gemm_ta_rows(a.data(), a.stride(), b.data(), b.stride(), out->data(),
+                    out->stride(), lo, hi, k, n, nw);
   });
 }
 
@@ -103,17 +156,10 @@ void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
   PUP_CHECK_EQ(a.cols(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
   EnsureShapeNoZero(m, n, out);
+  const simd::Backend& be = simd::Active();
   ParallelFor(0, m, RowGrain(k * n), [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      const float* arow = a.Row(i);
-      float* orow = out->Row(i);
-      for (size_t j = 0; j < n; ++j) {
-        const float* brow = b.Row(j);
-        float acc = 0.0f;
-        for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        orow[j] = acc;
-      }
-    }
+    be.gemm_tb_rows(a.data(), a.stride(), b.data(), b.stride(), out->data(),
+                    out->stride(), lo, hi, k, n);
   });
 }
 
@@ -145,11 +191,11 @@ void Spmm(const CsrMatrix& sparse, const Matrix& dense, Matrix* out) {
 // PUP_HOT
 void Axpy(float alpha, const Matrix& x, Matrix* out) {
   PUP_CHECK(x.SameShape(*out));
+  const simd::Backend& be = simd::Active();
   const float* xd = x.data();
   float* od = out->data();
-  ParallelFor(0, x.size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) od[i] += alpha * xd[i];
-  });
+  ParallelFor(0, x.padded_size(), kMinWorkPerChunk,
+              [&](size_t lo, size_t hi) { be.axpy(alpha, xd, od, lo, hi); });
 }
 
 // PUP_HOT
@@ -159,7 +205,7 @@ void Add(const Matrix& x, const Matrix& y, Matrix* out) {
   const float* xd = x.data();
   const float* yd = y.data();
   float* od = out->data();
-  ParallelFor(0, x.size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
+  ParallelFor(0, x.padded_size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) od[i] = xd[i] + yd[i];
   });
 }
@@ -171,7 +217,7 @@ void Sub(const Matrix& x, const Matrix& y, Matrix* out) {
   const float* xd = x.data();
   const float* yd = y.data();
   float* od = out->data();
-  ParallelFor(0, x.size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
+  ParallelFor(0, x.padded_size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) od[i] = xd[i] - yd[i];
   });
 }
@@ -183,7 +229,7 @@ void Mul(const Matrix& x, const Matrix& y, Matrix* out) {
   const float* xd = x.data();
   const float* yd = y.data();
   float* od = out->data();
-  ParallelFor(0, x.size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
+  ParallelFor(0, x.padded_size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) od[i] = xd[i] * yd[i];
   });
 }
@@ -193,7 +239,7 @@ void Scale(float alpha, const Matrix& x, Matrix* out) {
   EnsureShapeNoZero(x.rows(), x.cols(), out);
   const float* xd = x.data();
   float* od = out->data();
-  ParallelFor(0, x.size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
+  ParallelFor(0, x.padded_size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) od[i] = alpha * xd[i];
   });
 }
@@ -201,27 +247,22 @@ void Scale(float alpha, const Matrix& x, Matrix* out) {
 // PUP_HOT
 void Tanh(const Matrix& x, Matrix* out) {
   EnsureShapeNoZero(x.rows(), x.cols(), out);
+  const simd::Backend& be = simd::Active();
   const float* xd = x.data();
   float* od = out->data();
   // tanh costs far more than one scalar op per element; use a small grain.
-  ParallelFor(0, x.size(), kMinWorkPerChunk / 16, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) od[i] = std::tanh(xd[i]);
-  });
+  ParallelFor(0, x.padded_size(), kMinWorkPerChunk / 16,
+              [&](size_t lo, size_t hi) { be.tanh(xd, od, lo, hi); });
 }
 
 // PUP_HOT
 void Sigmoid(const Matrix& x, Matrix* out) {
   EnsureShapeNoZero(x.rows(), x.cols(), out);
+  const simd::Backend& be = simd::Active();
   const float* xd = x.data();
   float* od = out->data();
-  ParallelFor(0, x.size(), kMinWorkPerChunk / 16, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      float v = xd[i];
-      // Stable: never exponentiate a positive argument.
-      od[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
-                        : std::exp(v) / (1.0f + std::exp(v));
-    }
-  });
+  ParallelFor(0, x.padded_size(), kMinWorkPerChunk / 16,
+              [&](size_t lo, size_t hi) { be.sigmoid(xd, od, lo, hi); });
 }
 
 // PUP_HOT
@@ -229,7 +270,7 @@ void LeakyRelu(const Matrix& x, float slope, Matrix* out) {
   EnsureShapeNoZero(x.rows(), x.cols(), out);
   const float* xd = x.data();
   float* od = out->data();
-  ParallelFor(0, x.size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
+  ParallelFor(0, x.padded_size(), kMinWorkPerChunk, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       float v = xd[i];
       od[i] = v > 0.0f ? v : slope * v;
@@ -316,14 +357,10 @@ void RowDot(const Matrix& x, const Matrix& y, Matrix* out) {
   PUP_CHECK(x.SameShape(y));
   EnsureShapeNoZero(x.rows(), 1, out);
   const size_t cols = x.cols();
+  const simd::Backend& be = simd::Active();
   ParallelFor(0, x.rows(), RowGrain(cols), [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      const float* xr = x.Row(i);
-      const float* yr = y.Row(i);
-      float acc = 0.0f;
-      for (size_t j = 0; j < cols; ++j) acc += xr[j] * yr[j];
-      (*out)(i, 0) = acc;
-    }
+    be.row_dot(x.data(), x.stride(), y.data(), y.stride(), out->data(), lo,
+               hi, cols);
   });
 }
 
@@ -335,19 +372,12 @@ void RowDotDiff(const Matrix& x, const Matrix& a, const Matrix& b,
   PUP_CHECK(x.SameShape(b));
   EnsureShapeNoZero(x.rows(), 1, out);
   const size_t cols = x.cols();
+  const simd::Backend& be = simd::Active();
   // Two independent row-dot accumulators per row, each in element order —
   // bitwise-identical to RowDot(x, b) − RowDot(x, a) at any thread count.
   ParallelFor(0, x.rows(), RowGrain(2 * cols), [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      const float* xr = x.Row(i);
-      const float* ar = a.Row(i);
-      const float* br = b.Row(i);
-      float acc_a = 0.0f;
-      for (size_t j = 0; j < cols; ++j) acc_a += xr[j] * ar[j];
-      float acc_b = 0.0f;
-      for (size_t j = 0; j < cols; ++j) acc_b += xr[j] * br[j];
-      (*out)(i, 0) = acc_b - acc_a;
-    }
+    be.row_dot_diff(x.data(), x.stride(), a.data(), a.stride(), b.data(),
+                    b.stride(), out->data(), lo, hi, cols);
   });
 }
 
@@ -382,34 +412,37 @@ void RowScale(const Matrix& x, const Matrix& s, Matrix* out) {
 }
 
 double Sum(const Matrix& x) {
-  const float* xd = x.data();
-  return ChunkedReduce(x.size(), [xd](size_t lo, size_t hi) {
+  return ChunkedReduce(x.size(), [&x](size_t lo, size_t hi) {
     double acc = 0.0;
-    for (size_t i = lo; i < hi; ++i) acc += xd[i];
+    ForEachLogicalRun(x, lo, hi, [&acc](const float* p, size_t len) {
+      for (size_t i = 0; i < len; ++i) acc += p[i];
+    });
     return acc;
   });
 }
 
 double SquaredNorm(const Matrix& x) {
-  const float* xd = x.data();
-  return ChunkedReduce(x.size(), [xd](size_t lo, size_t hi) {
+  return ChunkedReduce(x.size(), [&x](size_t lo, size_t hi) {
     double acc = 0.0;
-    for (size_t i = lo; i < hi; ++i) {
-      acc += static_cast<double>(xd[i]) * xd[i];
-    }
+    ForEachLogicalRun(x, lo, hi, [&acc](const float* p, size_t len) {
+      for (size_t i = 0; i < len; ++i) {
+        acc += static_cast<double>(p[i]) * p[i];
+      }
+    });
     return acc;
   });
 }
 
 double Dot(const Matrix& x, const Matrix& y) {
   PUP_CHECK(x.SameShape(y));
-  const float* xd = x.data();
-  const float* yd = y.data();
-  return ChunkedReduce(x.size(), [xd, yd](size_t lo, size_t hi) {
+  return ChunkedReduce(x.size(), [&x, &y](size_t lo, size_t hi) {
     double acc = 0.0;
-    for (size_t i = lo; i < hi; ++i) {
-      acc += static_cast<double>(xd[i]) * yd[i];
-    }
+    ForEachLogicalRun2(x, y, lo, hi,
+                       [&acc](const float* px, const float* py, size_t len) {
+                         for (size_t i = 0; i < len; ++i) {
+                           acc += static_cast<double>(px[i]) * py[i];
+                         }
+                       });
     return acc;
   });
 }
@@ -418,11 +451,12 @@ float MaxAbs(const Matrix& x) {
   // max is exactly associative, so the chunked combine is bitwise-stable
   // for every thread count.
   const size_t n = x.size();
-  const float* xd = x.data();
   constexpr size_t kGrain = kMinWorkPerChunk;
-  auto chunk_max = [xd](size_t lo, size_t hi) {
+  auto chunk_max = [&x](size_t lo, size_t hi) {
     float m = 0.0f;
-    for (size_t i = lo; i < hi; ++i) m = std::max(m, std::abs(xd[i]));
+    ForEachLogicalRun(x, lo, hi, [&m](const float* p, size_t len) {
+      for (size_t i = 0; i < len; ++i) m = std::max(m, std::abs(p[i]));
+    });
     return m;
   };
   if (n <= kGrain || ThreadPool::Global().num_threads() <= 1) {
@@ -445,68 +479,25 @@ void Gemv(const Matrix& a, const Matrix& x, Matrix* out) {
   PUP_CHECK_EQ(a.cols(), x.rows());
   EnsureShapeNoZero(a.rows(), 1, out);
   const size_t cols = a.cols();
+  const simd::Backend& be = simd::Active();
   ParallelFor(0, a.rows(), RowGrain(cols), [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      const float* arow = a.Row(i);
-      float acc = 0.0f;
-      for (size_t j = 0; j < cols; ++j) acc += arow[j] * x(j, 0);
-      (*out)(i, 0) = acc;
-    }
+    be.gemv_rows(a.data(), a.stride(), x.data(), out->data(), lo, hi, cols);
   });
 }
 
 // PUP_HOT: runs inside every guarded training step; must not allocate.
-bool AllFinite(const Matrix& x) {
-  const float* xd = x.data();
-  const size_t n = x.size();
-  // A float is non-finite iff its exponent field is all ones; masking the
-  // exponent and adding one exponent ulp carries into the sign bit exactly
-  // for NaN/Inf, so OR-accumulating the sums leaves the verdict in the
-  // sign bit. The integer OR reduction is associative (unlike an FP add
-  // chain), so the compiler can unroll/vectorize it; the blocking bounds
-  // how far we scan past the first bad entry. Branch-free per element and
-  // serial: the scan is memory-bound and the guard's callers already sit
-  // inside per-step parallel regions.
-  constexpr size_t kBlock = size_t{1} << 12;
-  constexpr uint32_t kExpMask = 0x7f800000u;
-  constexpr uint32_t kExpUlp = 0x00800000u;
-  for (size_t lo = 0; lo < n; lo += kBlock) {
-    const size_t hi = std::min(n, lo + kBlock);
-    // Four independent accumulators: the OR chains interleave instead of
-    // serializing at one element per cycle.
-    uint32_t lanes[4] = {0, 0, 0, 0};
-    size_t i = lo;
-    for (; i + 4 <= hi; i += 4) {
-      uint32_t bits[4];
-      std::memcpy(bits, &xd[i], sizeof(bits));
-      lanes[0] |= (bits[0] & kExpMask) + kExpUlp;
-      lanes[1] |= (bits[1] & kExpMask) + kExpUlp;
-      lanes[2] |= (bits[2] & kExpMask) + kExpUlp;
-      lanes[3] |= (bits[3] & kExpMask) + kExpUlp;
-    }
-    for (; i < hi; ++i) {
-      uint32_t bits;
-      std::memcpy(&bits, &xd[i], sizeof(bits));
-      lanes[0] |= (bits & kExpMask) + kExpUlp;
-    }
-    const uint32_t acc = lanes[0] | lanes[1] | lanes[2] | lanes[3];
-    if ((acc & 0x80000000u) != 0) return false;
-  }
-  return true;
-}
+bool AllFinite(const Matrix& x) { return FirstNonFinite(x) == x.size(); }
 
 NonFiniteCounts CountNonFinite(const Matrix& x) {
   NonFiniteCounts counts;
-  const float* xd = x.data();
   const size_t n = x.size();
-  counts.first_index = n;
-  for (size_t i = 0; i < n; ++i) {
-    const bool nan = std::isnan(xd[i]);
-    const bool inf = std::isinf(xd[i]);
-    if (!nan && !inf) continue;
-    if (counts.first_index == n) counts.first_index = i;
-    counts.nans += nan ? 1 : 0;
-    counts.infs += inf ? 1 : 0;
+  // Verdict and first index come from the same dispatched scan AllFinite
+  // uses; the element-wise counting below only runs on the failure path.
+  counts.first_index = FirstNonFinite(x);
+  for (size_t i = counts.first_index; i < n; ++i) {
+    const float v = x.FlatAt(i);
+    counts.nans += std::isnan(v) ? 1 : 0;
+    counts.infs += std::isinf(v) ? 1 : 0;
   }
   return counts;
 }

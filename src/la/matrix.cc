@@ -33,11 +33,17 @@ void RecordMatrixAlloc(size_t num_floats) {
 
 }  // namespace internal
 
+// The random fills walk the logical elements in row-major order — the
+// same draw-to-element mapping as a dense buffer — so initialization is
+// independent of the padded leading dimension.
 Matrix Matrix::Gaussian(size_t rows, size_t cols, float stddev, Rng* rng) {
   PUP_CHECK(rng != nullptr);
   Matrix m(rows, cols);
-  for (size_t i = 0; i < m.size(); ++i) {
-    m.data()[i] = static_cast<float>(rng->NextGaussian(0.0, stddev));
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = m.Row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] = static_cast<float>(rng->NextGaussian(0.0, stddev));
+    }
   }
   return m;
 }
@@ -46,8 +52,11 @@ Matrix Matrix::Uniform(size_t rows, size_t cols, float lo, float hi,
                        Rng* rng) {
   PUP_CHECK(rng != nullptr);
   Matrix m(rows, cols);
-  for (size_t i = 0; i < m.size(); ++i) {
-    m.data()[i] = static_cast<float>(rng->NextUniform(lo, hi));
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = m.Row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] = static_cast<float>(rng->NextUniform(lo, hi));
+    }
   }
   return m;
 }

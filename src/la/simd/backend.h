@@ -1,0 +1,110 @@
+// la::simd backend vtable — one table of kernel-inner-loop function
+// pointers per instruction set, resolved once per kernel call by the
+// public kernels in la/kernels.cc.
+//
+// The split of responsibilities (docs/simd.md):
+//  * kernels.cc keeps everything semantic: shape checks, ResizeNoZero,
+//    obs counters, and the ParallelFor chunking — so chunk boundaries
+//    (and therefore determinism-vs-threads) are identical for every
+//    backend.
+//  * Backends implement only the loop bodies over a row block [lo, hi)
+//    or a flat padded range [lo, hi), on raw pointers + strides.
+//
+// Determinism classes (enforced by tests/simd_test.cc):
+//  * Order-preserving: gemm_rows / gemm_ta_rows vectorize across the
+//    output columns j — each out(i,j) sees the exact scalar operation
+//    sequence (mul then add per p, never FMA), so every backend is
+//    bitwise-identical to scalar.
+//  * Lane-reduced: gemm_tb_rows / gemv_rows / row_dot / row_dot_diff
+//    accumulate dot products in W lane accumulators (tail elements
+//    enter as zero-padded lanes) and reduce them in pinned lane order
+//    0..W-1. Bitwise-reproducible for a fixed lane width at any
+//    --threads, not bitwise-equal across lane widths.
+//  * Approximate elementwise: sigmoid / tanh use polynomial / exp2
+//    approximations under a bounded-ULP contract on vector backends;
+//    the scalar backend keeps libm exactly.
+//  * Exact scans: find_nonfinite returns the same verdict and index on
+//    every backend.
+#pragma once
+
+#include <cstddef>
+
+#include "common/simd.h"
+#include "obs/registry.h"
+
+namespace pup::la::simd {
+
+/// Inner-loop implementations for one ISA. All pointers are non-null on
+/// every table (unsupported ISAs simply reuse the scalar entries, the
+/// dispatcher never hands them out). Strides are in floats. Row-block
+/// functions process output rows [lo, hi); flat functions process the
+/// padded flat range [lo, hi), whose bounds the caller guarantees are
+/// multiples of the 16-float alignment quantum (or cover the whole
+/// buffer).
+struct Backend {
+  pup::simd::Isa isa;
+  const char* name;
+  size_t lane_width;
+  /// Cached handle for the per-ISA dispatch counter
+  /// ("simd/dispatch/<name>"); bumped by Active() on every kernel call.
+  obs::Counter* dispatch_count;
+
+  // out(i, j) = sum_p a(i, p) * b(p, j) for i in [lo, hi). Scalar
+  // writes j in [0, n); vector backends write j in [0, nw) (the padded
+  // row width, == b/out stride) so the column loop is whole lanes.
+  void (*gemm_rows)(const float* a, size_t a_stride, const float* b,
+                    size_t b_stride, float* out, size_t out_stride, size_t lo,
+                    size_t hi, size_t k, size_t n, size_t nw);
+  // out(i, j) = sum_p a(p, i) * b(p, j) for i in [lo, hi); a is (k x m).
+  void (*gemm_ta_rows)(const float* a, size_t a_stride, const float* b,
+                       size_t b_stride, float* out, size_t out_stride,
+                       size_t lo, size_t hi, size_t k, size_t n, size_t nw);
+  // out(i, j) = dot(a row i, b row j, k) for i in [lo, hi), j in [0, n).
+  void (*gemm_tb_rows)(const float* a, size_t a_stride, const float* b,
+                       size_t b_stride, float* out, size_t out_stride,
+                       size_t lo, size_t hi, size_t k, size_t n);
+  // out[i] = dot(a row i, x, k) for i in [lo, hi); x and out contiguous.
+  void (*gemv_rows)(const float* a, size_t a_stride, const float* x,
+                    float* out, size_t lo, size_t hi, size_t k);
+  // out[i] = dot(x row i, y row i, d) for i in [lo, hi).
+  void (*row_dot)(const float* x, size_t x_stride, const float* y,
+                  size_t y_stride, float* out, size_t lo, size_t hi, size_t d);
+  // out[i] = dot(x row i, b row i, d) - dot(x row i, a row i, d).
+  void (*row_dot_diff)(const float* x, size_t x_stride, const float* a,
+                       size_t a_stride, const float* b, size_t b_stride,
+                       float* out, size_t lo, size_t hi, size_t d);
+  // out[i] += alpha * x[i] over the flat padded range [lo, hi).
+  void (*axpy)(float alpha, const float* x, float* out, size_t lo, size_t hi);
+  // out[i] = sigmoid(x[i]) / tanh(x[i]) over the flat padded [lo, hi).
+  void (*sigmoid)(const float* x, float* out, size_t lo, size_t hi);
+  void (*tanh)(const float* x, float* out, size_t lo, size_t hi);
+  // Index of the first non-finite float in the contiguous run x[0, n),
+  // or n when all are finite.
+  size_t (*find_nonfinite)(const float* x, size_t n);
+};
+
+/// Table for the process-wide active ISA (common/simd.h). Bumps the
+/// backend's dispatch counter — call once per kernel invocation, outside
+/// the parallel region.
+const Backend& Active();
+
+/// Table for a specific ISA; falls back to scalar when `isa` was not
+/// compiled into this binary. Does not touch counters (bench/test use).
+const Backend& ForIsa(pup::simd::Isa isa);
+
+// Per-ISA table definitions (kernels_<isa>.cc). The PUP_HAVE_* macros
+// come from CMake and mean "the compiler can target this ISA, so the
+// backend file is in the build" (the per-file -m flags live on those
+// files only); dispatch.cc wires absent slots to scalar.
+const Backend& ScalarBackend();
+#if defined(PUP_HAVE_AVX2)
+const Backend& Avx2Backend();
+#endif
+#if defined(PUP_HAVE_AVX512)
+const Backend& Avx512Backend();
+#endif
+#if defined(__aarch64__)
+const Backend& NeonBackend();
+#endif
+
+}  // namespace pup::la::simd

@@ -1,0 +1,316 @@
+// AVX2 backend: 8-float lanes. Compiled with -mavx2 -ffp-contract=off
+// (and only this file is), guarded so a build without PUP_HAVE_AVX2
+// simply omits it.
+//
+// Determinism notes (docs/simd.md):
+//  * Never FMA — every product rounds before the add, matching scalar.
+//    (-mfma is deliberately absent and contraction is off, so the
+//    compiler cannot fuse the mul/add intrinsics either.)
+//  * GEMM-family kernels vectorize across output columns with one
+//    accumulator per output element — bitwise-identical to scalar.
+//  * Dot-product kernels keep 8 lane accumulators; tails enter as
+//    zero-padded lanes via maskload, and the final reduction adds lanes
+//    0..7 sequentially. Reproducible at any --threads for this lane
+//    width; not bitwise-equal to other widths.
+//  * Row pointers handed in by kernels.cc are 64-byte aligned whenever
+//    the row is wider than one float (Matrix layout contract), so the
+//    full-lane loops use aligned loads; only tails use maskload, which
+//    tolerates any alignment and never faults on masked-out lanes.
+#if defined(PUP_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "la/simd/backend.h"
+#include "la/simd/simd_math.h"
+
+namespace pup::la::simd {
+namespace {
+
+constexpr size_t kW = 8;
+
+// First t entries -1 (load), rest 0 (skip): TailMask(t) reads at offset
+// 8 - t, yielding t live lanes.
+alignas(32) constexpr int32_t kMaskTable[16] = {-1, -1, -1, -1, -1, -1, -1,
+                                               -1, 0,  0,  0,  0,  0,  0,
+                                               0,  0};
+
+inline __m256i TailMask(size_t t) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMaskTable + (kW - t)));
+}
+
+// Pinned-order lane reduction: lanes 0..7 added sequentially into one
+// scalar — THE accumulation-order contract for this lane width.
+inline float LaneSum(__m256 acc) {
+  alignas(32) float lanes[kW];
+  _mm256_store_ps(lanes, acc);
+  float s = 0.0f;
+  for (size_t l = 0; l < kW; ++l) s += lanes[l];
+  return s;
+}
+
+// Dot product of two rows of logical length k: full aligned lanes, then
+// one zero-padded masked tail, then the pinned lane reduction.
+inline float RowDotOne(const float* x, const float* y, size_t k) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t p = 0;
+  for (; p + kW <= k; p += kW) {
+    acc = _mm256_add_ps(
+        acc, _mm256_mul_ps(_mm256_load_ps(x + p), _mm256_load_ps(y + p)));
+  }
+  const size_t t = k - p;
+  if (t != 0) {
+    const __m256i m = TailMask(t);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_maskload_ps(x + p, m),
+                                           _mm256_maskload_ps(y + p, m)));
+  }
+  return LaneSum(acc);
+}
+
+// exp(x) for x <= 0 (see simd_math.h). NaN lanes produce garbage that
+// callers overwrite via their NaN-passthrough blend.
+inline __m256 ExpNegPs(__m256 x) {
+  x = _mm256_max_ps(x, _mm256_set1_ps(kExpLowClamp));
+  __m256 fx = _mm256_mul_ps(x, _mm256_set1_ps(kLog2E));
+  fx = _mm256_round_ps(fx, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(kExpC1)));
+  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(kExpC2)));
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(kExpP0);
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(kExpP1));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(kExpP2));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(kExpP3));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(kExpP4));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(kExpP5));
+  y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(y, z), x),
+                    _mm256_set1_ps(1.0f));
+  __m256i n = _mm256_cvtps_epi32(fx);
+  n = _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(n));
+}
+
+inline __m256 SigmoidPs(__m256 v) {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 absv = _mm256_andnot_ps(_mm256_set1_ps(-0.0f), v);
+  const __m256 e = ExpNegPs(_mm256_sub_ps(zero, absv));
+  const __m256 r = _mm256_div_ps(one, _mm256_add_ps(one, e));
+  // v >= 0 ? 1/(1+e) : e/(1+e); NaN inputs propagate unchanged so the
+  // numeric guard sees them, exactly like libm.
+  __m256 out = _mm256_blendv_ps(_mm256_mul_ps(e, r), r,
+                                _mm256_cmp_ps(v, zero, _CMP_GE_OQ));
+  return _mm256_blendv_ps(out, v, _mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+}
+
+inline __m256 TanhPs(__m256 v) {
+  const __m256 x = _mm256_max_ps(
+      _mm256_set1_ps(-kTanhClamp),
+      _mm256_min_ps(_mm256_set1_ps(kTanhClamp), v));
+  const __m256 x2 = _mm256_mul_ps(x, x);
+  __m256 p = _mm256_set1_ps(kTanhAlpha13);
+  p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(kTanhAlpha11));
+  p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(kTanhAlpha9));
+  p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(kTanhAlpha7));
+  p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(kTanhAlpha5));
+  p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(kTanhAlpha3));
+  p = _mm256_add_ps(_mm256_mul_ps(p, x2), _mm256_set1_ps(kTanhAlpha1));
+  p = _mm256_mul_ps(p, x);
+  __m256 q = _mm256_set1_ps(kTanhBeta6);
+  q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(kTanhBeta4));
+  q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(kTanhBeta2));
+  q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(kTanhBeta0));
+  __m256 out = _mm256_div_ps(p, q);
+  // Identity window (tanh(x) == x in float) and NaN passthrough.
+  const __m256 absv = _mm256_andnot_ps(_mm256_set1_ps(-0.0f), v);
+  out = _mm256_blendv_ps(
+      out, v, _mm256_cmp_ps(absv, _mm256_set1_ps(kTanhTiny), _CMP_LT_OQ));
+  return _mm256_blendv_ps(out, v, _mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+}
+
+void GemmRows(const float* a, size_t a_stride, const float* b,
+              size_t b_stride, float* out, size_t out_stride, size_t lo,
+              size_t hi, size_t k, size_t /*n*/, size_t nw) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* arow = a + i * a_stride;
+    float* orow = out + i * out_stride;
+    size_t j = 0;
+    // Four vectors (32 columns) per block: the broadcast of a(i,p)
+    // amortizes across 32 output columns while each out(i,j) still sums
+    // its products in exact p order (one accumulator per element).
+    for (; j + 4 * kW <= nw; j += 4 * kW) {
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      for (size_t p = 0; p < k; ++p) {
+        const __m256 av = _mm256_set1_ps(arow[p]);
+        const float* bp = b + p * b_stride + j;
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(av, _mm256_load_ps(bp)));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(av, _mm256_load_ps(bp + kW)));
+        acc2 = _mm256_add_ps(acc2,
+                             _mm256_mul_ps(av, _mm256_load_ps(bp + 2 * kW)));
+        acc3 = _mm256_add_ps(acc3,
+                             _mm256_mul_ps(av, _mm256_load_ps(bp + 3 * kW)));
+      }
+      _mm256_store_ps(orow + j, acc0);
+      _mm256_store_ps(orow + j + kW, acc1);
+      _mm256_store_ps(orow + j + 2 * kW, acc2);
+      _mm256_store_ps(orow + j + 3 * kW, acc3);
+    }
+    for (; j + kW <= nw; j += kW) {
+      __m256 acc = _mm256_setzero_ps();
+      for (size_t p = 0; p < k; ++p) {
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_set1_ps(arow[p]),
+                               _mm256_load_ps(b + p * b_stride + j)));
+      }
+      _mm256_store_ps(orow + j, acc);
+    }
+    // nw < kW only for single-column outputs (nw == 1): scalar remainder.
+    for (; j < nw; ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * b[p * b_stride + j];
+      orow[j] = acc;
+    }
+  }
+}
+
+void GemmTransARows(const float* a, size_t a_stride, const float* b,
+                    size_t b_stride, float* out, size_t out_stride, size_t lo,
+                    size_t hi, size_t k, size_t /*n*/, size_t nw) {
+  for (size_t i = lo; i < hi; ++i) {
+    float* orow = out + i * out_stride;
+    size_t j = 0;
+    for (; j + kW <= nw; j += kW) {
+      __m256 acc = _mm256_setzero_ps();
+      for (size_t p = 0; p < k; ++p) {
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_set1_ps(a[p * a_stride + i]),
+                               _mm256_load_ps(b + p * b_stride + j)));
+      }
+      _mm256_store_ps(orow + j, acc);
+    }
+    for (; j < nw; ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        acc += a[p * a_stride + i] * b[p * b_stride + j];
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+void GemmTransBRows(const float* a, size_t a_stride, const float* b,
+                    size_t b_stride, float* out, size_t out_stride, size_t lo,
+                    size_t hi, size_t k, size_t n) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* arow = a + i * a_stride;
+    float* orow = out + i * out_stride;
+    for (size_t j = 0; j < n; ++j) {
+      orow[j] = RowDotOne(arow, b + j * b_stride, k);
+    }
+  }
+}
+
+void GemvRows(const float* a, size_t a_stride, const float* x, float* out,
+              size_t lo, size_t hi, size_t k) {
+  for (size_t i = lo; i < hi; ++i) {
+    out[i] = RowDotOne(a + i * a_stride, x, k);
+  }
+}
+
+void RowDot(const float* x, size_t x_stride, const float* y, size_t y_stride,
+            float* out, size_t lo, size_t hi, size_t d) {
+  for (size_t i = lo; i < hi; ++i) {
+    out[i] = RowDotOne(x + i * x_stride, y + i * y_stride, d);
+  }
+}
+
+void RowDotDiff(const float* x, size_t x_stride, const float* a,
+                size_t a_stride, const float* b, size_t b_stride, float* out,
+                size_t lo, size_t hi, size_t d) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* xr = x + i * x_stride;
+    out[i] = RowDotOne(xr, b + i * b_stride, d) -
+             RowDotOne(xr, a + i * a_stride, d);
+  }
+}
+
+void Axpy(float alpha, const float* x, float* out, size_t lo, size_t hi) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  for (size_t i = lo; i + kW <= hi; i += kW) {
+    _mm256_store_ps(out + i,
+                    _mm256_add_ps(_mm256_load_ps(out + i),
+                                  _mm256_mul_ps(av, _mm256_load_ps(x + i))));
+  }
+}
+
+void Sigmoid(const float* x, float* out, size_t lo, size_t hi) {
+  for (size_t i = lo; i + kW <= hi; i += kW) {
+    _mm256_store_ps(out + i, SigmoidPs(_mm256_load_ps(x + i)));
+  }
+}
+
+void Tanh(const float* x, float* out, size_t lo, size_t hi) {
+  for (size_t i = lo; i + kW <= hi; i += kW) {
+    _mm256_store_ps(out + i, TanhPs(_mm256_load_ps(x + i)));
+  }
+}
+
+size_t FindNonFinite(const float* x, size_t n) {
+  // Same exponent-field trick as the scalar scan, on 8 integer lanes:
+  // (bits & exp_mask) + exp_ulp carries into the sign bit iff the float
+  // is NaN/Inf, so a movemask over an OR-accumulated block gives the
+  // verdict; a dirty block is rescanned element-wise for the index.
+  const __m256i exp_mask = _mm256_set1_epi32(0x7f800000);
+  const __m256i exp_ulp = _mm256_set1_epi32(0x00800000);
+  constexpr size_t kBlock = 8 * kW;
+  size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    __m256i acc = _mm256_setzero_si256();
+    for (size_t v = 0; v < kBlock; v += kW) {
+      const __m256i bits = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(x + i + v));
+      acc = _mm256_or_si256(
+          acc, _mm256_add_epi32(_mm256_and_si256(bits, exp_mask), exp_ulp));
+    }
+    if (_mm256_movemask_ps(_mm256_castsi256_ps(acc)) == 0) continue;
+    for (size_t j = i; j < i + kBlock; ++j) {
+      if (!std::isfinite(x[j])) return j;
+    }
+  }
+  for (; i < n; ++i) {
+    if (!std::isfinite(x[i])) return i;
+  }
+  return n;
+}
+
+}  // namespace
+
+const Backend& Avx2Backend() {
+  static const Backend table = {
+      pup::simd::Isa::kAvx2,
+      "avx2",
+      kW,
+      obs::Registry::Global().GetCounter("simd/dispatch/avx2"),
+      &GemmRows,
+      &GemmTransARows,
+      &GemmTransBRows,
+      &GemvRows,
+      &RowDot,
+      &RowDotDiff,
+      &Axpy,
+      &Sigmoid,
+      &Tanh,
+      &FindNonFinite,
+  };
+  return table;
+}
+
+}  // namespace pup::la::simd
+
+#endif  // PUP_HAVE_AVX2

@@ -1,0 +1,279 @@
+// AVX-512 backend: 16-float lanes. Compiled with -mavx512f
+// -ffp-contract=off (only this file), omitted when PUP_HAVE_AVX512 is
+// off. Mirrors kernels_avx2.cc — see that file and docs/simd.md for the
+// determinism notes; the only structural differences are the lane width,
+// the use of predicate masks (__mmask16) for tails, and an explicit
+// sequential lane reduction (never _mm512_reduce_add_ps, whose tree
+// order is not the pinned lane order 0..15).
+#if defined(PUP_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "la/simd/backend.h"
+#include "la/simd/simd_math.h"
+
+namespace pup::la::simd {
+namespace {
+
+constexpr size_t kW = 16;
+
+// Pinned-order lane reduction: lanes 0..15 added sequentially.
+inline float LaneSum(__m512 acc) {
+  alignas(64) float lanes[kW];
+  _mm512_store_ps(lanes, acc);
+  float s = 0.0f;
+  for (size_t l = 0; l < kW; ++l) s += lanes[l];
+  return s;
+}
+
+inline float RowDotOne(const float* x, const float* y, size_t k) {
+  __m512 acc = _mm512_setzero_ps();
+  size_t p = 0;
+  for (; p + kW <= k; p += kW) {
+    acc = _mm512_add_ps(
+        acc, _mm512_mul_ps(_mm512_load_ps(x + p), _mm512_load_ps(y + p)));
+  }
+  const size_t t = k - p;
+  if (t != 0) {
+    const __mmask16 m = static_cast<__mmask16>((1u << t) - 1u);
+    acc = _mm512_add_ps(acc,
+                        _mm512_mul_ps(_mm512_maskz_loadu_ps(m, x + p),
+                                      _mm512_maskz_loadu_ps(m, y + p)));
+  }
+  return LaneSum(acc);
+}
+
+// exp(x) for x <= 0; identical polynomial and operation order to the
+// AVX2/NEON versions (simd_math.h), so elementwise results match across
+// vector ISAs bitwise.
+inline __m512 ExpNegPs(__m512 x) {
+  x = _mm512_max_ps(x, _mm512_set1_ps(kExpLowClamp));
+  __m512 fx = _mm512_mul_ps(x, _mm512_set1_ps(kLog2E));
+  fx = _mm512_roundscale_ps(fx, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  x = _mm512_sub_ps(x, _mm512_mul_ps(fx, _mm512_set1_ps(kExpC1)));
+  x = _mm512_sub_ps(x, _mm512_mul_ps(fx, _mm512_set1_ps(kExpC2)));
+  const __m512 z = _mm512_mul_ps(x, x);
+  __m512 y = _mm512_set1_ps(kExpP0);
+  y = _mm512_add_ps(_mm512_mul_ps(y, x), _mm512_set1_ps(kExpP1));
+  y = _mm512_add_ps(_mm512_mul_ps(y, x), _mm512_set1_ps(kExpP2));
+  y = _mm512_add_ps(_mm512_mul_ps(y, x), _mm512_set1_ps(kExpP3));
+  y = _mm512_add_ps(_mm512_mul_ps(y, x), _mm512_set1_ps(kExpP4));
+  y = _mm512_add_ps(_mm512_mul_ps(y, x), _mm512_set1_ps(kExpP5));
+  y = _mm512_add_ps(_mm512_add_ps(_mm512_mul_ps(y, z), x),
+                    _mm512_set1_ps(1.0f));
+  __m512i n = _mm512_cvtps_epi32(fx);
+  n = _mm512_slli_epi32(_mm512_add_epi32(n, _mm512_set1_epi32(127)), 23);
+  return _mm512_mul_ps(y, _mm512_castsi512_ps(n));
+}
+
+inline __m512 SigmoidPs(__m512 v) {
+  const __m512 zero = _mm512_setzero_ps();
+  const __m512 one = _mm512_set1_ps(1.0f);
+  const __m512 absv = _mm512_abs_ps(v);
+  const __m512 e = ExpNegPs(_mm512_sub_ps(zero, absv));
+  const __m512 r = _mm512_div_ps(one, _mm512_add_ps(one, e));
+  const __mmask16 ge = _mm512_cmp_ps_mask(v, zero, _CMP_GE_OQ);
+  __m512 out = _mm512_mask_blend_ps(ge, _mm512_mul_ps(e, r), r);
+  const __mmask16 nan = _mm512_cmp_ps_mask(v, v, _CMP_UNORD_Q);
+  return _mm512_mask_blend_ps(nan, out, v);
+}
+
+inline __m512 TanhPs(__m512 v) {
+  const __m512 x = _mm512_max_ps(
+      _mm512_set1_ps(-kTanhClamp),
+      _mm512_min_ps(_mm512_set1_ps(kTanhClamp), v));
+  const __m512 x2 = _mm512_mul_ps(x, x);
+  __m512 p = _mm512_set1_ps(kTanhAlpha13);
+  p = _mm512_add_ps(_mm512_mul_ps(p, x2), _mm512_set1_ps(kTanhAlpha11));
+  p = _mm512_add_ps(_mm512_mul_ps(p, x2), _mm512_set1_ps(kTanhAlpha9));
+  p = _mm512_add_ps(_mm512_mul_ps(p, x2), _mm512_set1_ps(kTanhAlpha7));
+  p = _mm512_add_ps(_mm512_mul_ps(p, x2), _mm512_set1_ps(kTanhAlpha5));
+  p = _mm512_add_ps(_mm512_mul_ps(p, x2), _mm512_set1_ps(kTanhAlpha3));
+  p = _mm512_add_ps(_mm512_mul_ps(p, x2), _mm512_set1_ps(kTanhAlpha1));
+  p = _mm512_mul_ps(p, x);
+  __m512 q = _mm512_set1_ps(kTanhBeta6);
+  q = _mm512_add_ps(_mm512_mul_ps(q, x2), _mm512_set1_ps(kTanhBeta4));
+  q = _mm512_add_ps(_mm512_mul_ps(q, x2), _mm512_set1_ps(kTanhBeta2));
+  q = _mm512_add_ps(_mm512_mul_ps(q, x2), _mm512_set1_ps(kTanhBeta0));
+  __m512 out = _mm512_div_ps(p, q);
+  const __m512 absv = _mm512_abs_ps(v);
+  const __mmask16 tiny =
+      _mm512_cmp_ps_mask(absv, _mm512_set1_ps(kTanhTiny), _CMP_LT_OQ);
+  out = _mm512_mask_blend_ps(tiny, out, v);
+  const __mmask16 nan = _mm512_cmp_ps_mask(v, v, _CMP_UNORD_Q);
+  return _mm512_mask_blend_ps(nan, out, v);
+}
+
+void GemmRows(const float* a, size_t a_stride, const float* b,
+              size_t b_stride, float* out, size_t out_stride, size_t lo,
+              size_t hi, size_t k, size_t /*n*/, size_t nw) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* arow = a + i * a_stride;
+    float* orow = out + i * out_stride;
+    size_t j = 0;
+    for (; j + 2 * kW <= nw; j += 2 * kW) {
+      __m512 acc0 = _mm512_setzero_ps();
+      __m512 acc1 = _mm512_setzero_ps();
+      for (size_t p = 0; p < k; ++p) {
+        const __m512 av = _mm512_set1_ps(arow[p]);
+        const float* bp = b + p * b_stride + j;
+        acc0 = _mm512_add_ps(acc0, _mm512_mul_ps(av, _mm512_load_ps(bp)));
+        acc1 = _mm512_add_ps(acc1, _mm512_mul_ps(av, _mm512_load_ps(bp + kW)));
+      }
+      _mm512_store_ps(orow + j, acc0);
+      _mm512_store_ps(orow + j + kW, acc1);
+    }
+    for (; j + kW <= nw; j += kW) {
+      __m512 acc = _mm512_setzero_ps();
+      for (size_t p = 0; p < k; ++p) {
+        acc = _mm512_add_ps(
+            acc, _mm512_mul_ps(_mm512_set1_ps(arow[p]),
+                               _mm512_load_ps(b + p * b_stride + j)));
+      }
+      _mm512_store_ps(orow + j, acc);
+    }
+    for (; j < nw; ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * b[p * b_stride + j];
+      orow[j] = acc;
+    }
+  }
+}
+
+void GemmTransARows(const float* a, size_t a_stride, const float* b,
+                    size_t b_stride, float* out, size_t out_stride, size_t lo,
+                    size_t hi, size_t k, size_t /*n*/, size_t nw) {
+  for (size_t i = lo; i < hi; ++i) {
+    float* orow = out + i * out_stride;
+    size_t j = 0;
+    for (; j + kW <= nw; j += kW) {
+      __m512 acc = _mm512_setzero_ps();
+      for (size_t p = 0; p < k; ++p) {
+        acc = _mm512_add_ps(
+            acc, _mm512_mul_ps(_mm512_set1_ps(a[p * a_stride + i]),
+                               _mm512_load_ps(b + p * b_stride + j)));
+      }
+      _mm512_store_ps(orow + j, acc);
+    }
+    for (; j < nw; ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        acc += a[p * a_stride + i] * b[p * b_stride + j];
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+void GemmTransBRows(const float* a, size_t a_stride, const float* b,
+                    size_t b_stride, float* out, size_t out_stride, size_t lo,
+                    size_t hi, size_t k, size_t n) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* arow = a + i * a_stride;
+    float* orow = out + i * out_stride;
+    for (size_t j = 0; j < n; ++j) {
+      orow[j] = RowDotOne(arow, b + j * b_stride, k);
+    }
+  }
+}
+
+void GemvRows(const float* a, size_t a_stride, const float* x, float* out,
+              size_t lo, size_t hi, size_t k) {
+  for (size_t i = lo; i < hi; ++i) {
+    out[i] = RowDotOne(a + i * a_stride, x, k);
+  }
+}
+
+void RowDot(const float* x, size_t x_stride, const float* y, size_t y_stride,
+            float* out, size_t lo, size_t hi, size_t d) {
+  for (size_t i = lo; i < hi; ++i) {
+    out[i] = RowDotOne(x + i * x_stride, y + i * y_stride, d);
+  }
+}
+
+void RowDotDiff(const float* x, size_t x_stride, const float* a,
+                size_t a_stride, const float* b, size_t b_stride, float* out,
+                size_t lo, size_t hi, size_t d) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* xr = x + i * x_stride;
+    out[i] = RowDotOne(xr, b + i * b_stride, d) -
+             RowDotOne(xr, a + i * a_stride, d);
+  }
+}
+
+void Axpy(float alpha, const float* x, float* out, size_t lo, size_t hi) {
+  const __m512 av = _mm512_set1_ps(alpha);
+  for (size_t i = lo; i + kW <= hi; i += kW) {
+    _mm512_store_ps(out + i,
+                    _mm512_add_ps(_mm512_load_ps(out + i),
+                                  _mm512_mul_ps(av, _mm512_load_ps(x + i))));
+  }
+}
+
+void Sigmoid(const float* x, float* out, size_t lo, size_t hi) {
+  for (size_t i = lo; i + kW <= hi; i += kW) {
+    _mm512_store_ps(out + i, SigmoidPs(_mm512_load_ps(x + i)));
+  }
+}
+
+void Tanh(const float* x, float* out, size_t lo, size_t hi) {
+  for (size_t i = lo; i + kW <= hi; i += kW) {
+    _mm512_store_ps(out + i, TanhPs(_mm512_load_ps(x + i)));
+  }
+}
+
+size_t FindNonFinite(const float* x, size_t n) {
+  const __m512i exp_mask = _mm512_set1_epi32(0x7f800000);
+  const __m512i exp_ulp = _mm512_set1_epi32(0x00800000);
+  const __m512i zero = _mm512_setzero_si512();
+  constexpr size_t kBlock = 4 * kW;
+  size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    __m512i acc = zero;
+    for (size_t v = 0; v < kBlock; v += kW) {
+      const __m512i bits =
+          _mm512_load_si512(reinterpret_cast<const void*>(x + i + v));
+      acc = _mm512_or_si512(
+          acc, _mm512_add_epi32(_mm512_and_si512(bits, exp_mask), exp_ulp));
+    }
+    // Sign bit set in any lane == some float in the block is non-finite.
+    if (_mm512_cmp_epi32_mask(acc, zero, _MM_CMPINT_LT) == 0) continue;
+    for (size_t j = i; j < i + kBlock; ++j) {
+      if (!std::isfinite(x[j])) return j;
+    }
+  }
+  for (; i < n; ++i) {
+    if (!std::isfinite(x[i])) return i;
+  }
+  return n;
+}
+
+}  // namespace
+
+const Backend& Avx512Backend() {
+  static const Backend table = {
+      pup::simd::Isa::kAvx512,
+      "avx512",
+      kW,
+      obs::Registry::Global().GetCounter("simd/dispatch/avx512"),
+      &GemmRows,
+      &GemmTransARows,
+      &GemmTransBRows,
+      &GemvRows,
+      &RowDot,
+      &RowDotDiff,
+      &Axpy,
+      &Sigmoid,
+      &Tanh,
+      &FindNonFinite,
+  };
+  return table;
+}
+
+}  // namespace pup::la::simd
+
+#endif  // PUP_HAVE_AVX512

@@ -1,0 +1,172 @@
+// Scalar backend — the `--simd=off` golden path. These loop bodies are
+// the pre-SIMD kernels verbatim (element order, accumulator shape,
+// libm transcendentals), so this backend is the bitwise reference every
+// regression test pins against. Do not "optimize" it: its value is that
+// it never changes.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "la/simd/backend.h"
+
+namespace pup::la::simd {
+namespace {
+
+void GemmRows(const float* a, size_t a_stride, const float* b,
+              size_t b_stride, float* out, size_t out_stride, size_t lo,
+              size_t hi, size_t k, size_t n, size_t /*nw*/) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* arow = a + i * a_stride;
+    float* orow = out + i * out_stride;
+    std::fill(orow, orow + n, 0.0f);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * b_stride;
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransARows(const float* a, size_t a_stride, const float* b,
+                    size_t b_stride, float* out, size_t out_stride, size_t lo,
+                    size_t hi, size_t k, size_t n, size_t /*nw*/) {
+  for (size_t i = lo; i < hi; ++i) {
+    float* orow = out + i * out_stride;
+    std::fill(orow, orow + n, 0.0f);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a[p * a_stride + i];
+      const float* brow = b + p * b_stride;
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransBRows(const float* a, size_t a_stride, const float* b,
+                    size_t b_stride, float* out, size_t out_stride, size_t lo,
+                    size_t hi, size_t k, size_t n) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* arow = a + i * a_stride;
+    float* orow = out + i * out_stride;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * b_stride;
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+void GemvRows(const float* a, size_t a_stride, const float* x, float* out,
+              size_t lo, size_t hi, size_t k) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* arow = a + i * a_stride;
+    float acc = 0.0f;
+    for (size_t j = 0; j < k; ++j) acc += arow[j] * x[j];
+    out[i] = acc;
+  }
+}
+
+void RowDot(const float* x, size_t x_stride, const float* y, size_t y_stride,
+            float* out, size_t lo, size_t hi, size_t d) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* xr = x + i * x_stride;
+    const float* yr = y + i * y_stride;
+    float acc = 0.0f;
+    for (size_t j = 0; j < d; ++j) acc += xr[j] * yr[j];
+    out[i] = acc;
+  }
+}
+
+void RowDotDiff(const float* x, size_t x_stride, const float* a,
+                size_t a_stride, const float* b, size_t b_stride, float* out,
+                size_t lo, size_t hi, size_t d) {
+  for (size_t i = lo; i < hi; ++i) {
+    const float* xr = x + i * x_stride;
+    const float* ar = a + i * a_stride;
+    const float* br = b + i * b_stride;
+    float acc_a = 0.0f;
+    for (size_t j = 0; j < d; ++j) acc_a += xr[j] * ar[j];
+    float acc_b = 0.0f;
+    for (size_t j = 0; j < d; ++j) acc_b += xr[j] * br[j];
+    out[i] = acc_b - acc_a;
+  }
+}
+
+void Axpy(float alpha, const float* x, float* out, size_t lo, size_t hi) {
+  for (size_t i = lo; i < hi; ++i) out[i] += alpha * x[i];
+}
+
+void Sigmoid(const float* x, float* out, size_t lo, size_t hi) {
+  for (size_t i = lo; i < hi; ++i) {
+    float v = x[i];
+    // Stable: never exponentiate a positive argument.
+    out[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                       : std::exp(v) / (1.0f + std::exp(v));
+  }
+}
+
+void Tanh(const float* x, float* out, size_t lo, size_t hi) {
+  for (size_t i = lo; i < hi; ++i) out[i] = std::tanh(x[i]);
+}
+
+size_t FindNonFinite(const float* x, size_t n) {
+  // The historical AllFinite scan: a float is non-finite iff its exponent
+  // field is all ones; masking the exponent and adding one exponent ulp
+  // carries into the sign bit exactly for NaN/Inf, so OR-accumulating
+  // leaves the verdict in the sign bit. Blocked so a dirty block is
+  // rescanned element-wise only on the failure path.
+  constexpr size_t kBlock = size_t{1} << 12;
+  constexpr uint32_t kExpMask = 0x7f800000u;
+  constexpr uint32_t kExpUlp = 0x00800000u;
+  for (size_t lo = 0; lo < n; lo += kBlock) {
+    const size_t hi = std::min(n, lo + kBlock);
+    // Four independent accumulators: the OR chains interleave instead of
+    // serializing at one element per cycle.
+    uint32_t lanes[4] = {0, 0, 0, 0};
+    size_t i = lo;
+    for (; i + 4 <= hi; i += 4) {
+      uint32_t bits[4];
+      std::memcpy(bits, &x[i], sizeof(bits));
+      lanes[0] |= (bits[0] & kExpMask) + kExpUlp;
+      lanes[1] |= (bits[1] & kExpMask) + kExpUlp;
+      lanes[2] |= (bits[2] & kExpMask) + kExpUlp;
+      lanes[3] |= (bits[3] & kExpMask) + kExpUlp;
+    }
+    for (; i < hi; ++i) {
+      uint32_t bits;
+      std::memcpy(&bits, &x[i], sizeof(bits));
+      lanes[0] |= (bits & kExpMask) + kExpUlp;
+    }
+    const uint32_t acc = lanes[0] | lanes[1] | lanes[2] | lanes[3];
+    if ((acc & 0x80000000u) == 0) continue;
+    for (size_t j = lo; j < hi; ++j) {
+      if (!std::isfinite(x[j])) return j;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+const Backend& ScalarBackend() {
+  static const Backend table = {
+      pup::simd::Isa::kOff,
+      "off",
+      1,
+      obs::Registry::Global().GetCounter("simd/dispatch/off"),
+      &GemmRows,
+      &GemmTransARows,
+      &GemmTransBRows,
+      &GemvRows,
+      &RowDot,
+      &RowDotDiff,
+      &Axpy,
+      &Sigmoid,
+      &Tanh,
+      &FindNonFinite,
+  };
+  return table;
+}
+
+}  // namespace pup::la::simd

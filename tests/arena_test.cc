@@ -37,10 +37,10 @@ void ExpectBitwiseEqual(const la::Matrix& a, const la::Matrix& b,
                         const char* what) {
   ASSERT_EQ(a.rows(), b.rows()) << what;
   ASSERT_EQ(a.cols(), b.cols()) << what;
-  EXPECT_EQ(std::memcmp(a.Row(0), b.Row(0),
-                        a.rows() * a.cols() * sizeof(float)),
-            0)
-      << what;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    EXPECT_EQ(std::memcmp(a.Row(r), b.Row(r), a.cols() * sizeof(float)), 0)
+        << what << " row " << r;
+  }
 }
 
 using BuildFn = std::function<Tensor(const std::vector<Tensor>&)>;

@@ -30,14 +30,14 @@ void GradCheck(const std::vector<Tensor>& params, const BuildFn& build,
     ASSERT_TRUE(params[p]->grad.SameShape(params[p]->value))
         << "param " << p << " received no gradient";
     for (size_t i = 0; i < params[p]->value.size(); ++i) {
-      float original = params[p]->value.data()[i];
-      params[p]->value.data()[i] = original + h;
+      float original = params[p]->value.FlatAt(i);
+      params[p]->value.FlatAt(i) = original + h;
       float up = build(params)->value(0, 0);
-      params[p]->value.data()[i] = original - h;
+      params[p]->value.FlatAt(i) = original - h;
       float down = build(params)->value(0, 0);
-      params[p]->value.data()[i] = original;
+      params[p]->value.FlatAt(i) = original;
       float numeric = (up - down) / (2.0f * h);
-      float analytic = params[p]->grad.data()[i];
+      float analytic = params[p]->grad.FlatAt(i);
       EXPECT_NEAR(analytic, numeric,
                   tol * std::max(1.0f, std::abs(numeric)))
           << "param " << p << " entry " << i;
@@ -324,7 +324,7 @@ TEST(DropoutTest, InvertedScalingPreservesExpectation) {
   EXPECT_NEAR(mean, 1.0, 0.05);
   // Surviving entries are scaled by 1/(1-p).
   for (size_t i = 0; i < y->value.size(); ++i) {
-    float v = y->value.data()[i];
+    float v = y->value.FlatAt(i);
     EXPECT_TRUE(v == 0.0f || std::abs(v - 1.0f / 0.7f) < 1e-5f);
   }
 }
@@ -336,8 +336,8 @@ TEST(DropoutTest, GradientMatchesMask) {
   Tensor loss = SumAll(y);
   Backward(loss);
   for (size_t i = 0; i < x->value.size(); ++i) {
-    float out = y->value.data()[i];
-    float g = x->grad.data()[i];
+    float out = y->value.FlatAt(i);
+    float g = x->grad.FlatAt(i);
     if (out == 0.0f) {
       EXPECT_EQ(g, 0.0f);
     } else {

@@ -283,7 +283,7 @@ TEST(CkptFormatTest, OptimizerStateRoundTrip) {
     for (auto& p : params) {
       p->EnsureGrad();
       for (size_t i = 0; i < p->value.size(); ++i) {
-        p->grad.data()[i] = 0.01f * static_cast<float>(i + step);
+        p->grad.FlatAt(i) = 0.01f * static_cast<float>(i + step);
       }
     }
     adam.Step();
@@ -309,7 +309,7 @@ TEST(CkptFormatTest, OptimizerStateRoundTrip) {
   for (size_t s = 0; s < before.slots.size(); ++s) {
     ASSERT_EQ(before.slots[s].size(), after.slots[s].size());
     for (size_t i = 0; i < before.slots[s].size(); ++i) {
-      EXPECT_EQ(before.slots[s].data()[i], after.slots[s].data()[i]);
+      EXPECT_EQ(before.slots[s].FlatAt(i), after.slots[s].FlatAt(i));
     }
   }
 
@@ -358,7 +358,7 @@ void ExpectParamsBitwiseEqual(std::vector<ag::Tensor> a,
   for (size_t p = 0; p < a.size(); ++p) {
     ASSERT_EQ(a[p]->value.size(), b[p]->value.size());
     for (size_t i = 0; i < a[p]->value.size(); ++i) {
-      ASSERT_EQ(a[p]->value.data()[i], b[p]->value.data()[i])
+      ASSERT_EQ(a[p]->value.FlatAt(i), b[p]->value.FlatAt(i))
           << "param " << p << " index " << i;
     }
   }

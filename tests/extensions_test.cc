@@ -256,7 +256,7 @@ TEST(MatrixIoTest, RoundTrip) {
   ASSERT_EQ(loaded->rows(), m.rows());
   ASSERT_EQ(loaded->cols(), m.cols());
   for (size_t i = 0; i < m.size(); ++i) {
-    EXPECT_EQ(loaded->data()[i], m.data()[i]);
+    EXPECT_EQ(loaded->FlatAt(i), m.FlatAt(i));
   }
   std::remove(path.c_str());
 }

@@ -32,7 +32,7 @@ void ExpectMatrixNear(const Matrix& a, const Matrix& b, float tol = 1e-5f) {
   ASSERT_EQ(a.rows(), b.rows());
   ASSERT_EQ(a.cols(), b.cols());
   for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_NEAR(a.data()[i], b.data()[i], tol) << "flat index " << i;
+    EXPECT_NEAR(a.FlatAt(i), b.FlatAt(i), tol) << "flat index " << i;
   }
 }
 
@@ -42,7 +42,7 @@ TEST(MatrixTest, ZeroInitialized) {
   Matrix m(3, 4);
   EXPECT_EQ(m.rows(), 3u);
   EXPECT_EQ(m.cols(), 4u);
-  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.FlatAt(i), 0.0f);
 }
 
 TEST(MatrixTest, FillConstructorAndFill) {

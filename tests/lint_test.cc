@@ -144,6 +144,62 @@ TEST(LintCheckTest, PupNarrowingFiresOnUnsuffixedDoubleLiteral) {
       << run.output;
 }
 
+// Regression: a suffixed scientific literal (`-2.1e-4f`) must not fire.
+// An earlier alternation order matched the bare `2.1` prefix first,
+// leaving the exponent and `f` suffix outside the match — every suffixed
+// constant in scientific notation was a false positive.
+TEST(LintCheckTest, PupNarrowingAcceptsSuffixedScientificLiteral) {
+  LintRun run = LintFixture(
+      "float a() { float c = -2.12194440e-4f; return c; }\n"
+      "float b() { float c = 1.5E+8F; return c; }\n"
+      "float c() { float c = 8.3e10; return c; }\n");  // Unsuffixed: finding.
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-narrowing]"), 1u)
+      << run.output;
+}
+
+TEST(LintCheckTest, PupSimdGatherFiresOnGatherScatterAnywhere) {
+  // Gather/scatter intrinsics are banned even under la/simd/.
+  const std::string dir = TempDir() + "/la/simd";
+  EXPECT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  std::ofstream out(dir + "/fixture.cc");
+  out << "void f(float* p, void* idx) {\n"
+         "  auto v = _mm256_i32gather_ps(p, idx, 4);\n"  // Finding.
+         "  (void)v;\n"
+         "}\n";
+  out.close();
+  LintRun run = RunLint(dir);
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-simd-gather]"), 1u)
+      << run.output;
+}
+
+TEST(LintCheckTest, PupSimdGatherFiresOnIntrinsicsOutsideBackend) {
+  LintRun run = LintFixture(
+      "#include <immintrin.h>\n"                      // Finding 1.
+      "float f(const float* p) {\n"
+      "  __m256 v = _mm256_loadu_ps(p);\n"            // Finding 2 (one per
+      "  return _mm256_cvtss_f32(v);\n"               // line; finding 3).
+      "}\n");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-simd-gather]"), 3u)
+      << run.output;
+}
+
+TEST(LintCheckTest, PupSimdGatherAllowsPlainIntrinsicsInBackendDir) {
+  const std::string dir = TempDir() + "/la/simd";
+  EXPECT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  std::ofstream out(dir + "/fixture.cc");
+  out << "#include <immintrin.h>\n"
+         "float f(const float* p) {\n"
+         "  __m256 v = _mm256_loadu_ps(p);\n"
+         "  return _mm256_cvtss_f32(v);\n"
+         "}\n";
+  out.close();
+  LintRun run = RunLint(dir);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST(LintCheckTest, PupStatusValueFiresOnUncheckedValue) {
   LintRun run = LintFixture(
       "#include <optional>\n"

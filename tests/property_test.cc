@@ -275,15 +275,15 @@ TEST_P(SeededTest, RandomCompositionGradCheck) {
   for (const ag::Tensor& param : {emb, w}) {
     ASSERT_TRUE(param->grad.SameShape(param->value));
     for (size_t i = 0; i < param->value.size(); ++i) {
-      float original = param->value.data()[i];
+      float original = param->value.FlatAt(i);
       const float h = 1e-2f;
-      param->value.data()[i] = original + h;
+      param->value.FlatAt(i) = original + h;
       float up = build({emb, w})->value(0, 0);
-      param->value.data()[i] = original - h;
+      param->value.FlatAt(i) = original - h;
       float down = build({emb, w})->value(0, 0);
-      param->value.data()[i] = original;
+      param->value.FlatAt(i) = original;
       float numeric = (up - down) / (2 * h);
-      EXPECT_NEAR(param->grad.data()[i], numeric,
+      EXPECT_NEAR(param->grad.FlatAt(i), numeric,
                   0.03f * std::max(1.0f, std::abs(numeric)));
     }
   }

@@ -134,8 +134,8 @@ TEST(PupFoldTest, MatchesManualEquation3) {
   ASSERT_EQ(price.rows(), ds.num_price_levels);
   ASSERT_EQ(price.cols(), config.embedding_dim - config.category_branch_dim);
   for (size_t i = 0; i < price.size(); ++i) {
-    EXPECT_TRUE(std::isfinite(price.data()[i]));
-    EXPECT_LE(std::abs(price.data()[i]), 1.0f);  // tanh range.
+    EXPECT_TRUE(std::isfinite(price.FlatAt(i)));
+    EXPECT_LE(std::abs(price.FlatAt(i)), 1.0f);  // tanh range.
   }
 }
 

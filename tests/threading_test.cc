@@ -12,6 +12,7 @@
 
 #include "autograd/ops.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "core/pup_model.h"
 #include "data/quantization.h"
@@ -23,11 +24,15 @@
 namespace pup {
 namespace {
 
-// Every test leaves the pool at its default size so other tests (and
-// other suites in this binary) start from a known state.
+// Every test leaves the pool at its default size and the SIMD backend at
+// its auto-detected default so other tests (and other suites in this
+// binary) start from a known state.
 class ThreadingTest : public ::testing::Test {
  protected:
-  void TearDown() override { ThreadPool::SetGlobalThreads(0); }
+  void TearDown() override {
+    ThreadPool::SetGlobalThreads(0);
+    simd::SetActiveIsa(simd::DetectBestIsa());
+  }
 };
 
 using ParallelForTest = ThreadingTest;
@@ -43,8 +48,10 @@ la::Matrix RandomMatrix(size_t r, size_t c, uint64_t seed) {
 void ExpectBitwiseEqual(const la::Matrix& a, const la::Matrix& b,
                         const char* what) {
   ASSERT_TRUE(a.SameShape(b)) << what;
-  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
-      << what << " diverged across thread counts";
+  for (size_t r = 0; r < a.rows(); ++r) {
+    ASSERT_EQ(std::memcmp(a.Row(r), b.Row(r), a.cols() * sizeof(float)), 0)
+        << what << " diverged across thread counts (row " << r << ")";
+  }
 }
 
 TEST_F(ParallelForTest, CoversEveryIndexExactlyOnce) {
@@ -215,12 +222,16 @@ data::Dataset GoldenDataset() {
   return ds;
 }
 
-// --threads=1 must reproduce the pre-threading serial implementation
-// bitwise. The constants below were captured from the seed (fully
-// serial) build: one fixed-seed PUP training epoch, its inference
-// scores, and a full-ranking evaluation over them.
+// --threads=1 --simd=off must reproduce the pre-threading serial
+// implementation bitwise. The constants below were captured from the
+// seed (fully serial, scalar-kernel) build: one fixed-seed PUP training
+// epoch, its inference scores, and a full-ranking evaluation over them.
+// The scalar backend is the golden path (docs/simd.md): vector backends
+// change reduction grouping and the sigmoid/tanh approximation, so the
+// goldens are only defined at --simd=off.
 TEST_F(SerialRegressionTest, SingleThreadMatchesPreThreadingGolden) {
   ThreadPool::SetGlobalThreads(1);
+  simd::SetActiveIsa(simd::Isa::kOff);
   data::Dataset ds = GoldenDataset();
 
   core::PupConfig pc = core::PupConfig::Full();
@@ -360,8 +371,8 @@ TEST_F(ThreadedTrainingTest, LossTrajectoryMatchesSerial) {
   // the learned embeddings agree to float tolerance as well.
   ASSERT_TRUE(serial.users_->value.SameShape(threaded.users_->value));
   for (size_t i = 0; i < serial.users_->value.size(); ++i) {
-    EXPECT_NEAR(serial.users_->value.data()[i],
-                threaded.users_->value.data()[i], 1e-4);
+    EXPECT_NEAR(serial.users_->value.FlatAt(i),
+                threaded.users_->value.FlatAt(i), 1e-4);
   }
 }
 

@@ -89,7 +89,7 @@ TEST(TrainerTest, DeterministicGivenSeed) {
   auto hb = TrainBpr(&b, ds, ds.interactions, options);
   EXPECT_DOUBLE_EQ(ha.back().mean_loss, hb.back().mean_loss);
   for (size_t i = 0; i < a.users_->value.size(); ++i) {
-    EXPECT_EQ(a.users_->value.data()[i], b.users_->value.data()[i]);
+    EXPECT_EQ(a.users_->value.FlatAt(i), b.users_->value.FlatAt(i));
   }
 }
 
@@ -155,7 +155,7 @@ TEST(TrainerTest, DuplicateDecayFractionsDecayOnce) {
     EXPECT_EQ(h_dup[e].mean_loss, h_single[e].mean_loss) << "epoch " << e;
   }
   for (size_t i = 0; i < dup.users_->value.size(); ++i) {
-    ASSERT_EQ(dup.users_->value.data()[i], single.users_->value.data()[i]);
+    ASSERT_EQ(dup.users_->value.FlatAt(i), single.users_->value.FlatAt(i));
   }
 }
 
@@ -206,7 +206,7 @@ TEST(EarlyStopperTest, RestoreBestRecoversSnapshot) {
   // The restored parameters differ from the final trained state.
   bool differs = false;
   for (size_t i = 0; i < after_training.size(); ++i) {
-    if (after_training.data()[i] != model.users_->value.data()[i]) {
+    if (after_training.FlatAt(i) != model.users_->value.FlatAt(i)) {
       differs = true;
       break;
     }
@@ -235,7 +235,7 @@ TEST(EarlyStopperTest, RestoreBestNoOpWithoutEvaluations) {
   la::Matrix before = model.users_->value;
   stopper.RestoreBest();  // No snapshot taken; must not crash or change.
   for (size_t i = 0; i < before.size(); ++i) {
-    EXPECT_EQ(before.data()[i], model.users_->value.data()[i]);
+    EXPECT_EQ(before.FlatAt(i), model.users_->value.FlatAt(i));
   }
 }
 

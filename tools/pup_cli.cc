@@ -56,6 +56,8 @@ int Usage() {
                "[--resume PATH]\n"
                "       global: --threads N (default: hardware concurrency; "
                "1 = exact serial)\n"
+               "               --simd=auto|off|neon|avx2|avx512 kernel "
+               "backend (default: auto; off = scalar golden path)\n"
                "               --check-numerics[=0|1] NaN/Inf tape scan "
                "each step (default: on in Debug)\n"
                "               --metrics-out PATH dump the metrics "
@@ -262,6 +264,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Flags flags = Flags::Parse(argc, argv);
   ApplyThreadsFlag(flags);
+  ApplySimdFlag(flags);
   // Dumps the metrics registry / chrome trace when main returns.
   obs::ScopedExport obs_export(flags.GetString("metrics-out", ""),
                                flags.GetString("trace-out", ""));

@@ -15,6 +15,8 @@
 //   pup-narrowing      unsuffixed double literal narrowed to float
 //   pup-status-value   .value() with no visible ok()/status() check
 //   pup-parallel-grain ParallelFor with an unnamed (bare literal) grain
+//   pup-simd-gather    gather/scatter intrinsics anywhere; other vendor
+//                      intrinsics outside src/la/simd/
 //
 // Suppressions: `// NOLINT(pup-<id>)` on the offending line or
 // `// NOLINTNEXTLINE(pup-<id>)` on the line above; a bare `// NOLINT`
@@ -75,6 +77,14 @@ constexpr CheckInfo kChecks[] = {
      "ParallelFor grain must be a named size, not a bare literal",
      "name the grain (RowGrain(cost), kMinWorkPerChunk, a named constexpr) "
      "so the chunking contract is auditable and tunable"},
+    {"pup-simd-gather",
+     "gather/scatter intrinsics are banned; other vendor intrinsics belong "
+     "in src/la/simd/",
+     "use contiguous loads against the padded row layout (la/matrix.h "
+     "guarantees 64-byte-aligned rows) — gathers hide data-dependent "
+     "access order and defeat the pinned-lane accumulation contract "
+     "(docs/simd.md); move any other intrinsic into a src/la/simd/ "
+     "backend behind the Backend vtable"},
 };
 
 struct Finding {
@@ -270,6 +280,7 @@ class FileLinter {
       CheckNarrowing(i);
       CheckStatusValue(i);
       CheckParallelGrain(i);
+      CheckSimdIntrinsics(i);
     }
   }
 
@@ -398,9 +409,14 @@ class FileLinter {
     // `float x = 0.5;` — the literal is double, and the narrowed value
     // need not be the nearest float of the intended constant. Kernel
     // signatures with such defaults silently mix precisions.
+    // Alternatives are ordered longest-form first: regex alternation takes
+    // the first match, so `1.5e-4f` must try `digits.digits[eE]exp` before
+    // the bare `digits.digits` prefix would win and leave the exponent and
+    // suffix unmatched (a false positive on suffixed scientific literals).
     static const std::regex kFloatInit(
-        R"(\bfloat\s+\w+\s*=\s*[-+]?([0-9]+\.[0-9]*|\.[0-9]+)"
-        R"(|[0-9]+[eE][-+]?[0-9]+|[0-9]+\.[0-9]*[eE][-+]?[0-9]+)([fFlL]?))");
+        R"(\bfloat\s+\w+\s*=\s*[-+]?([0-9]+\.[0-9]*[eE][-+]?[0-9]+)"
+        R"(|\.[0-9]+[eE][-+]?[0-9]+|[0-9]+[eE][-+]?[0-9]+)"
+        R"(|[0-9]+\.[0-9]*|\.[0-9]+)([fFlL]?))");
     const std::string& line = f_.code[idx];
     auto begin = std::sregex_iterator(line.begin(), line.end(), kFloatInit);
     for (auto it = begin; it != std::sregex_iterator(); ++it) {
@@ -487,6 +503,38 @@ class FileLinter {
              "ParallelFor grain is the bare literal '" + grain +
                  "'; name it (RowGrain(cost), kMinWorkPerChunk, a named "
                  "constexpr) so chunking is auditable");
+    }
+  }
+
+  void CheckSimdIntrinsics(size_t idx) {
+    const std::string& line = f_.code[idx];
+    // Gather/scatter intrinsics are banned everywhere, the backend
+    // included: they hide a data-dependent lane access order, which the
+    // pinned-lane accumulation contract (docs/simd.md) cannot audit, and
+    // they are slow on every core PUP targets. Row access must go
+    // through contiguous (masked) loads on the padded layout.
+    static const std::regex kGatherScatter(
+        R"(\b(_mm\w*(?:gather|scatter)\w*)\s*\()");
+    std::smatch m;
+    if (std::regex_search(line, m, kGatherScatter)) {
+      Report(idx, "pup-simd-gather",
+             m[1].str() +
+                 " is a gather/scatter intrinsic; use contiguous masked "
+                 "loads on the padded row layout (docs/simd.md)");
+      return;
+    }
+    // Everything else intrinsic-shaped must live in a src/la/simd/
+    // backend, where per-file ISA compile flags and the Backend vtable
+    // keep the dispatch surface auditable.
+    if (f_.path.find("la/simd/") != std::string::npos) return;
+    static const std::regex kIntrinsic(
+        R"(#\s*include\s*<(?:immintrin|arm_neon)\.h>)"
+        R"(|\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[di]?\b)"
+        R"(|\b(?:float|int|uint)(?:8|16|32|64)x\d+(?:x\d+)?_t\b)");
+    if (std::regex_search(line, kIntrinsic)) {
+      Report(idx, "pup-simd-gather",
+             "vendor SIMD intrinsics outside src/la/simd/; implement a "
+             "backend behind the la::simd::Backend vtable instead");
     }
   }
 
