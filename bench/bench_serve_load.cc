@@ -1,0 +1,351 @@
+// Latency-under-load benchmark for the pup::serve engine.
+//
+// Freezes a synthetic trained model into a ServingIndex and drives it
+// with a Zipfian "million-user day" trace (hot users repeat, a tail is
+// seen once; mixed full-ranking / re-rank / cold-start traffic):
+//
+//  * closed loop — N client threads issue back-to-back requests; the
+//    engine sets the pace. Reports throughput (QPS) and per-request
+//    latency percentiles at each thread count.
+//  * open loop — dispatcher threads fire requests on the trace's Poisson
+//    arrival schedule at a rate derived from measured capacity; latency
+//    is measured from *scheduled arrival* to completion, so queueing
+//    delay under load is visible.
+//
+// Per-config latency histograms land in the obs registry under
+// serve/closed/t<N>/latency and serve/open/t<N>/latency, and QPS /
+// cache-hit-rate / batch-occupancy summaries in serve/bench/* gauges —
+// all embedded in the one-line bench JSON by bench::Finish(). A bitwise
+// parity case (served top-K vs offline reference ranking) gates the run:
+// load numbers from an engine that misranks are meaningless.
+//
+// Env knobs: PUP_BENCH_SCALE shrinks/grows the catalog and the trace
+// (CI smoke uses 0.05), PUP_BENCH_DIM the embedding size,
+// PUP_BENCH_THREADS the kernel pool, PUP_BENCH_SIMD the backend.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "data/quantization.h"
+#include "data/synthetic.h"
+#include "harness.h"
+#include "la/matrix.h"
+#include "models/scoring.h"
+#include "obs/registry.h"
+#include "serve/index.h"
+#include "serve/server.h"
+#include "serve/trace.h"
+
+namespace {
+
+using namespace pup;
+
+constexpr uint32_t kTopK = 10;
+
+struct LoadStats {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double hit_rate = 0.0;
+  double occupancy = 0.0;
+  uint64_t served = 0;
+};
+
+serve::ServerOptions MakeOptions() {
+  serve::ServerOptions opt;
+  opt.max_batch = 32;
+  opt.batch_timeout_us = 100;
+  opt.cache_capacity = 4096;
+  opt.max_k = 100;
+  return opt;
+}
+
+// Snapshot-diffs the server's cache/batch counters around `body` and
+// fills the shared parts of `stats`.
+template <typename Fn>
+void WithServeCounters(Fn body, LoadStats* stats) {
+  obs::Registry& reg = obs::Registry::Global();
+  const uint64_t hit0 = reg.GetCounter("serve/cache_hit")->Get();
+  const uint64_t miss0 = reg.GetCounter("serve/cache_miss")->Get();
+  const uint64_t batches0 = reg.GetCounter("serve/batches")->Get();
+  const uint64_t occ0 = reg.GetHistogram("serve/batch_occupancy")->Sum();
+  body();
+  const uint64_t hits = reg.GetCounter("serve/cache_hit")->Get() - hit0;
+  const uint64_t misses = reg.GetCounter("serve/cache_miss")->Get() - miss0;
+  const uint64_t batches = reg.GetCounter("serve/batches")->Get() - batches0;
+  const uint64_t occ =
+      reg.GetHistogram("serve/batch_occupancy")->Sum() - occ0;
+  stats->hit_rate = hits + misses > 0
+                        ? static_cast<double>(hits) /
+                              static_cast<double>(hits + misses)
+                        : 0.0;
+  stats->occupancy =
+      batches > 0 ? static_cast<double>(occ) / static_cast<double>(batches)
+                  : 0.0;
+}
+
+void FillRequest(const serve::Trace& trace, const serve::TraceEvent& ev,
+                 const std::vector<std::vector<uint32_t>>& exclude,
+                 serve::Request* req) {
+  req->user = ev.user;
+  req->k = kTopK;
+  req->scenario = ev.scenario;
+  req->candidates = nullptr;
+  req->exclude = nullptr;
+  if (ev.scenario == serve::Scenario::kRerank) {
+    req->candidates = &trace.rerank_pools[ev.pool];
+  } else if (ev.user < exclude.size()) {
+    req->exclude = &exclude[ev.user];
+  }
+}
+
+// Closed loop: `clients` threads race down the trace back-to-back.
+LoadStats RunClosedLoop(serve::Server* server, const serve::Trace& trace,
+                        const std::vector<std::vector<uint32_t>>& exclude,
+                        int clients, obs::Histogram* latency) {
+  LoadStats stats;
+  WithServeCounters(
+      [&] {
+        std::atomic<size_t> next{0};
+        const uint64_t t0 = obs::NowNanos();
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<size_t>(clients));
+        for (int c = 0; c < clients; ++c) {
+          workers.emplace_back([&] {
+            serve::RequestContext ctx(*server);
+            serve::Reply reply;
+            reply.Reserve(server->options().max_k);
+            serve::Request req;
+            for (;;) {
+              const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+              if (i >= trace.events.size()) break;
+              FillRequest(trace, trace.events[i], exclude, &req);
+              const uint64_t start = obs::NowNanos();
+              server->Rank(req, &ctx, &reply);
+              latency->Observe(obs::NowNanos() - start);
+            }
+          });
+        }
+        for (std::thread& w : workers) w.join();
+        const double secs =
+            static_cast<double>(obs::NowNanos() - t0) / 1e9;
+        stats.served = trace.events.size();
+        stats.qps = static_cast<double>(stats.served) / secs;
+      },
+      &stats);
+  stats.p50_us = latency->Percentile(50) / 1e3;
+  stats.p95_us = latency->Percentile(95) / 1e3;
+  stats.p99_us = latency->Percentile(99) / 1e3;
+  return stats;
+}
+
+// Open loop: dispatchers honour the trace's arrival schedule (rescaled
+// to `target_qps`); latency includes time spent queued behind slow
+// batches, the way a real SLO sees it.
+LoadStats RunOpenLoop(serve::Server* server, const serve::Trace& trace,
+                      const std::vector<std::vector<uint32_t>>& exclude,
+                      int dispatchers, double target_qps,
+                      obs::Histogram* latency) {
+  // The generated trace is paced at TraceConfig::arrival_qps; rescale
+  // its arrival offsets to the requested rate.
+  const double native_span_us = static_cast<double>(
+      trace.events.empty() ? 0 : trace.events.back().arrival_us);
+  const double native_qps =
+      native_span_us > 0.0
+          ? static_cast<double>(trace.events.size()) * 1e6 / native_span_us
+          : 0.0;
+  const double stretch = native_qps > 0.0 ? native_qps / target_qps : 1.0;
+
+  LoadStats stats;
+  WithServeCounters(
+      [&] {
+        std::atomic<size_t> next{0};
+        const uint64_t t0 = obs::NowNanos();
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<size_t>(dispatchers));
+        for (int c = 0; c < dispatchers; ++c) {
+          workers.emplace_back([&] {
+            serve::RequestContext ctx(*server);
+            serve::Reply reply;
+            reply.Reserve(server->options().max_k);
+            serve::Request req;
+            for (;;) {
+              const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+              if (i >= trace.events.size()) break;
+              const serve::TraceEvent& ev = trace.events[i];
+              const uint64_t scheduled_ns =
+                  t0 + static_cast<uint64_t>(
+                           static_cast<double>(ev.arrival_us) * stretch *
+                           1e3);
+              while (obs::NowNanos() < scheduled_ns) {
+                std::this_thread::yield();
+              }
+              FillRequest(trace, ev, exclude, &req);
+              server->Rank(req, &ctx, &reply);
+              latency->Observe(obs::NowNanos() - scheduled_ns);
+            }
+          });
+        }
+        for (std::thread& w : workers) w.join();
+        const double secs =
+            static_cast<double>(obs::NowNanos() - t0) / 1e9;
+        stats.served = trace.events.size();
+        stats.qps = static_cast<double>(stats.served) / secs;
+      },
+      &stats);
+  stats.p50_us = latency->Percentile(50) / 1e3;
+  stats.p95_us = latency->Percentile(95) / 1e3;
+  stats.p99_us = latency->Percentile(99) / 1e3;
+  return stats;
+}
+
+void RecordLoadCase(const std::string& name, const LoadStats& s,
+                    size_t expected) {
+  const bool ok = s.qps > 0.0 && s.served == expected && s.p99_us >= 0.0;
+  bench::RecordCase(name, ok,
+                    ok ? "" : "zero throughput or dropped requests");
+  obs::Registry& reg = obs::Registry::Global();
+  reg.GetGauge("serve/bench/" + name + "/qps")
+      ->Set(static_cast<int64_t>(s.qps));
+  reg.GetGauge("serve/bench/" + name + "/hit_pct")
+      ->Set(static_cast<int64_t>(s.hit_rate * 100.0));
+  reg.GetGauge("serve/bench/" + name + "/occupancy_x100")
+      ->Set(static_cast<int64_t>(s.occupancy * 100.0));
+}
+
+// Bitwise parity gate: the served full ranking must equal the offline
+// reference ranking (IndexScorer scores + the library tie-break rule).
+bool VerifyParity(const serve::ServingIndex& index,
+                  std::shared_ptr<const serve::ServingIndex> shared,
+                  const std::vector<std::vector<uint32_t>>& exclude) {
+  serve::Server server(std::move(shared), MakeOptions());
+  serve::RequestContext ctx(server);
+  serve::Reply reply;
+  reply.Reserve(server.options().max_k);
+  serve::IndexScorer scorer(&index);
+  std::vector<float> scores;
+  const size_t sample = std::min<size_t>(index.num_users(), 32);
+  for (size_t u = 0; u < sample; ++u) {
+    serve::Request req;
+    req.user = static_cast<uint32_t>(u);
+    req.k = kTopK;
+    req.exclude = &exclude[u];
+    server.Rank(req, &ctx, &reply);
+
+    scorer.ScoreItems(static_cast<uint32_t>(u), &scores);
+    for (uint32_t id : exclude[u]) {
+      scores[id] = -std::numeric_limits<float>::infinity();
+    }
+    std::vector<uint32_t> ids(scores.size());
+    for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
+    std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+      if (scores[a] != scores[b]) return scores[a] > scores[b];
+      return a < b;
+    });
+    for (size_t r = 0; r < reply.items.size(); ++r) {
+      if (reply.items[r] != ids[r] || reply.scores[r] != scores[ids[r]]) {
+        return false;
+      }
+    }
+    if (reply.items.size() != std::min<size_t>(kTopK, ids.size())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::Env env = bench::GetEnv();
+
+  // The catalog analogue: a few-thousand-user Yelp-like slice at scale 1
+  // (the trace's Zipf repetition is what makes it a "day" of traffic).
+  data::SyntheticConfig config =
+      data::SyntheticConfig::YelpLike().Scaled(env.scale * 2.0);
+  data::Dataset ds = data::GenerateSynthetic(config);
+  if (!data::QuantizeDataset(&ds, 4, data::QuantizationScheme::kUniform)
+           .ok()) {
+    std::fprintf(stderr, "quantization failed\n");
+    return 1;
+  }
+  Rng rng(17);
+  la::Matrix users =
+      la::Matrix::Gaussian(ds.num_users, env.embedding_dim, 0.3f, &rng);
+  la::Matrix items =
+      la::Matrix::Gaussian(ds.num_items, env.embedding_dim, 0.3f, &rng);
+  std::vector<float> bias(ds.num_items);
+  for (float& b : bias) b = rng.NextFloat() * 0.2f;
+  models::DotScorer scorer(std::move(users), std::move(items),
+                           std::move(bias));
+  auto index = std::make_shared<const serve::ServingIndex>(
+      serve::ServingIndex::Freeze(scorer, ds, "bench"));
+  const std::vector<std::vector<uint32_t>> exclude = ds.UserItemLists();
+
+  std::printf("=== serve load — frozen index %zu users x %zu items, dim %zu "
+              "===\n",
+              index->num_users(), index->num_items(), index->dim());
+
+  bench::RecordCase("serve/parity/bitwise",
+                    VerifyParity(*index, index, exclude),
+                    "served top-K != offline reference ranking");
+
+  serve::TraceConfig tc;
+  tc.num_users = index->num_users();
+  tc.num_items = index->num_items();
+  tc.num_events = static_cast<size_t>(40000 * env.scale);
+  tc.num_events = std::max<size_t>(tc.num_events, 500);
+  serve::Trace trace = serve::GenerateTrace(tc);
+
+  obs::Registry& reg = obs::Registry::Global();
+  TextTable table({"scenario", "threads", "qps", "p50_us", "p95_us",
+                   "p99_us", "hit_rate", "occupancy"});
+  auto add_row = [&](const char* scenario, int threads,
+                     const LoadStats& s) {
+    table.AddRow({scenario, std::to_string(threads), FormatFixed(s.qps, 0),
+                  FormatFixed(s.p50_us, 1), FormatFixed(s.p95_us, 1),
+                  FormatFixed(s.p99_us, 1), FormatFixed(s.hit_rate, 3),
+                  FormatFixed(s.occupancy, 2)});
+  };
+
+  // Closed loop at two client counts; fresh server per run so cache and
+  // counter deltas are per-configuration.
+  double capacity_qps = 0.0;
+  for (int clients : {1, 4}) {
+    serve::Server server(index, MakeOptions());
+    const std::string label =
+        "serve/closed/t" + std::to_string(clients) + "/latency";
+    LoadStats s = RunClosedLoop(&server, trace, exclude, clients,
+                                reg.GetTimer(label));
+    add_row("closed", clients, s);
+    RecordLoadCase("closed_t" + std::to_string(clients), s,
+                   trace.events.size());
+    capacity_qps = std::max(capacity_qps, s.qps);
+  }
+
+  // Open loop at ~60% of measured capacity: stable but busy enough for
+  // micro-batches to form, at two dispatcher counts.
+  const double target_qps = std::max(capacity_qps * 0.6, 1000.0);
+  for (int dispatchers : {4, 8}) {
+    serve::Server server(index, MakeOptions());
+    const std::string label =
+        "serve/open/t" + std::to_string(dispatchers) + "/latency";
+    LoadStats s = RunOpenLoop(&server, trace, exclude, dispatchers,
+                              target_qps, reg.GetTimer(label));
+    add_row("open", dispatchers, s);
+    RecordLoadCase("open_t" + std::to_string(dispatchers), s,
+                   trace.events.size());
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  std::printf("open-loop target: %.0f qps\n", target_qps);
+  return bench::Finish();
+}

@@ -62,6 +62,10 @@ class ExtendedPup : public models::Recommender,
 
   void ScoreItems(uint32_t user, std::vector<float>* out) const override;
 
+  const models::DotScorer* ExportScorer() const override {
+    return scorer_.initialized() ? &scorer_ : nullptr;
+  }
+
   std::vector<ag::Tensor> Parameters() override;
   BatchGraph ForwardBatch(const std::vector<uint32_t>& users,
                           const std::vector<uint32_t>& pos_items,

@@ -85,6 +85,10 @@ class Pup : public models::Recommender,
 
   void ScoreItems(uint32_t user, std::vector<float>* out) const override;
 
+  const models::DotScorer* ExportScorer() const override {
+    return scorer_.initialized() ? &scorer_ : nullptr;
+  }
+
   std::vector<ag::Tensor> Parameters() override;
   BatchGraph ForwardBatch(const std::vector<uint32_t>& users,
                           const std::vector<uint32_t>& pos_items,

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "eval/topk.h"
 #include "obs/registry.h"
 
 namespace pup::eval {
@@ -14,32 +14,28 @@ namespace {
 
 constexpr float kNegInf = -std::numeric_limits<float>::infinity();
 
-// Indices of the top-k scores, ties broken by smaller index (stable and
-// deterministic across platforms).
-std::vector<uint32_t> TopKIndices(const std::vector<float>& scores, int k) {
-  std::vector<uint32_t> idx(scores.size());
-  std::iota(idx.begin(), idx.end(), 0u);
-  auto cmp = [&](uint32_t a, uint32_t b) {
-    if (scores[a] != scores[b]) return scores[a] > scores[b];
-    return a < b;
-  };
-  size_t kk = std::min<size_t>(static_cast<size_t>(k), idx.size());
-  std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(), cmp);
-  idx.resize(kk);
-  return idx;
-}
-
 struct Accumulator {
   double recall_sum = 0.0;
   double ndcg_sum = 0.0;
+};
+
+// Per-chunk selection scratch: the bounded-heap selector replaced the
+// historical iota + partial_sort over the whole catalog (O(n log k) and
+// allocation-free per user instead of an n-entry index build per cutoff);
+// eval_test pins the bitwise ordering parity, tie-break included.
+struct TopKScratch {
+  TopKSelector selector;
+  std::vector<uint32_t> top;
 };
 
 // Core per-user update shared by both evaluation modes. `scores` already
 // has non-candidates masked to -inf.
 void AccumulateUser(const std::vector<float>& scores,
                     const std::vector<uint32_t>& test, int k,
-                    Accumulator* acc) {
-  auto top = TopKIndices(scores, k);
+                    TopKScratch* scratch, Accumulator* acc) {
+  scratch->selector.Select(scores.data(), scores.size(),
+                           static_cast<size_t>(k), &scratch->top);
+  const std::vector<uint32_t>& top = scratch->top;
   int hits = 0;
   double dcg = 0.0;
   for (size_t pos = 0; pos < top.size(); ++pos) {
@@ -133,6 +129,7 @@ EvalResult EvaluateRanking(
     PUP_OBS_SCOPED_TIMER("eval/chunk");
     ChunkAccumulator* ca = &partial[lo / kUsersPerChunk];
     std::vector<float> scores;
+    TopKScratch scratch;
     for (size_t u = lo; u < hi; ++u) {
       const auto& test = test_items[u];
       if (test.empty()) continue;
@@ -140,7 +137,9 @@ EvalResult EvaluateRanking(
       scorer.ScoreItems(static_cast<uint32_t>(u), &scores);
       PUP_CHECK_EQ(scores.size(), num_items);
       for (uint32_t item : exclude_items[u]) scores[item] = kNegInf;
-      for (int k : cutoffs) AccumulateUser(scores, test, k, &ca->acc[k]);
+      for (int k : cutoffs) {
+        AccumulateUser(scores, test, k, &scratch, &ca->acc[k]);
+      }
     }
     PUP_OBS_COUNT("eval/users_evaluated", ca->evaluated);
   });
@@ -163,6 +162,7 @@ EvalResult EvaluateRankingWithCandidates(
     ChunkAccumulator* ca = &partial[lo / kUsersPerChunk];
     std::vector<float> scores;
     std::vector<float> masked;
+    TopKScratch scratch;
     for (size_t u = lo; u < hi; ++u) {
       const auto& test = test_items[u];
       if (test.empty() || candidates[u].empty()) continue;
@@ -180,7 +180,9 @@ EvalResult EvaluateRankingWithCandidates(
       for (uint32_t item : candidates[u]) {
         masked[item] = scores[item];
       }
-      for (int k : cutoffs) AccumulateUser(masked, test, k, &ca->acc[k]);
+      for (int k : cutoffs) {
+        AccumulateUser(masked, test, k, &scratch, &ca->acc[k]);
+      }
     }
     PUP_OBS_COUNT("eval/users_evaluated", ca->evaluated);
   });

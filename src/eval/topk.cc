@@ -1,0 +1,50 @@
+#include "eval/topk.h"
+
+#include <algorithm>
+
+namespace pup::eval {
+namespace {
+
+/// The one ordering rule of the library: a ranks ahead of b iff it has
+/// the higher score, or the same score and the smaller index.
+struct Better {
+  const float* scores;
+  bool operator()(uint32_t a, uint32_t b) const {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  }
+};
+
+}  // namespace
+
+void TopKSelector::Reserve(size_t k) { heap_.reserve(k); }
+
+// PUP_HOT: runs once per request in the serving engine and once per
+// (user, cutoff) in ranking eval; allocation-free within Reserve'd k.
+void TopKSelector::Select(const float* scores, size_t n, size_t k,
+                          std::vector<uint32_t>* out) {
+  const Better better{scores};
+  const size_t kk = std::min(k, n);
+  heap_.clear();
+  // With comparator `better` as "less", the heap front is the max under
+  // it — i.e. the *worst* of the kept k — so each candidate needs one
+  // comparison against the front and only displaces it when it wins.
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t id = static_cast<uint32_t>(i);
+    if (heap_.size() < kk) {
+      heap_.push_back(id);  // NOLINT(pup-hot-alloc): within Reserve'd k.
+      std::push_heap(heap_.begin(), heap_.end(), better);
+    } else if (kk > 0 && better(id, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), better);
+      heap_.back() = id;
+      std::push_heap(heap_.begin(), heap_.end(), better);
+    }
+  }
+  // NOLINTNEXTLINE(pup-hot-alloc): copies <= k ids into a reserved buffer.
+  out->assign(heap_.begin(), heap_.end());
+  // `better` is a strict total order (ties split by index), so sorting
+  // the k survivors reproduces the full-sort prefix exactly.
+  std::sort(out->begin(), out->end(), better);
+}
+
+}  // namespace pup::eval

@@ -1,0 +1,41 @@
+// Bounded top-K selection shared by offline eval and online serving.
+//
+// Both layers must produce the *same* ranking for the same scores: the
+// eval harness defines the ground truth the serving engine is contractually
+// bitwise-identical to (docs/serving.md). Centralizing the selection — and
+// its tie-break rule — in one class is what makes that contract checkable
+// rather than aspirational.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pup::eval {
+
+/// Selects the indices of the k best scores without sorting the full
+/// catalog: a bounded min-heap of the k best seen so far (O(n log k),
+/// allocation-free after Reserve), then an exact sort of the <= k
+/// survivors. Ordering rule: score descending, ties broken by smaller
+/// index — a strict total order, so the result is unique and matches the
+/// historical full partial_sort bitwise, element for element.
+///
+/// Not thread-safe; give each worker its own selector (they are two
+/// pointers and a vector).
+class TopKSelector {
+ public:
+  /// Pre-sizes the internal heap so later Select calls up to capacity k
+  /// never allocate — required before use inside PUP_HOT request loops.
+  void Reserve(size_t k);
+
+  /// Writes the indices of the min(k, n) best of scores[0..n) into `out`
+  /// (ordered best-first by the rule above). `out` is resized; callers on
+  /// zero-alloc paths must have reserved it to k.
+  void Select(const float* scores, size_t n, size_t k,
+              std::vector<uint32_t>* out);
+
+ private:
+  std::vector<uint32_t> heap_;
+};
+
+}  // namespace pup::eval

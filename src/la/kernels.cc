@@ -485,6 +485,64 @@ void Gemv(const Matrix& a, const Matrix& x, Matrix* out) {
   });
 }
 
+// PUP_HOT: the serving full-ranking hot path; writes into caller-owned
+// buffers and must not allocate.
+void ScoreItemsForUser(const Matrix& items, const float* user,
+                       const float* bias, float* out) {
+  PUP_OBS_COUNT("la/score_user", 1);
+  const size_t n = items.rows();
+  const size_t d = items.cols();
+  const simd::Backend& be = simd::Active();
+  ParallelFor(0, n, RowGrain(d), [&](size_t lo, size_t hi) {
+    be.gemv_rows(items.data(), items.stride(), user, out, lo, hi, d);
+    if (bias != nullptr) {
+      for (size_t i = lo; i < hi; ++i) out[i] += bias[i];
+    }
+  });
+}
+
+// PUP_HOT: one call scores a whole serving micro-batch.
+void ScoreItemsForUsers(const Matrix& items, const Matrix& users,
+                        const float* bias, Matrix* out) {
+  PUP_OBS_COUNT("la/score_batch", 1);
+  PUP_CHECK_EQ(users.cols(), items.cols());
+  const size_t m = users.rows();
+  const size_t d = users.cols();
+  const size_t n = items.rows();
+  EnsureShapeNoZero(m, n, out);
+  const simd::Backend& be = simd::Active();
+  // gemm_tb and gemv share one row-dot primitive per backend and float
+  // multiplication commutes bitwise, so out.Row(r) below equals the
+  // per-user gemv result exactly — batching never changes a score.
+  ParallelFor(0, m, RowGrain(d * n), [&](size_t lo, size_t hi) {
+    be.gemm_tb_rows(users.data(), users.stride(), items.data(),
+                    items.stride(), out->data(), out->stride(), lo, hi, d, n);
+    if (bias != nullptr) {
+      for (size_t r = lo; r < hi; ++r) {
+        float* row = out->Row(r);
+        for (size_t i = 0; i < n; ++i) row[i] += bias[i];
+      }
+    }
+  });
+}
+
+// PUP_HOT: candidate re-rank path; per-candidate single-row gemv keeps
+// the accumulation identical to the full-ranking path.
+void ScoreItemsSubset(const Matrix& items, const float* user,
+                      const float* bias, const uint32_t* idx, size_t n_idx,
+                      float* out) {
+  PUP_OBS_COUNT("la/score_subset", 1);
+  const size_t d = items.cols();
+  const simd::Backend& be = simd::Active();
+  ParallelFor(0, n_idx, RowGrain(d), [&](size_t lo, size_t hi) {
+    for (size_t j = lo; j < hi; ++j) {
+      PUP_DCHECK(idx[j] < items.rows());
+      be.gemv_rows(items.Row(idx[j]), items.stride(), user, out + j, 0, 1, d);
+      if (bias != nullptr) out[j] += bias[idx[j]];
+    }
+  });
+}
+
 // PUP_HOT: runs inside every guarded training step; must not allocate.
 bool AllFinite(const Matrix& x) { return FirstNonFinite(x) == x.size(); }
 

@@ -101,6 +101,33 @@ float MaxAbs(const Matrix& x);
 /// y = A x for a dense (m,d) matrix and a length-d vector (d,1) -> (m,1).
 void Gemv(const Matrix& a, const Matrix& x, Matrix* out);
 
+// Serving-layer scoring entry points (docs/serving.md). All three route
+// through the active backend's shared row-dot primitive (pinned lane
+// accumulation order), so the single-query, batched, and candidate-subset
+// paths produce bitwise-identical floats for the same backend — the
+// mechanism behind the serve-vs-eval ranking parity contract. The
+// optional `bias` (length items.rows(), nullptr for none) is added after
+// each dot product. `user` must be 64-byte aligned when items.cols() >= 8
+// (any padded Matrix row or Matrix::data() qualifies).
+
+/// out[i] = dot(items.Row(i), user) + bias[i] for every item; `out`
+/// holds items.rows() floats.
+void ScoreItemsForUser(const Matrix& items, const float* user,
+                       const float* bias, float* out);
+
+/// Batched form for micro-batched serving: out(r, i) =
+/// dot(items.Row(i), users.Row(r)) + bias[i]. Shapes: (n,d) items,
+/// (m,d) users -> (m,n). Each output row is bitwise-equal to a
+/// ScoreItemsForUser call on that user alone, at any batch shape.
+void ScoreItemsForUsers(const Matrix& items, const Matrix& users,
+                        const float* bias, Matrix* out);
+
+/// Candidate re-rank form: out[j] = dot(items.Row(idx[j]), user) +
+/// bias[idx[j]] for j in [0, n_idx). Ids in `idx` must be < items.rows().
+void ScoreItemsSubset(const Matrix& items, const float* user,
+                      const float* bias, const uint32_t* idx, size_t n_idx,
+                      float* out);
+
 /// True iff every entry is finite (no NaN, no ±Inf). Branch-free blockwise
 /// scan (one multiply + compare per element, vectorizable) — the fast path
 /// of the numeric sentinels (ag::NumericGuard, Matrix::AssertFinite).

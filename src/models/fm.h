@@ -41,6 +41,10 @@ class Fm : public Recommender,
 
   void ScoreItems(uint32_t user, std::vector<float>* out) const override;
 
+  const DotScorer* ExportScorer() const override {
+    return scorer_.initialized() ? &scorer_ : nullptr;
+  }
+
   // BprTrainable:
   std::vector<ag::Tensor> Parameters() override;
   BatchGraph ForwardBatch(const std::vector<uint32_t>& users,

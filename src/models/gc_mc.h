@@ -44,6 +44,10 @@ class GcMc : public Recommender,
 
   void ScoreItems(uint32_t user, std::vector<float>* out) const override;
 
+  const DotScorer* ExportScorer() const override {
+    return scorer_.initialized() ? &scorer_ : nullptr;
+  }
+
   std::vector<ag::Tensor> Parameters() override;
   BatchGraph ForwardBatch(const std::vector<uint32_t>& users,
                           const std::vector<uint32_t>& pos_items,

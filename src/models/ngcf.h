@@ -48,6 +48,10 @@ class Ngcf : public Recommender,
 
   void ScoreItems(uint32_t user, std::vector<float>* out) const override;
 
+  const DotScorer* ExportScorer() const override {
+    return scorer_.initialized() ? &scorer_ : nullptr;
+  }
+
   std::vector<ag::Tensor> Parameters() override;
   BatchGraph ForwardBatch(const std::vector<uint32_t>& users,
                           const std::vector<uint32_t>& pos_items,

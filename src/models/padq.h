@@ -44,6 +44,10 @@ class PaDQ : public Recommender {
 
   void ScoreItems(uint32_t user, std::vector<float>* out) const override;
 
+  const DotScorer* ExportScorer() const override {
+    return scorer_.initialized() ? &scorer_ : nullptr;
+  }
+
  private:
   PadqConfig config_;
   ag::Tensor user_factors_;

@@ -10,6 +10,7 @@
 
 #include "data/dataset.h"
 #include "eval/metrics.h"
+#include "models/scoring.h"
 
 namespace pup::models {
 
@@ -26,6 +27,13 @@ class Recommender : public eval::Scorer {
   /// look at interactions outside `train`.
   virtual void Fit(const data::Dataset& dataset,
                    const std::vector<data::Interaction>& train) = 0;
+
+  /// The model's folded dot-product inference state (user/item vectors +
+  /// item bias), or nullptr when the method cannot be expressed as one
+  /// (MLP scorers, popularity baselines) or has not been fit yet. The
+  /// serving layer freezes this into an immutable ServingIndex
+  /// (src/serve); the pointer remains owned by the model.
+  virtual const DotScorer* ExportScorer() const { return nullptr; }
 };
 
 }  // namespace pup::models

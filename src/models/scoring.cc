@@ -19,6 +19,11 @@ DotScorer::DotScorer(la::Matrix user_vecs, la::Matrix item_vecs,
 void DotScorer::ScoreItems(uint32_t user, std::vector<float>* out) const {
   PUP_CHECK_MSG(initialized(), "DotScorer used before Fit");
   PUP_CHECK(user < user_vecs_.rows());
+  // Keeps the historical bias-seeded accumulation order: the serial
+  // regression goldens pin this exact float sequence. The serving layer
+  // freezes these tables and scores them through la::ScoreItemsForUser
+  // (dot first, bias after); its parity contract is defined against
+  // IndexScorer, which uses that same kernel — see docs/serving.md.
   const size_t n = item_vecs_.rows();
   const size_t d = item_vecs_.cols();
   out->assign(n, 0.0f);

@@ -34,6 +34,8 @@ class DotScorer {
   bool initialized() const { return user_vecs_.rows() > 0; }
   const la::Matrix& user_vecs() const { return user_vecs_; }
   const la::Matrix& item_vecs() const { return item_vecs_; }
+  /// Empty when the model has no additive item term.
+  const std::vector<float>& item_bias() const { return item_bias_; }
 
   /// Persists the scorer as three matrix files under `prefix`
   /// (prefix.users / prefix.items / prefix.bias) — a framework-free

@@ -1,0 +1,105 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pup::serve {
+
+ResultCache::ResultCache(size_t capacity, size_t num_users, size_t max_k)
+    : entries_(capacity), user_slot_(num_users, kNone) {
+  for (Entry& e : entries_) {
+    e.items.reserve(max_k);
+    e.scores.reserve(max_k);
+  }
+}
+
+// PUP_HOT: one lookup per cacheable request; copies bounded by the
+// Reserve'd max_k, direct-indexed user map, no hashing.
+bool ResultCache::Lookup(uint32_t user, uint32_t k, uint64_t generation,
+                         std::vector<uint32_t>* items,
+                         std::vector<float>* scores) {
+  if (user >= user_slot_.size()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int32_t slot = user_slot_[user];
+  if (slot == kNone) return false;
+  Entry& e = entries_[slot];
+  if (!e.valid || e.k != k || e.generation != generation) return false;
+  // NOLINTNEXTLINE(pup-hot-alloc): <= max_k elements into reserved buffers.
+  items->assign(e.items.begin(), e.items.end());
+  // NOLINTNEXTLINE(pup-hot-alloc): <= max_k elements into reserved buffers.
+  scores->assign(e.scores.begin(), e.scores.end());
+  Unlink(slot);
+  PushFront(slot);
+  return true;
+}
+
+// PUP_HOT: one insert per cacheable miss; eviction is O(1) via the
+// intrusive recency list, buffers stay within their Reserve'd capacity.
+void ResultCache::Insert(uint32_t user, uint32_t k, uint64_t generation,
+                         const std::vector<uint32_t>& items,
+                         const std::vector<float>& scores) {
+  if (entries_.empty() || user >= user_slot_.size()) return;
+  PUP_DCHECK(items.size() <= entries_[0].items.capacity());
+  std::lock_guard<std::mutex> lock(mu_);
+  int32_t slot = user_slot_[user];
+  if (slot == kNone) {
+    if (live_ < entries_.size()) {
+      slot = static_cast<int32_t>(live_);
+      ++live_;
+    } else {
+      // Evict the least-recently-used user.
+      slot = tail_;
+      Unlink(slot);
+      user_slot_[entries_[slot].user] = kNone;
+    }
+    user_slot_[user] = slot;
+  } else {
+    Unlink(slot);
+  }
+  Entry& e = entries_[slot];
+  e.user = user;
+  e.k = k;
+  e.generation = generation;
+  e.valid = true;
+  // NOLINTNEXTLINE(pup-hot-alloc): <= max_k elements into reserved buffers.
+  e.items.assign(items.begin(), items.end());
+  // NOLINTNEXTLINE(pup-hot-alloc): <= max_k elements into reserved buffers.
+  e.scores.assign(scores.begin(), scores.end());
+  PushFront(slot);
+}
+
+void ResultCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) e.valid = false;
+  std::fill(user_slot_.begin(), user_slot_.end(), kNone);
+  head_ = kNone;
+  tail_ = kNone;
+  live_ = 0;
+}
+
+size_t ResultCache::size() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+void ResultCache::Unlink(int32_t slot) {
+  Entry& e = entries_[slot];
+  if (e.prev != kNone) entries_[e.prev].next = e.next;
+  if (e.next != kNone) entries_[e.next].prev = e.prev;
+  if (head_ == slot) head_ = e.next;
+  if (tail_ == slot) tail_ = e.prev;
+  e.prev = kNone;
+  e.next = kNone;
+}
+
+void ResultCache::PushFront(int32_t slot) {
+  Entry& e = entries_[slot];
+  e.prev = kNone;
+  e.next = head_;
+  if (head_ != kNone) entries_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNone) tail_ = slot;
+}
+
+}  // namespace pup::serve

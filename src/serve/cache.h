@@ -1,0 +1,79 @@
+// Hot-user result cache for the serving engine.
+//
+// An LRU cache of full-ranking top-K results keyed by (user, k,
+// generation). Built for the zero-alloc steady state: all entries and
+// their reply buffers are preallocated at construction, the user → entry
+// map is a direct-indexed vector (no hashing, no tree nodes), and the
+// recency list is intrusive (prev/next slot indices). The only
+// synchronization is one mutex; lookups and inserts are O(1) and
+// allocation-free.
+//
+// Consistency contract (docs/serving.md): for a given (user, generation)
+// callers must present a consistent exclusion list — it is derived from
+// the user's interaction history, which is frozen with the index — so the
+// post-exclusion ranking is cacheable by user id alone. Reload bumps the
+// generation, and Invalidate drops every entry wholesale.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace pup::serve {
+
+/// Fixed-capacity LRU map from user id to a served top-K result.
+class ResultCache {
+ public:
+  /// `capacity` entries, each able to hold `max_k` ids/scores, covering
+  /// users in [0, num_users).
+  ResultCache(size_t capacity, size_t num_users, size_t max_k);
+
+  /// Copies the cached result for (user, k, generation) into the reply
+  /// buffers and returns true, or returns false on miss. The entry is
+  /// moved to the front of the recency list on a hit.
+  bool Lookup(uint32_t user, uint32_t k, uint64_t generation,
+              std::vector<uint32_t>* items, std::vector<float>* scores);
+
+  /// Stores a served result, evicting the least-recently-used entry when
+  /// full. `items`/`scores` must hold at most max_k elements. An existing
+  /// entry for the user is overwritten (k/generation updated).
+  void Insert(uint32_t user, uint32_t k, uint64_t generation,
+              const std::vector<uint32_t>& items,
+              const std::vector<float>& scores);
+
+  /// Drops every entry (index reload). O(num_users); not a hot-path op.
+  void Invalidate();
+
+  size_t capacity() const { return entries_.size(); }
+  /// Live entries (for tests; takes the lock).
+  size_t size();
+
+ private:
+  static constexpr int32_t kNone = -1;
+
+  struct Entry {
+    uint32_t user = 0;
+    uint32_t k = 0;
+    uint64_t generation = 0;
+    int32_t prev = kNone;
+    int32_t next = kNone;
+    bool valid = false;
+    std::vector<uint32_t> items;
+    std::vector<float> scores;
+  };
+
+  // Unlinks slot from the recency list (caller holds mu_).
+  void Unlink(int32_t slot);
+  // Pushes slot to the front of the recency list (caller holds mu_).
+  void PushFront(int32_t slot);
+
+  std::mutex mu_;
+  std::vector<Entry> entries_;
+  /// user id -> entry slot, kNone when not cached.
+  std::vector<int32_t> user_slot_;
+  int32_t head_ = kNone;
+  int32_t tail_ = kNone;
+  size_t live_ = 0;
+};
+
+}  // namespace pup::serve

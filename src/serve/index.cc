@@ -1,0 +1,131 @@
+#include "serve/index.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "la/kernels.h"
+
+namespace pup::serve {
+namespace {
+
+// Section names inside the index checkpoint. The "serve/" prefix keeps
+// them disjoint from the "model/" namespace Checkpointable reserves.
+constexpr char kSecFormat[] = "serve/format";
+constexpr char kSecModel[] = "serve/model";
+constexpr char kSecUsers[] = "serve/users";
+constexpr char kSecItems[] = "serve/items";
+constexpr char kSecBias[] = "serve/bias";
+constexpr char kSecPrior[] = "serve/prior";
+
+constexpr uint64_t kIndexFormatVersion = 1;
+
+// Cold-start fallback scores: per-item popularity weighted by the item's
+// price level share. Counts come from the full interaction list, so the
+// prior is a pure deterministic function of the dataset (the floats are
+// computed in double and rounded once).
+std::vector<float> BuildPrior(const data::Dataset& dataset) {
+  const size_t n = dataset.num_items;
+  std::vector<uint64_t> count(n, 0);
+  for (const data::Interaction& it : dataset.interactions) ++count[it.item];
+  const bool has_levels = dataset.item_price_level.size() == n &&
+                          dataset.num_price_levels > 0;
+  std::vector<uint64_t> level_count(has_levels ? dataset.num_price_levels : 1,
+                                    0);
+  for (size_t i = 0; i < n; ++i) {
+    level_count[has_levels ? dataset.item_price_level[i] : 0] += count[i];
+  }
+  const double total =
+      static_cast<double>(std::max<size_t>(dataset.interactions.size(), 1));
+  std::vector<float> prior(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t lc = level_count[has_levels ? dataset.item_price_level[i]
+                                               : 0];
+    const double share = static_cast<double>(lc) / total;
+    prior[i] = static_cast<float>(
+        std::log1p(static_cast<double>(count[i])) * (1.0 + share));
+  }
+  return prior;
+}
+
+}  // namespace
+
+ServingIndex ServingIndex::Freeze(const models::DotScorer& scorer,
+                                  const data::Dataset& dataset,
+                                  const std::string& model_name) {
+  PUP_CHECK_MSG(scorer.initialized(), "cannot freeze an unfit scorer");
+  PUP_CHECK_EQ(scorer.user_vecs().rows(), dataset.num_users);
+  PUP_CHECK_EQ(scorer.item_vecs().rows(), dataset.num_items);
+  ServingIndex index;
+  index.user_vecs_ = scorer.user_vecs();
+  index.item_vecs_ = scorer.item_vecs();
+  index.item_bias_ = scorer.item_bias();
+  index.prior_ = BuildPrior(dataset);
+  index.model_name_ = model_name;
+  index.fingerprint_ = ckpt::DatasetFingerprint::Of(dataset);
+  return index;
+}
+
+Status ServingIndex::Save(const std::string& path) const {
+  ckpt::Writer writer(fingerprint_);
+  writer.AddU64(kSecFormat, kIndexFormatVersion);
+  writer.AddString(kSecModel, model_name_);
+  writer.AddMatrix(kSecUsers, user_vecs_);
+  writer.AddMatrix(kSecItems, item_vecs_);
+  la::Matrix bias(item_bias_.size(), 1);
+  for (size_t i = 0; i < item_bias_.size(); ++i) bias(i, 0) = item_bias_[i];
+  writer.AddMatrix(kSecBias, bias);
+  la::Matrix prior(prior_.size(), 1);
+  for (size_t i = 0; i < prior_.size(); ++i) prior(i, 0) = prior_[i];
+  writer.AddMatrix(kSecPrior, prior);
+  return writer.WriteFile(path);
+}
+
+Result<ServingIndex> ServingIndex::Load(const std::string& path) {
+  // Reader::Open already rejects truncation, bit flips, and foreign files
+  // (every CRC is checked up front); the shape validation below runs on
+  // local values, so no partially built index can escape on any path.
+  PUP_ASSIGN_OR_RETURN(ckpt::Reader reader, ckpt::Reader::Open(path));
+  PUP_ASSIGN_OR_RETURN(uint64_t format, reader.GetU64(kSecFormat));
+  if (format != kIndexFormatVersion) {
+    return Status::InvalidArgument("unsupported serving index format");
+  }
+  PUP_ASSIGN_OR_RETURN(std::string model_name, reader.GetString(kSecModel));
+  PUP_ASSIGN_OR_RETURN(la::Matrix users, reader.GetMatrix(kSecUsers));
+  PUP_ASSIGN_OR_RETURN(la::Matrix items, reader.GetMatrix(kSecItems));
+  PUP_ASSIGN_OR_RETURN(la::Matrix bias, reader.GetMatrix(kSecBias));
+  PUP_ASSIGN_OR_RETURN(la::Matrix prior, reader.GetMatrix(kSecPrior));
+  if (users.cols() != items.cols()) {
+    return Status::InvalidArgument("serving index user/item dim mismatch");
+  }
+  if (bias.rows() != 0 &&
+      (bias.rows() != items.rows() || bias.cols() != 1)) {
+    return Status::InvalidArgument("serving index bias shape mismatch");
+  }
+  if (prior.rows() != items.rows() || (items.rows() > 0 && prior.cols() != 1)) {
+    return Status::InvalidArgument("serving index prior shape mismatch");
+  }
+  ServingIndex index;
+  index.user_vecs_ = std::move(users);
+  index.item_vecs_ = std::move(items);
+  index.item_bias_.resize(bias.rows());
+  for (size_t i = 0; i < index.item_bias_.size(); ++i) {
+    index.item_bias_[i] = bias(i, 0);
+  }
+  index.prior_.resize(prior.rows());
+  for (size_t i = 0; i < index.prior_.size(); ++i) {
+    index.prior_[i] = prior(i, 0);
+  }
+  index.model_name_ = std::move(model_name);
+  index.fingerprint_ = reader.fingerprint();
+  return index;
+}
+
+void IndexScorer::ScoreItems(uint32_t user, std::vector<float>* out) const {
+  PUP_CHECK(user < index_->num_users());
+  out->resize(index_->num_items());
+  la::ScoreItemsForUser(index_->item_vecs(), index_->user_vecs().Row(user),
+                        index_->bias(), out->data());
+}
+
+}  // namespace pup::serve

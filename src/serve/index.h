@@ -1,0 +1,91 @@
+// pup::serve — frozen-model serving index.
+//
+// A ServingIndex is the immutable, read-only artifact the online tier
+// ranks from: the folded dot-product inference state of a trained model
+// (user/item embedding tables in the padded 64-byte-aligned la::Matrix
+// layout, so the SIMD scoring kernels run directly over it), the item
+// bias, and a precomputed price-level popularity prior for cold-start
+// fallback. It is built either by freezing a live model (Freeze) or by
+// loading a checkpoint written by Save — a pup::ckpt file whose CRCs are
+// fully validated before any index state is constructed, so a torn or
+// bit-flipped file can never yield a partially built index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "la/matrix.h"
+#include "models/scoring.h"
+
+namespace pup::serve {
+
+/// Immutable score tables + cold-start prior for one frozen model.
+/// Thread-safe by construction: nothing mutates after Freeze/Load, so any
+/// number of server threads may score from it concurrently.
+class ServingIndex {
+ public:
+  /// Copies the model's folded inference state and derives the cold-start
+  /// prior from the dataset's interactions and price levels. The scorer's
+  /// table shapes must match the dataset's id spaces.
+  static ServingIndex Freeze(const models::DotScorer& scorer,
+                             const data::Dataset& dataset,
+                             const std::string& model_name);
+
+  /// Writes the index as a pup::ckpt checkpoint (atomic tmp+rename).
+  Status Save(const std::string& path) const;
+
+  /// Loads an index written by Save. Every CRC and every section shape is
+  /// validated before the ServingIndex is constructed; on any error the
+  /// Result carries a Status and no index exists.
+  static Result<ServingIndex> Load(const std::string& path);
+
+  size_t num_users() const { return user_vecs_.rows(); }
+  size_t num_items() const { return item_vecs_.rows(); }
+  size_t dim() const { return item_vecs_.cols(); }
+  const std::string& model_name() const { return model_name_; }
+  const ckpt::DatasetFingerprint& fingerprint() const { return fingerprint_; }
+
+  const la::Matrix& user_vecs() const { return user_vecs_; }
+  const la::Matrix& item_vecs() const { return item_vecs_; }
+  /// nullptr when the model has no additive item term.
+  const float* bias() const {
+    return item_bias_.empty() ? nullptr : item_bias_.data();
+  }
+
+  /// Cold-start fallback scores, one per item: item popularity boosted by
+  /// its price level's share of traffic (log1p(count) * (1 + level
+  /// share)). Pure function of the dataset, so identical across Freeze
+  /// runs and save/load round trips.
+  const std::vector<float>& cold_start_prior() const { return prior_; }
+
+ private:
+  ServingIndex() = default;
+
+  la::Matrix user_vecs_;
+  la::Matrix item_vecs_;
+  std::vector<float> item_bias_;
+  std::vector<float> prior_;
+  std::string model_name_;
+  ckpt::DatasetFingerprint fingerprint_;
+};
+
+/// eval::Scorer adapter over a frozen index. Scores through the same
+/// la::ScoreItemsForUser kernel the Server uses, so running the offline
+/// eval harness over an IndexScorer produces the reference rankings the
+/// served top-K lists are bitwise-compared against (docs/serving.md).
+class IndexScorer : public eval::Scorer {
+ public:
+  explicit IndexScorer(const ServingIndex* index) : index_(index) {}
+
+  void ScoreItems(uint32_t user, std::vector<float>* out) const override;
+
+ private:
+  const ServingIndex* index_;
+};
+
+}  // namespace pup::serve

@@ -1,0 +1,264 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "la/kernels.h"
+
+namespace pup::serve {
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+// Copies the selected ranking into the reply, best first, dropping the
+// tail once only masked (-inf) entries remain — an excluded item is never
+// served, so a sparse catalog may legally return fewer than k items.
+// PUP_HOT: bounded by max_k; reply buffers are Reserve'd by the caller.
+void EmitRanked(const float* scores, const std::vector<uint32_t>& top,
+                const std::vector<uint32_t>* remap, Reply* reply) {
+  reply->items.clear();
+  reply->scores.clear();
+  for (uint32_t id : top) {
+    if (scores[id] == kNegInf) break;
+    // NOLINTNEXTLINE(pup-hot-alloc): <= max_k entries, Reserve'd buffer.
+    reply->items.push_back(remap != nullptr ? (*remap)[id] : id);
+    // NOLINTNEXTLINE(pup-hot-alloc): <= max_k entries, Reserve'd buffer.
+    reply->scores.push_back(scores[id]);
+  }
+}
+
+}  // namespace
+
+RequestContext::RequestContext(const Server& server) {
+  const ServerOptions& opt = server.options();
+  const std::shared_ptr<const ServingIndex> index = server.snapshot();
+  batch_.reserve(opt.max_batch);
+  full_rows_.reserve(opt.max_batch);
+  batch_users_ = la::Matrix(opt.max_batch, index->dim());
+  batch_scores_ = la::Matrix(opt.max_batch, index->num_items());
+  scratch_scores_.reserve(index->num_items());
+  topk_.reserve(opt.max_k);
+  selector_.Reserve(opt.max_k);
+}
+
+Server::Server(std::shared_ptr<const ServingIndex> index,
+               ServerOptions options)
+    : options_(options), index_(std::move(index)) {
+  PUP_CHECK(index_ != nullptr);
+  PUP_CHECK(options_.max_batch >= 1);
+  PUP_CHECK(options_.max_k >= 1);
+  queue_.reserve(options_.max_batch);
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(
+        options_.cache_capacity, index_->num_users(), options_.max_k);
+  }
+  obs::Registry& reg = obs::Registry::Global();
+  requests_ = reg.GetCounter("serve/requests");
+  batches_ = reg.GetCounter("serve/batches");
+  cache_hits_ = reg.GetCounter("serve/cache_hit");
+  cache_misses_ = reg.GetCounter("serve/cache_miss");
+  occupancy_ = reg.GetHistogram("serve/batch_occupancy");
+  batch_timer_ = reg.GetTimer("serve/batch");
+}
+
+std::shared_ptr<const ServingIndex> Server::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_;
+}
+
+uint64_t Server::generation() const {
+  return generation_.load(std::memory_order_relaxed);
+}
+
+void Server::Reload(std::shared_ptr<const ServingIndex> index) {
+  PUP_CHECK(index != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_ = std::move(index);
+    // Bump under mu_ so a batch leader's (snapshot, generation) pair is
+    // always consistent; readers use the relaxed atomic.
+    generation_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (cache_ != nullptr) cache_->Invalidate();
+}
+
+// PUP_HOT: the serving request loop — no allocation in steady state; the
+// only waits are the batching monitor and the serialized batch execution.
+void Server::Rank(const Request& req, RequestContext* ctx, Reply* reply) {
+  PUP_CHECK_MSG(req.k >= 1 && req.k <= options_.max_k,
+                "request k outside [1, max_k]");
+  requests_->Add(1);
+  reply->cache_hit = false;
+  if (cache_ != nullptr && req.scenario == Scenario::kFullRanking) {
+    if (cache_->Lookup(req.user, req.k,
+                       generation_.load(std::memory_order_relaxed),
+                       &reply->items, &reply->scores)) {
+      reply->served = Scenario::kFullRanking;
+      reply->cache_hit = true;
+      cache_hits_->Add(1);
+      return;
+    }
+    cache_misses_->Add(1);
+  }
+
+  Slot slot;
+  slot.req = &req;
+  slot.reply = reply;
+  std::unique_lock<std::mutex> lk(mu_);
+  // A full forming batch means its leader is about to claim it; wait for
+  // the claim rather than overflowing the fixed-capacity queue.
+  while (queue_.size() >= options_.max_batch) cv_.wait(lk);
+  const bool leader = queue_.empty();
+  queue_.push_back(&slot);  // NOLINT(pup-hot-alloc): capacity max_batch.
+  if (!leader) {
+    if (queue_.size() >= options_.max_batch) cv_.notify_all();
+    cv_.wait(lk, [&] { return slot.done; });
+    return;
+  }
+  if (options_.batch_timeout_us > 0 && options_.max_batch > 1) {
+    cv_.wait_for(lk, std::chrono::microseconds(options_.batch_timeout_us),
+                 [&] { return queue_.size() >= options_.max_batch; });
+  }
+  // Claim the batch. New arrivals start forming the next one as soon as
+  // the lock drops; execution below is serialized on exec_mu_, so under
+  // load the next leader collects every request that queues meanwhile.
+  // NOLINTNEXTLINE(pup-hot-alloc): <= max_batch pointers, Reserve'd.
+  ctx->batch_.assign(queue_.begin(), queue_.end());
+  queue_.clear();
+  const std::shared_ptr<const ServingIndex> index = index_;
+  const uint64_t generation = generation_.load(std::memory_order_relaxed);
+  lk.unlock();
+  cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> exec(exec_mu_);
+    ExecuteBatch(*index, generation, ctx);
+  }
+  lk.lock();
+  for (Slot* s : ctx->batch_) s->done = true;
+  lk.unlock();
+  cv_.notify_all();
+}
+
+// PUP_HOT: scores one claimed micro-batch — one batched GEMM for the
+// full-ranking rows, per-request subset/prior scoring for the rest.
+void Server::ExecuteBatch(const ServingIndex& index, uint64_t generation,
+                          RequestContext* ctx) {
+  obs::ScopedTimer span(batch_timer_, "serve/batch");
+  batches_->Add(1);
+  occupancy_->Observe(ctx->batch_.size());
+  const size_t d = index.dim();
+  ctx->full_rows_.clear();
+  for (size_t i = 0; i < ctx->batch_.size(); ++i) {
+    Slot* s = ctx->batch_[i];
+    Scenario sc = s->req->scenario;
+    // Unknown users cannot be scored from the user table: fall back to
+    // the price-level popularity prior (full ranking) or to the prior
+    // restricted to the candidate pool (re-rank).
+    if (sc == Scenario::kFullRanking && s->req->user >= index.num_users()) {
+      sc = Scenario::kColdStart;
+    }
+    s->served = sc;
+    if (sc == Scenario::kFullRanking) {
+      // NOLINTNEXTLINE(pup-hot-alloc): <= max_batch entries, Reserve'd.
+      ctx->full_rows_.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  if (!ctx->full_rows_.empty()) {
+    ctx->batch_users_.ResizeNoZero(ctx->full_rows_.size(), d);
+    for (size_t r = 0; r < ctx->full_rows_.size(); ++r) {
+      const Request& rq = *ctx->batch_[ctx->full_rows_[r]]->req;
+      const float* src = index.user_vecs().Row(rq.user);
+      std::copy(src, src + d, ctx->batch_users_.Row(r));
+    }
+    la::ScoreItemsForUsers(index.item_vecs(), ctx->batch_users_, index.bias(),
+                           &ctx->batch_scores_);
+    for (size_t r = 0; r < ctx->full_rows_.size(); ++r) {
+      Slot* s = ctx->batch_[ctx->full_rows_[r]];
+      ServeFullRanking(index, generation, ctx->batch_scores_.Row(r),
+                       *s->req, s->reply, ctx);
+    }
+  }
+  for (Slot* s : ctx->batch_) {
+    if (s->served == Scenario::kRerank) {
+      ServeSubset(index, *s->req, s->reply, ctx);
+    } else if (s->served == Scenario::kColdStart) {
+      ServePrior(index, *s->req, s->reply, ctx);
+    }
+    s->reply->served = s->served;
+  }
+}
+
+// PUP_HOT: full-catalog ranking for one request; `scores` is the
+// request's private row of the batch score matrix, masked in place.
+void Server::ServeFullRanking(const ServingIndex& index, uint64_t generation,
+                              float* scores, const Request& req, Reply* reply,
+                              RequestContext* ctx) {
+  const size_t n = index.num_items();
+  if (req.exclude != nullptr) {
+    for (uint32_t id : *req.exclude) {
+      PUP_CHECK_MSG(id < n, "excluded item id out of range");
+      scores[id] = kNegInf;
+    }
+  }
+  ctx->selector_.Select(scores, n, req.k, &ctx->topk_);
+  EmitRanked(scores, ctx->topk_, nullptr, reply);
+  if (cache_ != nullptr) {
+    cache_->Insert(req.user, req.k, generation, reply->items, reply->scores);
+  }
+}
+
+// PUP_HOT: candidate re-rank. The pool must be sorted ascending and
+// unique, so selecting by pool position breaks ties exactly like the
+// full ranking breaks them by item id — rerank results are the full
+// ranking restricted to the pool, bitwise.
+void Server::ServeSubset(const ServingIndex& index, const Request& req,
+                         Reply* reply, RequestContext* ctx) {
+  PUP_CHECK_MSG(req.candidates != nullptr && !req.candidates->empty(),
+                "kRerank request without candidates");
+  const std::vector<uint32_t>& cand = *req.candidates;
+  const size_t n = index.num_items();
+  PUP_CHECK_MSG(cand.size() <= n, "candidate pool larger than catalog");
+  for (size_t j = 0; j < cand.size(); ++j) {
+    PUP_CHECK_MSG(cand[j] < n, "candidate item id out of range");
+    PUP_CHECK_MSG(j == 0 || cand[j] > cand[j - 1],
+                  "candidates must be sorted ascending and unique");
+  }
+  // NOLINTNEXTLINE(pup-hot-alloc): <= num_items floats, Reserve'd buffer.
+  ctx->scratch_scores_.resize(cand.size());
+  if (req.user < index.num_users()) {
+    la::ScoreItemsSubset(index.item_vecs(), index.user_vecs().Row(req.user),
+                         index.bias(), cand.data(), cand.size(),
+                         ctx->scratch_scores_.data());
+  } else {
+    const std::vector<float>& prior = index.cold_start_prior();
+    for (size_t j = 0; j < cand.size(); ++j) {
+      ctx->scratch_scores_[j] = prior[cand[j]];
+    }
+  }
+  ctx->selector_.Select(ctx->scratch_scores_.data(), cand.size(), req.k,
+                        &ctx->topk_);
+  EmitRanked(ctx->scratch_scores_.data(), ctx->topk_, &cand, reply);
+}
+
+// PUP_HOT: cold-start fallback — ranks the price-level popularity prior,
+// honoring exclusions, through the same selector as every other path.
+void Server::ServePrior(const ServingIndex& index, const Request& req,
+                        Reply* reply, RequestContext* ctx) {
+  const std::vector<float>& prior = index.cold_start_prior();
+  // NOLINTNEXTLINE(pup-hot-alloc): <= num_items floats, Reserve'd buffer.
+  ctx->scratch_scores_.assign(prior.begin(), prior.end());
+  if (req.exclude != nullptr) {
+    for (uint32_t id : *req.exclude) {
+      PUP_CHECK_MSG(id < prior.size(), "excluded item id out of range");
+      ctx->scratch_scores_[id] = kNegInf;
+    }
+  }
+  ctx->selector_.Select(ctx->scratch_scores_.data(), prior.size(), req.k,
+                        &ctx->topk_);
+  EmitRanked(ctx->scratch_scores_.data(), ctx->topk_, nullptr, reply);
+}
+
+}  // namespace pup::serve

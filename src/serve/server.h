@@ -1,0 +1,181 @@
+// pup::serve — the online ranking front end.
+//
+// A Server answers synchronous top-K requests over a frozen ServingIndex
+// with cross-user micro-batching: the first thread to arrive at an empty
+// batch becomes the leader, waits up to batch_timeout_us for up to
+// max_batch companions, scores the whole batch as one batched GEMM over
+// the shared item table, and completes every rider's reply. Batch
+// execution is serialized, so under load the next leader naturally
+// collects everything that queued meanwhile — occupancy grows with
+// pressure instead of with configuration.
+//
+// Determinism contract (docs/serving.md): for a fixed index and SIMD
+// backend, the reply for a request is a pure function of the request —
+// independent of thread count, batch schedule, cache state, and which
+// requests it shared a batch with. The scoring kernels guarantee the
+// scores (shared row-dot primitive per backend) and eval::TopKSelector
+// guarantees the ordering (score desc, ties to smaller id), so served
+// rankings are bitwise-identical to the offline eval ranking of the same
+// index.
+//
+// Zero-alloc steady state: all scoring and staging buffers live in the
+// caller-owned RequestContext, reply buffers are bounded by max_k, and
+// the cache is fully preallocated — after warmup a request performs no
+// heap allocation (same contract as training steps; serve_test pins it).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "eval/topk.h"
+#include "la/matrix.h"
+#include "obs/registry.h"
+#include "serve/cache.h"
+#include "serve/index.h"
+
+namespace pup::serve {
+
+/// Traffic classes the server admits.
+enum class Scenario : uint8_t {
+  /// Rank every item in the catalog for a known user.
+  kFullRanking = 0,
+  /// Re-rank a caller-supplied candidate pool for a known user.
+  kRerank = 1,
+  /// No usable user state: rank by the price-level popularity prior.
+  kColdStart = 2,
+};
+
+/// One ranking request. Borrowed pointers must outlive the Rank call.
+struct Request {
+  uint32_t user = 0;
+  /// Result size; must be in [1, ServerOptions::max_k].
+  uint32_t k = 10;
+  Scenario scenario = Scenario::kFullRanking;
+  /// Candidate pool for kRerank: sorted ascending, unique, ids <
+  /// num_items. Required for kRerank, ignored otherwise.
+  const std::vector<uint32_t>* candidates = nullptr;
+  /// Item ids to exclude (the user's seen items): sorted ascending, ids <
+  /// num_items. Optional; applies to kFullRanking and kColdStart.
+  const std::vector<uint32_t>* exclude = nullptr;
+};
+
+/// A served ranking, best first. May hold fewer than k items when the
+/// catalog (minus exclusions / candidates) runs out.
+struct Reply {
+  std::vector<uint32_t> items;
+  std::vector<float> scores;
+  /// Scenario actually served (kColdStart for unknown-user fallback).
+  Scenario served = Scenario::kFullRanking;
+  bool cache_hit = false;
+
+  /// Pre-sizes the buffers so steady-state replies never allocate.
+  void Reserve(size_t max_k) {
+    items.reserve(max_k);
+    scores.reserve(max_k);
+  }
+};
+
+struct ServerOptions {
+  /// Largest micro-batch one GEMM scores; 1 disables cross-user batching.
+  size_t max_batch = 32;
+  /// How long a batch leader waits for companions before firing (0 =
+  /// fire immediately; occupancy then comes from natural queueing only).
+  uint64_t batch_timeout_us = 100;
+  /// Hot-user result cache entries; 0 disables the cache.
+  size_t cache_capacity = 0;
+  /// Largest admissible k; sizes every reply/cache/selector buffer.
+  size_t max_k = 100;
+};
+
+class Server;
+
+/// Per-thread scoring scratch: batch staging, score matrices, selector
+/// state. Constructing one allocates everything up front; a thread reuses
+/// it across requests so the request loop stays allocation-free.
+class RequestContext {
+ public:
+  explicit RequestContext(const Server& server);
+
+ private:
+  friend class Server;
+
+  struct Slot {
+    const Request* req = nullptr;
+    Reply* reply = nullptr;
+    Scenario served = Scenario::kFullRanking;
+    bool done = false;
+  };
+
+  std::vector<Slot*> batch_;        ///< Claimed batch (leader only).
+  std::vector<uint32_t> full_rows_; ///< batch_ positions scored by GEMM.
+  la::Matrix batch_users_;          ///< (<= max_batch, dim) staging.
+  la::Matrix batch_scores_;         ///< (<= max_batch, num_items) scores.
+  std::vector<float> scratch_scores_;  ///< Subset / prior scoring buffer.
+  std::vector<uint32_t> topk_;
+  eval::TopKSelector selector_;
+};
+
+/// Thread-safe serving front end over an immutable index snapshot.
+class Server {
+ public:
+  Server(std::shared_ptr<const ServingIndex> index, ServerOptions options);
+
+  /// Ranks synchronously; may coalesce with concurrent callers into one
+  /// batched GEMM. `ctx` must not be shared between threads; `reply`
+  /// should be Reserve'd to max_k by the caller once.
+  void Rank(const Request& req, RequestContext* ctx, Reply* reply);
+
+  /// Swaps in a freshly loaded index, bumps the generation, and
+  /// invalidates the cache. In-flight batches finish on the snapshot they
+  /// started with; later requests see only the new index.
+  void Reload(std::shared_ptr<const ServingIndex> index);
+
+  /// The index snapshot current requests rank from.
+  std::shared_ptr<const ServingIndex> snapshot() const;
+
+  uint64_t generation() const;
+  const ServerOptions& options() const { return options_; }
+  /// nullptr when cache_capacity == 0.
+  ResultCache* cache() { return cache_.get(); }
+
+ private:
+  friend class RequestContext;
+
+  using Slot = RequestContext::Slot;
+
+  void ExecuteBatch(const ServingIndex& index, uint64_t generation,
+                    RequestContext* ctx);
+  void ServeFullRanking(const ServingIndex& index, uint64_t generation,
+                        float* scores, const Request& req, Reply* reply,
+                        RequestContext* ctx);
+  void ServeSubset(const ServingIndex& index, const Request& req,
+                   Reply* reply, RequestContext* ctx);
+  void ServePrior(const ServingIndex& index, const Request& req, Reply* reply,
+                  RequestContext* ctx);
+
+  ServerOptions options_;
+
+  mutable std::mutex mu_;  ///< Guards queue_ and index_.
+  std::condition_variable cv_;
+  std::vector<Slot*> queue_;  ///< Forming batch; capacity max_batch.
+  std::shared_ptr<const ServingIndex> index_;
+  std::atomic<uint64_t> generation_{0};
+
+  std::mutex exec_mu_;  ///< Serializes batch execution (see header note).
+
+  std::unique_ptr<ResultCache> cache_;
+
+  // Handles resolved once at construction; recording never allocates.
+  obs::Counter* requests_;
+  obs::Counter* batches_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Histogram* occupancy_;
+  obs::Histogram* batch_timer_;
+};
+
+}  // namespace pup::serve

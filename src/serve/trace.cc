@@ -1,0 +1,89 @@
+#include "serve/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pup::serve {
+namespace {
+
+// Inverse-CDF Zipf sampler: cumulative weights are precomputed once
+// (O(num_users)), each draw is one uniform plus a binary search. Exact
+// and deterministic — no rejection loop whose iteration count could
+// depend on floating-point platform quirks.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  uint32_t Sample(Rng* rng) const {
+    const double u = rng->NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint32_t>(
+        std::min<size_t>(it - cdf_.begin(), cdf_.size() - 1));
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+Trace GenerateTrace(const TraceConfig& config) {
+  PUP_CHECK(config.num_users > 0 && config.num_items > 0);
+  PUP_CHECK(config.arrival_qps > 0.0);
+  Rng rng(config.seed);
+  Trace trace;
+
+  // Shared candidate pools: distinct sorted samples of the catalog.
+  const size_t pool_size =
+      std::min<size_t>(config.pool_size, config.num_items);
+  trace.rerank_pools.resize(std::max<size_t>(config.num_pools, 1));
+  for (std::vector<uint32_t>& pool : trace.rerank_pools) {
+    pool.reserve(pool_size);
+    while (pool.size() < pool_size) {
+      const uint32_t item =
+          static_cast<uint32_t>(rng.NextBelow(config.num_items));
+      const auto it = std::lower_bound(pool.begin(), pool.end(), item);
+      if (it == pool.end() || *it != item) pool.insert(it, item);
+    }
+  }
+
+  const ZipfSampler zipf(config.num_users, config.zipf_s);
+  const double mean_gap_us = 1e6 / config.arrival_qps;
+  double clock_us = 0.0;
+  trace.events.reserve(config.num_events);
+  for (size_t i = 0; i < config.num_events; ++i) {
+    TraceEvent ev;
+    // Exponential inter-arrival via inverse CDF (Poisson process).
+    clock_us += -mean_gap_us * std::log(1.0 - rng.NextDouble());
+    ev.arrival_us = static_cast<uint64_t>(clock_us);
+    const double roll = rng.NextDouble();
+    if (roll < config.cold_frac) {
+      ev.scenario = Scenario::kColdStart;
+      // An id beyond the trained user space: the index has no row for it.
+      ev.user = static_cast<uint32_t>(config.num_users +
+                                      rng.NextBelow(config.num_users));
+    } else if (roll < config.cold_frac + config.rerank_frac) {
+      ev.scenario = Scenario::kRerank;
+      ev.user = zipf.Sample(&rng);
+      ev.pool =
+          static_cast<uint32_t>(rng.NextBelow(trace.rerank_pools.size()));
+    } else {
+      ev.scenario = Scenario::kFullRanking;
+      ev.user = zipf.Sample(&rng);
+    }
+    trace.events.push_back(ev);
+  }
+  return trace;
+}
+
+}  // namespace pup::serve

@@ -1,0 +1,54 @@
+// Synthetic "million-user day" request traces for load-testing the
+// serving engine: Zipfian user popularity (so a hot-user cache has
+// something to hit), a configurable mix of full-ranking / re-rank /
+// cold-start traffic, and Poisson arrival offsets for open-loop
+// generators. Deterministic: equal configs produce identical traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace pup::serve {
+
+/// One trace event. `arrival_us` is the request's scheduled offset from
+/// the start of the run (open-loop generators pace on it; closed-loop
+/// generators ignore it).
+struct TraceEvent {
+  uint64_t arrival_us = 0;
+  uint32_t user = 0;
+  Scenario scenario = Scenario::kFullRanking;
+  /// Re-rank pool id (index into Trace::rerank_pools) for kRerank events.
+  uint32_t pool = 0;
+};
+
+struct TraceConfig {
+  size_t num_events = 10000;
+  size_t num_users = 1000;
+  size_t num_items = 1000;
+  /// Zipf exponent of the user popularity distribution.
+  double zipf_s = 1.1;
+  /// Scenario mix; the remainder is full ranking.
+  double rerank_frac = 0.1;
+  double cold_frac = 0.05;
+  /// Mean open-loop arrival rate (exponential inter-arrivals).
+  double arrival_qps = 20000.0;
+  /// Candidate pools for re-rank traffic (sorted unique item ids).
+  size_t num_pools = 16;
+  size_t pool_size = 64;
+  uint64_t seed = 42;
+};
+
+/// A generated request stream plus its shared re-rank candidate pools.
+struct Trace {
+  std::vector<TraceEvent> events;
+  std::vector<std::vector<uint32_t>> rerank_pools;
+};
+
+/// Builds a deterministic trace for `config`. Users are drawn from a
+/// Zipf(s) distribution over [0, num_users); cold-start events carry a
+/// user id >= num_users (an id the frozen index has never seen).
+Trace GenerateTrace(const TraceConfig& config);
+
+}  // namespace pup::serve

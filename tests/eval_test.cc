@@ -1,11 +1,20 @@
-// Tests for src/eval: ranking metrics, CWTP analysis, cold-start tasks.
+// Tests for src/eval: ranking metrics, CWTP analysis, cold-start tasks,
+// and the bounded-heap top-K selector the evaluators and the serving
+// engine share.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
 
+#include "common/rng.h"
 #include "eval/cold_start.h"
 #include "eval/cwtp.h"
 #include "eval/metrics.h"
+#include "eval/topk.h"
 
 namespace pup::eval {
 namespace {
@@ -22,6 +31,75 @@ class FixedScorer : public Scorer {
  private:
   std::vector<std::vector<float>> scores_;
 };
+
+// ------------------------------ TopKSelector ---------------------------
+
+// The historical full-ordering implementation the evaluators used before
+// the bounded-heap selector: iota + partial_sort under the library
+// tie-break rule (score desc, ties to smaller id). The selector must
+// reproduce it bitwise on every input.
+std::vector<uint32_t> PartialSortTopK(const std::vector<float>& scores,
+                                      size_t k) {
+  std::vector<uint32_t> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  const size_t kept = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + kept, ids.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  ids.resize(kept);
+  return ids;
+}
+
+TEST(TopKSelectorTest, MatchesPartialSortOnRandomAndAdversarialInputs) {
+  Rng rng(99);
+  TopKSelector selector;
+  selector.Reserve(64);
+  std::vector<uint32_t> got;
+  const float inf = std::numeric_limits<float>::infinity();
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.NextBelow(300);
+    std::vector<float> scores(n);
+    for (float& s : scores) {
+      // Heavy ties: quantize to a handful of distinct values, and salt
+      // in masked (-inf) entries like the evaluators' exclusions.
+      const double roll = rng.NextDouble();
+      if (roll < 0.15) {
+        s = -inf;
+      } else {
+        s = static_cast<float>(rng.NextBelow(8)) * 0.25f;
+      }
+    }
+    for (size_t k : {size_t{1}, size_t{10}, n / 2 + 1, n, n + 7}) {
+      const std::vector<uint32_t> want =
+          PartialSortTopK(scores, std::min(k, size_t{64}));
+      selector.Select(scores.data(), n, std::min(k, size_t{64}), &got);
+      ASSERT_EQ(got, want) << "trial " << trial << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(TopKSelectorTest, EdgeCases) {
+  TopKSelector selector;
+  selector.Reserve(8);
+  std::vector<uint32_t> got;
+
+  // Empty input.
+  selector.Select(nullptr, 0, 4, &got);
+  EXPECT_TRUE(got.empty());
+
+  // k larger than n returns all ids in rank order.
+  const std::vector<float> scores = {1.0f, 3.0f, 2.0f};
+  selector.Select(scores.data(), scores.size(), 8, &got);
+  EXPECT_EQ(got, (std::vector<uint32_t>{1, 2, 0}));
+
+  // All-equal scores: ties broken by ascending id.
+  const std::vector<float> flat(5, 0.5f);
+  selector.Select(flat.data(), flat.size(), 3, &got);
+  EXPECT_EQ(got, (std::vector<uint32_t>{0, 1, 2}));
+}
 
 // ------------------------------- Metrics -------------------------------
 

@@ -135,6 +135,26 @@ TEST(LintCheckTest, PupHotAllocExemptsObsInstrumentation) {
       << run.output;
 }
 
+// Inside a PUP_HOT region, *any* touch of a known unordered container —
+// not just iteration — fires pup-hot-unordered: hash probing is
+// data-dependent work the request/step loop must not do. Cold functions
+// may use the same container freely, and the declaration line itself is
+// not a finding.
+TEST(LintCheckTest, PupHotUnorderedFiresOnHotAccessOnly) {
+  LintRun run = LintFixture(
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> counts_;\n"
+      "int cold(int u) { return counts_.find(u) != counts_.end(); }\n"
+      "// PUP_HOT\n"
+      "int hot(int u) {\n"
+      "  auto it = counts_.find(u);\n"  // Finding: hot hash probe.
+      "  return it == counts_.end() ? 0 : it->second;\n"  // Finding.
+      "}\n");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-hot-unordered]"), 2u)
+      << run.output;
+}
+
 TEST(LintCheckTest, PupNarrowingFiresOnUnsuffixedDoubleLiteral) {
   LintRun run = LintFixture(
       "float lr() { float rate = 0.01; return rate; }\n"   // Finding.

@@ -1,0 +1,587 @@
+// Tests for pup::serve — the frozen-index serving engine.
+//
+// The central property is the determinism contract of docs/serving.md:
+// a served top-K list is bitwise-identical to the offline eval ranking
+// of the same index, at every (SIMD backend, client thread count, batch
+// schedule, cache state) combination. The reference rankings here are an
+// independent reimplementation (full std::sort under the library
+// tie-break rule), so the parity tests cross-check the serving path and
+// eval::TopKSelector against each other.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "common/thread_pool.h"
+#include "data/quantization.h"
+#include "data/synthetic.h"
+#include "la/matrix.h"
+#include "models/scoring.h"
+#include "obs/registry.h"
+#include "serve/cache.h"
+#include "serve/index.h"
+#include "serve/server.h"
+#include "serve/trace.h"
+
+namespace pup::serve {
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+data::Dataset SmallDataset(uint64_t seed = 7) {
+  data::SyntheticConfig config = data::SyntheticConfig::YelpLike().Scaled(0.1);
+  config.num_interactions = 4000;
+  config.seed = seed;
+  data::Dataset ds = data::GenerateSynthetic(config);
+  EXPECT_TRUE(
+      data::QuantizeDataset(&ds, 4, data::QuantizationScheme::kUniform).ok());
+  return ds;
+}
+
+// A synthetic trained model: Gaussian embeddings at a dim (24) that is
+// neither a multiple of 16 (exercises the padded tail) nor below the
+// vector width (exercises the full-lane path).
+models::DotScorer MakeScorer(const data::Dataset& ds, uint64_t seed = 3) {
+  Rng rng(seed);
+  la::Matrix users = la::Matrix::Gaussian(ds.num_users, 24, 0.5f, &rng);
+  la::Matrix items = la::Matrix::Gaussian(ds.num_items, 24, 0.5f, &rng);
+  std::vector<float> bias(ds.num_items);
+  for (float& b : bias) b = rng.NextFloat() - 0.5f;
+  return models::DotScorer(std::move(users), std::move(items),
+                           std::move(bias));
+}
+
+std::shared_ptr<const ServingIndex> MakeIndex(const data::Dataset& ds) {
+  return std::make_shared<const ServingIndex>(
+      ServingIndex::Freeze(MakeScorer(ds), ds, "test-model"));
+}
+
+struct Ranked {
+  std::vector<uint32_t> items;
+  std::vector<float> scores;
+
+  bool operator==(const Ranked& other) const {
+    return items == other.items && scores == other.scores;
+  }
+};
+
+// Independent reference: full sort of (score desc, id asc) — the
+// library-wide tie-break rule — truncated to k, masked entries dropped.
+Ranked ReferenceRank(std::vector<float> scores, uint32_t k,
+                     const std::vector<uint32_t>* exclude) {
+  if (exclude != nullptr) {
+    for (uint32_t id : *exclude) scores[id] = kNegInf;
+  }
+  std::vector<uint32_t> ids(scores.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
+  std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  Ranked out;
+  for (uint32_t id : ids) {
+    if (out.items.size() >= k || scores[id] == kNegInf) break;
+    out.items.push_back(id);
+    out.scores.push_back(scores[id]);
+  }
+  return out;
+}
+
+// Reference full-catalog ranking through the offline eval scoring path
+// (IndexScorer == the scorer the eval harness would consume).
+Ranked EvalReference(const ServingIndex& index, uint32_t user, uint32_t k,
+                     const std::vector<uint32_t>* exclude) {
+  std::vector<float> scores;
+  if (user < index.num_users()) {
+    IndexScorer scorer(&index);
+    scorer.ScoreItems(user, &scores);
+  } else {
+    scores = index.cold_start_prior();
+  }
+  return ReferenceRank(std::move(scores), k, exclude);
+}
+
+std::string TempPath(const char* name) {
+  const char* base = ::getenv("TMPDIR");
+  return std::string(base != nullptr ? base : "/tmp") + "/" + name + "_" +
+         std::to_string(::getpid());
+}
+
+// ---------------------------------------------------------------------------
+// ServingIndex: freeze, save/load, torn-file rejection
+// ---------------------------------------------------------------------------
+
+TEST(ServingIndexTest, FreezeCopiesTablesAndBuildsPrior) {
+  data::Dataset ds = SmallDataset();
+  models::DotScorer scorer = MakeScorer(ds);
+  ServingIndex index = ServingIndex::Freeze(scorer, ds, "m");
+
+  EXPECT_EQ(index.num_users(), ds.num_users);
+  EXPECT_EQ(index.num_items(), ds.num_items);
+  EXPECT_EQ(index.dim(), 24u);
+  EXPECT_EQ(index.model_name(), "m");
+  ASSERT_NE(index.bias(), nullptr);
+  for (size_t u = 0; u < ds.num_users; ++u) {
+    for (size_t c = 0; c < index.dim(); ++c) {
+      ASSERT_EQ(index.user_vecs()(u, c), scorer.user_vecs()(u, c));
+    }
+  }
+  ASSERT_EQ(index.cold_start_prior().size(), ds.num_items);
+  // The prior is a popularity signal: every value finite and
+  // non-negative, and not all equal (the synthetic catalog is skewed).
+  float lo = index.cold_start_prior()[0];
+  float hi = lo;
+  for (float p : index.cold_start_prior()) {
+    ASSERT_GE(p, 0.0f);
+    ASSERT_TRUE(std::isfinite(p));
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_GT(hi, lo);
+}
+
+TEST(ServingIndexTest, SaveLoadRoundTripsBitwise) {
+  data::Dataset ds = SmallDataset();
+  ServingIndex index = ServingIndex::Freeze(MakeScorer(ds), ds, "roundtrip");
+  const std::string path = TempPath("serve_index_roundtrip");
+  ASSERT_TRUE(index.Save(path).ok());
+
+  auto loaded = ServingIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ServingIndex& got = loaded.value();
+  EXPECT_EQ(got.model_name(), "roundtrip");
+  ASSERT_EQ(got.num_users(), index.num_users());
+  ASSERT_EQ(got.num_items(), index.num_items());
+  ASSERT_EQ(got.dim(), index.dim());
+  for (size_t u = 0; u < got.num_users(); ++u) {
+    for (size_t c = 0; c < got.dim(); ++c) {
+      ASSERT_EQ(got.user_vecs()(u, c), index.user_vecs()(u, c));
+    }
+  }
+  for (size_t i = 0; i < got.num_items(); ++i) {
+    for (size_t c = 0; c < got.dim(); ++c) {
+      ASSERT_EQ(got.item_vecs()(i, c), index.item_vecs()(i, c));
+    }
+    ASSERT_EQ(got.bias()[i], index.bias()[i]);
+    ASSERT_EQ(got.cold_start_prior()[i], index.cold_start_prior()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServingIndexTest, TornOrCorruptFileIsRejectedWithoutAnIndex) {
+  data::Dataset ds = SmallDataset();
+  ServingIndex index = ServingIndex::Freeze(MakeScorer(ds), ds, "torn");
+  const std::string path = TempPath("serve_index_torn");
+  ASSERT_TRUE(index.Save(path).ok());
+
+  // Missing file.
+  EXPECT_FALSE(ServingIndex::Load(path + ".does-not-exist").ok());
+
+  // Torn write: truncate to 60% of the original length.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::string torn = TempPath("serve_index_torn_cut");
+  std::ofstream(torn, std::ios::binary)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size() * 3 / 5));
+  EXPECT_FALSE(ServingIndex::Load(torn).ok());
+
+  // Bit flip in the payload region: the section CRC must catch it.
+  std::string flipped_bytes = bytes;
+  flipped_bytes[flipped_bytes.size() / 2] ^= 0x40;
+  const std::string flipped = TempPath("serve_index_torn_flip");
+  std::ofstream(flipped, std::ios::binary)
+      .write(flipped_bytes.data(),
+             static_cast<std::streamsize>(flipped_bytes.size()));
+  EXPECT_FALSE(ServingIndex::Load(flipped).ok());
+
+  std::remove(path.c_str());
+  std::remove(torn.c_str());
+  std::remove(flipped.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Serve-vs-eval bitwise parity
+// ---------------------------------------------------------------------------
+
+// Drives `client_threads` concurrent clients through a server and checks
+// every reply bitwise against `refs`. Each client serves every sampled
+// user `rounds` times (>= 2 rounds exercises cache hits when enabled).
+// Returns the number of mismatched replies.
+size_t RunParityClients(Server* server, const std::vector<Ranked>& refs,
+                        const std::vector<std::vector<uint32_t>>& exclude,
+                        uint32_t k, int client_threads, int rounds) {
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(client_threads));
+  for (int t = 0; t < client_threads; ++t) {
+    clients.emplace_back([&] {
+      RequestContext ctx(*server);
+      Reply reply;
+      reply.Reserve(server->options().max_k);
+      for (int round = 0; round < rounds; ++round) {
+        for (size_t u = 0; u < refs.size(); ++u) {
+          Request req;
+          req.user = static_cast<uint32_t>(u);
+          req.k = k;
+          req.exclude = &exclude[u];
+          server->Rank(req, &ctx, &reply);
+          if (reply.items != refs[u].items ||
+              reply.scores != refs[u].scores) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  return mismatches.load();
+}
+
+TEST(ServeParityTest, ServedTopKMatchesOfflineEvalBitwise) {
+  data::Dataset ds = SmallDataset();
+  auto index = MakeIndex(ds);
+  const std::vector<std::vector<uint32_t>> exclude = ds.UserItemLists();
+  const uint32_t k = 10;
+  const size_t sample = std::min<size_t>(index->num_users(), 64);
+
+  struct Config {
+    int client_threads;
+    size_t max_batch;
+    size_t cache;
+  };
+  const Config configs[] = {
+      {1, 1, 0}, {1, 32, 128}, {4, 1, 0}, {4, 32, 0}, {4, 32, 128}};
+
+  for (simd::Isa isa : {simd::Isa::kOff, simd::Isa::kNeon, simd::Isa::kAvx2,
+                        simd::Isa::kAvx512}) {
+    if (!simd::IsaSupported(isa)) continue;
+    simd::SetActiveIsa(isa);
+    // Per-backend reference: lane-reduced kernels are bitwise-stable
+    // within a backend, not across lane widths.
+    std::vector<Ranked> refs(sample);
+    for (size_t u = 0; u < sample; ++u) {
+      refs[u] = EvalReference(*index, static_cast<uint32_t>(u), k,
+                              &exclude[u]);
+    }
+    for (const Config& cfg : configs) {
+      ServerOptions opt;
+      opt.max_batch = cfg.max_batch;
+      opt.batch_timeout_us = 50;
+      opt.cache_capacity = cfg.cache;
+      opt.max_k = k;
+      Server server(index, opt);
+      const size_t bad =
+          RunParityClients(&server, refs, exclude, k, cfg.client_threads, 2);
+      EXPECT_EQ(bad, 0u) << "isa=" << simd::IsaName(isa)
+                         << " clients=" << cfg.client_threads
+                         << " batch=" << cfg.max_batch
+                         << " cache=" << cfg.cache;
+    }
+  }
+  simd::SetActiveIsa(simd::DetectBestIsa());
+}
+
+TEST(ServeParityTest, KernelThreadCountDoesNotChangeServedRankings) {
+  data::Dataset ds = SmallDataset();
+  auto index = MakeIndex(ds);
+  const std::vector<std::vector<uint32_t>> exclude = ds.UserItemLists();
+  const uint32_t k = 10;
+  const size_t sample = std::min<size_t>(index->num_users(), 32);
+
+  auto serve_all = [&] {
+    ServerOptions opt;
+    opt.max_batch = 1;
+    opt.max_k = k;
+    Server server(index, opt);
+    RequestContext ctx(server);
+    Reply reply;
+    reply.Reserve(k);
+    std::vector<Ranked> out(sample);
+    for (size_t u = 0; u < sample; ++u) {
+      Request req;
+      req.user = static_cast<uint32_t>(u);
+      req.k = k;
+      req.exclude = &exclude[u];
+      server.Rank(req, &ctx, &reply);
+      out[u] = Ranked{reply.items, reply.scores};
+    }
+    return out;
+  };
+
+  ThreadPool::SetGlobalThreads(1);
+  const std::vector<Ranked> serial = serve_all();
+  ThreadPool::SetGlobalThreads(4);
+  const std::vector<Ranked> parallel = serve_all();
+  ThreadPool::SetGlobalThreads(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t u = 0; u < serial.size(); ++u) {
+    EXPECT_TRUE(serial[u] == parallel[u]) << "user " << u;
+  }
+}
+
+TEST(ServeParityTest, RerankIsTheFullRankingRestrictedToThePool) {
+  data::Dataset ds = SmallDataset();
+  auto index = MakeIndex(ds);
+  const uint32_t k = 8;
+
+  TraceConfig tc;
+  tc.num_users = index->num_users();
+  tc.num_items = index->num_items();
+  tc.num_events = 1;
+  Trace trace = GenerateTrace(tc);
+  ASSERT_FALSE(trace.rerank_pools.empty());
+
+  ServerOptions opt;
+  opt.max_batch = 4;
+  opt.max_k = k;
+  Server server(index, opt);
+  RequestContext ctx(server);
+  Reply reply;
+  reply.Reserve(k);
+  IndexScorer scorer(index.get());
+  std::vector<float> full;
+  for (uint32_t user : {0u, 3u, 17u}) {
+    for (const std::vector<uint32_t>& pool : trace.rerank_pools) {
+      Request req;
+      req.user = user;
+      req.k = k;
+      req.scenario = Scenario::kRerank;
+      req.candidates = &pool;
+      server.Rank(req, &ctx, &reply);
+      EXPECT_EQ(reply.served, Scenario::kRerank);
+
+      // Reference: gather the candidates' entries of the full scoring
+      // pass (bitwise-identical kernel path), rank by (score desc, id
+      // asc).
+      scorer.ScoreItems(user, &full);
+      std::vector<float> masked(full.size(), kNegInf);
+      for (uint32_t id : pool) masked[id] = full[id];
+      const Ranked ref = ReferenceRank(std::move(masked), k, nullptr);
+      EXPECT_EQ(reply.items, ref.items);
+      EXPECT_EQ(reply.scores, ref.scores);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cold start
+// ---------------------------------------------------------------------------
+
+TEST(ServeBehaviorTest, UnknownUserFallsBackToColdStartDeterministically) {
+  data::Dataset ds = SmallDataset();
+  auto index = MakeIndex(ds);
+  const uint32_t k = 10;
+  ServerOptions opt;
+  opt.max_batch = 1;
+  opt.max_k = k;
+  Server server(index, opt);
+  RequestContext ctx(server);
+  Reply first;
+  Reply second;
+  first.Reserve(k);
+  second.Reserve(k);
+
+  Request req;
+  req.user = static_cast<uint32_t>(index->num_users()) + 123;
+  req.k = k;
+  req.scenario = Scenario::kFullRanking;
+  server.Rank(req, &ctx, &first);
+  EXPECT_EQ(first.served, Scenario::kColdStart);
+  server.Rank(req, &ctx, &second);
+  EXPECT_EQ(first.items, second.items);
+  EXPECT_EQ(first.scores, second.scores);
+
+  const Ranked ref = ReferenceRank(index->cold_start_prior(), k, nullptr);
+  EXPECT_EQ(first.items, ref.items);
+  EXPECT_EQ(first.scores, ref.scores);
+}
+
+// ---------------------------------------------------------------------------
+// Hot-user result cache
+// ---------------------------------------------------------------------------
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsedAndHitsRefreshRecency) {
+  ResultCache cache(2, 10, 4);
+  const std::vector<uint32_t> items = {1, 2, 3};
+  const std::vector<float> scores = {3.0f, 2.0f, 1.0f};
+  std::vector<uint32_t> got_items;
+  std::vector<float> got_scores;
+
+  cache.Insert(0, 3, 0, items, scores);
+  cache.Insert(1, 3, 0, items, scores);
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch user 0 so user 1 becomes the LRU entry.
+  EXPECT_TRUE(cache.Lookup(0, 3, 0, &got_items, &got_scores));
+  EXPECT_EQ(got_items, items);
+  EXPECT_EQ(got_scores, scores);
+  cache.Insert(2, 3, 0, items, scores);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(1, 3, 0, &got_items, &got_scores));
+  EXPECT_TRUE(cache.Lookup(0, 3, 0, &got_items, &got_scores));
+  EXPECT_TRUE(cache.Lookup(2, 3, 0, &got_items, &got_scores));
+}
+
+TEST(CacheTest, MismatchedKOrGenerationMissesAndInvalidateDropsAll) {
+  ResultCache cache(4, 10, 4);
+  const std::vector<uint32_t> items = {5};
+  const std::vector<float> scores = {1.5f};
+  std::vector<uint32_t> got_items;
+  std::vector<float> got_scores;
+
+  cache.Insert(3, 1, 7, items, scores);
+  EXPECT_TRUE(cache.Lookup(3, 1, 7, &got_items, &got_scores));
+  EXPECT_FALSE(cache.Lookup(3, 2, 7, &got_items, &got_scores));  // Other k.
+  EXPECT_FALSE(cache.Lookup(3, 1, 8, &got_items, &got_scores));  // Other gen.
+  EXPECT_FALSE(cache.Lookup(4, 1, 7, &got_items, &got_scores));  // Other user.
+
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(3, 1, 7, &got_items, &got_scores));
+}
+
+TEST(ServeBehaviorTest, ReloadBumpsGenerationAndInvalidatesCache) {
+  data::Dataset ds = SmallDataset();
+  auto index = MakeIndex(ds);
+  const uint32_t k = 10;
+  ServerOptions opt;
+  opt.max_batch = 1;
+  opt.cache_capacity = 16;
+  opt.max_k = k;
+  Server server(index, opt);
+  RequestContext ctx(server);
+  Reply reply;
+  reply.Reserve(k);
+
+  Request req;
+  req.user = 0;
+  req.k = k;
+  server.Rank(req, &ctx, &reply);
+  EXPECT_FALSE(reply.cache_hit);
+  server.Rank(req, &ctx, &reply);
+  EXPECT_TRUE(reply.cache_hit);
+
+  const uint64_t gen = server.generation();
+  server.Reload(index);
+  EXPECT_EQ(server.generation(), gen + 1);
+  server.Rank(req, &ctx, &reply);
+  EXPECT_FALSE(reply.cache_hit) << "stale entry served after reload";
+  server.Rank(req, &ctx, &reply);
+  EXPECT_TRUE(reply.cache_hit);
+}
+
+// ---------------------------------------------------------------------------
+// Micro-batching
+// ---------------------------------------------------------------------------
+
+TEST(ServeBehaviorTest, ConcurrentRequestsCoalesceIntoSharedBatches) {
+  data::Dataset ds = SmallDataset();
+  auto index = MakeIndex(ds);
+  ServerOptions opt;
+  opt.max_batch = 8;
+  opt.batch_timeout_us = 5000;  // Generous: the test wants coalescing.
+  opt.max_k = 10;
+  Server server(index, opt);
+
+  obs::Registry& reg = obs::Registry::Global();
+  const uint64_t requests_before = reg.GetCounter("serve/requests")->Get();
+  const uint64_t batches_before = reg.GetCounter("serve/batches")->Get();
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 50;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      RequestContext ctx(server);
+      Reply reply;
+      reply.Reserve(opt.max_k);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        Request req;
+        req.user = static_cast<uint32_t>((t * kRequestsPerClient + i) %
+                                         index->num_users());
+        req.k = 10;
+        server.Rank(req, &ctx, &reply);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  const uint64_t requests =
+      reg.GetCounter("serve/requests")->Get() - requests_before;
+  const uint64_t batches =
+      reg.GetCounter("serve/batches")->Get() - batches_before;
+  EXPECT_EQ(requests, static_cast<uint64_t>(kClients * kRequestsPerClient));
+  // With 8 concurrent clients and serialized execution, batches must
+  // coalesce: strictly fewer batches than requests.
+  EXPECT_LT(batches, requests);
+  EXPECT_GE(batches, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation steady state
+// ---------------------------------------------------------------------------
+
+TEST(ServeAllocTest, SteadyStateRequestLoopDoesNotAllocate) {
+  data::Dataset ds = SmallDataset();
+  auto index = MakeIndex(ds);
+  const uint32_t k = 10;
+  ServerOptions opt;
+  opt.max_batch = 1;  // Single-threaded loop: no batching waits.
+  opt.batch_timeout_us = 0;
+  opt.cache_capacity = 32;
+  opt.max_k = k;
+  Server server(index, opt);
+  RequestContext ctx(server);
+  Reply reply;
+  reply.Reserve(k);
+
+  TraceConfig tc;
+  tc.num_users = index->num_users();
+  tc.num_items = index->num_items();
+  tc.num_events = 400;
+  Trace trace = GenerateTrace(tc);
+  const std::vector<std::vector<uint32_t>> exclude = ds.UserItemLists();
+
+  auto serve_event = [&](const TraceEvent& ev) {
+    Request req;
+    req.user = ev.user;
+    req.k = k;
+    req.scenario = ev.scenario;
+    if (ev.scenario == Scenario::kRerank) {
+      req.candidates = &trace.rerank_pools[ev.pool];
+    } else if (ev.user < exclude.size()) {
+      req.exclude = &exclude[ev.user];
+    }
+    server.Rank(req, &ctx, &reply);
+  };
+
+  // Warmup: first touches register obs handles and size every buffer.
+  for (size_t i = 0; i < 100; ++i) serve_event(trace.events[i]);
+
+  const la::AllocStats la_before = la::MatrixAllocStats();
+  const uint64_t obs_before = obs::AllocationCount();
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    serve_event(trace.events[i]);
+  }
+  const la::AllocStats la_after = la::MatrixAllocStats();
+  const uint64_t obs_after = obs::AllocationCount();
+
+  EXPECT_EQ(la_after.count - la_before.count, 0u)
+      << "Matrix buffer allocations in the steady-state request loop";
+  EXPECT_EQ(obs_after - obs_before, 0u)
+      << "obs registrations in the steady-state request loop";
+}
+
+}  // namespace
+}  // namespace pup::serve

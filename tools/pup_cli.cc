@@ -13,13 +13,25 @@
 //       Runs the full pipeline: quantize → k-core → temporal split →
 //       fit on train → report Recall/NDCG on the test split.
 //
+//   serve    --index FILE [--topk N] [--requests N] [--clients N]
+//            [--batch B] [--timeout-us T] [--cache N] [--zipf S] [--seed N]
+//       Loads a frozen serving index and drives it closed-loop with a
+//       synthetic Zipfian trace, reporting QPS and latency percentiles.
+//
+// Unknown subcommands and unknown/misspelled flags are rejected with the
+// usage message and exit code 2.
+//
 // Examples:
 //   pup_cli generate --out-dir /tmp/world --preset beibei --scale 0.3
 //   pup_cli train --items /tmp/world/items.csv
 //                 --interactions /tmp/world/interactions.csv --model pup
+//                 --export-index /tmp/world/pup.index
+//   pup_cli serve --index /tmp/world/pup.index --clients 8
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "common/check.h"
 #include "common/flags.h"
@@ -39,6 +51,10 @@
 #include "models/ngcf.h"
 #include "models/padq.h"
 #include "obs/export.h"
+#include "obs/registry.h"
+#include "serve/index.h"
+#include "serve/server.h"
+#include "serve/trace.h"
 
 namespace {
 
@@ -53,7 +69,11 @@ int Usage() {
                "                     [--kcore N] [--epochs N] [--dim N] "
                "[--alpha F] [--l2 F] [--beta F] [--cutoffs 50,100]\n"
                "                     [--ckpt-dir DIR] [--save-every N] "
-               "[--resume PATH]\n"
+               "[--resume PATH] [--export-index PATH]\n"
+               "       pup_cli serve --index FILE [--topk N] [--requests N] "
+               "[--clients N] [--batch B]\n"
+               "                     [--timeout-us T] [--cache N] [--zipf S] "
+               "[--seed N]\n"
                "       global: --threads N (default: hardware concurrency; "
                "1 = exact serial)\n"
                "               --simd=auto|off|neon|avx2|avx512 kernel "
@@ -71,10 +91,25 @@ int Usage() {
   return 2;
 }
 
+// Hard error on provided-but-never-queried flags: a typo like
+// --epohcs would otherwise silently train with the default. Call after
+// every legitimate flag of the subcommand has been queried.
+int RejectUnknownFlags(const Flags& flags) {
+  const std::vector<std::string> unused = flags.UnusedFlags();
+  if (unused.empty()) return 0;
+  for (const std::string& flag : unused) {
+    std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+  }
+  return Usage();
+}
+
 int RunGenerate(const Flags& flags) {
   std::string out_dir = flags.GetString("out-dir", "");
-  if (out_dir.empty()) return Usage();
   std::string preset = flags.GetString("preset", "beibei");
+  double scale = flags.GetDouble("scale", 1.0);
+  int64_t seed_flag = flags.GetInt("seed", -1);
+  if (int rc = RejectUnknownFlags(flags); rc != 0) return rc;
+  if (out_dir.empty()) return Usage();
   data::SyntheticConfig config;
   if (preset == "yelp") {
     config = data::SyntheticConfig::YelpLike();
@@ -86,8 +121,8 @@ int RunGenerate(const Flags& flags) {
     std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
     return 2;
   }
-  config = config.Scaled(flags.GetDouble("scale", 1.0));
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed", config.seed));
+  config = config.Scaled(scale);
+  if (seed_flag >= 0) config.seed = static_cast<uint64_t>(seed_flag);
 
   data::Dataset ds = data::GenerateSynthetic(config);
   Status st = data::SaveCsv(ds, out_dir + "/items.csv",
@@ -208,13 +243,39 @@ int RunTrain(const Flags& flags) {
     return 2;
   }
 
-  for (const std::string& flag : flags.UnusedFlags()) {
-    std::fprintf(stderr, "warning: unused flag --%s\n", flag.c_str());
-  }
+  // Query the remaining train flags before the unknown-flag gate so a
+  // typo'd flag is the only thing left unqueried.
+  auto cutoffs = ParseCutoffs(flags.GetString("cutoffs", "50,100"));
+  double beta = flags.GetDouble("beta", 0.0);
+  std::string export_index = flags.GetString("export-index", "");
+  if (int rc = RejectUnknownFlags(flags); rc != 0) return rc;
 
   std::printf("training %s on %zu interactions...\n",
               model->name().c_str(), split.train.size());
   model->Fit(ds, split.train);
+
+  if (!export_index.empty()) {
+    const models::DotScorer* frozen = model->ExportScorer();
+    if (frozen == nullptr) {
+      std::fprintf(stderr,
+                   "model '%s' has no folded dot-product state to freeze "
+                   "into a serving index\n",
+                   model->name().c_str());
+      return 1;
+    }
+    serve::ServingIndex index =
+        serve::ServingIndex::Freeze(*frozen, ds, model->name());
+    Status save = index.Save(export_index);
+    if (!save.ok()) {
+      std::fprintf(stderr, "index export failed: %s\n",
+                   save.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote serving index %s (model=%s users=%zu items=%zu "
+                "dim=%zu)\n",
+                export_index.c_str(), index.model_name().c_str(),
+                index.num_users(), index.num_items(), index.dim());
+  }
 
   auto train_items = data::BuildUserItems(ds.num_users, split.train);
   auto valid_items = data::BuildUserItems(ds.num_users, split.valid);
@@ -226,11 +287,9 @@ int RunTrain(const Flags& flags) {
     std::sort(exclude[u].begin(), exclude[u].end());
   }
   auto test_items = data::BuildUserItems(ds.num_users, split.test);
-  auto cutoffs = ParseCutoffs(flags.GetString("cutoffs", "50,100"));
 
   const eval::Scorer* scorer = model.get();
   std::unique_ptr<eval::ValueAwareScorer> value_aware;
-  double beta = flags.GetDouble("beta", 0.0);
   if (beta != 0.0) {
     value_aware = std::make_unique<eval::ValueAwareScorer>(
         *model, ds.item_price, static_cast<float>(beta));
@@ -258,6 +317,105 @@ int RunTrain(const Flags& flags) {
   return 0;
 }
 
+int RunServe(const Flags& flags) {
+  std::string index_path = flags.GetString("index", "");
+  uint32_t topk = static_cast<uint32_t>(flags.GetInt("topk", 10));
+  size_t num_requests = static_cast<size_t>(flags.GetInt("requests", 20000));
+  int clients = static_cast<int>(flags.GetInt("clients", 4));
+  serve::ServerOptions opt;
+  opt.max_batch = static_cast<size_t>(flags.GetInt("batch", 32));
+  opt.batch_timeout_us =
+      static_cast<uint64_t>(flags.GetInt("timeout-us", 100));
+  opt.cache_capacity = static_cast<size_t>(flags.GetInt("cache", 4096));
+  opt.max_k = std::max<size_t>(topk, 1);
+  double zipf = flags.GetDouble("zipf", 1.1);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  if (int rc = RejectUnknownFlags(flags); rc != 0) return rc;
+  if (index_path.empty() || topk == 0 || clients < 1) return Usage();
+
+  auto loaded = serve::ServingIndex::Load(index_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "index load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto index = std::make_shared<const serve::ServingIndex>(
+      std::move(loaded).value());
+  std::printf("loaded index: model=%s users=%zu items=%zu dim=%zu\n",
+              index->model_name().c_str(), index->num_users(),
+              index->num_items(), index->dim());
+
+  serve::TraceConfig tc;
+  tc.num_events = num_requests;
+  tc.num_users = index->num_users();
+  tc.num_items = index->num_items();
+  tc.zipf_s = zipf;
+  tc.seed = seed;
+  serve::Trace trace = serve::GenerateTrace(tc);
+
+  serve::Server server(index, opt);
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Histogram* latency = reg.GetTimer("serve/cli/latency");
+  std::atomic<size_t> next{0};
+  const uint64_t t0 = obs::NowNanos();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&] {
+      serve::RequestContext ctx(server);
+      serve::Reply reply;
+      reply.Reserve(opt.max_k);
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= trace.events.size()) break;
+        const serve::TraceEvent& ev = trace.events[i];
+        serve::Request req;
+        req.user = ev.user;
+        req.k = topk;
+        req.scenario = ev.scenario;
+        if (ev.scenario == serve::Scenario::kRerank) {
+          req.candidates = &trace.rerank_pools[ev.pool];
+        }
+        const uint64_t start = obs::NowNanos();
+        server.Rank(req, &ctx, &reply);
+        latency->Observe(obs::NowNanos() - start);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double secs =
+      static_cast<double>(obs::NowNanos() - t0) / 1e9;
+
+  const uint64_t hits = reg.GetCounter("serve/cache_hit")->Get();
+  const uint64_t misses = reg.GetCounter("serve/cache_miss")->Get();
+  const uint64_t batches = reg.GetCounter("serve/batches")->Get();
+  const uint64_t batched = reg.GetHistogram("serve/batch_occupancy")->Sum();
+  TextTable table({"metric", "value"});
+  table.AddRow({"requests", std::to_string(trace.events.size())});
+  table.AddRow({"clients", std::to_string(clients)});
+  table.AddRow(
+      {"qps",
+       FormatFixed(static_cast<double>(trace.events.size()) / secs, 0)});
+  table.AddRow({"p50_us", FormatFixed(latency->Percentile(50) / 1e3, 1)});
+  table.AddRow({"p95_us", FormatFixed(latency->Percentile(95) / 1e3, 1)});
+  table.AddRow({"p99_us", FormatFixed(latency->Percentile(99) / 1e3, 1)});
+  table.AddRow(
+      {"batch_occupancy",
+       FormatFixed(batches > 0 ? static_cast<double>(batched) /
+                                     static_cast<double>(batches)
+                               : 0.0,
+                   2)});
+  table.AddRow(
+      {"cache_hit_rate",
+       FormatFixed(hits + misses > 0
+                       ? static_cast<double>(hits) /
+                             static_cast<double>(hits + misses)
+                       : 0.0,
+                   3)});
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -272,5 +430,7 @@ int main(int argc, char** argv) {
   const std::string& command = flags.positional()[0];
   if (command == "generate") return RunGenerate(flags);
   if (command == "train") return RunTrain(flags);
+  if (command == "serve") return RunServe(flags);
+  std::fprintf(stderr, "unknown subcommand '%s'\n", command.c_str());
   return Usage();
 }

@@ -12,6 +12,8 @@
 //   pup-rand           std randomness outside pup::Rng
 //   pup-unordered-iter iteration over unordered containers (order hazard)
 //   pup-hot-alloc      allocation inside a // PUP_HOT function
+//   pup-hot-unordered  unordered-container access inside a // PUP_HOT
+//                      function (hash probing in the request/step loop)
 //   pup-narrowing      unsuffixed double literal narrowed to float
 //   pup-status-value   .value() with no visible ok()/status() check
 //   pup-parallel-grain ParallelFor with an unnamed (bare literal) grain
@@ -65,6 +67,12 @@ constexpr CheckInfo kChecks[] = {
      "calls whose capacity is provably reused across steps; pup::obs "
      "instrumentation (PUP_OBS_* macros, cached obs:: handles) is exempt "
      "— it registers once and records via relaxed atomics"},
+    {"pup-hot-unordered",
+     "unordered-container access inside a PUP_HOT function",
+     "hash probing has data-dependent cost and nondeterministic iteration "
+     "order; hot loops (training steps, the serving request path) index "
+     "dense id spaces directly — use a direct-index vector, sorted span, "
+     "or a preallocated slot table (src/serve/cache.h is the pattern)"},
     {"pup-narrowing",
      "unsuffixed floating literal is double and narrows to float",
      "write an f-suffixed literal (0.5f) so the value is exact and the "
@@ -277,6 +285,7 @@ class FileLinter {
       CheckRand(i);
       CheckUnorderedIter(i);
       if (hot) CheckHotAlloc(i);
+      if (hot) CheckHotUnordered(i);
       CheckNarrowing(i);
       CheckStatusValue(i);
       CheckParallelGrain(i);
@@ -402,6 +411,30 @@ class FileLinter {
              "container growth ('" + m[1].str() +
                  "') in a PUP_HOT function may allocate; hoist the buffer "
                  "or suppress with proof of capacity reuse");
+    }
+  }
+
+  // Any touch of a known unordered-container identifier inside a PUP_HOT
+  // region — not just iteration. A hash lookup per request/step has
+  // data-dependent probing cost and, when the structure is later walked,
+  // nondeterministic order; the hot layers (training steps, the serving
+  // request loop) map dense id spaces through direct-index vectors
+  // instead. Declaration lines are skipped so moving a declaration into a
+  // hot function reports the *uses*, not the definition.
+  void CheckHotUnordered(size_t idx) {
+    const std::string& line = f_.code[idx];
+    if (line.find("unordered_") != std::string::npos) return;
+    static const std::regex kIdent(R"([A-Za-z_]\w*)");
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kIdent);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = it->str();
+      if (unordered_.count(name) == 0) continue;
+      Report(idx, "pup-hot-unordered",
+             "unordered container '" + name +
+                 "' touched in a PUP_HOT function; hash probing is "
+                 "data-dependent and iteration order nondeterministic — "
+                 "use a direct-index vector or preallocated slot table");
+      return;
     }
   }
 
