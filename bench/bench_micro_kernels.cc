@@ -23,6 +23,7 @@
 #include "eval/metrics.h"
 #include "graph/hetero_graph.h"
 #include "la/kernels.h"
+#include "la/qmatrix.h"
 #include "obs/registry.h"
 
 namespace {
@@ -686,6 +687,90 @@ void BM_FindNonFiniteSimd(benchmark::State& state) {
                   1.0 * kRows * kD);
 }
 BENCHMARK(BM_FindNonFiniteSimd)->Apply(SimdSweepArgs);
+
+// --- Quantized fastscan vs the f32 serving scan at the same shape ------
+//
+// bench_serve_load's quant section measures the whole request path; these
+// isolate the scoring kernel: one user against an 8192 x 64 item table,
+// f32 ScoreItemsForUser vs int8/int4 ScoreItemsQuantized (fastscan +
+// dequant epilogue). The f32 family registers first so the quant cases
+// can report speedup_vs_f32 at the same ISA.
+
+std::map<int, double>& F32ScanBaseline() {
+  static std::map<int, double> baseline;
+  return baseline;
+}
+
+void BM_ScoreItemsF32Simd(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  ScopedIsa pin(isa);
+  constexpr size_t kItems = 8192, kD = 64;
+  la::Matrix items = RandomMatrix(kItems, kD, 31);
+  la::Matrix user = RandomMatrix(1, kD, 32);
+  std::vector<float> bias(kItems, 0.1f), out(kItems);
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    la::ScoreItemsForUser(items, user.Row(0), bias.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  const double seconds = timer.Seconds();
+  F32ScanBaseline()[state.range(0)] =
+      seconds / static_cast<double>(iters);
+  state.SetItemsProcessed(state.iterations() * kItems);
+  RecordSimdSweep(state, "score_items_f32_8192x64", isa, seconds, iters,
+                  2.0 * kItems * kD);
+}
+BENCHMARK(BM_ScoreItemsF32Simd)->Apply(SimdSweepArgs);
+
+void QuantScoreBody(benchmark::State& state, la::QuantMode mode) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  ScopedIsa pin(isa);
+  constexpr size_t kItems = 8192, kD = 64;
+  la::Matrix items = RandomMatrix(kItems, kD, 31);
+  la::Matrix user = RandomMatrix(1, kD, 32);
+  auto quantized = la::QuantizedTable::Quantize(items, mode);
+  if (!quantized.ok()) {
+    state.SkipWithError(quantized.status().ToString().c_str());
+    return;
+  }
+  la::QuantizedTable table = std::move(quantized).value();
+  la::QuantizedQuery query;
+  query.Reserve(mode, kD);
+  query.Prepare(user.Row(0), table);
+  std::vector<float> bias(kItems, 0.1f), out(kItems);
+  std::vector<int32_t> acc(kItems);
+  Stopwatch timer;
+  size_t iters = 0;
+  for (auto _ : state) {
+    la::ScoreItemsQuantized(table, query, bias.data(), acc.data(),
+                            out.data());
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  const double seconds = timer.Seconds();
+  const double per_iter = seconds / static_cast<double>(iters);
+  auto it = F32ScanBaseline().find(state.range(0));
+  if (it != F32ScanBaseline().end() && per_iter > 0.0) {
+    state.counters["speedup_vs_f32"] = it->second / per_iter;
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+  RecordSimdSweep(state,
+                  std::string("score_items_") + la::QuantModeName(mode) +
+                      "_8192x64",
+                  isa, seconds, iters, 2.0 * kItems * kD);
+}
+
+void BM_ScoreItemsInt8Simd(benchmark::State& state) {
+  QuantScoreBody(state, la::QuantMode::kInt8);
+}
+BENCHMARK(BM_ScoreItemsInt8Simd)->Apply(SimdSweepArgs);
+
+void BM_ScoreItemsInt4Simd(benchmark::State& state) {
+  QuantScoreBody(state, la::QuantMode::kInt4);
+}
+BENCHMARK(BM_ScoreItemsInt4Simd)->Apply(SimdSweepArgs);
 
 }  // namespace
 

@@ -35,8 +35,10 @@
 #include "common/table.h"
 #include "data/quantization.h"
 #include "data/synthetic.h"
+#include "eval/topk.h"
 #include "harness.h"
 #include "la/matrix.h"
+#include "la/qmatrix.h"
 #include "models/scoring.h"
 #include "obs/registry.h"
 #include "serve/index.h"
@@ -65,6 +67,20 @@ serve::ServerOptions MakeOptions() {
   opt.batch_timeout_us = 100;
   opt.cache_capacity = 4096;
   opt.max_k = 100;
+  return opt;
+}
+
+// Quantization-comparison options: cache OFF (with the Zipf result cache
+// on, hot users hit the cache in every config and the f32/int8/int4 QPS
+// columns converge toward cache throughput instead of scoring cost) and
+// batching OFF (a lone closed-loop client never has companions, so the
+// batch-timeout dawdle would just add an identical constant to every
+// mode and drown the scoring-cost difference being measured).
+serve::ServerOptions MakeQuantOptions() {
+  serve::ServerOptions opt = MakeOptions();
+  opt.cache_capacity = 0;
+  opt.max_batch = 1;
+  opt.batch_timeout_us = 0;
   return opt;
 }
 
@@ -207,6 +223,81 @@ LoadStats RunOpenLoop(serve::Server* server, const serve::Trace& trace,
   return stats;
 }
 
+// Closed-loop full-ranking driver for the quantization comparison: no
+// scenario mix, every request ranks the whole catalog, so the per-mode
+// columns compare scoring cost and nothing else.
+LoadStats RunScoringLoop(serve::Server* server,
+                         const std::vector<std::vector<uint32_t>>& exclude,
+                         size_t requests, int clients,
+                         obs::Histogram* latency) {
+  const size_t num_users = server->snapshot()->num_users();
+  LoadStats stats;
+  WithServeCounters(
+      [&] {
+        std::atomic<size_t> next{0};
+        const uint64_t t0 = obs::NowNanos();
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<size_t>(clients));
+        for (int c = 0; c < clients; ++c) {
+          workers.emplace_back([&] {
+            serve::RequestContext ctx(*server);
+            serve::Reply reply;
+            reply.Reserve(server->options().max_k);
+            serve::Request req;
+            for (;;) {
+              const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+              if (i >= requests) break;
+              req.user = static_cast<uint32_t>(i % num_users);
+              req.k = kTopK;
+              req.scenario = serve::Scenario::kFullRanking;
+              req.candidates = nullptr;
+              req.exclude =
+                  req.user < exclude.size() ? &exclude[req.user] : nullptr;
+              const uint64_t start = obs::NowNanos();
+              server->Rank(req, &ctx, &reply);
+              latency->Observe(obs::NowNanos() - start);
+            }
+          });
+        }
+        for (std::thread& w : workers) w.join();
+        const double secs =
+            static_cast<double>(obs::NowNanos() - t0) / 1e9;
+        stats.served = requests;
+        stats.qps = static_cast<double>(requests) / secs;
+      },
+      &stats);
+  stats.p50_us = latency->Percentile(50) / 1e3;
+  stats.p95_us = latency->Percentile(95) / 1e3;
+  stats.p99_us = latency->Percentile(99) / 1e3;
+  return stats;
+}
+
+// Mean top-50 overlap between the quantized server's full rankings and
+// the exact f32 server's over a user sample — the recall axis of the
+// recall-vs-QPS tradeoff (docs/quantization.md).
+double MeanRecallAt50(serve::Server* exact, serve::Server* quant,
+                      const std::vector<std::vector<uint32_t>>& exclude) {
+  serve::RequestContext ectx(*exact);
+  serve::RequestContext qctx(*quant);
+  serve::Reply er;
+  serve::Reply qr;
+  er.Reserve(exact->options().max_k);
+  qr.Reserve(quant->options().max_k);
+  const size_t sample = std::min<size_t>(exclude.size(), 64);
+  if (sample == 0) return 1.0;
+  double sum = 0.0;
+  for (size_t u = 0; u < sample; ++u) {
+    serve::Request req;
+    req.user = static_cast<uint32_t>(u);
+    req.k = 50;
+    req.exclude = &exclude[u];
+    exact->Rank(req, &ectx, &er);
+    quant->Rank(req, &qctx, &qr);
+    sum += eval::OverlapRecall(er.items, qr.items);
+  }
+  return sum / static_cast<double>(sample);
+}
+
 void RecordLoadCase(const std::string& name, const LoadStats& s,
                     size_t expected) {
   const bool ok = s.qps > 0.0 && s.served == expected && s.p99_us >= 0.0;
@@ -347,5 +438,96 @@ int main() {
 
   std::printf("%s", table.ToString().c_str());
   std::printf("open-loop target: %.0f qps\n", target_qps);
+
+  // --- Quantized serving: bytes/item vs recall@50 vs QPS ----------------
+  // The trace catalog above is sized for cache/batch behaviour and is far
+  // too small for scoring cost to matter, so this section freezes its own
+  // serving-scale catalog (floored at 8192 items regardless of
+  // PUP_BENCH_SCALE) where the per-request catalog scan dominates — the
+  // regime quantization exists for. It is driven with a single in-flight
+  // client: one request at a time means the f32 GEMM path and the
+  // quantized fastscan path each scan the catalog exactly once per
+  // request, so the per-mode columns compare scoring cost; batch
+  // amortization is the open-loop section's job. Fresh cache-less server
+  // per mode (see MakeQuantOptions); recall is measured against a second
+  // exact-f32 server over the same index.
+  data::SyntheticConfig qconfig;
+  qconfig.num_users = 256;
+  qconfig.num_items =
+      std::max<size_t>(8192, static_cast<size_t>(24000.0 * env.scale));
+  qconfig.num_interactions = 4096;
+  data::Dataset qds = data::GenerateSynthetic(qconfig);
+  if (!data::QuantizeDataset(&qds, 4, data::QuantizationScheme::kUniform)
+           .ok()) {
+    std::fprintf(stderr, "quant-catalog quantization failed\n");
+    return 1;
+  }
+  la::Matrix qusers =
+      la::Matrix::Gaussian(qds.num_users, env.embedding_dim, 0.3f, &rng);
+  la::Matrix qitems =
+      la::Matrix::Gaussian(qds.num_items, env.embedding_dim, 0.3f, &rng);
+  std::vector<float> qbias(qds.num_items);
+  for (float& b : qbias) b = rng.NextFloat() * 0.2f;
+  models::DotScorer qscorer(std::move(qusers), std::move(qitems),
+                            std::move(qbias));
+  auto qbase = std::make_shared<const serve::ServingIndex>(
+      serve::ServingIndex::Freeze(qscorer, qds, "bench-quant"));
+  const std::vector<std::vector<uint32_t>> qexclude = qds.UserItemLists();
+
+  std::printf("\n--- quantized full-ranking scoring (%zu items, cache off) "
+              "---\n",
+              qbase->num_items());
+  const size_t qreq =
+      std::max<size_t>(static_cast<size_t>(8000.0 * env.scale), 400);
+  TextTable qt({"mode", "bytes/item", "recall@50", "qps", "p50_us", "p99_us",
+                "speedup"});
+  double f32_qps = 0.0;
+  for (la::QuantMode mode : {la::QuantMode::kOff, la::QuantMode::kInt8,
+                             la::QuantMode::kInt4}) {
+    const char* mname =
+        mode == la::QuantMode::kOff ? "f32" : la::QuantModeName(mode);
+    std::shared_ptr<const serve::ServingIndex> qindex = qbase;
+    if (mode != la::QuantMode::kOff) {
+      auto q = qbase->WithQuant(mode);
+      if (!q.ok()) {
+        bench::RecordCase(std::string("quant_") + mname, false,
+                          q.status().ToString());
+        continue;
+      }
+      qindex = std::make_shared<const serve::ServingIndex>(
+          std::move(q).value());
+    }
+    serve::Server server(qindex, MakeQuantOptions());
+    double recall = 1.0;
+    if (mode != la::QuantMode::kOff) {
+      serve::Server exact(qbase, MakeQuantOptions());
+      recall = MeanRecallAt50(&exact, &server, qexclude);
+    }
+    LoadStats s = RunScoringLoop(
+        &server, qexclude, qreq, 1,
+        reg.GetTimer(std::string("serve/quant/") + mname + "/latency"));
+    const size_t bytes_per_item = mode == la::QuantMode::kOff
+                                      ? qindex->dim() * sizeof(float)
+                                      : qindex->quant_items().BytesPerRow();
+    if (mode == la::QuantMode::kOff) f32_qps = s.qps;
+    const double speedup = f32_qps > 0.0 ? s.qps / f32_qps : 0.0;
+    qt.AddRow({mname, std::to_string(bytes_per_item), FormatFixed(recall, 4),
+               FormatFixed(s.qps, 0), FormatFixed(s.p50_us, 1),
+               FormatFixed(s.p99_us, 1), FormatFixed(speedup, 2)});
+    const std::string g = std::string("serve/bench/quant/") + mname;
+    reg.GetGauge(g + "/qps")->Set(static_cast<int64_t>(s.qps));
+    reg.GetGauge(g + "/bytes_per_item")
+        ->Set(static_cast<int64_t>(bytes_per_item));
+    reg.GetGauge(g + "/recall50_x10000")
+        ->Set(static_cast<int64_t>(recall * 10000.0));
+    reg.GetGauge(g + "/speedup_x100")
+        ->Set(static_cast<int64_t>(speedup * 100.0));
+    // The 0.95x-of-f32 recall floor is asserted by the CI quant job from
+    // the JSON summary; the in-bench case only rejects degeneracy.
+    bench::RecordCase(std::string("quant_") + mname,
+                      s.qps > 0.0 && s.served == qreq && recall >= 0.5,
+                      "quantized scoring degenerated (no qps or recall<0.5)");
+  }
+  std::printf("%s", qt.ToString().c_str());
   return bench::Finish();
 }

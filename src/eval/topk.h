@@ -38,4 +38,12 @@ class TopKSelector {
   std::vector<uint32_t> heap_;
 };
 
+/// Fraction of `exact` ids also present in `approx` (set overlap, order
+/// ignored): the recall@K comparator for the quantized serving path —
+/// quantized top-K vs the exact f32 top-K of the same index
+/// (docs/quantization.md). Returns 1.0 when `exact` is empty. Inputs
+/// need not be sorted; offline use only (allocates).
+double OverlapRecall(const std::vector<uint32_t>& exact,
+                     const std::vector<uint32_t>& approx);
+
 }  // namespace pup::eval

@@ -543,6 +543,66 @@ void ScoreItemsSubset(const Matrix& items, const float* user,
   });
 }
 
+// PUP_HOT: the quantized serving scan; writes into caller-owned buffers
+// and must not allocate.
+void ScoreItemsQuantized(const QuantizedTable& table,
+                         const QuantizedQuery& query, const float* bias,
+                         int32_t* acc, float* out) {
+  PUP_OBS_COUNT("la/score_quant", 1);
+  PUP_CHECK(query.mode == table.mode());
+  PUP_CHECK_EQ(query.d, table.cols());
+  const size_t n = table.rows();
+  const size_t stride = table.row_stride();
+  const simd::Backend& be = simd::Active();
+  const float su = query.scale;
+  const float psum = static_cast<float>(query.code_sum);
+  const float* scales = table.scales().data();
+  const float* mins = table.mins().data();
+  const int8_t* qcodes = query.codes.data();
+  const bool int4 = table.mode() == QuantMode::kInt4;
+  // The 16-byte-aligned prefix that covers the logical columns; codes
+  // beyond it are pad zeros the kernels skip (halves the int4 scan,
+  // whose packed rows fill at most half the 64-byte-aligned stride).
+  const size_t data_bytes = int4 ? (table.cols() + 1) / 2 : table.cols();
+  const size_t bytes =
+      std::min(stride, (data_bytes + size_t{15}) & ~size_t{15});
+  ParallelFor(0, n, RowGrain(table.cols()), [&](size_t lo, size_t hi) {
+    if (int4) {
+      be.qdot_i4_rows(table.codes(), stride, bytes, qcodes, qcodes + stride,
+                      acc, lo, hi);
+    } else {
+      be.qdot_i8_rows(table.codes(), stride, bytes, qcodes, acc, lo, hi);
+    }
+    // Fixed-order scalar dequant epilogue (docs/quantization.md): per
+    // element, so chunk boundaries and backends cannot change a float.
+    for (size_t i = lo; i < hi; ++i) {
+      float s = scales[i] * su * static_cast<float>(acc[i]) +
+                mins[i] * su * psum;
+      if (bias != nullptr) s += bias[i];
+      out[i] = s;
+    }
+  });
+}
+
+// PUP_HOT: quantized-path survivor re-rank; must not allocate.
+void ScoreItemsRerank(const Matrix& items, const float* user,
+                      const float* bias, const uint32_t* ids, size_t n_ids,
+                      float* out) {
+  PUP_OBS_COUNT("la/score_rerank", 1);
+  const size_t d = items.cols();
+  const simd::Backend& be = simd::Active();
+  ParallelFor(0, n_ids, RowGrain(d), [&](size_t lo, size_t hi) {
+    be.rerank_dot_rows(items.data(), items.stride(), user, ids, out, lo, hi,
+                       d);
+    if (bias != nullptr) {
+      for (size_t j = lo; j < hi; ++j) {
+        PUP_DCHECK(ids[j] < items.rows());
+        out[j] += bias[ids[j]];
+      }
+    }
+  });
+}
+
 // PUP_HOT: runs inside every guarded training step; must not allocate.
 bool AllFinite(const Matrix& x) { return FirstNonFinite(x) == x.size(); }
 

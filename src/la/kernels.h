@@ -16,6 +16,7 @@
 
 #include "la/csr.h"
 #include "la/matrix.h"
+#include "la/qmatrix.h"
 
 namespace pup::la {
 
@@ -126,6 +127,31 @@ void ScoreItemsForUsers(const Matrix& items, const Matrix& users,
 /// bias[idx[j]] for j in [0, n_idx). Ids in `idx` must be < items.rows().
 void ScoreItemsSubset(const Matrix& items, const float* user,
                       const float* bias, const uint32_t* idx, size_t n_idx,
+                      float* out);
+
+// Quantized fastscan scoring (docs/quantization.md). Unlike the f32
+// entry points above — bitwise-stable only per lane width — these two
+// are bitwise-identical across EVERY backend, thread count, and batch
+// schedule: the fastscan dot accumulates in exact int32 arithmetic, the
+// dequant epilogue is fixed-order scalar math, and the re-rank dot runs
+// in a pinned 16-virtual-lane shape on all ISAs.
+
+/// out[i] = scales[i]*q.scale*acc[i] + mins[i]*q.scale*q.code_sum
+///          (+ bias[i]) — the affine-dequantized approximate score of
+/// every item row against the quantized query. `acc` is caller scratch
+/// of table.rows() int32s (the exact integer dots land there); `out`
+/// holds table.rows() floats. Never allocates.
+void ScoreItemsQuantized(const QuantizedTable& table,
+                         const QuantizedQuery& query, const float* bias,
+                         int32_t* acc, float* out);
+
+/// Exact-f32 survivor re-rank: out[j] = dot(items.Row(ids[j]), user) +
+/// bias[ids[j]] via the pinned-16-virtual-lane backend dot, so the
+/// refined scores (and thus the final ranking) are bitwise-identical on
+/// every backend. `user` must be a padded Matrix row (or any 64-byte
+/// aligned buffer readable through the next 16-float boundary).
+void ScoreItemsRerank(const Matrix& items, const float* user,
+                      const float* bias, const uint32_t* ids, size_t n_ids,
                       float* out);
 
 /// True iff every entry is finite (no NaN, no ±Inf). Branch-free blockwise

@@ -1,0 +1,244 @@
+#include "la/qmatrix.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pup::la {
+namespace {
+
+int32_t MaxCodeFor(QuantMode mode) {
+  return mode == QuantMode::kInt4 ? QuantizedTable::kMaxCodeI4
+                                  : QuantizedTable::kMaxCodeI8;
+}
+
+size_t LogicalRowBytes(QuantMode mode, size_t cols) {
+  return mode == QuantMode::kInt4 ? (cols + 1) / 2 : cols;
+}
+
+}  // namespace
+
+const char* QuantModeName(QuantMode mode) {
+  switch (mode) {
+    case QuantMode::kOff:
+      return "off";
+    case QuantMode::kInt8:
+      return "int8";
+    case QuantMode::kInt4:
+      return "int4";
+  }
+  return "unknown";
+}
+
+Result<QuantMode> QuantModeFromString(const std::string& name) {
+  if (name == "off") return QuantMode::kOff;
+  if (name == "int8") return QuantMode::kInt8;
+  if (name == "int4") return QuantMode::kInt4;
+  return Status::InvalidArgument("unknown quantization mode '" + name +
+                                 "' (expected off, int8, or int4)");
+}
+
+size_t QuantizedTable::RowStrideFor(QuantMode mode, size_t cols) {
+  const size_t logical = LogicalRowBytes(mode, cols);
+  return (logical + kRowAlignBytes - 1) / kRowAlignBytes * kRowAlignBytes;
+}
+
+Result<QuantizedTable> QuantizedTable::Quantize(const Matrix& src,
+                                                QuantMode mode) {
+  if (mode == QuantMode::kOff) {
+    return Status::InvalidArgument("cannot build a QuantizedTable in mode off");
+  }
+  if (src.cols() > kMaxDim) {
+    return Status::InvalidArgument(
+        "table width " + std::to_string(src.cols()) +
+        " exceeds the quantized scoring accumulator bound (" +
+        std::to_string(kMaxDim) + ")");
+  }
+  const size_t rows = src.rows();
+  const size_t cols = src.cols();
+  const int32_t max_code = MaxCodeFor(mode);
+
+  QuantizedTable table;
+  table.mode_ = mode;
+  table.rows_ = rows;
+  table.cols_ = cols;
+  table.stride_ = RowStrideFor(mode, cols);
+  table.codes_.assign(rows * table.stride_, 0);
+  table.scales_.resize(rows);
+  table.mins_.resize(rows);
+
+  for (size_t r = 0; r < rows; ++r) {
+    const float* vrow = src.Row(r);
+    float lo = 0.0f;
+    float hi = 0.0f;
+    for (size_t c = 0; c < cols; ++c) {
+      const float v = vrow[c];
+      if (!std::isfinite(v)) {
+        // NumericGuard-style provenance: name the exact origin element so
+        // a poisoned table points back at the training bug, not at the
+        // quantizer.
+        return Status::InvalidArgument(
+            std::string(std::isnan(v) ? "NaN" : "Inf") +
+            " in score table at row " + std::to_string(r) + " col " +
+            std::to_string(c) + "; refusing to quantize non-finite state");
+      }
+      if (c == 0 || v < lo) lo = v;
+      if (c == 0 || v > hi) hi = v;
+    }
+    // The range arithmetic runs in double so a huge-but-finite row
+    // (hi - lo overflowing float) still quantizes; the stored scale is
+    // the rounded-once float the scoring epilogue will use.
+    const double range = static_cast<double>(hi) - static_cast<double>(lo);
+    const float scale =
+        range > 0.0 ? static_cast<float>(range / max_code) : 0.0f;
+    table.scales_[r] = scale;
+    table.mins_[r] = lo;
+    uint8_t* crow = table.codes_.data() + r * table.stride_;
+    if (scale == 0.0f) continue;  // Constant row: every code stays 0.
+    const double inv = 1.0 / static_cast<double>(scale);
+    for (size_t c = 0; c < cols; ++c) {
+      const double centered =
+          (static_cast<double>(vrow[c]) - static_cast<double>(lo)) * inv;
+      // lround is round-half-away-from-zero independent of the FP
+      // environment; the clamp saturates the rounding outliers a
+      // rounded-down scale can produce at the range ends.
+      long code = std::lround(centered);
+      if (code < 0) code = 0;
+      if (code > max_code) code = max_code;
+      if (mode == QuantMode::kInt4) {
+        crow[c / 2] |= static_cast<uint8_t>(code) << ((c % 2) * 4);
+      } else {
+        crow[c] = static_cast<uint8_t>(code);
+      }
+    }
+  }
+  return table;
+}
+
+Result<QuantizedTable> QuantizedTable::FromParts(QuantMode mode, size_t rows,
+                                                 size_t cols,
+                                                 std::vector<float> scales,
+                                                 std::vector<float> mins,
+                                                 std::string codes) {
+  if (mode == QuantMode::kOff) {
+    return Status::InvalidArgument("quantized table parts with mode off");
+  }
+  if (cols > kMaxDim) {
+    return Status::InvalidArgument("quantized table width out of range");
+  }
+  if (scales.size() != rows || mins.size() != rows) {
+    return Status::InvalidArgument(
+        "quantized table row-parameter count mismatch");
+  }
+  const size_t stride = RowStrideFor(mode, cols);
+  if (codes.size() != rows * stride) {
+    return Status::InvalidArgument(
+        "quantized table code payload size mismatch: got " +
+        std::to_string(codes.size()) + ", want " +
+        std::to_string(rows * stride));
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    const float s = scales[r];
+    const float m = mins[r];
+    if (!std::isfinite(s) || !std::isfinite(m) || s < 0.0f) {
+      return Status::InvalidArgument(
+          "quantized table has a non-finite or negative row parameter at row " +
+          std::to_string(r));
+    }
+    // The scoring kernels run the padded row width and rely on pad codes
+    // (and the odd-width int4 tail nibble) being zero; enforce it here so
+    // a buggy writer cannot produce a table that scores differently from
+    // its logical contents.
+    const uint8_t* crow =
+        reinterpret_cast<const uint8_t*>(codes.data()) + r * stride;
+    const size_t logical = LogicalRowBytes(mode, cols);
+    for (size_t b = logical; b < stride; ++b) {
+      if (crow[b] != 0) {
+        return Status::InvalidArgument(
+            "quantized table pad bytes are not zero at row " +
+            std::to_string(r));
+      }
+    }
+    if (mode == QuantMode::kInt4 && cols % 2 == 1 && logical > 0 &&
+        (crow[logical - 1] >> 4) != 0) {
+      return Status::InvalidArgument(
+          "quantized table odd-width tail nibble is not zero at row " +
+          std::to_string(r));
+    }
+  }
+  QuantizedTable table;
+  table.mode_ = mode;
+  table.rows_ = rows;
+  table.cols_ = cols;
+  table.stride_ = stride;
+  table.codes_.resize(codes.size());
+  std::memcpy(table.codes_.data(), codes.data(), codes.size());
+  table.scales_ = std::move(scales);
+  table.mins_ = std::move(mins);
+  return table;
+}
+
+namespace {
+
+size_t QueryBufferSize(QuantMode mode, size_t cols) {
+  const size_t stride = QuantizedTable::RowStrideFor(mode, cols);
+  return mode == QuantMode::kInt4 ? 2 * stride : stride;
+}
+
+}  // namespace
+
+void QuantizedQuery::Reserve(QuantMode m, size_t cols) {
+  codes.reserve(QueryBufferSize(m, cols));
+}
+
+void QuantizedQuery::Prepare(const float* user, const QuantizedTable& table) {
+  mode = table.mode();
+  d = table.cols();
+  stride = table.row_stride();
+  // assign() both sizes and zeroes the pad region; with Reserve() done
+  // up front it never allocates (vector keeps its capacity).
+  codes.assign(QueryBufferSize(mode, d), 0);
+  float maxabs = 0.0f;
+  for (size_t j = 0; j < d; ++j) {
+    const float a = user[j] < 0.0f ? -user[j] : user[j];
+    if (a > maxabs) maxabs = a;
+  }
+  scale = maxabs > 0.0f ? maxabs / 127.0f : 0.0f;
+  code_sum = 0;
+  if (scale == 0.0f) return;  // All-zero user: every code stays 0.
+  const double inv = 1.0 / static_cast<double>(scale);
+  for (size_t j = 0; j < d; ++j) {
+    long code = std::lround(static_cast<double>(user[j]) * inv);
+    if (code < -127) code = -127;
+    if (code > 127) code = 127;
+    code_sum += static_cast<int32_t>(code);
+    const auto c = static_cast<int8_t>(code);
+    if (mode == QuantMode::kInt4) {
+      // Deinterleave to match the nibble-unpack order of the kernels:
+      // even columns in the first half, odd columns in the second.
+      codes[(j % 2) * stride + j / 2] = c;
+    } else {
+      codes[j] = c;
+    }
+  }
+}
+
+float QuantizedTable::Dequant(size_t r, size_t c) const {
+  PUP_DCHECK(r < rows_ && c < cols_);
+  const uint8_t* crow = row(r);
+  int32_t code;
+  if (mode_ == QuantMode::kInt4) {
+    code = (crow[c / 2] >> ((c % 2) * 4)) & 0x0f;
+  } else {
+    code = crow[c];
+  }
+  // Double math: for near-full-float-range rows, scale * max_code alone
+  // can exceed FLT_MAX even though the reconstructed value (after adding
+  // the negative min) is representable.
+  return static_cast<float>(static_cast<double>(scales_[r]) * code +
+                            static_cast<double>(mins_[r]));
+}
+
+}  // namespace pup::la

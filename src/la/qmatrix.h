@@ -1,0 +1,145 @@
+// Quantized score tables — the compressed item-table format behind the
+// serving layer's int8/int4 FastScan scoring path (docs/quantization.md).
+//
+// A QuantizedTable is a register-blocked, read-only encoding of a float
+// Matrix: each row is scalar-quantized independently with an affine
+// (scale + zero-point) map
+//
+//   value(r, j) ≈ scale[r] * code(r, j) + minv[r]
+//
+// where code is an unsigned integer in [0, 255] (int8 mode) or [0, 15]
+// (int4 mode, two codes packed per byte, low nibble = even column). Rows
+// are padded to a 64-byte leading dimension with code 0 so every row
+// starts on a cache-line boundary and the SIMD fastscan kernels can run
+// whole aligned vectors with no tail handling — pad codes contribute
+// exactly zero to every dot product because the quantized query buffer
+// is zero beyond the logical width.
+//
+// Determinism contract: quantization is a pure scalar function of the
+// input floats (no SIMD, no threads), and scoring accumulates the
+// code-by-code products in exact int32 arithmetic — integer addition is
+// associative, so every backend, lane width, and thread count produces
+// bitwise-identical scores (unlike the f32 kernels' per-lane-width
+// contract). See la::ScoreItemsQuantized in kernels.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace pup::la {
+
+/// Quantization mode of a serving score table. kOff means "plain f32
+/// Matrix"; the integer modes select the QuantizedTable code width.
+enum class QuantMode : uint8_t {
+  kOff = 0,
+  kInt8 = 1,
+  kInt4 = 2,
+};
+
+/// Lowercase name: "off", "int8", "int4".
+const char* QuantModeName(QuantMode mode);
+
+/// Parses "off" / "int8" / "int4"; InvalidArgument otherwise.
+Result<QuantMode> QuantModeFromString(const std::string& name);
+
+/// Immutable per-row affine-quantized code table (int8 or int4 packed).
+/// Thread-safe by construction: nothing mutates after Quantize/FromParts.
+class QuantizedTable {
+ public:
+  /// Codes per quantization mode: 255 levels for int8, 15 for int4.
+  static constexpr int32_t kMaxCodeI8 = 255;
+  static constexpr int32_t kMaxCodeI4 = 15;
+  /// Row padding quantum in bytes — one cache line, the same alignment
+  /// unit as Matrix::kAlignFloats (docs/simd.md layout contract).
+  static constexpr size_t kRowAlignBytes = 64;
+  /// Largest supported width: keeps every scoring accumulator and the
+  /// zero-point correction exactly representable in int32
+  /// (255 * 127 * kMaxDim < 2^31).
+  static constexpr size_t kMaxDim = size_t{1} << 15;
+
+  QuantizedTable() = default;
+
+  /// Quantizes `src` row by row. Rejects non-finite inputs with
+  /// NumericGuard-style provenance (the offending row and column in the
+  /// Status message) and tables wider than kMaxDim; constant rows encode
+  /// with scale 0 and all-zero codes, and rounding outliers saturate into
+  /// the valid code range. Pure scalar math — the result is
+  /// byte-identical on every host, backend, and thread count.
+  static Result<QuantizedTable> Quantize(const Matrix& src, QuantMode mode);
+
+  /// Rebuilds a table from serialized parts (checkpoint load). Validates
+  /// every shape/size invariant before constructing; on error no table
+  /// exists. `codes` must be exactly rows * row_stride(mode, cols) bytes.
+  static Result<QuantizedTable> FromParts(QuantMode mode, size_t rows,
+                                          size_t cols,
+                                          std::vector<float> scales,
+                                          std::vector<float> mins,
+                                          std::string codes);
+
+  QuantMode mode() const { return mode_; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Leading dimension in bytes (codes are 1 or 1/2 byte each, rows
+  /// padded with zero codes to a kRowAlignBytes multiple).
+  size_t row_stride() const { return stride_; }
+  static size_t RowStrideFor(QuantMode mode, size_t cols);
+
+  /// Compressed scan footprint per row: codes + the two per-row floats.
+  /// The memory-bandwidth story of the fastscan path (docs/quantization.md).
+  size_t BytesPerRow() const { return stride_ + 2 * sizeof(float); }
+
+  const uint8_t* row(size_t r) const { return codes_.data() + r * stride_; }
+  const uint8_t* codes() const { return codes_.data(); }
+  size_t codes_size() const { return codes_.size(); }
+  const std::vector<float>& scales() const { return scales_; }
+  const std::vector<float>& mins() const { return mins_; }
+
+  /// Dequantized value at (r, c) — tests and diagnostics; scoring never
+  /// reconstructs values elementwise.
+  float Dequant(size_t r, size_t c) const;
+
+ private:
+  using ByteBuffer = std::vector<uint8_t, internal::AlignedAllocator<uint8_t>>;
+
+  QuantMode mode_ = QuantMode::kInt8;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t stride_ = 0;
+  ByteBuffer codes_;
+  std::vector<float> scales_;  ///< Per-row scale (0 for constant rows).
+  std::vector<float> mins_;    ///< Per-row value of code 0.
+};
+
+/// Caller-owned quantized-query scratch for la::ScoreItemsQuantized.
+/// Prepare() symmetrically quantizes a user vector to signed int8 codes
+/// (value ≈ scale * code, code in [-127, 127]) in pure scalar math —
+/// every backend scores against the identical code buffer. Buffer
+/// layout matches the fastscan kernels: int8 mode holds `row_stride`
+/// codes (zero beyond the logical width); int4 mode holds two
+/// `row_stride` halves (even columns, then odd columns), so the
+/// unpacked-nibble vectors line up with contiguous query loads.
+/// Reserve() then Prepare() is allocation-free in steady state.
+struct QuantizedQuery {
+  QuantMode mode = QuantMode::kOff;
+  size_t d = 0;        ///< Logical width.
+  size_t stride = 0;   ///< Matching table row stride (bytes).
+  float scale = 0.0f;  ///< Query dequant scale (0 for an all-zero user).
+  int32_t code_sum = 0;  ///< Σ codes — the zero-point correction term.
+  std::vector<int8_t, internal::AlignedAllocator<int8_t>> codes;
+
+  /// Pre-sizes `codes` for a table of width `cols` in `mode`.
+  void Reserve(QuantMode mode, size_t cols);
+
+  /// Quantizes `user` (length table.cols()) against `table`'s layout.
+  /// `user` must be finite (the frozen index guarantees it).
+  void Prepare(const float* user, const QuantizedTable& table);
+};
+
+}  // namespace pup::la

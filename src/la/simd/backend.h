@@ -25,9 +25,17 @@
 //    the scalar backend keeps libm exactly.
 //  * Exact scans: find_nonfinite returns the same verdict and index on
 //    every backend.
+//  * Exact integer: qdot_i8_rows / qdot_i4_rows accumulate quantized
+//    code products in int32 — integer addition is associative, so every
+//    backend and lane order is bitwise-identical (docs/quantization.md).
+//  * Pinned 16 virtual lanes: rerank_dot_rows accumulates f32 dots in a
+//    FIXED 16-lane shape regardless of the hardware width, reduced in
+//    lane order 0..15 — the one f32 dot whose result is bitwise-equal
+//    across every backend (the quantized re-rank stage depends on it).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/simd.h"
 #include "obs/registry.h"
@@ -81,6 +89,37 @@ struct Backend {
   // Index of the first non-finite float in the contiguous run x[0, n),
   // or n when all are finite.
   size_t (*find_nonfinite)(const float* x, size_t n);
+
+  // Quantized fastscan dots (docs/quantization.md). `stride` is the row
+  // pitch in BYTES (a multiple of QuantizedTable::kRowAlignBytes);
+  // `bytes` <= stride is the 16-byte-aligned prefix that covers the
+  // logical columns — everything beyond it is pad zeros the kernel may
+  // skip (int4 rows pack two columns per byte, so their prefix is half
+  // the int8 one). Within the prefix, pad codes and the query beyond the
+  // logical width are zero, so padded products contribute exactly zero.
+  // Accumulation is exact int32, which is associative: kernels are free
+  // to reorganise (hoist, block, vectorise) without changing any result.
+  //
+  // out[i] = sum_b codes(row i)[b] * query[b] over b in [0, bytes), for
+  // i in [lo, hi). query holds at least `bytes` signed code values.
+  void (*qdot_i8_rows)(const uint8_t* codes, size_t stride, size_t bytes,
+                       const int8_t* query, int32_t* out, size_t lo,
+                       size_t hi);
+  // int4: byte b of a row packs column 2b (low nibble) and 2b+1 (high
+  // nibble). query_even[b] multiplies the low nibble, query_odd[b] the
+  // high one; each array holds at least `bytes` signed code values.
+  void (*qdot_i4_rows)(const uint8_t* codes, size_t stride, size_t bytes,
+                       const int8_t* query_even, const int8_t* query_odd,
+                       int32_t* out, size_t lo, size_t hi);
+  // out[j] = dot(items row ids[j], query, d) for j in [lo, hi), computed
+  // in 16 virtual f32 lanes (tail enters zero-padded, dead lanes add
+  // +0.0f) reduced in lane order 0..15 on EVERY backend. Tail loads are
+  // masked / zero-copied, so pad values are never consumed; `items` must
+  // be the 64-byte-aligned Matrix layout (rows load aligned), while
+  // `query` is any readable buffer of d floats (loads are unaligned).
+  void (*rerank_dot_rows)(const float* items, size_t stride,
+                          const float* query, const uint32_t* ids, float* out,
+                          size_t lo, size_t hi, size_t d);
 };
 
 /// Table for the process-wide active ISA (common/simd.h). Bumps the

@@ -289,6 +289,178 @@ size_t FindNonFinite(const float* x, size_t n) {
   return n;
 }
 
+// Exact int32 horizontal sum; order is irrelevant because integer
+// addition is associative (the quantized-path determinism argument).
+inline int32_t HSumI32(__m256i v) {
+  alignas(32) int32_t lanes[kW];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  int32_t s = 0;
+  for (size_t l = 0; l < kW; ++l) s += lanes[l];
+  return s;
+}
+
+// Quantized fastscan: 16 code bytes per step, widened to int16 and
+// multiply-accumulated with vpmaddwd. The widening matters: vpmaddubsw
+// would saturate (255 * 127 * 2 > INT16_MAX) and silently corrupt
+// scores, while the int16 x int16 -> int32 pairwise madd is exact for
+// our operand range (|code * query| <= 255 * 127).
+//
+// The query is row-invariant, so it is widened to int16 ONCE per block
+// into a stack staging buffer (16 code bytes -> 16 int16 -> one aligned
+// 256-bit load per step in the row loop); rows wider than the staging
+// cap fall back to widening in the loop. Exact int32 accumulation is
+// associative, so the hoist cannot change any result.
+constexpr size_t kQueryStageBytes = 1024;
+
+void QdotI8Rows(const uint8_t* codes, size_t stride, size_t bytes,
+                const int8_t* query, int32_t* out, size_t lo, size_t hi) {
+  alignas(32) int16_t wq[kQueryStageBytes];
+  if (bytes <= kQueryStageBytes) {
+    for (size_t b = 0; b < bytes; b += 16) {
+      _mm256_store_si256(
+          reinterpret_cast<__m256i*>(wq + b),
+          _mm256_cvtepi8_epi16(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(query + b))));
+    }
+    for (size_t i = lo; i < hi; ++i) {
+      const uint8_t* crow = codes + i * stride;
+      __m256i acc = _mm256_setzero_si256();
+      for (size_t b = 0; b < bytes; b += 16) {
+        const __m128i c =
+            _mm_load_si128(reinterpret_cast<const __m128i*>(crow + b));
+        acc = _mm256_add_epi32(
+            acc,
+            _mm256_madd_epi16(
+                _mm256_cvtepu8_epi16(c),
+                _mm256_load_si256(reinterpret_cast<const __m256i*>(wq + b))));
+      }
+      out[i] = HSumI32(acc);
+    }
+    return;
+  }
+  for (size_t i = lo; i < hi; ++i) {
+    const uint8_t* crow = codes + i * stride;
+    __m256i acc = _mm256_setzero_si256();
+    for (size_t b = 0; b < bytes; b += 16) {
+      const __m128i c =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(crow + b));
+      const __m128i q =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(query + b));
+      acc = _mm256_add_epi32(
+          acc, _mm256_madd_epi16(_mm256_cvtepu8_epi16(c),
+                                 _mm256_cvtepi8_epi16(q)));
+    }
+    out[i] = HSumI32(acc);
+  }
+}
+
+void QdotI4Rows(const uint8_t* codes, size_t stride, size_t bytes,
+                const int8_t* query_even, const int8_t* query_odd,
+                int32_t* out, size_t lo, size_t hi) {
+  const __m128i low_mask = _mm_set1_epi8(0x0f);
+  alignas(32) int16_t we[kQueryStageBytes];
+  alignas(32) int16_t wo[kQueryStageBytes];
+  if (bytes <= kQueryStageBytes) {
+    for (size_t b = 0; b < bytes; b += 16) {
+      _mm256_store_si256(
+          reinterpret_cast<__m256i*>(we + b),
+          _mm256_cvtepi8_epi16(_mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(query_even + b))));
+      _mm256_store_si256(
+          reinterpret_cast<__m256i*>(wo + b),
+          _mm256_cvtepi8_epi16(_mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(query_odd + b))));
+    }
+    for (size_t i = lo; i < hi; ++i) {
+      const uint8_t* crow = codes + i * stride;
+      __m256i acc = _mm256_setzero_si256();
+      for (size_t b = 0; b < bytes; b += 16) {
+        const __m128i packed =
+            _mm_load_si128(reinterpret_cast<const __m128i*>(crow + b));
+        const __m128i clo = _mm_and_si128(packed, low_mask);
+        const __m128i chi =
+            _mm_and_si128(_mm_srli_epi16(packed, 4), low_mask);
+        acc = _mm256_add_epi32(
+            acc,
+            _mm256_madd_epi16(
+                _mm256_cvtepu8_epi16(clo),
+                _mm256_load_si256(reinterpret_cast<const __m256i*>(we + b))));
+        acc = _mm256_add_epi32(
+            acc,
+            _mm256_madd_epi16(
+                _mm256_cvtepu8_epi16(chi),
+                _mm256_load_si256(reinterpret_cast<const __m256i*>(wo + b))));
+      }
+      out[i] = HSumI32(acc);
+    }
+    return;
+  }
+  for (size_t i = lo; i < hi; ++i) {
+    const uint8_t* crow = codes + i * stride;
+    __m256i acc = _mm256_setzero_si256();
+    for (size_t b = 0; b < bytes; b += 16) {
+      const __m128i packed =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(crow + b));
+      const __m128i clo = _mm_and_si128(packed, low_mask);
+      const __m128i chi = _mm_and_si128(_mm_srli_epi16(packed, 4), low_mask);
+      const __m128i qe =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(query_even + b));
+      const __m128i qo =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(query_odd + b));
+      acc = _mm256_add_epi32(
+          acc, _mm256_madd_epi16(_mm256_cvtepu8_epi16(clo),
+                                 _mm256_cvtepi8_epi16(qe)));
+      acc = _mm256_add_epi32(
+          acc, _mm256_madd_epi16(_mm256_cvtepu8_epi16(chi),
+                                 _mm256_cvtepi8_epi16(qo)));
+    }
+    out[i] = HSumI32(acc);
+  }
+}
+
+// Pinned-16-virtual-lane dot: two 8-float registers act as virtual lanes
+// 0..7 / 8..15, tails enter via zero-masked loads (dead lanes add
+// +0.0f), and the reduction walks all 16 lanes sequentially — bitwise
+// matching the scalar reference on every input.
+void RerankDotRows(const float* items, size_t stride, const float* query,
+                   const uint32_t* ids, float* out, size_t lo, size_t hi,
+                   size_t d) {
+  constexpr size_t kVL = 16;
+  for (size_t j = lo; j < hi; ++j) {
+    const float* row = items + static_cast<size_t>(ids[j]) * stride;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    size_t p = 0;
+    for (; p + kVL <= d; p += kVL) {
+      // Rows are 64-byte aligned by the Matrix layout; the query is any
+      // caller buffer, so its loads are unaligned.
+      acc0 = _mm256_add_ps(
+          acc0, _mm256_mul_ps(_mm256_load_ps(row + p),
+                              _mm256_loadu_ps(query + p)));
+      acc1 = _mm256_add_ps(
+          acc1, _mm256_mul_ps(_mm256_load_ps(row + p + kW),
+                              _mm256_loadu_ps(query + p + kW)));
+    }
+    const size_t t = d - p;
+    if (t != 0) {
+      const __m256i m0 = TailMask(t < kW ? t : kW);
+      acc0 = _mm256_add_ps(
+          acc0, _mm256_mul_ps(_mm256_maskload_ps(row + p, m0),
+                              _mm256_maskload_ps(query + p, m0)));
+      const __m256i m1 = TailMask(t > kW ? t - kW : 0);
+      acc1 = _mm256_add_ps(
+          acc1, _mm256_mul_ps(_mm256_maskload_ps(row + p + kW, m1),
+                              _mm256_maskload_ps(query + p + kW, m1)));
+    }
+    alignas(32) float lanes[kVL];
+    _mm256_store_ps(lanes, acc0);
+    _mm256_store_ps(lanes + kW, acc1);
+    float s = 0.0f;
+    for (size_t l = 0; l < kVL; ++l) s += lanes[l];
+    out[j] = s;
+  }
+}
+
 }  // namespace
 
 const Backend& Avx2Backend() {
@@ -307,6 +479,9 @@ const Backend& Avx2Backend() {
       &Sigmoid,
       &Tanh,
       &FindNonFinite,
+      &QdotI8Rows,
+      &QdotI4Rows,
+      &RerankDotRows,
   };
   return table;
 }

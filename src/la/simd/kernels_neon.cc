@@ -234,6 +234,101 @@ size_t FindNonFinite(const float* x, size_t n) {
   return n;
 }
 
+// Accumulates 16 code-byte x query-byte products into `acc` via int16
+// widening and vmlal (exact int32 multiply-accumulate, no saturation).
+inline int32x4_t QmaddU8S8(int32x4_t acc, uint8x16_t c, int8x16_t q) {
+  const int16x8_t clo = vreinterpretq_s16_u16(vmovl_u8(vget_low_u8(c)));
+  const int16x8_t chi = vreinterpretq_s16_u16(vmovl_u8(vget_high_u8(c)));
+  const int16x8_t qlo = vmovl_s8(vget_low_s8(q));
+  const int16x8_t qhi = vmovl_s8(vget_high_s8(q));
+  acc = vmlal_s16(acc, vget_low_s16(clo), vget_low_s16(qlo));
+  acc = vmlal_s16(acc, vget_high_s16(clo), vget_high_s16(qlo));
+  acc = vmlal_s16(acc, vget_low_s16(chi), vget_low_s16(qhi));
+  acc = vmlal_s16(acc, vget_high_s16(chi), vget_high_s16(qhi));
+  return acc;
+}
+
+// Quantized fastscan: exact int32 accumulation, so the reduction order
+// is free (vaddvq_s32 is safe here, unlike the f32 reductions above).
+void QdotI8Rows(const uint8_t* codes, size_t stride, size_t bytes,
+                const int8_t* query, int32_t* out, size_t lo, size_t hi) {
+  for (size_t i = lo; i < hi; ++i) {
+    const uint8_t* crow = codes + i * stride;
+    int32x4_t acc = vdupq_n_s32(0);
+    for (size_t b = 0; b < bytes; b += 16) {
+      acc = QmaddU8S8(acc, vld1q_u8(crow + b), vld1q_s8(query + b));
+    }
+    out[i] = vaddvq_s32(acc);
+  }
+}
+
+void QdotI4Rows(const uint8_t* codes, size_t stride, size_t bytes,
+                const int8_t* query_even, const int8_t* query_odd,
+                int32_t* out, size_t lo, size_t hi) {
+  const uint8x16_t low_mask = vdupq_n_u8(0x0f);
+  for (size_t i = lo; i < hi; ++i) {
+    const uint8_t* crow = codes + i * stride;
+    int32x4_t acc = vdupq_n_s32(0);
+    for (size_t b = 0; b < bytes; b += 16) {
+      const uint8x16_t bytes = vld1q_u8(crow + b);
+      acc = QmaddU8S8(acc, vandq_u8(bytes, low_mask),
+                      vld1q_s8(query_even + b));
+      acc = QmaddU8S8(acc, vshrq_n_u8(bytes, 4), vld1q_s8(query_odd + b));
+    }
+    out[i] = vaddvq_s32(acc);
+  }
+}
+
+// Pinned-16-virtual-lane dot: four registers act as virtual lanes
+// 0..3 / 4..7 / 8..11 / 12..15, tails enter zero-padded via TailLoad-
+// style copies, and the reduction walks all 16 lanes sequentially —
+// bitwise matching the scalar reference.
+void RerankDotRows(const float* items, size_t stride, const float* query,
+                   const uint32_t* ids, float* out, size_t lo, size_t hi,
+                   size_t d) {
+  constexpr size_t kVL = 16;
+  for (size_t j = lo; j < hi; ++j) {
+    const float* row = items + static_cast<size_t>(ids[j]) * stride;
+    float32x4_t acc0 = vdupq_n_f32(0.0f);
+    float32x4_t acc1 = vdupq_n_f32(0.0f);
+    float32x4_t acc2 = vdupq_n_f32(0.0f);
+    float32x4_t acc3 = vdupq_n_f32(0.0f);
+    size_t p = 0;
+    for (; p + kVL <= d; p += kVL) {
+      acc0 = vaddq_f32(acc0,
+                       vmulq_f32(vld1q_f32(row + p), vld1q_f32(query + p)));
+      acc1 = vaddq_f32(acc1, vmulq_f32(vld1q_f32(row + p + kW),
+                                       vld1q_f32(query + p + kW)));
+      acc2 = vaddq_f32(acc2, vmulq_f32(vld1q_f32(row + p + 2 * kW),
+                                       vld1q_f32(query + p + 2 * kW)));
+      acc3 = vaddq_f32(acc3, vmulq_f32(vld1q_f32(row + p + 3 * kW),
+                                       vld1q_f32(query + p + 3 * kW)));
+    }
+    const size_t t = d - p;
+    if (t != 0) {
+      float xbuf[kVL] = {};
+      float ybuf[kVL] = {};
+      std::memcpy(xbuf, row + p, t * sizeof(float));
+      std::memcpy(ybuf, query + p, t * sizeof(float));
+      acc0 = vaddq_f32(acc0, vmulq_f32(vld1q_f32(xbuf), vld1q_f32(ybuf)));
+      acc1 = vaddq_f32(acc1,
+                       vmulq_f32(vld1q_f32(xbuf + kW), vld1q_f32(ybuf + kW)));
+      acc2 = vaddq_f32(acc2, vmulq_f32(vld1q_f32(xbuf + 2 * kW),
+                                       vld1q_f32(ybuf + 2 * kW)));
+      acc3 = vaddq_f32(acc3, vmulq_f32(vld1q_f32(xbuf + 3 * kW),
+                                       vld1q_f32(ybuf + 3 * kW)));
+    }
+    float lanes[kVL];
+    vst1q_f32(lanes, acc0);
+    vst1q_f32(lanes + kW, acc1);
+    vst1q_f32(lanes + 2 * kW, acc2);
+    vst1q_f32(lanes + 3 * kW, acc3);
+    float s = 0.0f;
+    for (size_t l = 0; l < kVL; ++l) s += lanes[l];
+    out[j] = s;
+  }
+}
+
 }  // namespace
 
 const Backend& NeonBackend() {
@@ -252,6 +347,9 @@ const Backend& NeonBackend() {
       &Sigmoid,
       &Tanh,
       &FindNonFinite,
+      &QdotI8Rows,
+      &QdotI4Rows,
+      &RerankDotRows,
   };
   return table;
 }

@@ -147,6 +147,67 @@ size_t FindNonFinite(const float* x, size_t n) {
   return n;
 }
 
+// Quantized fastscan reference: plain int32 accumulation over the
+// logical prefix of each padded row (codes beyond `bytes` are pad zeros
+// every backend may skip). Integer addition is associative, so the
+// vector backends are bitwise-equal to this loop by construction
+// (docs/quantization.md).
+void QdotI8Rows(const uint8_t* codes, size_t stride, size_t bytes,
+                const int8_t* query, int32_t* out, size_t lo, size_t hi) {
+  for (size_t i = lo; i < hi; ++i) {
+    const uint8_t* crow = codes + i * stride;
+    int32_t acc = 0;
+    for (size_t b = 0; b < bytes; ++b) {
+      acc += static_cast<int32_t>(crow[b]) * static_cast<int32_t>(query[b]);
+    }
+    out[i] = acc;
+  }
+}
+
+void QdotI4Rows(const uint8_t* codes, size_t stride, size_t bytes,
+                const int8_t* query_even, const int8_t* query_odd,
+                int32_t* out, size_t lo, size_t hi) {
+  for (size_t i = lo; i < hi; ++i) {
+    const uint8_t* crow = codes + i * stride;
+    int32_t acc = 0;
+    for (size_t b = 0; b < bytes; ++b) {
+      acc += static_cast<int32_t>(crow[b] & 0x0f) *
+             static_cast<int32_t>(query_even[b]);
+      acc += static_cast<int32_t>(crow[b] >> 4) *
+             static_cast<int32_t>(query_odd[b]);
+    }
+    out[i] = acc;
+  }
+}
+
+// Pinned-16-virtual-lane f32 dot, scalar rendition: 16 accumulators fed
+// in element order, tail lanes beyond d add +0.0f (exactly what a
+// zero-masked vector load produces), reduced in lane order 0..15. This
+// is THE cross-backend contract for the re-rank stage — the vector
+// backends reproduce it bitwise, not approximately.
+void RerankDotRows(const float* items, size_t stride, const float* query,
+                   const uint32_t* ids, float* out, size_t lo, size_t hi,
+                   size_t d) {
+  constexpr size_t kVL = 16;
+  for (size_t j = lo; j < hi; ++j) {
+    const float* row = items + static_cast<size_t>(ids[j]) * stride;
+    float acc[kVL] = {};
+    size_t p = 0;
+    for (; p + kVL <= d; p += kVL) {
+      for (size_t l = 0; l < kVL; ++l) acc[l] += row[p + l] * query[p + l];
+    }
+    const size_t t = d - p;
+    if (t != 0) {
+      for (size_t l = 0; l < kVL; ++l) {
+        acc[l] += l < t ? row[p + l] * query[p + l] : 0.0f;
+      }
+    }
+    float s = 0.0f;
+    for (size_t l = 0; l < kVL; ++l) s += acc[l];
+    out[j] = s;
+  }
+}
+
 }  // namespace
 
 const Backend& ScalarBackend() {
@@ -165,6 +226,9 @@ const Backend& ScalarBackend() {
       &Sigmoid,
       &Tanh,
       &FindNonFinite,
+      &QdotI8Rows,
+      &QdotI4Rows,
+      &RerankDotRows,
   };
   return table;
 }

@@ -17,8 +17,17 @@ constexpr char kSecUsers[] = "serve/users";
 constexpr char kSecItems[] = "serve/items";
 constexpr char kSecBias[] = "serve/bias";
 constexpr char kSecPrior[] = "serve/prior";
+// Quantized-table sections, present only in v2 files (docs/quantization.md).
+constexpr char kSecQuantMode[] = "serve/quant/mode";
+constexpr char kSecQuantScales[] = "serve/quant/scales";
+constexpr char kSecQuantMins[] = "serve/quant/mins";
+constexpr char kSecQuantCodes[] = "serve/quant/codes";
 
+// v1: f32-only index. v2: adds the serve/quant/* sections. Saves use the
+// lowest version that can represent the index, so an unquantized index
+// written by this build still loads in a v1-only binary.
 constexpr uint64_t kIndexFormatVersion = 1;
+constexpr uint64_t kIndexFormatVersionQuant = 2;
 
 // Cold-start fallback scores: per-item popularity weighted by the item's
 // price level share. Counts come from the full interaction list, so the
@@ -68,7 +77,8 @@ ServingIndex ServingIndex::Freeze(const models::DotScorer& scorer,
 
 Status ServingIndex::Save(const std::string& path) const {
   ckpt::Writer writer(fingerprint_);
-  writer.AddU64(kSecFormat, kIndexFormatVersion);
+  writer.AddU64(kSecFormat, quantized() ? kIndexFormatVersionQuant
+                                        : kIndexFormatVersion);
   writer.AddString(kSecModel, model_name_);
   writer.AddMatrix(kSecUsers, user_vecs_);
   writer.AddMatrix(kSecItems, item_vecs_);
@@ -78,6 +88,21 @@ Status ServingIndex::Save(const std::string& path) const {
   la::Matrix prior(prior_.size(), 1);
   for (size_t i = 0; i < prior_.size(); ++i) prior(i, 0) = prior_[i];
   writer.AddMatrix(kSecPrior, prior);
+  if (quantized()) {
+    writer.AddU64(kSecQuantMode, static_cast<uint64_t>(quant_mode_));
+    la::Matrix scales(quant_items_.rows(), 1);
+    la::Matrix mins(quant_items_.rows(), 1);
+    for (size_t i = 0; i < quant_items_.rows(); ++i) {
+      scales(i, 0) = quant_items_.scales()[i];
+      mins(i, 0) = quant_items_.mins()[i];
+    }
+    writer.AddMatrix(kSecQuantScales, scales);
+    writer.AddMatrix(kSecQuantMins, mins);
+    writer.AddBytes(kSecQuantCodes,
+                    std::string(reinterpret_cast<const char*>(
+                                    quant_items_.codes()),
+                                quant_items_.codes_size()));
+  }
   return writer.WriteFile(path);
 }
 
@@ -87,7 +112,7 @@ Result<ServingIndex> ServingIndex::Load(const std::string& path) {
   // local values, so no partially built index can escape on any path.
   PUP_ASSIGN_OR_RETURN(ckpt::Reader reader, ckpt::Reader::Open(path));
   PUP_ASSIGN_OR_RETURN(uint64_t format, reader.GetU64(kSecFormat));
-  if (format != kIndexFormatVersion) {
+  if (format != kIndexFormatVersion && format != kIndexFormatVersionQuant) {
     return Status::InvalidArgument("unsupported serving index format");
   }
   PUP_ASSIGN_OR_RETURN(std::string model_name, reader.GetString(kSecModel));
@@ -118,7 +143,52 @@ Result<ServingIndex> ServingIndex::Load(const std::string& path) {
   }
   index.model_name_ = std::move(model_name);
   index.fingerprint_ = reader.fingerprint();
+  if (format == kIndexFormatVersionQuant) {
+    PUP_ASSIGN_OR_RETURN(uint64_t mode_word, reader.GetU64(kSecQuantMode));
+    if (mode_word != static_cast<uint64_t>(la::QuantMode::kInt8) &&
+        mode_word != static_cast<uint64_t>(la::QuantMode::kInt4)) {
+      return Status::InvalidArgument("serving index quant mode out of range");
+    }
+    const auto mode = static_cast<la::QuantMode>(mode_word);
+    PUP_ASSIGN_OR_RETURN(la::Matrix scales, reader.GetMatrix(kSecQuantScales));
+    PUP_ASSIGN_OR_RETURN(la::Matrix mins, reader.GetMatrix(kSecQuantMins));
+    PUP_ASSIGN_OR_RETURN(std::string codes, reader.GetString(kSecQuantCodes));
+    const size_t n = index.item_vecs_.rows();
+    if (scales.rows() != n || mins.rows() != n ||
+        (n > 0 && (scales.cols() != 1 || mins.cols() != 1))) {
+      return Status::InvalidArgument(
+          "serving index quant row-parameter shape mismatch");
+    }
+    std::vector<float> scale_vec(n);
+    std::vector<float> min_vec(n);
+    for (size_t i = 0; i < n; ++i) {
+      scale_vec[i] = scales(i, 0);
+      min_vec[i] = mins(i, 0);
+    }
+    // FromParts re-validates every layout invariant (sizes, pad bytes,
+    // odd-width tail nibbles, finite row parameters), so a corrupted or
+    // hand-edited quant payload is rejected here, never served.
+    PUP_ASSIGN_OR_RETURN(
+        index.quant_items_,
+        la::QuantizedTable::FromParts(mode, n, index.item_vecs_.cols(),
+                                      std::move(scale_vec), std::move(min_vec),
+                                      std::move(codes)));
+    index.quant_mode_ = mode;
+  }
   return index;
+}
+
+Result<ServingIndex> ServingIndex::WithQuant(la::QuantMode mode) const {
+  ServingIndex copy = *this;
+  if (mode == la::QuantMode::kOff) {
+    copy.quant_items_ = la::QuantizedTable();
+    copy.quant_mode_ = la::QuantMode::kOff;
+    return copy;
+  }
+  PUP_ASSIGN_OR_RETURN(copy.quant_items_,
+                       la::QuantizedTable::Quantize(item_vecs_, mode));
+  copy.quant_mode_ = mode;
+  return copy;
 }
 
 void IndexScorer::ScoreItems(uint32_t user, std::vector<float>* out) const {

@@ -20,6 +20,7 @@
 #include "data/dataset.h"
 #include "eval/metrics.h"
 #include "la/matrix.h"
+#include "la/qmatrix.h"
 #include "models/scoring.h"
 
 namespace pup::serve {
@@ -41,8 +42,26 @@ class ServingIndex {
 
   /// Loads an index written by Save. Every CRC and every section shape is
   /// validated before the ServingIndex is constructed; on any error the
-  /// Result carries a Status and no index exists.
+  /// Result carries a Status and no index exists. Both format versions
+  /// load: v1 (f32-only) and v2 (with quantized item table).
   static Result<ServingIndex> Load(const std::string& path);
+
+  /// Returns a copy of this index with the item score table
+  /// (re)quantized to `mode` — the `--quant` switch behind both
+  /// `train --export-index` and `serve`. kOff drops the quantized table
+  /// (back to the pure f32 path); the integer modes re-derive it from
+  /// the retained f32 table, so requantizing a loaded index is
+  /// byte-identical to quantizing at freeze time. Fails if the item
+  /// table is non-finite or wider than la::QuantizedTable::kMaxDim.
+  Result<ServingIndex> WithQuant(la::QuantMode mode) const;
+
+  /// Quantization mode of the item score table (kOff = pure f32 path).
+  la::QuantMode quant_mode() const { return quant_mode_; }
+  bool quantized() const { return quant_mode_ != la::QuantMode::kOff; }
+  /// Empty unless quantized(). The f32 item_vecs() are always retained —
+  /// the fastscan pass reads only the code table, the re-rank stage
+  /// touches the f32 rows of the few surviving candidates.
+  const la::QuantizedTable& quant_items() const { return quant_items_; }
 
   size_t num_users() const { return user_vecs_.rows(); }
   size_t num_items() const { return item_vecs_.rows(); }
@@ -68,6 +87,8 @@ class ServingIndex {
 
   la::Matrix user_vecs_;
   la::Matrix item_vecs_;
+  la::QuantMode quant_mode_ = la::QuantMode::kOff;
+  la::QuantizedTable quant_items_;
   std::vector<float> item_bias_;
   std::vector<float> prior_;
   std::string model_name_;

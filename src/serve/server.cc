@@ -42,6 +42,20 @@ RequestContext::RequestContext(const Server& server) {
   scratch_scores_.reserve(index->num_items());
   topk_.reserve(opt.max_k);
   selector_.Reserve(opt.max_k);
+  // Quantized scratch, reserved for whichever quant mode needs more (an
+  // int4 query splits into two stride-sized halves, which can exceed the
+  // int8 buffer at small dims) — so a later Reload onto a differently
+  // quantized index never allocates in the request loop.
+  const size_t d = index->dim();
+  const size_t i8 = la::QuantizedTable::RowStrideFor(la::QuantMode::kInt8, d);
+  const size_t i4 =
+      2 * la::QuantizedTable::RowStrideFor(la::QuantMode::kInt4, d);
+  qquery_.codes.reserve(i8 > i4 ? i8 : i4);
+  qacc_.reserve(index->num_items());
+  const size_t survivors = opt.rerank_factor * opt.max_k;
+  survivors_.reserve(survivors);
+  rerank_scores_.reserve(survivors);
+  qselector_.Reserve(survivors);
 }
 
 Server::Server(std::shared_ptr<const ServingIndex> index,
@@ -50,6 +64,7 @@ Server::Server(std::shared_ptr<const ServingIndex> index,
   PUP_CHECK(index_ != nullptr);
   PUP_CHECK(options_.max_batch >= 1);
   PUP_CHECK(options_.max_k >= 1);
+  PUP_CHECK(options_.rerank_factor >= 1);
   queue_.reserve(options_.max_batch);
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<ResultCache>(
@@ -161,7 +176,9 @@ void Server::ExecuteBatch(const ServingIndex& index, uint64_t generation,
       sc = Scenario::kColdStart;
     }
     s->served = sc;
-    if (sc == Scenario::kFullRanking) {
+    // Quantized indexes take the fastscan + re-rank path per request
+    // (the scan is a memory-bound integer pass, not a batched GEMM).
+    if (sc == Scenario::kFullRanking && !index.quantized()) {
       // NOLINTNEXTLINE(pup-hot-alloc): <= max_batch entries, Reserve'd.
       ctx->full_rows_.push_back(static_cast<uint32_t>(i));
     }
@@ -182,12 +199,76 @@ void Server::ExecuteBatch(const ServingIndex& index, uint64_t generation,
     }
   }
   for (Slot* s : ctx->batch_) {
-    if (s->served == Scenario::kRerank) {
+    if (s->served == Scenario::kFullRanking && index.quantized()) {
+      ServeFullRankingQuantized(index, generation, *s->req, s->reply, ctx);
+    } else if (s->served == Scenario::kRerank) {
       ServeSubset(index, *s->req, s->reply, ctx);
     } else if (s->served == Scenario::kColdStart) {
       ServePrior(index, *s->req, s->reply, ctx);
     }
     s->reply->served = s->served;
+  }
+}
+
+// PUP_HOT: quantized full ranking — int8/int4 fastscan over the code
+// table, survivor selection at rerank_factor * k, exact-f32 re-rank of
+// the survivors. Every stage is bitwise-deterministic across backends,
+// thread counts, and batch schedules: the scan accumulates in exact
+// int32, the dequant epilogue is fixed-order scalar math, survivor
+// membership comes from the strict (score desc, id asc) selector, and
+// the re-rank dot runs in a pinned 16-virtual-lane shape on every ISA.
+void Server::ServeFullRankingQuantized(const ServingIndex& index,
+                                       uint64_t generation, const Request& req,
+                                       Reply* reply, RequestContext* ctx) {
+  const size_t n = index.num_items();
+  const la::QuantizedTable& qt = index.quant_items();
+  const float* user = index.user_vecs().Row(req.user);
+  {
+    PUP_OBS_SCOPED_TIMER("serve/quant/fastscan");
+    ctx->qquery_.Prepare(user, qt);
+    // NOLINTNEXTLINE(pup-hot-alloc): <= num_items entries, Reserve'd buffer.
+    ctx->scratch_scores_.resize(n);
+    // NOLINTNEXTLINE(pup-hot-alloc): <= num_items entries, Reserve'd buffer.
+    ctx->qacc_.resize(n);
+    la::ScoreItemsQuantized(qt, ctx->qquery_, index.bias(), ctx->qacc_.data(),
+                            ctx->scratch_scores_.data());
+  }
+  PUP_OBS_SCOPED_TIMER("serve/quant/post_scan");
+  float* approx = ctx->scratch_scores_.data();
+  if (req.exclude != nullptr) {
+    for (uint32_t id : *req.exclude) {
+      PUP_CHECK_MSG(id < n, "excluded item id out of range");
+      approx[id] = kNegInf;
+    }
+  }
+  const size_t budget = options_.rerank_factor * static_cast<size_t>(req.k);
+  {
+    PUP_OBS_SCOPED_TIMER("serve/quant/select");
+    ctx->qselector_.Select(approx, n, budget < n ? budget : n,
+                           &ctx->survivors_);
+  }
+  // Survivor order is membership only; sorting by id makes the final
+  // selector's positional tie-break an id tie-break, the same strict
+  // (score desc, id asc) order every other serving path emits.
+  std::sort(ctx->survivors_.begin(), ctx->survivors_.end());
+  // NOLINTNEXTLINE(pup-hot-alloc): <= rerank_factor * max_k, Reserve'd.
+  ctx->rerank_scores_.resize(ctx->survivors_.size());
+  la::ScoreItemsRerank(index.item_vecs(), user, index.bias(),
+                       ctx->survivors_.data(), ctx->survivors_.size(),
+                       ctx->rerank_scores_.data());
+  // Re-apply the exclusion mask: an excluded id reaches the survivor set
+  // only when the unmasked catalog is smaller than the budget, but it
+  // must never be served with its true score.
+  for (size_t j = 0; j < ctx->survivors_.size(); ++j) {
+    if (approx[ctx->survivors_[j]] == kNegInf) {
+      ctx->rerank_scores_[j] = kNegInf;
+    }
+  }
+  ctx->selector_.Select(ctx->rerank_scores_.data(), ctx->survivors_.size(),
+                        req.k, &ctx->topk_);
+  EmitRanked(ctx->rerank_scores_.data(), ctx->topk_, &ctx->survivors_, reply);
+  if (cache_ != nullptr) {
+    cache_->Insert(req.user, req.k, generation, reply->items, reply->scores);
   }
 }
 

@@ -18,6 +18,14 @@
 // rankings are bitwise-identical to the offline eval ranking of the same
 // index.
 //
+// Quantized serving (docs/quantization.md): when the index carries an
+// int8/int4 table, full rankings run as an exact-int32 fastscan over the
+// code table, take the top rerank_factor * k survivors by approximate
+// score, and re-rank the survivors at f32 through a pinned-16-lane dot.
+// That path carries a STRONGER determinism contract than the f32 GEMM:
+// the reply is bitwise-identical across SIMD backends too, not just per
+// backend.
+//
 // Zero-alloc steady state: all scoring and staging buffers live in the
 // caller-owned RequestContext, reply buffers are bounded by max_k, and
 // the cache is fully preallocated — after warmup a request performs no
@@ -89,6 +97,10 @@ struct ServerOptions {
   size_t cache_capacity = 0;
   /// Largest admissible k; sizes every reply/cache/selector buffer.
   size_t max_k = 100;
+  /// Quantized path only: survivors kept for the exact-f32 re-rank stage
+  /// are min(num_items, rerank_factor * k). Larger values trade QPS for
+  /// recall; must be >= 1. Ignored when the index is not quantized.
+  size_t rerank_factor = 4;
 };
 
 class Server;
@@ -117,6 +129,14 @@ class RequestContext {
   std::vector<float> scratch_scores_;  ///< Subset / prior scoring buffer.
   std::vector<uint32_t> topk_;
   eval::TopKSelector selector_;
+
+  // Quantized-path scratch (sized for either quant mode up front, so a
+  // Reload onto a quantized index stays allocation-free).
+  la::QuantizedQuery qquery_;          ///< Per-request quantized user codes.
+  std::vector<int32_t> qacc_;          ///< Exact int32 fastscan dots.
+  std::vector<uint32_t> survivors_;    ///< Top R*k approx ids, sorted by id.
+  std::vector<float> rerank_scores_;   ///< Exact f32 survivor scores.
+  eval::TopKSelector qselector_;       ///< Survivor selection (R*max_k).
 };
 
 /// Thread-safe serving front end over an immutable index snapshot.
@@ -152,6 +172,9 @@ class Server {
   void ServeFullRanking(const ServingIndex& index, uint64_t generation,
                         float* scores, const Request& req, Reply* reply,
                         RequestContext* ctx);
+  void ServeFullRankingQuantized(const ServingIndex& index,
+                                 uint64_t generation, const Request& req,
+                                 Reply* reply, RequestContext* ctx);
   void ServeSubset(const ServingIndex& index, const Request& req,
                    Reply* reply, RequestContext* ctx);
   void ServePrior(const ServingIndex& index, const Request& req, Reply* reply,

@@ -15,8 +15,12 @@
 //
 //   serve    --index FILE [--topk N] [--requests N] [--clients N]
 //            [--batch B] [--timeout-us T] [--cache N] [--zipf S] [--seed N]
+//            [--quant off|int8|int4] [--rerank R]
 //       Loads a frozen serving index and drives it closed-loop with a
 //       synthetic Zipfian trace, reporting QPS and latency percentiles.
+//       --quant requantizes the loaded index's item table (overriding
+//       whatever the file stored); --rerank sets the survivor factor of
+//       the quantized fastscan path (docs/quantization.md).
 //
 // Unknown subcommands and unknown/misspelled flags are rejected with the
 // usage message and exit code 2.
@@ -70,10 +74,12 @@ int Usage() {
                "[--alpha F] [--l2 F] [--beta F] [--cutoffs 50,100]\n"
                "                     [--ckpt-dir DIR] [--save-every N] "
                "[--resume PATH] [--export-index PATH]\n"
+               "                     [--quant off|int8|int4 (with "
+               "--export-index)]\n"
                "       pup_cli serve --index FILE [--topk N] [--requests N] "
                "[--clients N] [--batch B]\n"
                "                     [--timeout-us T] [--cache N] [--zipf S] "
-               "[--seed N]\n"
+               "[--seed N] [--quant off|int8|int4] [--rerank R]\n"
                "       global: --threads N (default: hardware concurrency; "
                "1 = exact serial)\n"
                "               --simd=auto|off|neon|avx2|avx512 kernel "
@@ -248,7 +254,15 @@ int RunTrain(const Flags& flags) {
   auto cutoffs = ParseCutoffs(flags.GetString("cutoffs", "50,100"));
   double beta = flags.GetDouble("beta", 0.0);
   std::string export_index = flags.GetString("export-index", "");
+  std::string quant_name = flags.GetString("quant", "off");
   if (int rc = RejectUnknownFlags(flags); rc != 0) return rc;
+  auto quant = la::QuantModeFromString(quant_name);
+  if (!quant.ok()) {
+    std::fprintf(stderr, "bad --quant: %s\n",
+                 quant.status().ToString().c_str());
+    return 2;
+  }
+  const la::QuantMode quant_mode = quant.value();
 
   std::printf("training %s on %zu interactions...\n",
               model->name().c_str(), split.train.size());
@@ -265,6 +279,15 @@ int RunTrain(const Flags& flags) {
     }
     serve::ServingIndex index =
         serve::ServingIndex::Freeze(*frozen, ds, model->name());
+    if (quant_mode != la::QuantMode::kOff) {
+      auto quantized = index.WithQuant(quant_mode);
+      if (!quantized.ok()) {
+        std::fprintf(stderr, "index quantization failed: %s\n",
+                     quantized.status().ToString().c_str());
+        return 1;
+      }
+      index = std::move(quantized).value();
+    }
     Status save = index.Save(export_index);
     if (!save.ok()) {
       std::fprintf(stderr, "index export failed: %s\n",
@@ -272,9 +295,10 @@ int RunTrain(const Flags& flags) {
       return 1;
     }
     std::printf("wrote serving index %s (model=%s users=%zu items=%zu "
-                "dim=%zu)\n",
+                "dim=%zu quant=%s)\n",
                 export_index.c_str(), index.model_name().c_str(),
-                index.num_users(), index.num_items(), index.dim());
+                index.num_users(), index.num_items(), index.dim(),
+                la::QuantModeName(index.quant_mode()));
   }
 
   auto train_items = data::BuildUserItems(ds.num_users, split.train);
@@ -328,8 +352,12 @@ int RunServe(const Flags& flags) {
       static_cast<uint64_t>(flags.GetInt("timeout-us", 100));
   opt.cache_capacity = static_cast<size_t>(flags.GetInt("cache", 4096));
   opt.max_k = std::max<size_t>(topk, 1);
+  opt.rerank_factor =
+      static_cast<size_t>(std::max<int64_t>(flags.GetInt("rerank", 4), 1));
   double zipf = flags.GetDouble("zipf", 1.1);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  // Empty = serve whatever quantization the index file stored.
+  std::string quant_name = flags.GetString("quant", "");
   if (int rc = RejectUnknownFlags(flags); rc != 0) return rc;
   if (index_path.empty() || topk == 0 || clients < 1) return Usage();
 
@@ -339,11 +367,28 @@ int RunServe(const Flags& flags) {
                  loaded.status().ToString().c_str());
     return 1;
   }
-  auto index = std::make_shared<const serve::ServingIndex>(
-      std::move(loaded).value());
-  std::printf("loaded index: model=%s users=%zu items=%zu dim=%zu\n",
+  serve::ServingIndex index_val = std::move(loaded).value();
+  if (!quant_name.empty()) {
+    auto quant = la::QuantModeFromString(quant_name);
+    if (!quant.ok()) {
+      std::fprintf(stderr, "bad --quant: %s\n",
+                   quant.status().ToString().c_str());
+      return 2;
+    }
+    auto requantized = index_val.WithQuant(quant.value());
+    if (!requantized.ok()) {
+      std::fprintf(stderr, "index requantization failed: %s\n",
+                   requantized.status().ToString().c_str());
+      return 1;
+    }
+    index_val = std::move(requantized).value();
+  }
+  auto index =
+      std::make_shared<const serve::ServingIndex>(std::move(index_val));
+  std::printf("loaded index: model=%s users=%zu items=%zu dim=%zu quant=%s\n",
               index->model_name().c_str(), index->num_users(),
-              index->num_items(), index->dim());
+              index->num_items(), index->dim(),
+              la::QuantModeName(index->quant_mode()));
 
   serve::TraceConfig tc;
   tc.num_events = num_requests;
