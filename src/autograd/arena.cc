@@ -51,6 +51,7 @@ TapeArena::~TapeArena() {
 Tensor TapeArena::NewNode() {
   const size_t block = next_ / kBlockSize;
   const size_t slot = next_ % kBlockSize;
+  // NOLINTNEXTLINE(pup-hot-transitive): amortized block growth; blocks are recycled across steps by Reset().
   if (block == blocks_.size()) blocks_.push_back(std::make_shared<Block>());
   Node* node = &(*blocks_[block])[slot];
   if (next_ < high_water_) {

@@ -27,6 +27,7 @@ namespace internal {
 
 Tensor NewHeapNode() {
   g_heap_nodes.fetch_add(1, std::memory_order_relaxed);
+  // NOLINTNEXTLINE(pup-hot-transitive): heap fallback off the arena path, counted by the gauge above.
   return std::make_shared<Node>();
 }
 
@@ -42,17 +43,17 @@ void TopologicalOrderInto(Node* root, std::vector<Node*>* order) {
   thread_local std::vector<Frame> stack;
   stack.clear();
   root->topo_mark = mark;
-  stack.push_back({root, 0});
+  stack.push_back({root, 0});  // NOLINT(pup-hot-transitive): thread_local, keeps capacity.
   while (!stack.empty()) {
     Frame& top = stack.back();
     if (top.next_parent < top.node->parents.size()) {
       Node* parent = top.node->parents[top.next_parent++].get();
       if (parent->topo_mark != mark) {
         parent->topo_mark = mark;
-        stack.push_back({parent, 0});
+        stack.push_back({parent, 0});  // NOLINT(pup-hot-transitive): thread_local, keeps capacity.
       }
     } else {
-      order->push_back(top.node);
+      order->push_back(top.node);  // NOLINT(pup-hot-transitive): caller-reused scratch keeps capacity.
       stack.pop_back();
     }
   }

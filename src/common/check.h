@@ -12,7 +12,7 @@ namespace pup::internal {
 
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr, const char* msg) {
-  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,  // NOLINT(pup-hot-transitive): [[noreturn]] failure path.
                msg[0] ? " — " : "", msg);
   std::abort();
 }

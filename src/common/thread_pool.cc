@@ -1,4 +1,8 @@
 #include "common/thread_pool.h"
+// NOLINTFILE(pup-hot-transitive): this file IS the synchronization
+// runtime — its locks and queue are the work-distribution mechanism hot
+// callers amortize via grain sizing (pup-parallel-grain), not incidental
+// hot-path work.
 
 #include <algorithm>
 #include <atomic>

@@ -125,8 +125,9 @@ ag::Tensor ExtendedPup::DecodeFields(
     const ag::Tensor& f, const std::vector<std::vector<uint32_t>>& fields) {
   // Eq. (7): ½(‖Σe‖² − Σ‖e‖²) per example.
   std::vector<ag::Tensor> gathered;
+  // NOLINTNEXTLINE(pup-hot-transitive): bounded by the field count; the training forward builds the tape and allocates by design.
   gathered.reserve(fields.size());
-  for (const auto& idx : fields) gathered.push_back(ag::Gather(f, idx));
+  for (const auto& idx : fields) gathered.push_back(ag::Gather(f, idx));  // NOLINT(pup-hot-transitive): reserve() above.
   ag::Tensor sum = gathered[0];
   for (size_t k = 1; k < gathered.size(); ++k) {
     sum = ag::Add(sum, gathered[k]);

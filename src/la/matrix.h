@@ -217,6 +217,7 @@ class Matrix {
     rows_ = rows;
     cols_ = cols;
     stride_ = stride;
+    // NOLINTNEXTLINE(pup-hot-transitive): capacity-retaining — a steady-state no-op; real growth is counted above.
     data_.resize(n);
   }
 

@@ -199,7 +199,7 @@ void QuantizedQuery::Prepare(const float* user, const QuantizedTable& table) {
   stride = table.row_stride();
   // assign() both sizes and zeroes the pad region; with Reserve() done
   // up front it never allocates (vector keeps its capacity).
-  codes.assign(QueryBufferSize(mode, d), 0);
+  codes.assign(QueryBufferSize(mode, d), 0);  // NOLINT(pup-hot-transitive): see above.
   float maxabs = 0.0f;
   for (size_t j = 0; j < d; ++j) {
     const float a = user[j] < 0.0f ? -user[j] : user[j];

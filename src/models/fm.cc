@@ -79,10 +79,11 @@ ag::Tensor Fm::ScoreBatch(const std::vector<uint32_t>& users,
                           std::vector<ag::Tensor>* l2_terms,
                           FieldEmbeddings* fields) {
   PUP_CHECK(dataset_ != nullptr);
+  // NOLINTNEXTLINE(pup-hot-transitive): member scratch sized to the batch; capacity is retained across steps.
   f_user_.resize(users.size());
-  f_item_.resize(items.size());
-  f_cat_.resize(items.size());
-  f_price_.resize(items.size());
+  f_item_.resize(items.size());  // NOLINT(pup-hot-transitive): see above.
+  f_cat_.resize(items.size());  // NOLINT(pup-hot-transitive): see above.
+  f_price_.resize(items.size());  // NOLINT(pup-hot-transitive): see above.
   for (size_t k = 0; k < users.size(); ++k) {
     f_user_[k] = UserFeature(users[k]);
     f_item_[k] = ItemFeature(items[k]);
@@ -112,10 +113,10 @@ ag::Tensor Fm::ScoreBatch(const std::vector<uint32_t>& users,
     *fields = {eu, ei, ec, ep};
   }
   if (l2_terms != nullptr) {
-    l2_terms->push_back(eu);
-    l2_terms->push_back(ei);
-    l2_terms->push_back(ec);
-    l2_terms->push_back(ep);
+    l2_terms->push_back(eu);  // NOLINT(pup-hot-transitive): <= #fields terms.
+    l2_terms->push_back(ei);  // NOLINT(pup-hot-transitive): <= #fields terms.
+    l2_terms->push_back(ec);  // NOLINT(pup-hot-transitive): <= #fields terms.
+    l2_terms->push_back(ep);  // NOLINT(pup-hot-transitive): <= #fields terms.
   }
   return ag::Add(pairwise, linear);
 }

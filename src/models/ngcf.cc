@@ -88,9 +88,10 @@ std::vector<ag::Tensor> Ngcf::Parameters() {
 void Ngcf::BuildBatchNodes(const std::vector<uint32_t>& users,
                            const std::vector<uint32_t>& pos_items,
                            const std::vector<uint32_t>& neg_items) {
+  // NOLINTNEXTLINE(pup-hot-transitive): member scratch sized to the batch; capacity is retained across steps.
   user_nodes_.resize(users.size());
-  pos_nodes_.resize(pos_items.size());
-  neg_nodes_.resize(neg_items.size());
+  pos_nodes_.resize(pos_items.size());  // NOLINT(pup-hot-transitive): see above.
+  neg_nodes_.resize(neg_items.size());  // NOLINT(pup-hot-transitive): see above.
   for (size_t k = 0; k < users.size(); ++k) {
     user_nodes_[k] = graph_->UserNode(users[k]);
     pos_nodes_[k] = graph_->ItemNode(pos_items[k]);

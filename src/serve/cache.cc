@@ -20,7 +20,7 @@ bool ResultCache::Lookup(uint32_t user, uint32_t k, uint64_t generation,
                          std::vector<uint32_t>* items,
                          std::vector<float>* scores) {
   if (user >= user_slot_.size()) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);  // NOLINT(pup-hot-transitive): sub-us slot-table critical section — the cache contract.
   const int32_t slot = user_slot_[user];
   if (slot == kNone) return false;
   Entry& e = entries_[slot];
@@ -41,7 +41,7 @@ void ResultCache::Insert(uint32_t user, uint32_t k, uint64_t generation,
                          const std::vector<float>& scores) {
   if (entries_.empty() || user >= user_slot_.size()) return;
   PUP_DCHECK(items.size() <= entries_[0].items.capacity());
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);  // NOLINT(pup-hot-transitive): sub-us slot-table critical section — the cache contract.
   int32_t slot = user_slot_[user];
   if (slot == kNone) {
     if (live_ < entries_.size()) {
@@ -79,7 +79,7 @@ void ResultCache::Invalidate() {
 }
 
 size_t ResultCache::size() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);  // NOLINT(pup-hot-transitive): counter read.
   return live_;
 }
 

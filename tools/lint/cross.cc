@@ -1,0 +1,351 @@
+#include "lint/cross.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace pup::lint {
+namespace {
+
+void Report(const TreeIndex& index, int file, size_t line,
+            const char* check, std::string message,
+            std::vector<Finding>* findings) {
+  const SourceFile& f = *index.files[file].src;
+  if (line == 0 || line > f.raw.size()) return;
+  if (Suppressed(f, line - 1, check)) return;
+  findings->push_back({f.path, line, check, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Call resolution
+// ---------------------------------------------------------------------------
+
+// True if `file` is `from` itself or in `from`'s include closure.
+bool Visible(const TreeIndex& index, int from, int file) {
+  if (from == file) return true;
+  const std::vector<int>& closure = index.files[from].closure;
+  return std::binary_search(closure.begin(), closure.end(), file);
+}
+
+// Resolves a call by simple name from `from_file` to candidate
+// *definitions*. Preference order: definitions directly visible through
+// the include closure; otherwise — the ubiquitous header-decl/cc-def
+// split — any tree-wide definition whose *declaration* is visible.
+// Member-call syntax (`obj.F(...)`) can only name a method, so free
+// functions are dropped from those resolutions.
+std::vector<size_t> ResolveDefinitions(const TreeIndex& index,
+                                       const std::string& name,
+                                       int from_file, bool member_call) {
+  const auto it = index.by_name.find(name);
+  if (it == index.by_name.end()) return {};
+  std::vector<size_t> visible_defs;
+  bool decl_visible = false;
+  for (const size_t idx : it->second) {
+    const FunctionInfo& fn = index.functions[idx];
+    if (member_call && !fn.is_method) continue;
+    if (!Visible(index, from_file, fn.file)) continue;
+    if (fn.is_definition) {
+      visible_defs.push_back(idx);
+    } else {
+      decl_visible = true;
+    }
+  }
+  if (!visible_defs.empty() || !decl_visible) return visible_defs;
+  std::vector<size_t> all_defs;
+  for (const size_t idx : it->second) {
+    const FunctionInfo& fn = index.functions[idx];
+    if (member_call && !fn.is_method) continue;
+    if (fn.is_definition) all_defs.push_back(idx);
+  }
+  return all_defs;
+}
+
+// All entries (declarations and definitions) of `name` visible from
+// `from_file` — the conservative set pup-status-discard judges.
+std::vector<size_t> ResolveVisible(const TreeIndex& index,
+                                   const std::string& name, int from_file,
+                                   bool member_call) {
+  const auto it = index.by_name.find(name);
+  if (it == index.by_name.end()) return {};
+  std::vector<size_t> out;
+  for (const size_t idx : it->second) {
+    const FunctionInfo& fn = index.functions[idx];
+    if (member_call && !fn.is_method) continue;
+    if (Visible(index, from_file, fn.file)) {
+      out.push_back(idx);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// pup-hot-transitive
+// ---------------------------------------------------------------------------
+
+bool ReachabilityMatters(FactKind kind, bool in_hot_body) {
+  // Direct allocations in the hot body itself are pup-hot-alloc's
+  // finding; everything else (direct locks/IO, and any fact reached
+  // through a call) is this check's.
+  return !(in_hot_body && kind == FactKind::kAlloc);
+}
+
+// The obs layer is exempt as a fact source: metric handles are
+// registered once behind a mutex and the hot-path increments are plain
+// atomics — the same contract the per-file checks encode by exempting
+// PUP_OBS_* lines from pup-hot-alloc.
+bool ExemptFactSource(const TreeIndex& index, const FunctionInfo& fn) {
+  return index.files[fn.file].layer == "obs";
+}
+
+void CheckHotTransitive(const TreeIndex& index,
+                        std::vector<Finding>* findings) {
+  constexpr size_t kMaxDepth = 16;
+  for (size_t h = 0; h < index.functions.size(); ++h) {
+    const FunctionInfo& hot = index.functions[h];
+    if (!hot.hot || !hot.is_definition) continue;
+    // Direct lock/IO facts in the hot body.
+    for (const Fact& fact : hot.facts) {
+      if (!ReachabilityMatters(fact.kind, /*in_hot_body=*/true)) continue;
+      Report(index, hot.file, fact.line, "pup-hot-transitive",
+             "PUP_HOT function '" + hot.qual + "' " +
+                 FactKindName(fact.kind) + " ('" + fact.what +
+                 "') — the hot-path contract (zero allocation, bounded "
+                 "latency) is whole-program; hoist this out of the hot "
+                 "region or suppress with a reason",
+             findings);
+    }
+    // Reachable facts through the call graph. One finding per reached
+    // function, anchored at the hot function's originating call site.
+    std::set<size_t> visited;
+    std::set<size_t> reported;
+    struct Frame {
+      size_t fn;
+      size_t root_line;  // Call-site line inside the hot function.
+      std::vector<std::string> path;
+      size_t depth;
+    };
+    std::vector<Frame> stack;
+    for (const CallSite& call : hot.calls) {
+      for (const size_t d :
+           ResolveDefinitions(index, call.name, hot.file, call.member)) {
+        if (d == h) continue;
+        stack.push_back({d, call.line, {hot.qual, index.functions[d].qual},
+                         1});
+      }
+    }
+    while (!stack.empty()) {
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+      if (visited.count(frame.fn) > 0) continue;
+      visited.insert(frame.fn);
+      const FunctionInfo& fn = index.functions[frame.fn];
+      if (!fn.facts.empty() && !ExemptFactSource(index, fn) &&
+          reported.count(frame.fn) == 0) {
+        reported.insert(frame.fn);
+        const Fact& fact = fn.facts.front();
+        std::string path;
+        for (const std::string& hop : frame.path) {
+          if (!path.empty()) path += " -> ";
+          path += hop;
+        }
+        Report(index, hot.file, frame.root_line, "pup-hot-transitive",
+               "PUP_HOT function '" + hot.qual + "' reaches '" + fn.qual +
+                   "' which " + FactKindName(fact.kind) + " ('" +
+                   fact.what + "', " + index.files[fn.file].src->path +
+                   ":" + std::to_string(fact.line) + ") via " + path,
+               findings);
+      }
+      if (frame.depth >= kMaxDepth) continue;
+      if (ExemptFactSource(index, fn)) continue;  // Don't walk into obs.
+      for (const CallSite& call : fn.calls) {
+        for (const size_t d :
+             ResolveDefinitions(index, call.name, fn.file, call.member)) {
+          if (d == h || visited.count(d) > 0) continue;
+          std::vector<std::string> path = frame.path;
+          path.push_back(index.functions[d].qual);
+          stack.push_back(
+              {d, frame.root_line, std::move(path), frame.depth + 1});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pup-layering
+// ---------------------------------------------------------------------------
+
+// The declarative layer manifest (docs/static_analysis.md). Rank is the
+// height in the dependency order; a file may include only its own rank
+// or below. `tests` is listed for completeness — the shipped-tree lint
+// scope is src/bench/examples/tools, but fixtures and ad-hoc runs see
+// the same rules.
+struct LayerSpec {
+  const char* dir;
+  int rank;
+};
+constexpr LayerSpec kLayers[] = {
+    {"common", 0}, {"obs", 0},
+    {"la", 1},
+    {"autograd", 2}, {"data", 2}, {"graph", 2},
+    {"core", 3},     {"models", 3}, {"train", 3}, {"eval", 3}, {"ckpt", 3},
+    {"serve", 4},
+    {"tools", 5},    {"bench", 5},  {"tests", 5}, {"examples", 5},
+};
+
+// Edges denied even though the target rank is lower: the frozen serving
+// tier must never reach back into training machinery.
+constexpr std::pair<const char*, const char*> kDeniedEdges[] = {
+    {"serve", "train"},
+    {"serve", "autograd"},
+};
+
+const LayerSpec* FindLayer(const std::string& dir) {
+  for (const LayerSpec& l : kLayers) {
+    if (dir == l.dir) return &l;
+  }
+  return nullptr;
+}
+
+void CheckLayering(const TreeIndex& index, std::vector<Finding>* findings) {
+  for (size_t i = 0; i < index.files.size(); ++i) {
+    const FileNode& node = index.files[i];
+    const LayerSpec* from = FindLayer(node.layer);
+    if (from == nullptr) continue;
+    for (const auto& [line, inc] : node.includes) {
+      const size_t slash = inc.find('/');
+      if (slash == std::string::npos) continue;  // Same-dir include.
+      const LayerSpec* to = FindLayer(inc.substr(0, slash));
+      if (to == nullptr) continue;  // Not a manifest layer (gtest/...).
+      bool denied = false;
+      for (const auto& [a, b] : kDeniedEdges) {
+        if (node.layer == a && inc.compare(0, std::string(b).size(), b) == 0 &&
+            inc[std::string(b).size()] == '/') {
+          denied = true;
+        }
+      }
+      if (to->rank <= from->rank && !denied) continue;
+      std::string why =
+          denied
+              ? "the edge is explicitly denied by the layer manifest — "
+                "serving must never reach back into the trainer"
+              : "lower layers must not depend on higher ones";
+      Report(index, static_cast<int>(i), line, "pup-layering",
+             "layer '" + node.layer + "' (rank " +
+                 std::to_string(from->rank) + ") must not include \"" +
+                 inc + "\" from layer '" + std::string(to->dir) +
+                 "' (rank " + std::to_string(to->rank) + "); " + why +
+                 " (dependency order: common/obs -> la -> "
+                 "autograd/data/graph -> core/models/train/eval/ckpt -> "
+                 "serve -> tools/bench/tests/examples)",
+             findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pup-status-discard
+// ---------------------------------------------------------------------------
+
+bool IsStatusType(const std::string& return_type) {
+  if (return_type.empty()) return false;
+  // Strip trailing qualifiers the signature scan may have kept.
+  std::string t = return_type;
+  while (!t.empty() && (t.back() == '&' || t.back() == '*')) t.pop_back();
+  if (t.find("Result<") != std::string::npos) return true;
+  // Last identifier token must be exactly `Status` (pup::Status spelled
+  // any way); StatusCode / StatusOr-style names do not count.
+  size_t end = t.size();
+  while (end > 0 && std::isspace(static_cast<unsigned char>(t[end - 1])))
+    --end;
+  size_t start = end;
+  while (start > 0 && (std::isalnum(static_cast<unsigned char>(
+                           t[start - 1])) ||
+                       t[start - 1] == '_')) {
+    --start;
+  }
+  return t.compare(start, end - start, "Status") == 0;
+}
+
+void CheckStatusDiscard(const TreeIndex& index,
+                        std::vector<Finding>* findings) {
+  for (const FunctionInfo& fn : index.functions) {
+    if (!fn.is_definition) continue;
+    for (const CallSite& call : fn.calls) {
+      if (!call.discards_value) continue;
+      const std::vector<size_t> candidates =
+          ResolveVisible(index, call.name, fn.file, call.member);
+      if (candidates.empty()) continue;
+      bool all_status = true;
+      std::string return_type;
+      for (const size_t c : candidates) {
+        if (!IsStatusType(index.functions[c].return_type)) {
+          all_status = false;
+          break;
+        }
+        return_type = index.functions[c].return_type;
+      }
+      if (!all_status) continue;
+      Report(index, fn.file, call.line, "pup-status-discard",
+             "result of '" + call.name + "' (returns " + return_type +
+                 ") is discarded; a failed Status vanishes silently — "
+                 "check it, propagate with PUP_RETURN_NOT_OK, or spell "
+                 "the drop ((void) + NOLINT with a reason)",
+             findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pup-ckpt-section-drift
+// ---------------------------------------------------------------------------
+
+void CheckCkptSectionDrift(const TreeIndex& index,
+                           std::vector<Finding>* findings) {
+  std::map<std::string, const CkptSite*> saved;
+  std::map<std::string, const CkptSite*> loaded;
+  for (const CkptSite& site : index.ckpt_sites) {
+    auto& side = site.save ? saved : loaded;
+    side.emplace(site.section, &site);
+  }
+  for (const auto& [section, site] : saved) {
+    if (loaded.count(section) > 0) continue;
+    Report(index, site->file, site->line, "pup-ckpt-section-drift",
+           "checkpoint section \"" + section +
+               "\" is written but never read back — a Save/Load name "
+               "drift passes the CRC layer and only surfaces as a "
+               "missing-section Status at resume time; share a kSec* "
+               "constant between both sites",
+           findings);
+  }
+  for (const auto& [section, site] : loaded) {
+    if (saved.count(section) > 0) continue;
+    Report(index, site->file, site->line, "pup-ckpt-section-drift",
+           "checkpoint section \"" + section +
+               "\" is read but never written — either the Save site "
+               "drifted (typo) or this is a legacy-format read that "
+               "deserves a NOLINT with the format version it serves",
+           findings);
+  }
+}
+
+}  // namespace
+
+void RunCrossFileChecks(const TreeIndex& index, const CheckFilter& filter,
+                        std::vector<Finding>* findings) {
+  if (Enabled(filter, "pup-hot-transitive")) {
+    CheckHotTransitive(index, findings);
+  }
+  if (Enabled(filter, "pup-layering")) {
+    CheckLayering(index, findings);
+  }
+  if (Enabled(filter, "pup-status-discard")) {
+    CheckStatusDiscard(index, findings);
+  }
+  if (Enabled(filter, "pup-ckpt-section-drift")) {
+    CheckCkptSectionDrift(index, findings);
+  }
+}
+
+}  // namespace pup::lint

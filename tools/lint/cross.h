@@ -1,0 +1,30 @@
+// pup::lint — cross-file checks over the TreeIndex.
+//
+//   pup-hot-transitive      a function reachable from a PUP_HOT region
+//                           allocates, locks, or does file IO
+//   pup-layering            an include edge violates the layer manifest
+//   pup-status-discard      a Status/Result-returning call used as a
+//                           bare expression statement drops the error
+//   pup-ckpt-section-drift  a checkpoint section name is written but
+//                           never read back (or vice versa)
+//
+// The layer manifest is declarative data in cross.cc: directories are
+// ranked bottom-up (common/obs → la → autograd/data/graph →
+// core/models/train/eval/ckpt → serve → tools/bench/tests/examples) and
+// a file may include only its own rank or below; explicitly denied
+// edges (serve → train, serve → autograd) narrow that further —
+// serving must never reach back into the trainer even though the
+// trainer sits a rank below it.
+#pragma once
+
+#include <vector>
+
+#include "lint/checks.h"
+#include "lint/index.h"
+
+namespace pup::lint {
+
+void RunCrossFileChecks(const TreeIndex& index, const CheckFilter& filter,
+                        std::vector<Finding>* findings);
+
+}  // namespace pup::lint

@@ -1,0 +1,197 @@
+#include "lint/driver.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/checks.h"
+#include "lint/cross.h"
+#include "lint/index.h"
+#include "lint/sarif.h"
+#include "lint/source.h"
+
+namespace pup::lint {
+namespace {
+
+constexpr const char* kCrossChecks[] = {
+    "pup-hot-transitive",
+    "pup-layering",
+    "pup-status-discard",
+    "pup-ckpt-section-drift",
+};
+
+void PrintChecks() {
+  std::cout << "pup_lint checks:\n";
+  for (const CheckInfo& c : Checks()) {
+    std::cout << "  " << c.id << "\n      " << c.summary << "\n";
+  }
+}
+
+int Usage() {
+  std::cerr
+      << "usage: pup_lint [--fix-suggestions] [--list-checks]\n"
+         "                [--checks=id,id,...] [--format=text|sarif]\n"
+         "                [--sarif-out=FILE] path...\n"
+         "Lints .cc/.h files (directories are recursed; build*/ skipped).\n"
+         "--checks limits the run to the listed check ids; --format=sarif\n"
+         "writes a SARIF 2.1.0 document to stdout (or --sarif-out=FILE\n"
+         "alongside the text report).\n"
+         "Exit: 0 clean, 1 findings, 2 usage/I/O error.\n";
+  return 2;
+}
+
+// Parses `--checks=a,b,c` into the filter; returns false on an unknown
+// check id (reported to stderr).
+bool ParseCheckFilter(const std::string& list, CheckFilter* filter) {
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    const size_t comma = list.find(',', pos);
+    const size_t end = (comma == std::string::npos) ? list.size() : comma;
+    const std::string id = list.substr(pos, end - pos);
+    if (!id.empty()) {
+      if (!IsKnownCheck(id)) {
+        std::cerr << "pup_lint: unknown check id '" << id
+                  << "' (see --list-checks)\n";
+        return false;
+      }
+      filter->insert(id);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (filter->empty()) {
+    std::cerr << "pup_lint: --checks= requires at least one check id\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int RunLint(int argc, char** argv) {
+  bool fix_suggestions = false;
+  bool sarif_stdout = false;
+  std::string sarif_out;
+  CheckFilter filter;  // Empty = all checks enabled.
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix-suggestions") {
+      fix_suggestions = true;
+    } else if (arg == "--list-checks") {
+      PrintChecks();
+      return 0;
+    } else if (arg.rfind("--checks=", 0) == 0) {
+      if (!ParseCheckFilter(arg.substr(9), &filter)) return 2;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string fmt = arg.substr(9);
+      if (fmt == "sarif") {
+        sarif_stdout = true;
+      } else if (fmt != "text") {
+        std::cerr << "pup_lint: unknown format '" << fmt << "'\n";
+        return Usage();
+      }
+    } else if (arg.rfind("--sarif-out=", 0) == 0) {
+      sarif_out = arg.substr(12);
+      if (sarif_out.empty()) {
+        std::cerr << "pup_lint: --sarif-out= requires a path\n";
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "pup_lint: unknown flag " << arg << "\n";
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  std::vector<std::string> file_names;
+  for (const std::string& p : paths) {
+    if (!CollectFiles(p, &file_names)) return 2;
+  }
+  std::sort(file_names.begin(), file_names.end());
+  file_names.erase(std::unique(file_names.begin(), file_names.end()),
+                   file_names.end());
+
+  std::vector<SourceFile> files;
+  files.reserve(file_names.size());
+  for (const std::string& name : file_names) {
+    SourceFile f;
+    if (!LoadFile(name, &f)) return 2;
+    files.push_back(std::move(f));
+  }
+
+  // Pass 1: unordered-container identifiers, across the whole file set so
+  // members declared in headers are tracked in their .cc files.
+  std::set<std::string> unordered_names;
+  for (const SourceFile& f : files) {
+    CollectUnorderedNames(f, &unordered_names);
+  }
+
+  // Pass 2: per-file checks.
+  std::vector<Finding> findings;
+  for (const SourceFile& f : files) {
+    RunFileChecks(f, unordered_names, filter, &findings);
+  }
+
+  // Pass 3: the tree index and cross-file checks — skipped entirely when
+  // --checks= names only per-file rules.
+  bool any_cross = false;
+  for (const char* c : kCrossChecks) {
+    if (Enabled(filter, c)) any_cross = true;
+  }
+  if (any_cross) {
+    const TreeIndex index = BuildTreeIndex(files);
+    RunCrossFileChecks(index, filter, &findings);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return std::string_view(a.check) < std::string_view(b.check);
+            });
+
+  if (!sarif_out.empty()) {
+    std::ofstream out(sarif_out);
+    if (!out) {
+      std::cerr << "pup_lint: cannot write " << sarif_out << "\n";
+      return 2;
+    }
+    out << SarifReport(findings);
+  }
+  if (sarif_stdout) {
+    std::cout << SarifReport(findings);
+    return findings.empty() ? 0 : 1;
+  }
+
+  for (const Finding& fd : findings) {
+    std::cout << fd.file << ":" << fd.line << ": [" << fd.check << "] "
+              << fd.message << "\n";
+  }
+  if (fix_suggestions && !findings.empty()) {
+    std::set<std::string> hit;
+    for (const Finding& fd : findings) hit.insert(fd.check);
+    std::cout << "\nfix suggestions:\n";
+    for (const CheckInfo& c : Checks()) {
+      if (hit.count(c.id) > 0) {
+        std::cout << "  [" << c.id << "] " << c.hint << "\n";
+      }
+    }
+  }
+  std::cout << (findings.empty() ? "pup_lint: clean ("
+                                 : "pup_lint: FAILED (")
+            << file_names.size() << " files, " << findings.size()
+            << " findings)\n";
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace pup::lint

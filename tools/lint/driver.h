@@ -1,0 +1,11 @@
+// pup::lint — CLI driver: argument parsing, the two per-file passes,
+// the tree index + cross-file pass, and text/SARIF output.
+#pragma once
+
+namespace pup::lint {
+
+// The pup_lint entry point. Exit codes: 0 clean, 1 findings, 2
+// usage/I-O error.
+int RunLint(int argc, char** argv);
+
+}  // namespace pup::lint

@@ -1,0 +1,793 @@
+#include "lint/index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <regex>
+
+namespace pup::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  const size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) return "";
+  const size_t b = s.find_last_not_of(" \t");
+  return s.substr(a, b - a + 1);
+}
+
+// Collapses whitespace runs to single spaces (signature buffers span
+// lines; the normalized text keeps return types comparable).
+std::string Normalize(const std::string& s) {
+  std::string out;
+  bool ws = false;
+  for (const char c : Trim(s)) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ws = true;
+      continue;
+    }
+    if (ws && !out.empty()) out += ' ';
+    ws = false;
+    out += c;
+  }
+  return out;
+}
+
+bool IsKeyword(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",     "switch",   "catch",
+      "return",   "do",       "else",      "sizeof",   "alignof",
+      "alignas",  "new",      "delete",    "throw",    "co_await",
+      "co_return", "co_yield", "decltype", "noexcept", "static_assert",
+      "assert",   "operator", "requires",  "typeid",   "goto",
+      "case",     "default",  "using",     "typedef",  "this",
+  };
+  return kKeywords.count(name) > 0;
+}
+
+bool IsAllCaps(const std::string& name) {
+  if (name.size() < 2) return false;
+  bool has_alpha = false;
+  for (const char c : name) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+// Consumes a leading token from `s` if it equals `word` (as a whole
+// identifier), returning true and trimming on success.
+bool EatWord(std::string* s, const char* word) {
+  const size_t n = std::string(word).size();
+  if (s->compare(0, n, word) != 0) return false;
+  if (s->size() > n && IsIdentChar((*s)[n])) return false;
+  *s = Trim(s->substr(n));
+  return true;
+}
+
+struct Signature {
+  enum Kind { kOther, kNamespace, kClass, kFunction } kind = kOther;
+  std::string name;         // Simple name.
+  std::string qual;         // As spelled (may contain ::).
+  std::string return_type;  // "" for constructors/destructors.
+};
+
+// Classifies the statement text accumulated since the last `;`/`{`/`}`
+// at namespace or class scope: the text directly before an opening brace
+// (or the full statement, for declarations ending in `;`).
+Signature Classify(const std::string& raw_text) {
+  Signature sig;
+  std::string text = Normalize(raw_text);
+  // Access labels glue onto the next member in the statement buffer.
+  for (const char* label : {"public :", "private :", "protected :",
+                            "public:", "private:", "protected:"}) {
+    while (EatWord(&text, label)) {
+    }
+  }
+  if (text.empty()) return sig;
+  if (EatWord(&text, "namespace")) {
+    sig.kind = Signature::kNamespace;
+    return sig;
+  }
+  // template<...> prefix: strip the balanced angle list.
+  while (EatWord(&text, "template")) {
+    if (text.empty() || text[0] != '<') return sig;
+    int depth = 0;
+    size_t i = 0;
+    for (; i < text.size(); ++i) {
+      if (text[i] == '<') ++depth;
+      if (text[i] == '>' && --depth == 0) break;
+    }
+    if (depth != 0) return sig;
+    text = Trim(text.substr(i + 1));
+  }
+  // [[attributes]] and leading specifiers.
+  while (text.compare(0, 2, "[[") == 0) {
+    const size_t close = text.find("]]");
+    if (close == std::string::npos) return sig;
+    text = Trim(text.substr(close + 2));
+  }
+  for (bool stripped = true; stripped;) {
+    stripped = false;
+    for (const char* spec : {"static", "inline", "constexpr", "consteval",
+                             "constinit", "virtual", "explicit", "friend",
+                             "extern", "typename"}) {
+      if (EatWord(&text, spec)) stripped = true;
+    }
+  }
+  for (const char* agg : {"class", "struct", "union", "enum"}) {
+    std::string probe = text;
+    if (EatWord(&probe, agg)) {
+      sig.kind = Signature::kClass;
+      return sig;
+    }
+  }
+  if (text.empty() || text[0] == '"') return sig;  // extern "C" et al.
+  // First top-level '(' — outside template angles — bounded by any '='
+  // (an initializer, a lambda, operator= — none are definitions the
+  // index resolves calls to).
+  size_t open = std::string::npos;
+  int angle = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (c == '=' && angle == 0) return sig;
+    if (c == '(' && angle == 0) {
+      open = i;
+      break;
+    }
+  }
+  if (open == std::string::npos || open == 0) return sig;
+  // The (possibly qualified) name directly before the paren.
+  size_t end = open;
+  while (end > 0 && text[end - 1] == ' ') --end;
+  size_t start = end;
+  while (start > 0 &&
+         (IsIdentChar(text[start - 1]) || text[start - 1] == ':' ||
+          text[start - 1] == '~')) {
+    --start;
+  }
+  const std::string qual = text.substr(start, end - start);
+  if (qual.empty() || std::isdigit(static_cast<unsigned char>(qual[0])))
+    return sig;
+  const size_t sep = qual.rfind("::");
+  std::string simple =
+      sep == std::string::npos ? qual : qual.substr(sep + 2);
+  if (!simple.empty() && simple[0] == '~') simple = simple.substr(1);
+  if (simple.empty() || IsKeyword(simple) || IsAllCaps(simple)) return sig;
+  if (qual.find("operator") != std::string::npos) return sig;
+  sig.kind = Signature::kFunction;
+  sig.name = simple;
+  sig.qual = qual;
+  sig.return_type = Normalize(text.substr(0, start));
+  // Trailing return type: `auto F(...) -> Status`.
+  const size_t close = text.find(')', open);
+  if (close != std::string::npos) {
+    const size_t arrow = text.find("->", close);
+    if (arrow != std::string::npos) {
+      std::string trailing = Trim(text.substr(arrow + 2));
+      const size_t stop = trailing.find_first_of("{;");
+      if (stop != std::string::npos) trailing = Trim(trailing.substr(0, stop));
+      if (!trailing.empty()) sig.return_type = trailing;
+    }
+  }
+  return sig;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file structural parse: functions, declarations, hot markers.
+// ---------------------------------------------------------------------------
+
+// Skips preprocessor directives (and their backslash continuations):
+// macro bodies may contain unbalanced braces that would corrupt scope
+// tracking. Returns the per-line skip mask.
+std::vector<bool> PreprocessorMask(const SourceFile& f) {
+  std::vector<bool> skip(f.code.size(), false);
+  bool continuation = false;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string trimmed = Trim(f.code[i]);
+    const bool directive = !trimmed.empty() && trimmed[0] == '#';
+    skip[i] = directive || continuation;
+    const std::string& raw = f.raw[i];
+    const bool continues = !raw.empty() && raw.back() == '\\';
+    continuation = (directive || continuation) && continues;
+  }
+  return skip;
+}
+
+void ParseFunctions(const SourceFile& f, int file_idx, TreeIndex* index,
+                    FileNode* node) {
+  struct Scope {
+    Signature::Kind kind;
+    int depth;       // Brace depth including this scope's own brace.
+    size_t fn = 0;   // Index into index->functions when kind==kFunction.
+    bool is_fn = false;
+  };
+  const std::vector<bool> skip = PreprocessorMask(f);
+  static const std::regex kHotMarker(R"(^\s*//\s*PUP_HOT\b)");
+  std::vector<Scope> stack;
+  int depth = 0;
+  int fn_scopes = 0;  // Count of function scopes on the stack.
+  std::string buf;
+  bool buf_content = false;
+  size_t buf_line = 0;  // 0-based line where `buf` started.
+  bool pending_hot = false;
+
+  auto reset = [&](size_t line) {
+    buf.clear();
+    buf_content = false;
+    buf_line = line;
+  };
+
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    if (std::regex_search(f.raw[i], kHotMarker)) pending_hot = true;
+    if (skip[i]) continue;
+    const std::string& line = f.code[i];
+    for (size_t k = 0; k < line.size(); ++k) {
+      const char c = line[k];
+      if (c == '{') {
+        ++depth;
+        const bool hot = pending_hot;
+        pending_hot = false;
+        if (fn_scopes == 0) {
+          const Signature sig = Classify(buf);
+          Scope scope{sig.kind, depth, 0, false};
+          if (sig.kind == Signature::kFunction) {
+            FunctionInfo fn;
+            fn.name = sig.name;
+            fn.qual = sig.qual;
+            fn.return_type = sig.return_type;
+            fn.file = file_idx;
+            fn.decl_line = buf_line + 1;
+            fn.body_begin = i + 1;
+            fn.is_definition = true;
+            fn.is_method =
+                sig.qual.find("::") != std::string::npos ||
+                (!stack.empty() &&
+                 stack.back().kind == Signature::kClass);
+            fn.hot = hot;
+            scope.fn = index->functions.size();
+            scope.is_fn = true;
+            ++fn_scopes;
+            node->functions.push_back(index->functions.size());
+            index->by_name[fn.name].push_back(index->functions.size());
+            index->functions.push_back(std::move(fn));
+          }
+          stack.push_back(scope);
+        } else {
+          // Inside a function: blocks, lambdas, local aggregates — all
+          // belong to the enclosing function.
+          stack.push_back({Signature::kOther, depth, 0, false});
+        }
+        reset(i + 1);
+      } else if (c == '}') {
+        if (!stack.empty() && stack.back().depth == depth) {
+          if (stack.back().is_fn) {
+            index->functions[stack.back().fn].body_end = i + 1;
+            --fn_scopes;
+          }
+          stack.pop_back();
+        }
+        if (depth > 0) --depth;
+        reset(i + 1);
+      } else if (c == ';') {
+        if (fn_scopes == 0) {
+          const Signature sig = Classify(buf);
+          if (sig.kind == Signature::kFunction) {
+            FunctionInfo fn;
+            fn.name = sig.name;
+            fn.qual = sig.qual;
+            fn.return_type = sig.return_type;
+            fn.file = file_idx;
+            fn.decl_line = buf_line + 1;
+            fn.is_definition = false;
+            fn.is_method =
+                sig.qual.find("::") != std::string::npos ||
+                (!stack.empty() &&
+                 stack.back().kind == Signature::kClass);
+            node->functions.push_back(index->functions.size());
+            index->by_name[fn.name].push_back(index->functions.size());
+            index->functions.push_back(std::move(fn));
+          }
+        }
+        reset(i + 1);
+      } else {
+        if (!buf_content && !std::isspace(static_cast<unsigned char>(c))) {
+          buf_line = i;
+          buf_content = true;
+        }
+        buf += c;
+      }
+    }
+    buf += ' ';
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Body scan: facts (alloc / lock / IO) and call sites.
+// ---------------------------------------------------------------------------
+
+// Mirrors the pup-hot-alloc surface (checks.cc) so the transitive check
+// agrees with the per-file check about what "allocates" means.
+bool LineAllocates(const std::string& code, std::string* what) {
+  static const std::regex kGrowth(
+      R"([.>]\s*(push_back|emplace_back|resize|reserve|assign|insert|append)\s*\()");
+  static const std::regex kRawAlloc(
+      R"(\b(new|delete)\b|\b(malloc|calloc|realloc)\s*\(|\bmake_(shared|unique)\s*<)");
+  static const std::regex kObsIdiom(
+      R"(\bPUP_OBS_\w+\s*\(|\bobs\s*::\s*(ScopedTimer|Registry|Counter|Gauge|Histogram)\b)");
+  if (std::regex_search(code, kObsIdiom)) return false;
+  std::smatch m;
+  if (std::regex_search(code, m, kRawAlloc)) {
+    *what = m[1].matched ? m[1].str() : (m[2].matched ? m[2].str() : "make_");
+    return true;
+  }
+  if (std::regex_search(code, m, kGrowth)) {
+    *what = m[1].str();
+    return true;
+  }
+  return false;
+}
+
+bool LineLocks(const std::string& code, std::string* what) {
+  static const std::regex kLock(
+      R"(\b(lock_guard|unique_lock|scoped_lock|shared_lock)\s*<)"
+      R"(|\bcondition_variable\b|\.\s*(lock|try_lock|wait|wait_for|wait_until)\s*\()"
+      R"(|\bpthread_\w*(lock|wait)\w*\s*\()");
+  std::smatch m;
+  if (!std::regex_search(code, m, kLock)) return false;
+  for (size_t g = 1; g < m.size(); ++g) {
+    if (m[g].matched) {
+      *what = m[g].str();
+      return true;
+    }
+  }
+  *what = "condition_variable";
+  return true;
+}
+
+bool LineDoesIo(const std::string& code, std::string* what) {
+  static const std::regex kIo(
+      R"(\b(ifstream|ofstream|fstream|fopen|fread|fwrite|fprintf|fputs|fgets|fflush)\b)");
+  std::smatch m;
+  if (!std::regex_search(code, m, kIo)) return false;
+  *what = m[1].str();
+  return true;
+}
+
+// True if the call whose name starts at column `name_start` of line
+// `idx` is the head of an expression statement: walking back over the
+// member chain (`obj.`, `ptr->`, `ns::`) lands on `;`, `{`, `}`, or the
+// start of the file. `return Foo();`, `s = Foo();`, and macro-wrapped
+// calls all fail the walk.
+bool AtStatementHead(const SourceFile& f, size_t idx, size_t name_start) {
+  size_t i = idx;
+  size_t k = name_start;
+  for (;;) {
+    // Step over the identifier/chain segment directly before (k).
+    const std::string& line = f.code[i];
+    while (k > 0 && IsIdentChar(line[k - 1])) --k;
+    // What precedes the segment?
+    char prev = '\0';
+    size_t pi = i, pk = k;
+    {
+      size_t a = i, b = k;
+      for (;;) {
+        const std::string& l = f.code[a];
+        bool found = false;
+        while (b > 0) {
+          if (!std::isspace(static_cast<unsigned char>(l[b - 1]))) {
+            prev = l[b - 1];
+            found = true;
+            break;
+          }
+          --b;
+        }
+        if (found) {
+          pi = a;
+          pk = b;
+          break;
+        }
+        if (a == 0) break;
+        --a;
+        b = f.code[a].size();
+      }
+    }
+    if (prev == '\0' || prev == ';' || prev == '{' || prev == '}')
+      return true;
+    // Continue through a member/namespace chain: `.`, `->`, `::`.
+    const std::string& pline = f.code[pi];
+    if (prev == '.') {
+      i = pi;
+      k = pk - 1;
+      continue;
+    }
+    if (prev == '>' && pk >= 2 && pline[pk - 2] == '-') {
+      i = pi;
+      k = pk - 2;
+      continue;
+    }
+    if (prev == ':' && pk >= 2 && pline[pk - 2] == ':') {
+      i = pi;
+      k = pk - 2;
+      continue;
+    }
+    return false;
+  }
+}
+
+// Finds the `)` matching the `(` at (idx, col) and reports whether the
+// next non-space character is `;` (the call result is dropped). Scans a
+// bounded window so a truncated file cannot loop.
+bool CallResultDropped(const SourceFile& f, size_t idx, size_t col) {
+  int depth = 0;
+  for (size_t i = idx; i < f.code.size() && i < idx + 24; ++i) {
+    const std::string& line = f.code[i];
+    for (size_t k = (i == idx ? col : 0); k < line.size(); ++k) {
+      const char c = line[k];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        --depth;
+        if (depth == 0) {
+          // Next non-space char must be ';'.
+          size_t j = i, n = k + 1;
+          for (; j < f.code.size() && j < idx + 24;) {
+            const std::string& l = f.code[j];
+            while (n < l.size()) {
+              if (!std::isspace(static_cast<unsigned char>(l[n])))
+                return l[n] == ';';
+              ++n;
+            }
+            ++j;
+            n = 0;
+          }
+          return false;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+void ScanBody(const SourceFile& f, FunctionInfo* fn) {
+  static const std::regex kCall(R"(([A-Za-z_]\w*)\s*\()");
+  // Facts are suppressible at the source: a reasoned
+  // NOLINT(pup-hot-transitive) on the allocating/locking line — or a
+  // file-scope NOLINTFILE for a file that *is* the mechanism, like the
+  // thread-pool runtime — marks it safe for every hot caller at once.
+  const bool facts_exempt = FileSuppressed(f, "pup-hot-transitive");
+  for (size_t idx = fn->body_begin - 1; idx < fn->body_end; ++idx) {
+    const std::string& line = f.code[idx];
+    if (!facts_exempt && !Suppressed(f, idx, "pup-hot-transitive")) {
+      std::string what;
+      // An allocation already suppressed for pup-hot-alloc was judged
+      // hot-safe at the source (bounded size into a reserved buffer,
+      // capacity-retaining growth); honor that judgment transitively
+      // instead of demanding a second marker.
+      if (LineAllocates(line, &what) &&
+          !Suppressed(f, idx, "pup-hot-alloc")) {
+        fn->facts.push_back({FactKind::kAlloc, idx + 1, what});
+      }
+      if (LineLocks(line, &what)) {
+        fn->facts.push_back({FactKind::kLock, idx + 1, what});
+      }
+      if (LineDoesIo(line, &what)) {
+        fn->facts.push_back({FactKind::kIo, idx + 1, what});
+      }
+    }
+    // Call sites.
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kCall);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (IsKeyword(name) || IsAllCaps(name)) continue;
+      const size_t name_start = static_cast<size_t>(it->position());
+      const size_t paren =
+          static_cast<size_t>(it->position() + it->length()) - 1;
+      CallSite call;
+      call.name = name;
+      call.line = idx + 1;
+      call.discards_value = AtStatementHead(f, idx, name_start) &&
+                            CallResultDropped(f, idx, paren);
+      size_t p = name_start;
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(line[p - 1]))) {
+        --p;
+      }
+      call.member = p > 0 && (line[p - 1] == '.' ||
+                              (line[p - 1] == '>' && p > 1 &&
+                               line[p - 2] == '-'));
+      fn->calls.push_back(std::move(call));
+    }
+    // Constructor invocations via local declarations (`la::Matrix tmp(r,
+    // c);`): the call regex above sees `tmp(`, not the type, so record
+    // the type name too — a hot path constructing an allocating object
+    // is a reachability edge.
+    static const std::regex kCtorDecl(
+        R"(\b([A-Za-z_]\w*(?:\s*::\s*[A-Za-z_]\w*)*)\s+[A-Za-z_]\w*\s*\()");
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kCtorDecl);
+         it != std::sregex_iterator(); ++it) {
+      std::string type = (*it)[1].str();
+      const size_t sep = type.rfind("::");
+      if (sep != std::string::npos) type = Trim(type.substr(sep + 2));
+      // Project types are CamelCase; skip keywords, builtins
+      // (lowercase), and macro-ish all-caps names.
+      if (type.empty() || !std::isupper(static_cast<unsigned char>(type[0])))
+        continue;
+      if (IsKeyword(type) || IsAllCaps(type)) continue;
+      fn->calls.push_back({type, idx + 1, false});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Includes, string constants, checkpoint sites.
+// ---------------------------------------------------------------------------
+
+void CollectIncludes(const SourceFile& f, FileNode* node) {
+  static const std::regex kInclude(R"inc(^\s*#\s*include\s*"([^"]+)")inc");
+  for (size_t i = 0; i < f.raw.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(f.raw[i], m, kInclude)) {
+      node->includes.emplace_back(i + 1, m[1].str());
+    }
+  }
+}
+
+void CollectStringConstants(const SourceFile& f,
+                            std::map<std::string, std::string>* constants,
+                            std::set<std::string>* ambiguous) {
+  static const std::regex kConst(
+      R"(\b(?:inline\s+)?(?:static\s+)?const(?:expr|init)?\s+)"
+      R"((?:char|std::string_view|string_view|std::string|auto)\s+)"
+      R"((k\w+)\s*(?:\[\s*\])?\s*=\s*")");
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& code = f.code[i];
+    std::smatch m;
+    if (!std::regex_search(code, m, kConst)) continue;
+    const size_t q1 = static_cast<size_t>(m.position(0)) + m.length(0) - 1;
+    const size_t q2 = code.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    const std::string name = m[1].str();
+    const std::string value = f.raw[i].substr(q1 + 1, q2 - q1 - 1);
+    auto [it, inserted] = constants->emplace(name, value);
+    if (!inserted && it->second != value) ambiguous->insert(name);
+  }
+}
+
+// Reads the argument list starting at the '(' at (idx, col): returns the
+// top-level-comma-split argument texts (from the code view) plus the
+// line of the first argument. Bounded window; empty on imbalance.
+std::vector<std::string> ReadArgs(const SourceFile& f, size_t idx,
+                                  size_t col) {
+  std::vector<std::string> args;
+  std::string cur;
+  int depth = 0;
+  for (size_t i = idx; i < f.code.size() && i < idx + 8; ++i) {
+    const std::string& line = f.code[i];
+    for (size_t k = (i == idx ? col : 0); k < line.size(); ++k) {
+      const char c = line[k];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') {
+        --depth;
+        if (depth == 0) {
+          args.push_back(Trim(cur));
+          return args;
+        }
+      }
+      if (depth == 0) continue;  // Before the opening paren.
+      if (depth == 1 && c == ',') {
+        args.push_back(Trim(cur));
+        cur.clear();
+      } else if (!(depth == 1 && c == '(')) {
+        cur += c;
+      }
+    }
+    cur += ' ';
+  }
+  return {};
+}
+
+void CollectCkptSites(const SourceFile& f, int file_idx,
+                      const std::map<std::string, std::string>& constants,
+                      std::vector<CkptSite>* sites) {
+  // Method name -> (save side, required argument count; 0 = any >= 2 for
+  // save / any for load). `GetString` and `Has` exist on other classes
+  // (flags, containers), so they must see exactly one argument — the
+  // ckpt Reader signatures — to count.
+  struct Method {
+    const char* name;
+    bool save;
+    int args;  // Exact top-level argument count required; -1 = any.
+  };
+  static const Method kMethods[] = {
+      {"AddBytes", true, 2},   {"AddMatrix", true, 2},
+      {"AddU64", true, 2},     {"AddF32", true, 2},
+      {"AddString", true, 2},  {"AddRng", true, 2},
+      {"GetMatrix", false, 1}, {"GetU64", false, 1},
+      {"GetF32", false, 1},    {"GetString", false, 1},
+      {"GetRng", false, 1},    {"GetBytes", false, 1},
+      {"ReadMatrixInto", false, 2},
+      {"Has", false, 1},
+  };
+  static const std::regex kSite(
+      R"((?:\.|->)\s*(AddBytes|AddMatrix|AddU64|AddF32|AddString|AddRng|GetMatrix|GetU64|GetF32|GetString|GetRng|GetBytes|ReadMatrixInto|Has)\s*(\())");
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kSite);
+         it != std::sregex_iterator(); ++it) {
+      const std::string method = (*it)[1].str();
+      const Method* spec = nullptr;
+      for (const Method& m : kMethods) {
+        if (method == m.name) spec = &m;
+      }
+      if (spec == nullptr) continue;
+      const size_t paren = static_cast<size_t>(it->position(2));
+      const std::vector<std::string> args = ReadArgs(f, i, paren);
+      if (args.empty()) continue;
+      if (spec->args >= 0 && static_cast<int>(args.size()) != spec->args)
+        continue;
+      // Resolve the first argument to a string value: a single literal
+      // (value read from the raw view — the code view blanks contents)
+      // or a known kSec*-style constant. Concatenations and expressions
+      // are skipped: dynamic names pair up by construction.
+      const std::string& arg = args[0];
+      std::string section;
+      if (!arg.empty() && arg[0] == '"') {
+        if (arg.find_first_not_of(' ', arg.rfind('"') + 1) !=
+            std::string::npos) {
+          continue;  // `"a" + x`, `"a" "b"` — not a single literal.
+        }
+        if (std::count(arg.begin(), arg.end(), '"') != 2) continue;
+        // Map the literal back to the raw text: the first '"' after the
+        // call's paren (the argument may wrap onto the next line).
+        size_t li = i;
+        size_t q1 = line.find('"', paren);
+        for (size_t step = i + 1;
+             q1 == std::string::npos && step < f.code.size() && step < i + 4;
+             ++step) {
+          q1 = f.code[step].find('"');
+          if (q1 != std::string::npos) li = step;
+        }
+        if (q1 == std::string::npos) continue;
+        const size_t q2 = f.code[li].find('"', q1 + 1);
+        if (q2 == std::string::npos) continue;
+        section = f.raw[li].substr(q1 + 1, q2 - q1 - 1);
+      } else {
+        static const std::regex kIdent(R"(^\w+$)");
+        if (!std::regex_match(arg, kIdent)) continue;
+        const auto found = constants.find(arg);
+        if (found == constants.end()) continue;
+        section = found->second;
+      }
+      sites->push_back({file_idx, i + 1, section, spec->save});
+    }
+  }
+}
+
+}  // namespace
+
+const char* FactKindName(FactKind k) {
+  switch (k) {
+    case FactKind::kAlloc:
+      return "allocates";
+    case FactKind::kLock:
+      return "locks";
+    case FactKind::kIo:
+      return "does file IO";
+  }
+  return "?";
+}
+
+std::string LayerOf(const std::string& path) {
+  static const std::set<std::string> kTop = {"tools", "bench", "tests",
+                                            "examples"};
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i] == "src") return parts[i + 1];
+    if (kTop.count(parts[i]) > 0) return parts[i];
+  }
+  return "";
+}
+
+TreeIndex BuildTreeIndex(const std::vector<SourceFile>& files) {
+  TreeIndex index;
+  index.files.resize(files.size());
+
+  std::set<std::string> ambiguous;
+  for (size_t i = 0; i < files.size(); ++i) {
+    FileNode& node = index.files[i];
+    node.src = &files[i];
+    node.layer = LayerOf(files[i].path);
+    CollectIncludes(files[i], &node);
+    CollectStringConstants(files[i], &index.string_constants, &ambiguous);
+    ParseFunctions(files[i], static_cast<int>(i), &index, &node);
+  }
+  for (const std::string& name : ambiguous) {
+    index.string_constants.erase(name);
+  }
+
+  // Body scans (facts + calls) for every definition.
+  for (FunctionInfo& fn : index.functions) {
+    if (fn.is_definition && fn.body_end >= fn.body_begin &&
+        fn.body_begin > 0) {
+      ScanBody(files[fn.file], &fn);
+    }
+  }
+
+  // Checkpoint sites (constants are resolved tree-wide, so this runs
+  // after every file's constants are collected).
+  for (size_t i = 0; i < files.size(); ++i) {
+    CollectCkptSites(files[i], static_cast<int>(i), index.string_constants,
+                     &index.ckpt_sites);
+  }
+
+  // Resolve include edges: an include "la/matrix.h" matches the indexed
+  // file whose path ends with /la/matrix.h; among several candidates the
+  // one sharing the longest path prefix with the includer wins (local
+  // "harness.h"-style includes).
+  for (size_t i = 0; i < files.size(); ++i) {
+    FileNode& node = index.files[i];
+    for (const auto& [line, inc] : node.includes) {
+      int best = -1;
+      size_t best_prefix = 0;
+      for (size_t j = 0; j < files.size(); ++j) {
+        const std::string& candidate = files[j].path;
+        if (candidate != inc && !EndsWith(candidate, "/" + inc)) continue;
+        size_t prefix = 0;
+        while (prefix < candidate.size() &&
+               prefix < files[i].path.size() &&
+               candidate[prefix] == files[i].path[prefix]) {
+          ++prefix;
+        }
+        if (best == -1 || prefix > best_prefix) {
+          best = static_cast<int>(j);
+          best_prefix = prefix;
+        }
+      }
+      if (best >= 0) node.include_edges.push_back(best);
+    }
+    std::sort(node.include_edges.begin(), node.include_edges.end());
+    node.include_edges.erase(
+        std::unique(node.include_edges.begin(), node.include_edges.end()),
+        node.include_edges.end());
+  }
+
+  // Transitive include closure per file (BFS; the tree is small).
+  for (size_t i = 0; i < files.size(); ++i) {
+    std::vector<bool> seen(files.size(), false);
+    std::deque<int> queue(index.files[i].include_edges.begin(),
+                          index.files[i].include_edges.end());
+    seen[i] = true;
+    std::vector<int> closure;
+    while (!queue.empty()) {
+      const int j = queue.front();
+      queue.pop_front();
+      if (seen[j]) continue;
+      seen[j] = true;
+      closure.push_back(j);
+      for (const int k : index.files[j].include_edges) {
+        if (!seen[k]) queue.push_back(k);
+      }
+    }
+    std::sort(closure.begin(), closure.end());
+    index.files[i].closure = std::move(closure);
+  }
+
+  return index;
+}
+
+}  // namespace pup::lint

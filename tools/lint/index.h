@@ -1,0 +1,108 @@
+// pup::lint — the whole-tree index: symbol table, call graph, include
+// graph, and checkpoint-section sites.
+//
+// The index is deliberately lightweight: it is built from the stripped
+// token stream with brace/scope tracking — no compile database, no
+// preprocessor, std-only — because the analyzer must run on a bare CI
+// runner before the first object file exists. The trade-offs that
+// follow are by design and documented in docs/static_analysis.md:
+//
+//   * Functions are keyed by their *simple* name. A call site resolves
+//     to every indexed function of that name whose defining file is the
+//     caller's own file or anywhere in its transitive include closure.
+//     Checks that consume resolutions are written to be conservative
+//     under this ambiguity (pup-status-discard only fires when every
+//     candidate returns Status/Result).
+//   * Bodies are line ranges; calls inside lambdas or local classes are
+//     attributed to the enclosing function. That is the right grain for
+//     hot-path reachability.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/source.h"
+
+namespace pup::lint {
+
+// What a function body does that a PUP_HOT caller must not reach.
+enum class FactKind { kAlloc, kLock, kIo };
+
+const char* FactKindName(FactKind k);
+
+struct Fact {
+  FactKind kind;
+  size_t line = 0;  // 1-based line inside the owning function's file.
+  std::string what;  // The matched token, e.g. "new", "lock_guard".
+};
+
+struct CallSite {
+  std::string name;  // Simple callee name.
+  size_t line = 0;   // 1-based.
+  // True when the call is the whole expression statement (`Foo(...);` or
+  // `obj.Foo(...);` with nothing consuming the value) — the shape
+  // pup-status-discard cares about.
+  bool discards_value = false;
+  // True when the callee is reached through `.` or `->` — member-call
+  // syntax can only name a method, so resolution drops free functions.
+  bool member = false;
+};
+
+struct FunctionInfo {
+  std::string name;         // Simple name ("WriteFile").
+  std::string qual;         // As spelled ("Writer::WriteFile").
+  std::string return_type;  // Normalized text before the name; may be "".
+  int file = -1;            // Index into TreeIndex::files.
+  size_t decl_line = 0;     // 1-based signature line.
+  size_t body_begin = 0;    // 1-based opening-brace line; 0 = declaration.
+  size_t body_end = 0;      // 1-based closing-brace line.
+  bool is_definition = false;
+  // True for member functions: a qualified out-of-line definition
+  // (`T::F`) or a signature seen at class scope.
+  bool is_method = false;
+  bool hot = false;         // Armed by a // PUP_HOT marker.
+  std::vector<Fact> facts;      // Definitions only.
+  std::vector<CallSite> calls;  // Definitions only.
+};
+
+// One Save- or Load-side use of a checkpoint section name that could be
+// resolved to a string value (a literal argument or a kSec* constant).
+struct CkptSite {
+  int file = -1;
+  size_t line = 0;  // 1-based.
+  std::string section;
+  bool save = false;  // Writer::Add* vs Reader::Get*/Has/ReadMatrixInto.
+};
+
+struct FileNode {
+  const SourceFile* src = nullptr;
+  std::string layer;  // Layer-manifest directory ("la"); "" = unmapped.
+  // Raw include directives: (1-based line, quoted path).
+  std::vector<std::pair<size_t, std::string>> includes;
+  std::vector<int> include_edges;  // Resolved direct edges (file indices).
+  std::vector<int> closure;        // Transitive include closure (sorted).
+  std::vector<size_t> functions;   // Indices into TreeIndex::functions.
+};
+
+struct TreeIndex {
+  std::vector<FileNode> files;
+  std::vector<FunctionInfo> functions;
+  // Simple name -> indices into `functions` (definitions + declarations).
+  std::map<std::string, std::vector<size_t>> by_name;
+  // kName -> string value for single-line `constexpr char kX[] = "...";`
+  // style constants. Names bound to two different values are dropped.
+  std::map<std::string, std::string> string_constants;
+  std::vector<CkptSite> ckpt_sites;
+};
+
+// Maps a path to its layer-manifest directory: the component after
+// "src" ("la", "serve", ...), or a top-level tool tier component
+// ("tools", "bench", "tests", "examples"). Empty if unmapped.
+std::string LayerOf(const std::string& path);
+
+// Builds the index over the whole linted file set.
+TreeIndex BuildTreeIndex(const std::vector<SourceFile>& files);
+
+}  // namespace pup::lint

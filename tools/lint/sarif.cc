@@ -1,0 +1,94 @@
+#include "lint/sarif.h"
+
+#include <cstdio>
+
+namespace pup::lint {
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string SarifReport(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"pup_lint\",\n"
+      "          \"informationUri\": \"docs/static_analysis.md\",\n"
+      "          \"rules\": [\n";
+  const std::vector<CheckInfo>& checks = Checks();
+  for (size_t i = 0; i < checks.size(); ++i) {
+    out += "            {\"id\": ";
+    AppendJsonString(checks[i].id, &out);
+    out += ", \"shortDescription\": {\"text\": ";
+    AppendJsonString(checks[i].summary, &out);
+    out += "}, \"help\": {\"text\": ";
+    AppendJsonString(checks[i].hint, &out);
+    out += "}}";
+    out += (i + 1 < checks.size()) ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "        {\"ruleId\": ";
+    AppendJsonString(f.check, &out);
+    out += ", \"level\": \"error\", \"message\": {\"text\": ";
+    AppendJsonString(f.message, &out);
+    out +=
+        "}, \"locations\": [{\"physicalLocation\": "
+        "{\"artifactLocation\": {\"uri\": ";
+    AppendJsonString(f.file, &out);
+    out += "}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           "}}}]}";
+    out += (i + 1 < findings.size()) ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace pup::lint

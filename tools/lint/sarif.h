@@ -1,0 +1,20 @@
+// pup::lint — SARIF 2.1.0 output for code-scanning upload.
+//
+// One run, one tool ("pup_lint"), the full check catalog as the rule
+// table, and one `error`-level result per finding. The writer is a
+// purpose-built serializer (std-only, like everything else here), not a
+// general JSON library: the document shape is fixed and only the string
+// payloads vary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/checks.h"
+
+namespace pup::lint {
+
+// Renders the findings as a SARIF 2.1.0 document.
+std::string SarifReport(const std::vector<Finding>& findings);
+
+}  // namespace pup::lint

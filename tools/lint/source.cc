@@ -1,0 +1,272 @@
+#include "lint/source.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace pup::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsHexDigit(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c));
+}
+
+// A ' at position i is a digit separator (1'000'000, 0xFF'FF, 0b1010'01)
+// — not the opening quote of a char literal — when it sits between the
+// characters of a numeric literal: an alphanumeric follows, and walking
+// back over hex digits lands on the start of a number (a digit, or the
+// 0x/0X/0b/0B radix prefix). `u8'c'` is the one prefix whose final char
+// is a digit; it is explicitly a char literal.
+bool IsDigitSeparator(const std::string& line, size_t i) {
+  if (i == 0 || i + 1 >= line.size()) return false;
+  if (!std::isalnum(static_cast<unsigned char>(line[i + 1]))) return false;
+  size_t j = i;
+  while (j > 0 && IsHexDigit(line[j - 1])) --j;
+  if (j == i) return false;  // No digits directly before the quote.
+  // u8'x' — the '8' is an encoding prefix, not a number.
+  if (i - j == 1 && line[j] == '8' && j > 0 && line[j - 1] == 'u')
+    return false;
+  if (std::isdigit(static_cast<unsigned char>(line[j]))) return true;
+  // Hex run starting with a letter (0xAB'CD): valid only under 0x/0X.
+  return j >= 2 && (line[j - 1] == 'x' || line[j - 1] == 'X' ||
+                    line[j - 1] == 'b' || line[j - 1] == 'B') &&
+         line[j - 2] == '0';
+}
+
+// True if the identifier characters directly before position `i` (the
+// position of 'R' or of an opening quote) form a valid string encoding
+// prefix with a non-identifier character in front: "", u8, u, U, L —
+// optionally with R handled by the caller. Returns the prefix length.
+size_t EncodingPrefixLen(const std::string& line, size_t i) {
+  size_t start = i;
+  while (start > 0 && IsIdentChar(line[start - 1])) --start;
+  const std::string prefix = line.substr(start, i - start);
+  if (prefix.empty() || prefix == "u8" || prefix == "u" || prefix == "U" ||
+      prefix == "L") {
+    return i - start;
+  }
+  return std::string::npos;
+}
+
+// Validates the d-char-seq of a raw string opening at `quote` (the
+// position of the '"' after R). On success returns the position of the
+// opening '(' and fills `delim` with `)d-chars"`; otherwise npos. The
+// standard caps delimiters at 16 chars and forbids spaces, parens,
+// backslashes, and control characters — enforcing that keeps a stray
+// `R"` in macro soup from swallowing the rest of the file.
+size_t ParseRawDelimiter(const std::string& line, size_t quote,
+                         std::string* delim) {
+  size_t j = quote + 1;
+  while (j < line.size() && j - quote - 1 <= 16) {
+    const char c = line[j];
+    if (c == '(') {
+      *delim = ")" + line.substr(quote + 1, j - quote - 1) + "\"";
+      return j;
+    }
+    if (c == ' ' || c == ')' || c == '\\' || c == '"' ||
+        std::iscntrl(static_cast<unsigned char>(c))) {
+      return std::string::npos;
+    }
+    ++j;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+std::vector<std::string> StripCommentsAndStrings(
+    const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // )delim" terminator for raw strings.
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    for (size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            i = line.size();  // Rest of line is a comment.
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == 'R' && next == '"' &&
+                     EncodingPrefixLen(line, i) != std::string::npos) {
+            std::string delim;
+            const size_t open = ParseRawDelimiter(line, i + 1, &delim);
+            if (open != std::string::npos) {
+              raw_delim = delim;
+              state = State::kRawString;
+              i = open;
+            } else {
+              // Not a raw string opener after all (`R"x"` macro soup):
+              // treat the quote as an ordinary string start.
+              code[i] = 'R';
+            }
+          } else if (c == '"') {
+            code[i] = '"';
+            state = State::kString;
+          } else if (c == '\'' && !IsDigitSeparator(line, i)) {
+            code[i] = '\'';
+            state = State::kChar;
+          } else {
+            code[i] = c;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            code[i] = '"';
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            code[i] = '\'';
+            state = State::kCode;
+          }
+          break;
+        case State::kRawString: {
+          size_t end = line.find(raw_delim, i);
+          if (end == std::string::npos) {
+            i = line.size();
+          } else {
+            i = end + raw_delim.size() - 1;
+            state = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool HasNolint(const std::string& line, const char* directive,
+               const std::string& check) {
+  size_t pos = 0;
+  while ((pos = line.find(directive, pos)) != std::string::npos) {
+    const size_t after = pos + std::string(directive).size();
+    // NOLINTNEXTLINE/NOLINTFILE also contain NOLINT; a directive match
+    // followed by an identifier character is a longer directive, not
+    // this one.
+    if (after < line.size() &&
+        (std::isalnum(static_cast<unsigned char>(line[after])) ||
+         line[after] == '_')) {
+      pos = after;
+      continue;
+    }
+    if (after >= line.size() || line[after] != '(') return true;  // Bare.
+    const size_t close = line.find(')', after);
+    const std::string list = line.substr(
+        after + 1, close == std::string::npos ? std::string::npos
+                                              : close - after - 1);
+    std::stringstream ss(list);
+    std::string id;
+    while (std::getline(ss, id, ',')) {
+      id.erase(0, id.find_first_not_of(" \t"));
+      id.erase(id.find_last_not_of(" \t") + 1);
+      if (id == check || id == "*") return true;
+    }
+    pos = after;
+  }
+  return false;
+}
+
+bool Suppressed(const SourceFile& f, size_t idx, const std::string& check) {
+  if (HasNolint(f.raw[idx], "NOLINT", check)) return true;
+  return idx > 0 && HasNolint(f.raw[idx - 1], "NOLINTNEXTLINE", check);
+}
+
+bool FileSuppressed(const SourceFile& f, const std::string& check) {
+  // Only the head of the file is scanned: a file-wide opt-out buried
+  // mid-file would be invisible to a reader deciding whether the file
+  // honors a contract.
+  constexpr size_t kHeadLines = 16;
+  const size_t n = std::min(kHeadLines, f.raw.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (HasNolint(f.raw[i], "NOLINTFILE", check)) return true;
+  }
+  return false;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+namespace {
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".cxx" || ext == ".h" ||
+         ext == ".hpp";
+}
+
+bool IsSkippedDir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name.rfind("build", 0) == 0 || name == ".git" ||
+         name == "third_party";
+}
+
+}  // namespace
+
+bool CollectFiles(const std::string& arg, std::vector<std::string>* files) {
+  std::error_code ec;
+  if (fs::is_regular_file(arg, ec)) {
+    files->push_back(arg);
+    return true;
+  }
+  if (!fs::is_directory(arg, ec)) {
+    std::cerr << "pup_lint: no such file or directory: " << arg << "\n";
+    return false;
+  }
+  fs::recursive_directory_iterator it(arg, ec), end;
+  for (; it != end; it.increment(ec)) {
+    if (ec) break;
+    if (it->is_directory() && IsSkippedDir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && IsSourceFile(it->path())) {
+      files->push_back(it->path().generic_string());
+    }
+  }
+  return true;
+}
+
+bool LoadFile(const std::string& path, SourceFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "pup_lint: cannot read " << path << "\n";
+    return false;
+  }
+  out->path = path;
+  std::string line;
+  while (std::getline(in, line)) out->raw.push_back(line);
+  out->code = StripCommentsAndStrings(out->raw);
+  return true;
+}
+
+}  // namespace pup::lint

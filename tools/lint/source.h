@@ -1,0 +1,67 @@
+// pup::lint — source loading, lexing, and suppression primitives.
+//
+// The lint library deliberately has no dependency on the pup library (or
+// anything beyond the C++20 standard library): the analyzer must build
+// and run even when the library itself is the thing being diagnosed, and
+// it is the first gate in CI on a bare runner.
+//
+// A SourceFile carries two parallel views of a file:
+//   raw   the untouched text — NOLINT markers and `// PUP_HOT` region
+//         markers live in comments, so they are matched here; string
+//         literal *values* (checkpoint section names) are read from here.
+//   code  comments and string/char literal contents blanked to spaces,
+//         with line structure and column positions preserved — every
+//         syntactic check runs against this view so prose and literals
+//         can never fake (or hide) code.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace pup::lint {
+
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+// Blanks comments and literal contents while preserving line structure
+// and column positions. Handles //, /* */, "...", '...', escapes,
+// encoding prefixes (u8"", L"", uR"()", ...), digit separators
+// (1'000'000 — the ' is not a char-literal quote), user-defined literal
+// suffixes, and the R"delim(...)delim" raw-string form (delimiters are
+// validated as d-char sequences; parens inside the raw contents do not
+// terminate the literal early).
+std::vector<std::string> StripCommentsAndStrings(
+    const std::vector<std::string>& raw);
+
+// True if `line` carries a NOLINT marker covering `check`. `directive` is
+// "NOLINT" or "NOLINTNEXTLINE".
+bool HasNolint(const std::string& line, const char* directive,
+               const std::string& check);
+
+// True if finding `check` at 0-based line `idx` of `f` is suppressed by a
+// same-line NOLINT or a NOLINTNEXTLINE on the line above.
+bool Suppressed(const SourceFile& f, size_t idx, const std::string& check);
+
+// True if the whole file opts out of `check` via a file-scope
+// NOLINTFILE(check-id, ...) directive. Reserved for files that *are* the
+// mechanism a check polices (the thread-pool runtime vs the hot-path
+// lock check); the directive must appear in the first few lines so the
+// opt-out is visible at the top of the file.
+bool FileSuppressed(const SourceFile& f, const std::string& check);
+
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+// Recursively collects lintable sources (.cc/.cpp/.cxx/.h/.hpp) under
+// `arg` (a file or directory); build*/, .git, and third_party are
+// skipped. Returns false (after printing to stderr) on a missing path.
+bool CollectFiles(const std::string& arg, std::vector<std::string>* files);
+
+// Reads `path` into `out` and strips it. False (with a stderr message)
+// if the file cannot be read.
+bool LoadFile(const std::string& path, SourceFile* out);
+
+}  // namespace pup::lint

@@ -1,722 +1,7 @@
-// pup_lint — PUP's determinism/invariant analyzer.
-//
-// A standalone C++20 token/regex linter with lightweight scope tracking
-// that enforces the project rules the compiler cannot: the determinism
-// contract (docs/threading.md), the zero-allocation training-step budget
-// (docs/architecture.md "Memory model"), and the Status discipline
-// (common/status.h). It is deliberately not a compiler plugin: the rules
-// are line-local or brace-scoped, and a dependency-free binary can run in
-// every build configuration and as a CI fast-fail gate.
-//
-// Checks (see docs/static_analysis.md for the full catalog):
-//   pup-rand           std randomness outside pup::Rng
-//   pup-unordered-iter iteration over unordered containers (order hazard)
-//   pup-hot-alloc      allocation inside a // PUP_HOT function
-//   pup-hot-unordered  unordered-container access inside a // PUP_HOT
-//                      function (hash probing in the request/step loop)
-//   pup-narrowing      unsuffixed double literal narrowed to float
-//   pup-status-value   .value() with no visible ok()/status() check
-//   pup-parallel-grain ParallelFor with an unnamed (bare literal) grain
-//   pup-simd-gather    gather/scatter intrinsics anywhere; other vendor
-//                      intrinsics outside src/la/simd/
-//
-// Suppressions: `// NOLINT(pup-<id>)` on the offending line or
-// `// NOLINTNEXTLINE(pup-<id>)` on the line above; a bare `// NOLINT`
-// suppresses every check on that line. Suppressions should carry a short
-// reason after the closing parenthesis.
-//
-// Output: `file:line: [check-id] message`, one finding per line.
-// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
-#include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <map>
-#include <regex>
-#include <set>
-#include <sstream>
-#include <string>
-#include <vector>
+// pup_lint — the PUP static analyzer. All logic lives in tools/lint/
+// (source stripping, the per-file checks, the whole-tree index, the
+// cross-file checks, SARIF output); this translation unit is only the
+// entry point. See docs/static_analysis.md for the check catalog.
+#include "lint/driver.h"
 
-namespace {
-
-namespace fs = std::filesystem;
-
-struct CheckInfo {
-  const char* id;
-  const char* summary;
-  const char* hint;  // Remediation printed by --fix-suggestions.
-};
-
-constexpr CheckInfo kChecks[] = {
-    {"pup-rand",
-     "std randomness breaks single-seed reproducibility",
-     "draw from a pup::Rng (common/rng.h) seeded by the experiment seed; "
-     "fork per-component streams with Rng::Fork()"},
-    {"pup-unordered-iter",
-     "unordered-container iteration order is nondeterministic",
-     "iterate a sorted copy of the keys, switch to std::map/std::set, or "
-     "suppress with a reason when the fold is order-insensitive (pure "
-     "counting, clearing)"},
-    {"pup-hot-alloc",
-     "allocation inside a PUP_HOT function breaks the zero-allocation "
-     "steady state",
-     "hoist the buffer to the caller, use the TapeArena workspace, or use "
-     "capacity-retaining resize (Matrix::ResizeNoZero); suppress growth "
-     "calls whose capacity is provably reused across steps; pup::obs "
-     "instrumentation (PUP_OBS_* macros, cached obs:: handles) is exempt "
-     "— it registers once and records via relaxed atomics"},
-    {"pup-hot-unordered",
-     "unordered-container access inside a PUP_HOT function",
-     "hash probing has data-dependent cost and nondeterministic iteration "
-     "order; hot loops (training steps, the serving request path) index "
-     "dense id spaces directly — use a direct-index vector, sorted span, "
-     "or a preallocated slot table (src/serve/cache.h is the pattern)"},
-    {"pup-narrowing",
-     "unsuffixed floating literal is double and narrows to float",
-     "write an f-suffixed literal (0.5f) so the value is exact and the "
-     "kernel signature stays float end to end"},
-    {"pup-status-value",
-     "unchecked .value() aborts on failed Status/Result",
-     "check ok() first, or propagate with PUP_RETURN_NOT_OK / "
-     "PUP_ASSIGN_OR_RETURN (common/status.h)"},
-    {"pup-parallel-grain",
-     "ParallelFor grain must be a named size, not a bare literal",
-     "name the grain (RowGrain(cost), kMinWorkPerChunk, a named constexpr) "
-     "so the chunking contract is auditable and tunable"},
-    {"pup-simd-gather",
-     "gather/scatter intrinsics are banned; other vendor intrinsics belong "
-     "in src/la/simd/",
-     "use contiguous loads against the padded row layout (la/matrix.h "
-     "guarantees 64-byte-aligned rows) — gathers hide data-dependent "
-     "access order and defeat the pinned-lane accumulation contract "
-     "(docs/simd.md); move any other intrinsic into a src/la/simd/ "
-     "backend behind the Backend vtable"},
-};
-
-struct Finding {
-  std::string file;
-  size_t line = 0;  // 1-based.
-  const char* check = "";
-  std::string message;
-};
-
-// A file with comments and string/char literal *contents* blanked out
-// (`code`), next to the untouched text (`raw`, used for NOLINT and
-// PUP_HOT markers, which live in comments).
-struct SourceFile {
-  std::string path;
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-};
-
-// Blanks comments and literal contents while preserving line structure and
-// column positions. Handles //, /* */, "...", '...', escapes, and the
-// R"delim(...)delim" raw-string form.
-std::vector<std::string> StripCommentsAndStrings(
-    const std::vector<std::string>& raw) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // )delim" terminator for raw strings.
-  for (const std::string& line : raw) {
-    std::string code(line.size(), ' ');
-    for (size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            i = line.size();  // Rest of line is a comment.
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            ++i;
-          } else if (c == 'R' && next == '"' &&
-                     (i == 0 || (!std::isalnum(line[i - 1]) &&
-                                 line[i - 1] != '_'))) {
-            size_t open = line.find('(', i + 2);
-            if (open != std::string::npos) {
-              raw_delim = ")" + line.substr(i + 2, open - i - 2) + "\"";
-              state = State::kRawString;
-              i = open;
-            }
-          } else if (c == '"') {
-            code[i] = '"';
-            state = State::kString;
-          } else if (c == '\'') {
-            code[i] = '\'';
-            state = State::kChar;
-          } else {
-            code[i] = c;
-          }
-          break;
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state = State::kCode;
-            ++i;
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"') {
-            code[i] = '"';
-            state = State::kCode;
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            code[i] = '\'';
-            state = State::kCode;
-          }
-          break;
-        case State::kRawString: {
-          size_t end = line.find(raw_delim, i);
-          if (end == std::string::npos) {
-            i = line.size();
-          } else {
-            i = end + raw_delim.size() - 1;
-            state = State::kCode;
-          }
-          break;
-        }
-      }
-    }
-    out.push_back(std::move(code));
-  }
-  return out;
-}
-
-// True if `line` carries a NOLINT marker covering `check`. `directive` is
-// "NOLINT" or "NOLINTNEXTLINE".
-bool HasNolint(const std::string& line, const char* directive,
-               const std::string& check) {
-  size_t pos = 0;
-  while ((pos = line.find(directive, pos)) != std::string::npos) {
-    const size_t after = pos + std::string(directive).size();
-    // NOLINTNEXTLINE also contains NOLINT; skip the NOLINT-prefix match.
-    if (std::string(directive) == "NOLINT" &&
-        line.compare(pos, 13, "NOLINTNEXTLINE") == 0) {
-      pos = after;
-      continue;
-    }
-    if (after >= line.size() || line[after] != '(') return true;  // Bare.
-    const size_t close = line.find(')', after);
-    const std::string list = line.substr(
-        after + 1, close == std::string::npos ? std::string::npos
-                                              : close - after - 1);
-    std::stringstream ss(list);
-    std::string id;
-    while (std::getline(ss, id, ',')) {
-      id.erase(0, id.find_first_not_of(" \t"));
-      id.erase(id.find_last_not_of(" \t") + 1);
-      if (id == check || id == "*") return true;
-    }
-    pos = after;
-  }
-  return false;
-}
-
-bool Suppressed(const SourceFile& f, size_t idx, const std::string& check) {
-  if (HasNolint(f.raw[idx], "NOLINT", check)) return true;
-  return idx > 0 && HasNolint(f.raw[idx - 1], "NOLINTNEXTLINE", check);
-}
-
-bool EndsWith(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-// ---------------------------------------------------------------------------
-// Pass 1: identifiers declared with unordered container types, collected
-// across the whole file set so member iteration in a .cc is caught when
-// the member is declared in the header.
-// ---------------------------------------------------------------------------
-
-void CollectUnorderedNames(const SourceFile& f,
-                           std::set<std::string>* names) {
-  static const std::regex kDecl(
-      R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
-  for (const std::string& line : f.code) {
-    auto begin = std::sregex_iterator(line.begin(), line.end(), kDecl);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      // Skip the balanced template argument list, then read the declared
-      // identifier (skipping &, *, and whitespace). `auto x = ...find()`
-      // never matches: the match requires the spelled-out type.
-      size_t pos = static_cast<size_t>(it->position()) + it->length();
-      int depth = 1;
-      while (pos < line.size() && depth > 0) {
-        if (line[pos] == '<') ++depth;
-        if (line[pos] == '>') --depth;
-        ++pos;
-      }
-      while (pos < line.size() &&
-             (std::isspace(line[pos]) || line[pos] == '&' ||
-              line[pos] == '*')) {
-        ++pos;
-      }
-      std::string name;
-      while (pos < line.size() &&
-             (std::isalnum(line[pos]) || line[pos] == '_')) {
-        name += line[pos++];
-      }
-      if (!name.empty() && name != "const") names->insert(name);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Pass 2: per-file checks.
-// ---------------------------------------------------------------------------
-
-class FileLinter {
- public:
-  FileLinter(const SourceFile& file, const std::set<std::string>& unordered,
-             std::vector<Finding>* findings)
-      : f_(file), unordered_(unordered), findings_(findings) {}
-
-  void Run() {
-    for (size_t i = 0; i < f_.code.size(); ++i) {
-      const bool hot = UpdateHotRegions(i);
-      CheckRand(i);
-      CheckUnorderedIter(i);
-      if (hot) CheckHotAlloc(i);
-      if (hot) CheckHotUnordered(i);
-      CheckNarrowing(i);
-      CheckStatusValue(i);
-      CheckParallelGrain(i);
-      CheckSimdIntrinsics(i);
-    }
-  }
-
- private:
-  void Report(size_t idx, const char* check, std::string message) {
-    if (Suppressed(f_, idx, check)) return;
-    findings_->push_back({f_.path, idx + 1, check, std::move(message)});
-  }
-
-  // Tracks brace depth and // PUP_HOT regions. A PUP_HOT marker (in a
-  // comment, so matched on the raw line) arms the *next* opening brace:
-  // place it on the line(s) directly above the function's signature or
-  // opening brace. Returns true if any part of line `idx` is inside a hot
-  // region.
-  bool UpdateHotRegions(size_t idx) {
-    bool hot = !hot_stack_.empty();
-    for (const char c : f_.code[idx]) {
-      if (c == '{') {
-        ++depth_;
-        if (pending_hot_) {
-          hot_stack_.push_back(depth_);
-          pending_hot_ = false;
-        }
-      } else if (c == '}') {
-        if (!hot_stack_.empty() && depth_ == hot_stack_.back()) {
-          hot_stack_.pop_back();
-        }
-        --depth_;
-      }
-      if (!hot_stack_.empty()) hot = true;
-    }
-    // The marker must open a comment line (`// PUP_HOT[: reason]`) so
-    // prose that merely *mentions* the marker does not arm a region.
-    static const std::regex kMarker(R"(^\s*//\s*PUP_HOT\b)");
-    if (std::regex_search(f_.raw[idx], kMarker)) pending_hot_ = true;
-    return hot;
-  }
-
-  void CheckRand(size_t idx) {
-    // pup::Rng's own implementation is the one sanctioned randomness
-    // source; everything else must draw from it.
-    if (EndsWith(f_.path, "common/rng.h") || EndsWith(f_.path, "common/rng.cc"))
-      return;
-    static const std::regex kCall(R"(\b(rand|srand|random_shuffle)\s*\()");
-    static const char* kTypes[] = {
-        "random_device",  "mt19937",        "minstd_rand",
-        "ranlux",         "_distribution<", "default_random_engine",
-    };
-    const std::string& line = f_.code[idx];
-    std::smatch m;
-    if (std::regex_search(line, m, kCall)) {
-      Report(idx, "pup-rand",
-             m[1].str() + "() is seed-uncontrolled; use pup::Rng "
-                          "(common/rng.h) so runs replay from one seed");
-      return;
-    }
-    for (const char* t : kTypes) {
-      if (line.find(t) != std::string::npos) {
-        Report(idx, "pup-rand",
-               std::string("std::") + t +
-                   " bypasses pup::Rng; platform-dependent streams break "
-                   "reproducibility and checkpoint resume");
-        return;
-      }
-    }
-  }
-
-  void CheckUnorderedIter(size_t idx) {
-    const std::string& line = f_.code[idx];
-    static const std::regex kRangeFor(R"(\bfor\s*\([^;()]*:\s*([^)]+)\))");
-    static const std::regex kBeginCall(
-        R"(\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\()");
-    std::smatch m;
-    std::string name;
-    if (std::regex_search(line, m, kRangeFor)) {
-      // Last identifier of the range expression (`pool_`, `x.items`).
-      std::string expr = m[1].str();
-      size_t end = expr.find_last_not_of(" \t");
-      if (end == std::string::npos) return;
-      size_t start = end;
-      while (start > 0 &&
-             (std::isalnum(expr[start - 1]) || expr[start - 1] == '_'))
-        --start;
-      name = expr.substr(start, end - start + 1);
-    } else if (std::regex_search(line, m, kBeginCall)) {
-      name = m[1].str();
-    }
-    if (!name.empty() && unordered_.count(name) > 0) {
-      Report(idx, "pup-unordered-iter",
-             "iteration over unordered container '" + name +
-                 "' is order-nondeterministic; feeding an accumulation or "
-                 "scatter breaks bitwise determinism");
-    }
-  }
-
-  void CheckHotAlloc(size_t idx) {
-    const std::string& line = f_.code[idx];
-    static const std::regex kGrowth(
-        R"([.>]\s*(push_back|emplace_back|resize|reserve|assign|insert|append)\s*\()");
-    static const std::regex kRawAlloc(
-        R"(\b(new|delete)\b|\b(malloc|calloc|realloc)\s*\(|\bmake_(shared|unique)\s*<)");
-    // The pup::obs instrumentation idiom is exempt: PUP_OBS_* macros and
-    // obs::ScopedTimer/Counter/Gauge/Histogram handles allocate only at
-    // first-use registration (a function-local static); steady-state
-    // recording is pure relaxed atomics (src/obs/registry.h). Flagging
-    // these lines would force NOLINT on every instrumented kernel.
-    static const std::regex kObsIdiom(
-        R"(\bPUP_OBS_\w+\s*\(|\bobs\s*::\s*(ScopedTimer|Registry|Counter|Gauge|Histogram)\b)");
-    if (std::regex_search(line, kObsIdiom)) return;
-    std::smatch m;
-    if (std::regex_search(line, m, kRawAlloc)) {
-      Report(idx, "pup-hot-alloc",
-             "heap allocation in a PUP_HOT function; the training step's "
-             "steady state must be allocation-free (docs/architecture.md)");
-      return;
-    }
-    if (std::regex_search(line, m, kGrowth)) {
-      Report(idx, "pup-hot-alloc",
-             "container growth ('" + m[1].str() +
-                 "') in a PUP_HOT function may allocate; hoist the buffer "
-                 "or suppress with proof of capacity reuse");
-    }
-  }
-
-  // Any touch of a known unordered-container identifier inside a PUP_HOT
-  // region — not just iteration. A hash lookup per request/step has
-  // data-dependent probing cost and, when the structure is later walked,
-  // nondeterministic order; the hot layers (training steps, the serving
-  // request loop) map dense id spaces through direct-index vectors
-  // instead. Declaration lines are skipped so moving a declaration into a
-  // hot function reports the *uses*, not the definition.
-  void CheckHotUnordered(size_t idx) {
-    const std::string& line = f_.code[idx];
-    if (line.find("unordered_") != std::string::npos) return;
-    static const std::regex kIdent(R"([A-Za-z_]\w*)");
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), kIdent);
-         it != std::sregex_iterator(); ++it) {
-      const std::string name = it->str();
-      if (unordered_.count(name) == 0) continue;
-      Report(idx, "pup-hot-unordered",
-             "unordered container '" + name +
-                 "' touched in a PUP_HOT function; hash probing is "
-                 "data-dependent and iteration order nondeterministic — "
-                 "use a direct-index vector or preallocated slot table");
-      return;
-    }
-  }
-
-  void CheckNarrowing(size_t idx) {
-    // `float x = 0.5;` — the literal is double, and the narrowed value
-    // need not be the nearest float of the intended constant. Kernel
-    // signatures with such defaults silently mix precisions.
-    // Alternatives are ordered longest-form first: regex alternation takes
-    // the first match, so `1.5e-4f` must try `digits.digits[eE]exp` before
-    // the bare `digits.digits` prefix would win and leave the exponent and
-    // suffix unmatched (a false positive on suffixed scientific literals).
-    static const std::regex kFloatInit(
-        R"(\bfloat\s+\w+\s*=\s*[-+]?([0-9]+\.[0-9]*[eE][-+]?[0-9]+)"
-        R"(|\.[0-9]+[eE][-+]?[0-9]+|[0-9]+[eE][-+]?[0-9]+)"
-        R"(|[0-9]+\.[0-9]*|\.[0-9]+)([fFlL]?))");
-    const std::string& line = f_.code[idx];
-    auto begin = std::sregex_iterator(line.begin(), line.end(), kFloatInit);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      const std::string suffix = (*it)[2].str();
-      if (suffix == "f" || suffix == "F") continue;
-      Report(idx, "pup-narrowing",
-             "double literal narrowed to float; write an f-suffixed "
-             "literal so the stored constant is explicit");
-      return;
-    }
-  }
-
-  void CheckStatusValue(size_t idx) {
-    static const std::regex kValue(R"(\.\s*value\s*\(\s*\))");
-    if (!std::regex_search(f_.code[idx], kValue)) return;
-    // A visible check within the previous lines (or on the same line)
-    // counts: ok(), status(), the PUP_* propagation macros, has_value,
-    // or a test assertion.
-    static const char* kEvidence[] = {
-        "ok()",         ".status()",  "PUP_ASSIGN_OR_RETURN",
-        "PUP_RETURN",   "PUP_CHECK",  "has_value",
-        "ASSERT_",      "EXPECT_",
-    };
-    const size_t kLookback = 8;
-    const size_t first = idx >= kLookback ? idx - kLookback : 0;
-    for (size_t j = first; j <= idx; ++j) {
-      for (const char* e : kEvidence) {
-        if (f_.code[j].find(e) != std::string::npos) return;
-      }
-    }
-    Report(idx, "pup-status-value",
-           ".value() without a visible ok()/status() check aborts on "
-           "failure; check or propagate first (common/status.h)");
-  }
-
-  void CheckParallelGrain(size_t idx) {
-    const std::string& line = f_.code[idx];
-    size_t pos = line.find("ParallelFor");
-    if (pos == std::string::npos) return;
-    pos = line.find('(', pos);
-    if (pos == std::string::npos) return;
-    // Gather the argument text (possibly spanning lines) and split the
-    // top-level commas; the third argument is the grain.
-    std::string args;
-    int depth = 0;
-    bool done = false;
-    for (size_t j = idx; j < f_.code.size() && j < idx + 12 && !done; ++j) {
-      const std::string& l = f_.code[j];
-      for (size_t k = (j == idx ? pos : 0); k < l.size(); ++k) {
-        const char c = l[k];
-        if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
-        if (c == ')' || c == ']' || c == '}' || c == '>') {
-          --depth;
-          if (depth == 0) {
-            done = true;
-            break;
-          }
-        }
-        if (depth >= 1) args += (depth == 1 ? c : (c == ',' ? ' ' : c));
-      }
-      args += ' ';
-    }
-    std::vector<std::string> parts;
-    std::string cur;
-    for (const char c : args) {
-      if (c == ',') {
-        parts.push_back(cur);
-        cur.clear();
-      } else if (c != '(') {
-        cur += c;
-      }
-    }
-    parts.push_back(cur);
-    if (parts.size() < 4) return;  // Declaration or unrelated overload.
-    std::string grain = parts[2];
-    grain.erase(std::remove_if(grain.begin(), grain.end(), ::isspace),
-                grain.end());
-    if (!grain.empty() &&
-        std::all_of(grain.begin(), grain.end(), [](unsigned char c) {
-          return std::isdigit(c) || c == 'u' || c == 'U' || c == 'l' ||
-                 c == 'L';
-        })) {
-      Report(idx, "pup-parallel-grain",
-             "ParallelFor grain is the bare literal '" + grain +
-                 "'; name it (RowGrain(cost), kMinWorkPerChunk, a named "
-                 "constexpr) so chunking is auditable");
-    }
-  }
-
-  void CheckSimdIntrinsics(size_t idx) {
-    const std::string& line = f_.code[idx];
-    // Gather/scatter intrinsics are banned everywhere, the backend
-    // included: they hide a data-dependent lane access order, which the
-    // pinned-lane accumulation contract (docs/simd.md) cannot audit, and
-    // they are slow on every core PUP targets. Row access must go
-    // through contiguous (masked) loads on the padded layout.
-    static const std::regex kGatherScatter(
-        R"(\b(_mm\w*(?:gather|scatter)\w*)\s*\()");
-    std::smatch m;
-    if (std::regex_search(line, m, kGatherScatter)) {
-      Report(idx, "pup-simd-gather",
-             m[1].str() +
-                 " is a gather/scatter intrinsic; use contiguous masked "
-                 "loads on the padded row layout (docs/simd.md)");
-      return;
-    }
-    // Everything else intrinsic-shaped must live in a src/la/simd/
-    // backend, where per-file ISA compile flags and the Backend vtable
-    // keep the dispatch surface auditable.
-    if (f_.path.find("la/simd/") != std::string::npos) return;
-    static const std::regex kIntrinsic(
-        R"(#\s*include\s*<(?:immintrin|arm_neon)\.h>)"
-        R"(|\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[di]?\b)"
-        R"(|\b(?:float|int|uint)(?:8|16|32|64)x\d+(?:x\d+)?_t\b)");
-    if (std::regex_search(line, kIntrinsic)) {
-      Report(idx, "pup-simd-gather",
-             "vendor SIMD intrinsics outside src/la/simd/; implement a "
-             "backend behind the la::simd::Backend vtable instead");
-    }
-  }
-
-  const SourceFile& f_;
-  const std::set<std::string>& unordered_;
-  std::vector<Finding>* findings_;
-  int depth_ = 0;
-  bool pending_hot_ = false;
-  std::vector<int> hot_stack_;
-};
-
-// ---------------------------------------------------------------------------
-// Driver.
-// ---------------------------------------------------------------------------
-
-bool IsSourceFile(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cc" || ext == ".cpp" || ext == ".cxx" || ext == ".h" ||
-         ext == ".hpp";
-}
-
-bool IsSkippedDir(const fs::path& p) {
-  const std::string name = p.filename().string();
-  return name.rfind("build", 0) == 0 || name == ".git" ||
-         name == "third_party";
-}
-
-bool CollectFiles(const std::string& arg, std::vector<std::string>* files) {
-  std::error_code ec;
-  if (fs::is_regular_file(arg, ec)) {
-    files->push_back(arg);
-    return true;
-  }
-  if (!fs::is_directory(arg, ec)) {
-    std::cerr << "pup_lint: no such file or directory: " << arg << "\n";
-    return false;
-  }
-  fs::recursive_directory_iterator it(arg, ec), end;
-  for (; it != end; it.increment(ec)) {
-    if (ec) break;
-    if (it->is_directory() && IsSkippedDir(it->path())) {
-      it.disable_recursion_pending();
-      continue;
-    }
-    if (it->is_regular_file() && IsSourceFile(it->path())) {
-      files->push_back(it->path().generic_string());
-    }
-  }
-  return true;
-}
-
-bool LoadFile(const std::string& path, SourceFile* out) {
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "pup_lint: cannot read " << path << "\n";
-    return false;
-  }
-  out->path = path;
-  std::string line;
-  while (std::getline(in, line)) out->raw.push_back(line);
-  out->code = StripCommentsAndStrings(out->raw);
-  return true;
-}
-
-void PrintChecks() {
-  std::cout << "pup_lint checks:\n";
-  for (const CheckInfo& c : kChecks) {
-    std::cout << "  " << c.id << "\n      " << c.summary << "\n";
-  }
-}
-
-int Usage() {
-  std::cerr
-      << "usage: pup_lint [--fix-suggestions] [--list-checks] path...\n"
-         "Lints .cc/.h files (directories are recursed; build*/ skipped).\n"
-         "Exit: 0 clean, 1 findings, 2 usage/I/O error.\n";
-  return 2;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  bool fix_suggestions = false;
-  std::vector<std::string> paths;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--fix-suggestions") {
-      fix_suggestions = true;
-    } else if (arg == "--list-checks") {
-      PrintChecks();
-      return 0;
-    } else if (arg == "--help" || arg == "-h") {
-      Usage();
-      return 0;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::cerr << "pup_lint: unknown flag " << arg << "\n";
-      return Usage();
-    } else {
-      paths.push_back(arg);
-    }
-  }
-  if (paths.empty()) return Usage();
-
-  std::vector<std::string> file_names;
-  for (const std::string& p : paths) {
-    if (!CollectFiles(p, &file_names)) return 2;
-  }
-  std::sort(file_names.begin(), file_names.end());
-  file_names.erase(std::unique(file_names.begin(), file_names.end()),
-                   file_names.end());
-
-  std::vector<SourceFile> files;
-  files.reserve(file_names.size());
-  for (const std::string& name : file_names) {
-    SourceFile f;
-    if (!LoadFile(name, &f)) return 2;
-    files.push_back(std::move(f));
-  }
-
-  // Pass 1: unordered-container identifiers, across the whole file set so
-  // members declared in headers are tracked in their .cc files.
-  std::set<std::string> unordered_names;
-  for (const SourceFile& f : files) {
-    CollectUnorderedNames(f, &unordered_names);
-  }
-
-  // Pass 2: checks.
-  std::vector<Finding> findings;
-  for (const SourceFile& f : files) {
-    FileLinter(f, unordered_names, &findings).Run();
-  }
-
-  for (const Finding& fd : findings) {
-    std::cout << fd.file << ":" << fd.line << ": [" << fd.check << "] "
-              << fd.message << "\n";
-  }
-  if (fix_suggestions && !findings.empty()) {
-    std::set<std::string> hit;
-    for (const Finding& fd : findings) hit.insert(fd.check);
-    std::cout << "\nfix suggestions:\n";
-    for (const CheckInfo& c : kChecks) {
-      if (hit.count(c.id) > 0) {
-        std::cout << "  [" << c.id << "] " << c.hint << "\n";
-      }
-    }
-  }
-  std::cout << (findings.empty() ? "pup_lint: clean ("
-                                 : "pup_lint: FAILED (")
-            << file_names.size() << " files, " << findings.size()
-            << " findings)\n";
-  return findings.empty() ? 0 : 1;
-}
+int main(int argc, char** argv) { return pup::lint::RunLint(argc, argv); }
