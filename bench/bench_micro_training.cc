@@ -1,11 +1,16 @@
 // Micro-benchmarks (google-benchmark): one training epoch per model on a
-// small fixed dataset — the cost profile behind the table benches.
+// small fixed dataset — the cost profile behind the table benches — plus
+// the negative-sampling draw costs behind docs/sampling.md.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <memory>
+#include <vector>
 
 #include "core/pup_model.h"
 #include "common/check.h"
+#include "common/rng.h"
+#include "data/alias.h"
 #include "data/quantization.h"
 #include "data/synthetic.h"
 #include "models/bpr_mf.h"
@@ -102,6 +107,61 @@ void BM_EpochPup(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_EpochPup)->Unit(benchmark::kMillisecond);
+
+// --- negative-sampling draws (docs/sampling.md) ---------------------------
+//
+// BM_AliasDraw is flat in the catalog size (Vose alias: two array reads
+// per draw). BM_RejectionWeightedDraw is the naive alternative — propose
+// uniform, accept with probability w/w_max — whose acceptance rate decays
+// as Zipf skew concentrates mass: per-draw cost GROWS with the catalog.
+// Run both across 1k/10k/100k to see O(1) vs growing.
+
+std::vector<double> ZipfWeights(size_t n) {
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), 0.8);
+  }
+  return w;
+}
+
+void BM_AliasDraw(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  data::AliasTable table;
+  table.Build(ZipfWeights(n));
+  Rng rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(&rng));
+  }
+}
+BENCHMARK(BM_AliasDraw)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RejectionWeightedDraw(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> w = ZipfWeights(n);
+  const double w_max = w[0];  // Zipf weights are descending.
+  Rng rng(17);
+  for (auto _ : state) {
+    size_t pick;
+    do {
+      pick = static_cast<size_t>(rng.NextBelow(n));
+    } while (rng.NextDouble() * w_max >= w[pick]);
+    benchmark::DoNotOptimize(pick);
+  }
+}
+BENCHMARK(BM_RejectionWeightedDraw)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// One PUP epoch with weighted negatives: the end-to-end overhead of the
+// per-epoch alias rebuild plus the weighted draw vs BM_EpochPup above.
+void BM_EpochPupWeightedNegatives(benchmark::State& state) {
+  EpochBench(state, [] {
+    core::PupConfig c = core::PupConfig::Full();
+    c.train = OneEpoch();
+    c.train.neg_sampling = data::NegSampling::kPopularity;
+    c.train.neg_alpha = 0.75;
+    return std::make_unique<core::Pup>(c);
+  });
+}
+BENCHMARK(BM_EpochPupWeightedNegatives)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 // to items of unexplored categories (user → item → price → item).
 //
 // Build & run:  ./build/examples/cold_start
+#include <algorithm>
 #include <cstdio>
 
 #include "common/check.h"
@@ -54,10 +55,17 @@ int main(int argc, char** argv) {
     return c;
   };
 
+  // --neg-sampling/--neg-alpha and --max-neighbors (docs/sampling.md)
+  // apply to both models so the comparison stays apples-to-apples.
+  const auto max_neighbors = static_cast<size_t>(
+      std::max<int64_t>(flags.GetInt("max-neighbors", 0), 0));
+
   models::GcMcConfig gc_config;
   gc_config.train.epochs = 20;
   gc_config.train.checkpoint = checkpoint_in("gc-mc");
   train::ApplyCheckNumericsFlag(flags, &gc_config.train);
+  PUP_CHECK(train::ApplyNegSamplingFlags(flags, &gc_config.train).ok());
+  gc_config.max_neighbors = max_neighbors;
   models::GcMc gc_mc(gc_config);
   std::printf("training %s...\n", gc_mc.name().c_str());
   gc_mc.Fit(dataset, split.train);
@@ -66,6 +74,8 @@ int main(int argc, char** argv) {
   pup_config.train.epochs = 20;
   pup_config.train.checkpoint = checkpoint_in("pup");
   train::ApplyCheckNumericsFlag(flags, &pup_config.train);
+  PUP_CHECK(train::ApplyNegSamplingFlags(flags, &pup_config.train).ok());
+  pup_config.max_neighbors = max_neighbors;
   core::Pup pup(pup_config);
   std::printf("training %s...\n\n", pup.name().c_str());
   pup.Fit(dataset, split.train);

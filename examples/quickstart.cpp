@@ -10,6 +10,10 @@
 // Training is crash-safe: pass --ckpt-dir DIR --save-every N to snapshot
 // every N epochs, and --resume DIR to continue an interrupted run
 // bitwise-identically (docs/checkpointing.md).
+//
+// Sampling knobs (docs/sampling.md): --neg-sampling=popularity|price
+// draws harder weighted negatives (--neg-alpha sets the exponent), and
+// --max-neighbors=N caps per-node graph fan-in PinSage-style.
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
@@ -48,6 +52,9 @@ int main(int argc, char** argv) {
   config.train.epochs = 20;
   config.train.checkpoint = train::CheckpointOptionsFromFlags(flags);
   train::ApplyCheckNumericsFlag(flags, &config.train);
+  PUP_CHECK(train::ApplyNegSamplingFlags(flags, &config.train).ok());
+  config.max_neighbors = static_cast<size_t>(
+      std::max<int64_t>(flags.GetInt("max-neighbors", 0), 0));
   core::Pup model(config);
   std::printf("training %s (%d epochs)...\n", model.name().c_str(),
               config.train.epochs);

@@ -83,6 +83,8 @@ void Pup::Fit(const data::Dataset& dataset,
   gopts.use_category_nodes = config_.use_category;
   gopts.use_price_nodes = config_.use_price;
   gopts.add_self_loops = config_.self_loops;
+  gopts.max_neighbors = config_.max_neighbors;
+  gopts.neighbor_seed = config_.train.seed;
   graph_ = std::make_unique<graph::HeteroGraph>(
       dataset.num_users, dataset.num_items, dataset.num_categories,
       dataset.num_price_levels, pairs, dataset.item_category,

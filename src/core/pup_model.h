@@ -45,6 +45,10 @@ struct PupConfig {
   bool two_branch = true;
   /// Self-loops in Â (eq. 5); exposed for the ablation bench.
   bool self_loops = true;
+  /// PinSage-style per-node fan-in cap in Â (--max-neighbors); 0 keeps
+  /// the full neighborhood (bitwise-golden default). The sampling seed is
+  /// train.seed, so runs stay reproducible end to end.
+  size_t max_neighbors = 0;
 
   /// Number of stacked graph convolutions (paper: 1). With more layers
   /// the final representation combines them per layer_combine.

@@ -1,0 +1,86 @@
+#include "data/alias.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pup::data {
+namespace {
+
+// Each bucket holds 2^32 units of fixed-point probability mass; a weight
+// vector of n entries is scaled to a total of n * 2^32 units (up to
+// rounding, at most ±n/2 units of drift — < 2^-25 relative error at a
+// billion outcomes, far below anything a statistical test can see).
+constexpr uint64_t kBucketFull = uint64_t{1} << 32;
+
+}  // namespace
+
+AliasTable::AliasTable(const std::vector<double>& weights) { Build(weights); }
+
+void AliasTable::Build(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  PUP_CHECK_MSG(n > 0, "AliasTable needs at least one outcome");
+  double total = 0.0;
+  for (double w : weights) {
+    PUP_CHECK_MSG(std::isfinite(w) && w >= 0.0,
+                  "AliasTable weights must be finite and non-negative");
+    total += w;
+  }
+  PUP_CHECK_MSG(total > 0.0, "AliasTable needs a positive total weight");
+
+  // Integer-scale: weight w becomes round(w / total * n * 2^32) units.
+  // All further construction is exact integer arithmetic, so the table is
+  // a pure function of the weight vector.
+  scaled_.clear();
+  scaled_.reserve(n);
+  const double unit = static_cast<double>(n) * static_cast<double>(kBucketFull);
+  for (double w : weights) {
+    scaled_.push_back(
+        static_cast<uint64_t>(std::llround(w / total * unit)));
+  }
+
+  threshold_.assign(n, kBucketFull);
+  alias_.resize(n);
+  for (size_t i = 0; i < n; ++i) alias_[i] = static_cast<uint32_t>(i);
+
+  // Fixed worklist order: indices pushed ascending, popped from the back.
+  small_.clear();
+  large_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    (scaled_[i] < kBucketFull ? small_ : large_)
+        .push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small_.empty() && !large_.empty()) {
+    const uint32_t s = small_.back();
+    small_.pop_back();
+    const uint32_t l = large_.back();
+    // The small bucket keeps its own mass and tops up from the large one.
+    threshold_[s] = scaled_[s];
+    alias_[s] = l;
+    scaled_[l] -= kBucketFull - scaled_[s];
+    if (scaled_[l] < kBucketFull) {
+      large_.pop_back();
+      small_.push_back(l);
+    }
+  }
+  // Leftovers (either list) hold within rounding drift of a full bucket;
+  // they keep threshold_ = 2^32 (never alias). A genuinely zero-weight
+  // entry can never be left over: total drift is bounded by n/2 units,
+  // which is < 2^32 for any feasible n, so every zero bucket pairs with a
+  // large one above and keeps threshold 0.
+}
+
+double AliasTable::Probability(size_t i) const {
+  PUP_CHECK_LT(i, threshold_.size());
+  const size_t n = threshold_.size();
+  double units = static_cast<double>(threshold_[i]);
+  for (size_t k = 0; k < n; ++k) {
+    if (alias_[k] == i && threshold_[k] < kBucketFull) {
+      units += static_cast<double>(kBucketFull - threshold_[k]);
+    }
+  }
+  return units / (static_cast<double>(n) * static_cast<double>(kBucketFull));
+}
+
+}  // namespace pup::data

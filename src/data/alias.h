@@ -1,0 +1,68 @@
+// O(1) weighted sampling via the alias method (Vose 1991).
+//
+// Construction is deterministic: weights are scaled to 32-bit fixed-point
+// integers and the small/large worklists are filled in ascending index
+// order and consumed LIFO, so equal weight vectors always produce the
+// identical table — on every platform, at every thread count. Each draw
+// costs exactly two RNG reads (bucket + threshold) regardless of the
+// number of outcomes, which is what makes weighted negative sampling and
+// sampled neighborhoods viable at million-node scale (docs/sampling.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pup::data {
+
+/// Precomputed alias table over a fixed weight vector.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Equivalent to Build(weights) on a fresh table.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// (Re)builds the table for `weights`. Requirements (checked): at least
+  /// one entry, every weight finite and >= 0, at least one weight > 0.
+  /// Internal buffers are reused across rebuilds, so per-epoch rebuilds
+  /// do not allocate once capacities are warm.
+  void Build(const std::vector<double>& weights);
+
+  /// Draws an index with probability proportional to its weight. Exactly
+  /// one NextBelow plus one NextU64 per call, independent of size().
+  /// Requires a built table. Const and lock-free: concurrent Sample calls
+  /// on the same table (each thread with its own Rng) are safe.
+  uint32_t Sample(Rng* rng) const {
+    PUP_DCHECK(!threshold_.empty());
+    const auto k = static_cast<size_t>(rng->NextBelow(threshold_.size()));
+    const uint64_t r = rng->NextU64() >> 32;  // Uniform in [0, 2^32).
+    return r < threshold_[k] ? static_cast<uint32_t>(k) : alias_[k];
+  }
+
+  size_t size() const { return threshold_.size(); }
+  bool empty() const { return threshold_.empty(); }
+
+  /// Exact acceptance threshold of bucket i in [0, 2^32] — 2^32 means the
+  /// bucket never aliases. Exposed so tests can assert the table's exact
+  /// sampling distribution: P(i) = sum over buckets of their share of i.
+  uint64_t threshold(size_t i) const { return threshold_[i]; }
+  uint32_t alias(size_t i) const { return alias_[i]; }
+
+  /// Exact probability of drawing `i` from the built table (reconstructed
+  /// from the integer thresholds; the reference for goodness-of-fit
+  /// tests). O(size()).
+  double Probability(size_t i) const;
+
+ private:
+  // threshold_[k] in [0, 2^32]: accept k if the 32-bit draw is below it,
+  // otherwise return alias_[k].
+  std::vector<uint64_t> threshold_;
+  std::vector<uint32_t> alias_;
+  // Construction scratch (kept for allocation-free rebuilds).
+  std::vector<uint64_t> scaled_;
+  std::vector<uint32_t> small_, large_;
+};
+
+}  // namespace pup::data

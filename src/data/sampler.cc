@@ -1,16 +1,47 @@
 #include "data/sampler.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
 namespace pup::data {
+namespace {
+
+// Weighted sampling draws candidates item-wide and rejects the user's
+// positives; after this many rejections (vanishingly unlikely unless the
+// weight mass concentrates inside a user's positives) fall back to one
+// exact uniform-complement draw so the loop always terminates.
+constexpr int kMaxWeightedRejects = 64;
+
+}  // namespace
+
+Result<NegSampling> NegSamplingFromString(const std::string& name) {
+  if (name == "uniform") return NegSampling::kUniform;
+  if (name == "popularity") return NegSampling::kPopularity;
+  if (name == "price") return NegSampling::kPrice;
+  return Status::InvalidArgument(
+      "unknown --neg-sampling '" + name +
+      "' (expected uniform, popularity, or price)");
+}
+
+const char* NegSamplingName(NegSampling mode) {
+  switch (mode) {
+    case NegSampling::kUniform:
+      return "uniform";
+    case NegSampling::kPopularity:
+      return "popularity";
+    case NegSampling::kPrice:
+      return "price";
+  }
+  return "unknown";
+}
 
 NegativeSampler::NegativeSampler(size_t num_users, size_t num_items,
                                  const std::vector<Interaction>& train,
                                  uint64_t seed)
     : num_items_(num_items),
-      train_(train),
+      train_(&train),
       user_items_(BuildUserItems(num_users, train)),
       rng_(seed) {
   PUP_CHECK_GT(num_items_, 0u);
@@ -21,12 +52,38 @@ bool NegativeSampler::IsPositive(uint32_t user, uint32_t item) const {
   return std::binary_search(items.begin(), items.end(), item);
 }
 
+uint32_t NegativeSampler::SampleUniformComplement(uint32_t user) {
+  const auto& items = user_items_[user];
+  const auto r =
+      static_cast<uint32_t>(rng_.NextBelow(num_items_ - items.size()));
+  // The r-th non-interacted item is r + (number of positives <= it):
+  // items[k] - k counts the complement elements below items[k] and is
+  // non-decreasing, so binary-search the count of positives with
+  // items[k] - k <= r.
+  size_t lo = 0, hi = items.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (items[mid] <= r + mid) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return r + static_cast<uint32_t>(lo);
+}
+
 uint32_t NegativeSampler::SampleNegative(uint32_t user) {
   const auto& items = user_items_[user];
   PUP_CHECK_MSG(items.size() < num_items_,
                 "user has interacted with every item; no negative exists");
+  if (items.size() > num_items_ / 2) {
+    // Dense user: rejection would spin ~N/(N-|items|) iterations; draw the
+    // complement index directly instead (one RNG read).
+    return SampleUniformComplement(user);
+  }
   // Rejection sampling: expected iterations ≈ N / (N - |items|), tiny for
-  // sparse data.
+  // sparse data. This branch's RNG read sequence is byte-identical to the
+  // historical sampler, which keeps the golden training runs bitwise.
   for (;;) {
     auto candidate = static_cast<uint32_t>(rng_.NextBelow(num_items_));
     if (!std::binary_search(items.begin(), items.end(), candidate)) {
@@ -44,14 +101,109 @@ std::vector<BprTriple> NegativeSampler::SampleEpoch(int rate) {
 void NegativeSampler::SampleEpoch(int rate, std::vector<BprTriple>* out) {
   PUP_CHECK_GE(rate, 1);
   PUP_CHECK(out != nullptr);
+  BeginEpoch();
   out->clear();
-  out->reserve(train_.size() * static_cast<size_t>(rate));
-  for (const Interaction& x : train_) {
+  out->reserve(train_->size() * static_cast<size_t>(rate));
+  for (const Interaction& x : *train_) {
     for (int r = 0; r < rate; ++r) {
       out->push_back({x.user, x.item, SampleNegative(x.user)});
     }
   }
   rng_.Shuffle(out);
+}
+
+WeightedNegativeSampler::WeightedNegativeSampler(
+    size_t num_users, size_t num_items, const std::vector<Interaction>& train,
+    uint64_t seed, const WeightedSamplerConfig& config,
+    const std::vector<uint32_t>& item_price_level)
+    : NegativeSampler(num_users, num_items, train, seed),
+      config_(config),
+      item_price_level_(&item_price_level) {
+  PUP_CHECK_MSG(config_.mode != NegSampling::kUniform,
+                "use NegativeSampler for uniform sampling");
+  PUP_CHECK_MSG(std::isfinite(config_.alpha) && config_.alpha >= 0.0,
+                "--neg-alpha must be finite and >= 0");
+  if (config_.mode == NegSampling::kPrice) {
+    PUP_CHECK_MSG(item_price_level_->size() == num_items,
+                  "price-weighted sampling needs one price level per item");
+  }
+  RebuildTable();
+}
+
+void WeightedNegativeSampler::RebuildTable() {
+  // Counts come from the borrowed training list, so the table is a pure
+  // function of (train, mode, alpha) — every rebuild on every thread count
+  // produces the identical table, and kill/resume only has to restore the
+  // RNG stream.
+  std::vector<uint32_t> item_count(num_items_, 0);
+  for (const Interaction& x : train()) ++item_count[x.item];
+
+  weights_.assign(num_items_, 0.0);
+  if (config_.mode == NegSampling::kPopularity) {
+    // P(j) ∝ (count_j + 1)^alpha — add-one smoothing keeps never-bought
+    // items reachable (word2vec-style, alpha typically 0.75).
+    for (size_t j = 0; j < num_items_; ++j) {
+      weights_[j] =
+          std::pow(static_cast<double>(item_count[j]) + 1.0, config_.alpha);
+    }
+  } else {
+    // P(j) ∝ (interactions in j's price level + 1)^alpha: negatives come
+    // from the price segments users actually buy in, which is where the
+    // paper's price-aware ranking needs discriminative pairs.
+    uint32_t max_level = 0;
+    for (uint32_t lvl : *item_price_level_) {
+      max_level = std::max(max_level, lvl);
+    }
+    std::vector<uint64_t> level_count(static_cast<size_t>(max_level) + 1, 0);
+    for (size_t j = 0; j < num_items_; ++j) {
+      level_count[(*item_price_level_)[j]] += item_count[j];
+    }
+    for (size_t j = 0; j < num_items_; ++j) {
+      const uint64_t c = level_count[(*item_price_level_)[j]];
+      weights_[j] = std::pow(static_cast<double>(c) + 1.0, config_.alpha);
+    }
+  }
+  alias_.Build(weights_);
+}
+
+uint32_t WeightedNegativeSampler::SampleNegative(uint32_t user) {
+  const auto& items = user_items_[user];
+  PUP_CHECK_MSG(items.size() < num_items_,
+                "user has interacted with every item; no negative exists");
+  if (items.size() > num_items_ / 2) {
+    return SampleUniformComplement(user);
+  }
+  for (int attempt = 0; attempt < kMaxWeightedRejects; ++attempt) {
+    const uint32_t candidate = alias_.Sample(&rng_);
+    if (!std::binary_search(items.begin(), items.end(), candidate)) {
+      return candidate;
+    }
+  }
+  return SampleUniformComplement(user);
+}
+
+uint64_t WeightedNegativeSampler::checkpoint_tag() const {
+  // mode in the high bits, alpha (micro-units) in the low 48 — nonzero for
+  // every weighted mode, and any mode/alpha change changes the tag.
+  const auto mode_bits = static_cast<uint64_t>(config_.mode) << 48;
+  const auto alpha_bits =
+      static_cast<uint64_t>(std::llround(config_.alpha * 1e6));
+  return mode_bits | (alpha_bits & ((uint64_t{1} << 48) - 1));
+}
+
+std::unique_ptr<NegativeSampler> MakeNegativeSampler(
+    const Dataset& dataset, const std::vector<Interaction>& train,
+    uint64_t seed, NegSampling mode, double alpha) {
+  if (mode == NegSampling::kUniform) {
+    return std::make_unique<NegativeSampler>(dataset.num_users,
+                                             dataset.num_items, train, seed);
+  }
+  WeightedSamplerConfig config;
+  config.mode = mode;
+  config.alpha = alpha;
+  return std::make_unique<WeightedNegativeSampler>(
+      dataset.num_users, dataset.num_items, train, seed, config,
+      dataset.item_price_level);
 }
 
 }  // namespace pup::data

@@ -2,12 +2,29 @@
 //
 // For each positive (u, i) in the training set, samples items j the user
 // has not interacted with in training — the (u, i, j) triples of eq. (4).
+//
+// Two strategies (docs/sampling.md):
+//  * NegativeSampler — uniform over non-interacted items. Sparse users
+//    use rejection sampling (expected ~1 draw); users whose positives
+//    exceed half the catalog draw one index into the complement directly
+//    (one RNG read + a binary-search offset), so no user degenerates.
+//  * WeightedNegativeSampler — popularity^alpha- or price-level-weighted
+//    draws through an O(1) AliasTable, rebuilt at every epoch start from
+//    the training counts. Harder negatives for ranking quality at scale.
+//
+// Both hold the caller's interaction list by reference (no copy) and
+// expose their single RNG stream for checkpoint save/restore: restoring
+// the stream after epoch k makes epoch k+1 draw exactly what an
+// uninterrupted run would, bitwise.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
+#include "data/alias.h"
 #include "data/dataset.h"
 
 namespace pup::data {
@@ -19,16 +36,31 @@ struct BprTriple {
   uint32_t neg_item;
 };
 
+/// Negative-sampling strategy (--neg-sampling).
+enum class NegSampling {
+  kUniform,     // Every non-interacted item equally likely (golden path).
+  kPopularity,  // P(j) ∝ (train_count(j) + 1)^alpha — harder negatives.
+  kPrice,       // P(j) ∝ (level_count(level(j)) + 1)^alpha — negatives
+                // from popular price segments (price-aware hardness).
+};
+
+/// Parses "uniform" / "popularity" / "price".
+Result<NegSampling> NegSamplingFromString(const std::string& name);
+const char* NegSamplingName(NegSampling mode);
+
 /// Uniform negative sampler over the items a user has not interacted with.
 class NegativeSampler {
  public:
   /// `train` is the training interaction list; negatives are drawn outside
-  /// each user's training items.
+  /// each user's training items. The list is held BY REFERENCE — the
+  /// caller keeps it alive for the sampler's lifetime (the trainer owns
+  /// both; copying it doubled peak memory on large datasets).
   NegativeSampler(size_t num_users, size_t num_items,
                   const std::vector<Interaction>& train, uint64_t seed);
+  virtual ~NegativeSampler() = default;
 
   /// Samples one negative item for `user` (uniform over non-interacted).
-  uint32_t SampleNegative(uint32_t user);
+  virtual uint32_t SampleNegative(uint32_t user);
 
   /// Produces one epoch of training triples: every training positive
   /// paired with `rate` sampled negatives, in shuffled order.
@@ -49,13 +81,86 @@ class NegativeSampler {
   RngState rng_state() const { return rng_.SaveState(); }
   void restore_rng_state(const RngState& state) { rng_.RestoreState(state); }
 
+  /// Identifies the sampling strategy inside a training checkpoint: 0 for
+  /// uniform (no section written — pre-existing files stay valid), a
+  /// nonzero mode+alpha encoding for weighted samplers. Resume refuses a
+  /// checkpoint whose tag differs from the live sampler's — continuing
+  /// with a different negative distribution would silently diverge from
+  /// the uninterrupted run.
+  virtual uint64_t checkpoint_tag() const { return 0; }
+
   size_t num_items() const { return num_items_; }
 
- private:
+  /// The interaction list this sampler draws positives from — the exact
+  /// object passed to the constructor (identity is tested: constructing a
+  /// sampler must not copy the list).
+  const std::vector<Interaction>& train() const { return *train_; }
+
+ protected:
+  /// Hook run at the top of SampleEpoch, before any draw — weighted
+  /// samplers rebuild their alias table here each epoch.
+  virtual void BeginEpoch() {}
+
+  /// One uniform draw from the complement of `user`'s positives: a single
+  /// NextBelow into the complement's index space, offset past the user's
+  /// positives by binary search. O(log |positives|), no rejection — the
+  /// dense-user path (and the weighted sampler's fallback).
+  uint32_t SampleUniformComplement(uint32_t user);
+
   size_t num_items_;
-  std::vector<Interaction> train_;
-  std::vector<std::vector<uint32_t>> user_items_;  // Sorted per user.
+  const std::vector<Interaction>* train_;             // Borrowed; never null.
+  std::vector<std::vector<uint32_t>> user_items_;     // Sorted per user.
   Rng rng_;
 };
+
+/// Configuration of a WeightedNegativeSampler.
+struct WeightedSamplerConfig {
+  NegSampling mode = NegSampling::kPopularity;
+  /// Exponent on the (smoothed) count weights; 0 degenerates to uniform
+  /// over items (NOT the uniform sampler's stream — draws differ).
+  double alpha = 0.75;
+};
+
+/// Weighted negative sampler: draws candidates from an O(1) alias table
+/// over item weights (popularity^alpha or price-level mass), rejecting the
+/// user's positives. The table is rebuilt deterministically at every epoch
+/// start from the current training counts, so the only mutable state is
+/// the RNG stream — kill/resume restores it and replays bitwise.
+class WeightedNegativeSampler : public NegativeSampler {
+ public:
+  /// `item_price_level` is required (size num_items) for kPrice and
+  /// ignored otherwise; like `train` it is borrowed, not copied.
+  WeightedNegativeSampler(size_t num_users, size_t num_items,
+                          const std::vector<Interaction>& train, uint64_t seed,
+                          const WeightedSamplerConfig& config,
+                          const std::vector<uint32_t>& item_price_level);
+
+  uint32_t SampleNegative(uint32_t user) override;
+  uint64_t checkpoint_tag() const override;
+
+  /// Rebuilds the alias table from the training counts (deterministic;
+  /// public so benches can cost it in isolation).
+  void RebuildTable();
+
+  const AliasTable& alias_table() const { return alias_; }
+  const WeightedSamplerConfig& config() const { return config_; }
+
+ protected:
+  void BeginEpoch() override { RebuildTable(); }
+
+ private:
+  WeightedSamplerConfig config_;
+  const std::vector<uint32_t>* item_price_level_;  // Borrowed; kPrice only.
+  AliasTable alias_;
+  std::vector<double> weights_;  // Rebuild scratch.
+};
+
+/// Builds the sampler for `mode`: a plain NegativeSampler for kUniform
+/// (stream-identical to the historical sampler), a WeightedNegativeSampler
+/// otherwise. `dataset` provides the price levels for kPrice; `train` and
+/// the dataset must outlive the sampler (both are borrowed).
+std::unique_ptr<NegativeSampler> MakeNegativeSampler(
+    const Dataset& dataset, const std::vector<Interaction>& train,
+    uint64_t seed, NegSampling mode, double alpha);
 
 }  // namespace pup::data

@@ -1,6 +1,9 @@
 #include "graph/hetero_graph.h"
 
+#include <utility>
+
 #include "common/check.h"
+#include "graph/neighbor_sampling.h"
 
 namespace pup::graph {
 namespace {
@@ -10,6 +13,50 @@ void AddUndirected(std::vector<la::Triplet>* triplets, uint32_t a,
                    uint32_t b) {
   triplets->push_back({a, b, 1.0f});
   triplets->push_back({b, a, 1.0f});
+}
+
+// Collapses duplicate edges to a 0/1 adjacency, optionally caps per-node
+// fan-in by weighted sampling, adds self-loops, and row-normalizes:
+// Â = rowavg(sample(A) + I). `triplets` holds the data edges only (no
+// self-loops) so the sampled path can cap real neighbors while every node
+// keeps its self-connection.
+la::CsrMatrix BuildNormalizedAdjacency(size_t num_nodes,
+                                       std::vector<la::Triplet> triplets,
+                                       bool add_self_loops,
+                                       size_t max_neighbors,
+                                       uint64_t neighbor_seed) {
+  // Duplicate interactions collapse via triplet summation; clamp weights
+  // back to 1 so the graph stays a 0/1 adjacency before normalization.
+  la::CsrMatrix raw = la::CsrMatrix::FromTriplets(num_nodes, num_nodes,
+                                                  std::move(triplets));
+  std::vector<la::Triplet> binary;
+  binary.reserve(raw.nnz());
+  for (size_t r = 0; r < raw.rows(); ++r) {
+    for (uint32_t k = raw.row_ptr()[r]; k < raw.row_ptr()[r + 1]; ++k) {
+      binary.push_back({static_cast<uint32_t>(r), raw.col_idx()[k], 1.0f});
+    }
+  }
+  la::CsrMatrix a = la::CsrMatrix::FromTriplets(num_nodes, num_nodes,
+                                                std::move(binary));
+  if (max_neighbors > 0) {
+    a = SampleNeighbors(a, max_neighbors, neighbor_seed);
+  }
+  if (add_self_loops) {
+    std::vector<la::Triplet> with_loops;
+    with_loops.reserve(a.nnz() + num_nodes);
+    for (size_t r = 0; r < a.rows(); ++r) {
+      for (uint32_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+        with_loops.push_back(
+            {static_cast<uint32_t>(r), a.col_idx()[k], 1.0f});
+      }
+    }
+    for (uint32_t n = 0; n < num_nodes; ++n) {
+      with_loops.push_back({n, n, 1.0f});
+    }
+    a = la::CsrMatrix::FromTriplets(num_nodes, num_nodes,
+                                    std::move(with_loops));
+  }
+  return a.RowAveraged();
 }
 
 }  // namespace
@@ -28,7 +75,7 @@ HeteroGraph::HeteroGraph(
   PUP_CHECK_EQ(item_prices.size(), num_items);
 
   std::vector<la::Triplet> triplets;
-  triplets.reserve(2 * interactions.size() + 4 * num_items + num_nodes());
+  triplets.reserve(2 * interactions.size() + 4 * num_items);
 
   for (const auto& [u, i] : interactions) {
     PUP_CHECK(u < num_users && i < num_items);
@@ -44,57 +91,28 @@ HeteroGraph::HeteroGraph(
       AddUndirected(&triplets, ItemNode(i), PriceNode(item_prices[i]));
     }
   }
-  if (options.add_self_loops) {
-    for (uint32_t n = 0; n < num_nodes(); ++n) {
-      triplets.push_back({n, n, 1.0f});
-    }
-  }
 
-  // Duplicate interactions collapse via triplet summation; clamp weights
-  // back to 1 so the graph stays a 0/1 adjacency before normalization.
-  la::CsrMatrix raw = la::CsrMatrix::FromTriplets(num_nodes(), num_nodes(),
-                                                  std::move(triplets));
-  std::vector<la::Triplet> binary;
-  binary.reserve(raw.nnz());
-  for (size_t r = 0; r < raw.rows(); ++r) {
-    for (uint32_t k = raw.row_ptr()[r]; k < raw.row_ptr()[r + 1]; ++k) {
-      binary.push_back({static_cast<uint32_t>(r), raw.col_idx()[k], 1.0f});
-    }
-  }
-  la::CsrMatrix a = la::CsrMatrix::FromTriplets(num_nodes(), num_nodes(),
-                                                std::move(binary));
-  adj_ = a.RowAveraged();
+  adj_ = BuildNormalizedAdjacency(num_nodes(), std::move(triplets),
+                                  options.add_self_loops,
+                                  options.max_neighbors,
+                                  options.neighbor_seed);
   adj_t_ = adj_.Transposed();
 }
 
 BipartiteGraph::BipartiteGraph(
     size_t num_users, size_t num_items,
     const std::vector<std::pair<uint32_t, uint32_t>>& interactions,
-    bool add_self_loops)
+    bool add_self_loops, size_t max_neighbors, uint64_t neighbor_seed)
     : num_users_(num_users), num_items_(num_items) {
   std::vector<la::Triplet> triplets;
-  triplets.reserve(2 * interactions.size() + num_nodes());
+  triplets.reserve(2 * interactions.size());
   for (const auto& [u, i] : interactions) {
     PUP_CHECK(u < num_users && i < num_items);
     AddUndirected(&triplets, UserNode(u), ItemNode(i));
   }
-  if (add_self_loops) {
-    for (uint32_t n = 0; n < num_nodes(); ++n) {
-      triplets.push_back({n, n, 1.0f});
-    }
-  }
-  la::CsrMatrix raw = la::CsrMatrix::FromTriplets(num_nodes(), num_nodes(),
-                                                  std::move(triplets));
-  std::vector<la::Triplet> binary;
-  binary.reserve(raw.nnz());
-  for (size_t r = 0; r < raw.rows(); ++r) {
-    for (uint32_t k = raw.row_ptr()[r]; k < raw.row_ptr()[r + 1]; ++k) {
-      binary.push_back({static_cast<uint32_t>(r), raw.col_idx()[k], 1.0f});
-    }
-  }
-  la::CsrMatrix a = la::CsrMatrix::FromTriplets(num_nodes(), num_nodes(),
-                                                std::move(binary));
-  adj_ = a.RowAveraged();
+  adj_ = BuildNormalizedAdjacency(num_nodes(), std::move(triplets),
+                                  add_self_loops, max_neighbors,
+                                  neighbor_seed);
   adj_t_ = adj_.Transposed();
 }
 

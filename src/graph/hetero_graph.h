@@ -24,6 +24,14 @@ struct HeteroGraphOptions {
   /// Add self-loops before normalizing (eq. 5; the paper cites [26] for
   /// why this matters — exposed so the ablation bench can switch it off).
   bool add_self_loops = true;
+  /// PinSage-style per-node fan-in cap (graph/neighbor_sampling.h): nodes
+  /// with more neighbors keep a weighted sample of this many, THEN get
+  /// their self-loop, so every node still sees itself. 0 keeps every edge
+  /// — the bitwise-golden default; sampling is bypassed entirely.
+  size_t max_neighbors = 0;
+  /// Seed of the per-row neighbor-sampling streams (read only when
+  /// max_neighbors > 0).
+  uint64_t neighbor_seed = 7;
 };
 
 /// The unified user–item–category–price graph with its normalized
@@ -84,10 +92,14 @@ class HeteroGraph {
 /// [ users | items ], Â = rowavg(A + I).
 class BipartiteGraph {
  public:
+  /// `max_neighbors`/`neighbor_seed` mirror HeteroGraphOptions: 0 keeps
+  /// every edge, N > 0 caps per-node fan-in by weighted sampling before
+  /// self-loops are added.
   BipartiteGraph(size_t num_users, size_t num_items,
                  const std::vector<std::pair<uint32_t, uint32_t>>&
                      interactions,
-                 bool add_self_loops = true);
+                 bool add_self_loops = true, size_t max_neighbors = 0,
+                 uint64_t neighbor_seed = 7);
 
   size_t num_users() const { return num_users_; }
   size_t num_items() const { return num_items_; }

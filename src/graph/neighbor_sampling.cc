@@ -1,0 +1,84 @@
+#include "graph/neighbor_sampling.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/alias.h"
+
+namespace pup::graph {
+
+la::CsrMatrix SampleNeighbors(const la::CsrMatrix& adj, size_t max_neighbors,
+                              uint64_t seed) {
+  PUP_CHECK_GT(max_neighbors, 0u);
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(std::min(adj.nnz(), adj.rows() * max_neighbors));
+
+  data::AliasTable table;
+  std::vector<double> weights;
+  std::vector<uint8_t> selected;
+  std::vector<uint32_t> order;  // Selected positions, sorted for emission.
+
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    const uint32_t begin = adj.row_ptr()[r];
+    const uint32_t end = adj.row_ptr()[r + 1];
+    const size_t nnz = end - begin;
+    const auto row = static_cast<uint32_t>(r);
+    if (nnz <= max_neighbors) {
+      for (uint32_t k = begin; k < end; ++k) {
+        triplets.push_back({row, adj.col_idx()[k], adj.values()[k]});
+      }
+      continue;
+    }
+
+    weights.assign(nnz, 0.0);
+    for (size_t k = 0; k < nnz; ++k) {
+      weights[k] = static_cast<double>(adj.values()[begin + k]);
+    }
+    table.Build(weights);
+
+    // Distinct weighted sample: draw with rejection until the budget is
+    // met. Each row owns its RNG stream, so row r's sample never depends
+    // on how other rows drew.
+    Rng rng(seed + row);
+    selected.assign(nnz, 0);
+    order.clear();
+    size_t picked = 0;
+    // Rejection stalls only when the residual weight concentrates on
+    // already-picked entries; after the attempt budget, finish with the
+    // heaviest unpicked entries (deterministic, lowest column on ties).
+    const size_t max_attempts = 16 * max_neighbors + 64;
+    for (size_t attempt = 0;
+         picked < max_neighbors && attempt < max_attempts; ++attempt) {
+      const uint32_t k = table.Sample(&rng);
+      if (!selected[k]) {
+        selected[k] = 1;
+        order.push_back(k);
+        ++picked;
+      }
+    }
+    if (picked < max_neighbors) {
+      std::vector<uint32_t> rest;
+      for (uint32_t k = 0; k < nnz; ++k) {
+        if (!selected[k]) rest.push_back(k);
+      }
+      std::stable_sort(rest.begin(), rest.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         return weights[a] > weights[b];
+                       });
+      for (size_t i = 0; picked < max_neighbors; ++i, ++picked) {
+        order.push_back(rest[i]);
+      }
+    }
+    std::sort(order.begin(), order.end());
+    for (uint32_t k : order) {
+      triplets.push_back({row, adj.col_idx()[begin + k],
+                          adj.values()[begin + k]});
+    }
+  }
+  return la::CsrMatrix::FromTriplets(adj.rows(), adj.cols(),
+                                     std::move(triplets));
+}
+
+}  // namespace pup::graph

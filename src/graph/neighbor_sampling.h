@@ -1,0 +1,28 @@
+// PinSage-style neighborhood sampling (Ying et al., KDD 2018).
+//
+// Caps every node's fan-in at a fixed budget by sampling a distinct subset
+// of its neighbors, weighted by edge weight through the same AliasTable
+// that powers weighted negative sampling. With the cap in place one
+// propagation step costs O(nodes * max_neighbors) instead of O(edges), so
+// per-step cost stops scaling with node degree (docs/sampling.md).
+#pragma once
+
+#include <cstdint>
+
+#include "la/csr.h"
+
+namespace pup::graph {
+
+/// Returns `adj` with every row's nonzeros capped at `max_neighbors`.
+///
+/// Rows at or under the cap are copied untouched. Over-budget rows keep a
+/// distinct weighted sample of their columns (probability proportional to
+/// edge weight), emitted in the original column order so the result is
+/// valid CSR. Sampling is deterministic: each row draws from its own
+/// Rng(seed + row) stream, so the result is a pure function of
+/// (adj, max_neighbors, seed) at any thread count. `max_neighbors` must
+/// be > 0 — callers bypass sampling entirely for the unlimited case.
+la::CsrMatrix SampleNeighbors(const la::CsrMatrix& adj, size_t max_neighbors,
+                              uint64_t seed);
+
+}  // namespace pup::graph

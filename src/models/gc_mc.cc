@@ -15,8 +15,9 @@ void GcMc::Fit(const data::Dataset& dataset,
   std::vector<std::pair<uint32_t, uint32_t>> pairs;
   pairs.reserve(train.size());
   for (const data::Interaction& x : train) pairs.emplace_back(x.user, x.item);
-  graph_ = std::make_unique<graph::BipartiteGraph>(dataset.num_users,
-                                                   dataset.num_items, pairs);
+  graph_ = std::make_unique<graph::BipartiteGraph>(
+      dataset.num_users, dataset.num_items, pairs, /*add_self_loops=*/true,
+      config_.max_neighbors, config_.train.seed);
 
   node_emb_ = ag::Param(la::Matrix::Gaussian(
       graph_->num_nodes(), config_.embedding_dim, config_.init_stddev, &rng));

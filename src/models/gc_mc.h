@@ -27,6 +27,8 @@ struct GcMcConfig {
   size_t embedding_dim = 64;
   float init_stddev = 0.05f;
   float dropout = 0.1f;
+  /// Per-node fan-in cap in Â (0 = full neighborhood; see PupConfig).
+  size_t max_neighbors = 0;
   train::TrainOptions train;
 };
 

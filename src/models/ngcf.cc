@@ -19,8 +19,9 @@ void Ngcf::Fit(const data::Dataset& dataset,
   std::vector<std::pair<uint32_t, uint32_t>> pairs;
   pairs.reserve(train.size());
   for (const data::Interaction& x : train) pairs.emplace_back(x.user, x.item);
-  graph_ = std::make_unique<graph::BipartiteGraph>(dataset.num_users,
-                                                   dataset.num_items, pairs);
+  graph_ = std::make_unique<graph::BipartiteGraph>(
+      dataset.num_users, dataset.num_items, pairs, /*add_self_loops=*/true,
+      config_.max_neighbors, config_.train.seed);
 
   // Row-index maps for Propagate: static for the whole run.
   user_rows_.resize(dataset.num_users);

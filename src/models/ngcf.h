@@ -31,6 +31,8 @@ struct NgcfConfig {
   float init_stddev = 0.05f;
   float dropout = 0.1f;
   float leaky_slope = 0.2f;
+  /// Per-node fan-in cap in Â (0 = full neighborhood; see PupConfig).
+  size_t max_neighbors = 0;
   train::TrainOptions train;
 };
 

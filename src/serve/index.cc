@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "la/kernels.h"
+#include "obs/registry.h"
 
 namespace pup::serve {
 namespace {
@@ -39,6 +41,16 @@ std::vector<float> BuildPrior(const data::Dataset& dataset) {
   for (const data::Interaction& it : dataset.interactions) ++count[it.item];
   const bool has_levels = dataset.item_price_level.size() == n &&
                           dataset.num_price_levels > 0;
+  if (!has_levels) {
+    // Degrading to popularity-only silently hid quantization wiring bugs
+    // (a mis-sized level vector produced a valid-looking but price-blind
+    // prior); make the fallback observable.
+    PUP_OBS_COUNT("serve/prior_level_fallback", 1);
+    PUP_LOG_WARNING << "BuildPrior: item_price_level has "
+                    << dataset.item_price_level.size() << " entries for " << n
+                    << " items (num_price_levels=" << dataset.num_price_levels
+                    << "); cold-start prior falls back to popularity only";
+  }
   std::vector<uint64_t> level_count(has_levels ? dataset.num_price_levels : 1,
                                     0);
   for (size_t i = 0; i < n; ++i) {

@@ -16,6 +16,10 @@ namespace {
 class ZipfSampler {
  public:
   ZipfSampler(size_t n, double s) : cdf_(n) {
+    // With n == 0 Sample would compute cdf_.size() - 1 == SIZE_MAX and
+    // feed an empty range to lower_bound — reject it here, where the bug
+    // would be planted, not at the (possibly distant) first draw.
+    PUP_CHECK_MSG(n > 0, "ZipfSampler needs num_users > 0");
     double total = 0.0;
     for (size_t i = 0; i < n; ++i) {
       total += 1.0 / std::pow(static_cast<double>(i + 1), s);
@@ -38,7 +42,10 @@ class ZipfSampler {
 }  // namespace
 
 Trace GenerateTrace(const TraceConfig& config) {
-  PUP_CHECK(config.num_users > 0 && config.num_items > 0);
+  PUP_CHECK_MSG(config.num_users > 0,
+                "GenerateTrace needs num_users > 0 (the Zipf user sampler "
+                "has no support otherwise)");
+  PUP_CHECK_MSG(config.num_items > 0, "GenerateTrace needs num_items > 0");
   PUP_CHECK(config.arrival_qps > 0.0);
   Rng rng(config.seed);
   Trace trace;

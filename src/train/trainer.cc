@@ -74,6 +74,13 @@ Status SaveTrainerCheckpoint(const ckpt::DatasetFingerprint& fingerprint,
   writer.AddU64("meta/epochs_completed", static_cast<uint64_t>(epochs));
   writer.AddF32("trainer/lr", lr);
   writer.AddRng("sampler/rng", sampler.rng_state());
+  // Weighted samplers stamp their strategy so a resume with a different
+  // --neg-sampling/--neg-alpha is rejected instead of silently diverging.
+  // Uniform runs write no section, keeping their files byte-identical to
+  // checkpoints from before weighted sampling existed.
+  if (sampler.checkpoint_tag() != 0) {
+    writer.AddU64("sampler/tag", sampler.checkpoint_tag());
+  }
   PUP_RETURN_NOT_OK(ckpt::SaveOptimizerState(optimizer, &writer));
   if (checkpointable != nullptr) {
     PUP_RETURN_NOT_OK(checkpointable->SaveState(&writer));
@@ -152,6 +159,17 @@ Result<ResumePoint> TryResumeCheckpoint(
   point.epochs_completed = static_cast<int>(epochs);
   PUP_ASSIGN_OR_RETURN(point.lr, reader.GetF32("trainer/lr"));
   PUP_ASSIGN_OR_RETURN(RngState sampler_rng, reader.GetRng("sampler/rng"));
+  uint64_t stored_tag = 0;
+  if (reader.Has("sampler/tag")) {
+    PUP_ASSIGN_OR_RETURN(stored_tag, reader.GetU64("sampler/tag"));
+  }
+  if (stored_tag != sampler->checkpoint_tag()) {
+    return Status::FailedPrecondition(
+        "checkpoint negative-sampling strategy (tag " +
+        std::to_string(stored_tag) + ") does not match this run's (tag " +
+        std::to_string(sampler->checkpoint_tag()) +
+        "); resume with the same --neg-sampling/--neg-alpha");
+  }
   // The optimizer sections are staged and pre-validated here, NOT loaded:
   // they are the last sections in the file, and committing the model
   // first would tear the restore when they turn out corrupt — the model
@@ -207,6 +225,15 @@ void ApplyCheckNumericsFlag(const Flags& flags, TrainOptions* options) {
       flags.GetBool("check-numerics", options->check_numerics);
 }
 
+Status ApplyNegSamplingFlags(const Flags& flags, TrainOptions* options) {
+  const std::string name = flags.GetString(
+      "neg-sampling", data::NegSamplingName(options->neg_sampling));
+  PUP_ASSIGN_OR_RETURN(options->neg_sampling,
+                       data::NegSamplingFromString(name));
+  options->neg_alpha = flags.GetDouble("neg-alpha", options->neg_alpha);
+  return Status::OK();
+}
+
 CheckpointOptions CheckpointOptionsFromFlags(const Flags& flags) {
   CheckpointOptions options;
   options.directory = flags.GetString("ckpt-dir", "");
@@ -235,8 +262,8 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
   PUP_CHECK_GT(options.batch_size, 0u);
   PUP_CHECK_MSG(!train.empty(), "training split is empty");
 
-  data::NegativeSampler sampler(dataset.num_users, dataset.num_items, train,
-                                options.seed);
+  std::unique_ptr<data::NegativeSampler> sampler = data::MakeNegativeSampler(
+      dataset, train, options.seed, options.neg_sampling, options.neg_alpha);
   ag::Adam optimizer(model->Parameters(),
                      {.learning_rate = options.learning_rate});
 
@@ -275,7 +302,7 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
     for (const std::string& candidate : ResumeCandidates(ck.resume_from)) {
       Result<ResumePoint> point = TryResumeCheckpoint(
           candidate, fingerprint, model_key, model, checkpointable,
-          &optimizer, &sampler, options.epochs);
+          &optimizer, sampler.get(), options.epochs);
       if (!point.ok()) {
         PUP_OBS_COUNT("train/resume_rejected", 1);
         PUP_LOG_WARNING << "skipping checkpoint " << candidate << ": "
@@ -321,7 +348,7 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
     Stopwatch timer;
     {
       PUP_OBS_SCOPED_TIMER("train/sample_epoch");
-      sampler.SampleEpoch(options.negative_rate, &triples);
+      sampler->SampleEpoch(options.negative_rate, &triples);
     }
     PUP_OBS_COUNT("train/triples", triples.size());
     double loss_sum = 0.0;
@@ -378,7 +405,7 @@ std::vector<EpochStats> TrainBpr(BprTrainable* model,
       PUP_OBS_SCOPED_TIMER("train/checkpoint_save");
       Status st =
           SaveTrainerCheckpoint(fingerprint, model_key, model, checkpointable,
-                                optimizer, sampler, epoch + 1, lr, path);
+                                optimizer, *sampler, epoch + 1, lr, path);
       if (!st.ok()) {
         PUP_LOG_WARNING << "checkpoint save failed (" << path
                         << "): " << st.message();

@@ -59,6 +59,12 @@ struct TrainOptions {
   float l2_reg = 3e-2f;
   /// Negatives sampled per positive (paper: 1).
   int negative_rate = 1;
+  /// Negative-sampling strategy (docs/sampling.md). kUniform is the
+  /// bitwise-golden default; popularity/price draw harder negatives
+  /// through an O(1) alias table rebuilt each epoch.
+  data::NegSampling neg_sampling = data::NegSampling::kUniform;
+  /// Exponent on the weighted-sampling counts (ignored for kUniform).
+  double neg_alpha = 0.75;
   uint64_t seed = 7;
   /// Learning rate is divided by 10 when these fractions of the epochs
   /// complete (paper: "reduce the learning rate by a factor of 10 twice").
@@ -81,6 +87,10 @@ struct TrainOptions {
 /// Applies the --check-numerics[=0|1] flag to `options` — shared by
 /// pup_cli and every example (mirrors CheckpointOptionsFromFlags).
 void ApplyCheckNumericsFlag(const Flags& flags, TrainOptions* options);
+
+/// Applies --neg-sampling {uniform,popularity,price} and --neg-alpha to
+/// `options`; InvalidArgument on an unknown strategy name.
+Status ApplyNegSamplingFlags(const Flags& flags, TrainOptions* options);
 
 /// A model trainable with BPR: builds the differentiable score graph for
 /// one (users, positives, negatives) batch.

@@ -1,0 +1,585 @@
+// Tests for the alias-table sampling stack (docs/sampling.md): the
+// AliasTable itself, the uniform sampler's dense-user complement path,
+// the weighted negative samplers, PinSage-style neighbor sampling, and
+// the determinism contract (rebuilds, threads, kill/resume).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/alias.h"
+#include "data/sampler.h"
+#include "data/synthetic.h"
+#include "graph/hetero_graph.h"
+#include "graph/neighbor_sampling.h"
+#include "train/trainer.h"
+
+namespace pup {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------ AliasTable ------------------------------
+
+TEST(AliasTableTest, ProbabilitiesMatchNormalizedWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0, 0.5};
+  data::AliasTable table(weights);
+  const double total = 10.5;
+  double sum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double p = table.Probability(i);
+    // Integer scaling drifts by at most a few 2^-32 units per bucket.
+    EXPECT_NEAR(p, weights[i] / total, 1e-8) << "outcome " << i;
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(AliasTableTest, ChiSquareGoodnessOfFit) {
+  const std::vector<double> weights = {4.0, 1.0, 9.0,  2.5, 0.25, 7.0,
+                                       3.0, 6.5, 1.75, 5.0, 2.0,  8.0};
+  data::AliasTable table(weights);
+  Rng rng(20260809);
+  const size_t kDraws = 200000;
+  std::vector<size_t> counts(weights.size(), 0);
+  for (size_t i = 0; i < kDraws; ++i) {
+    const uint32_t k = table.Sample(&rng);
+    ASSERT_LT(k, weights.size());
+    ++counts[k];
+  }
+  double chi2 = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = table.Probability(i) * kDraws;
+    ASSERT_GT(expected, 5.0) << "test setup: bucket too small for chi2";
+    const double diff = counts[i] - expected;
+    chi2 += diff * diff / expected;
+  }
+  // df = 11; the 99.9th percentile is 31.3. The seed is fixed, so this
+  // only fails if the sampler's distribution is actually wrong.
+  EXPECT_LT(chi2, 31.3);
+}
+
+TEST(AliasTableTest, DeterministicAcrossRebuilds) {
+  std::vector<double> weights(257);
+  Rng rng(5);
+  for (double& w : weights) w = rng.NextDouble() * 10.0;
+  data::AliasTable a(weights);
+  data::AliasTable b;
+  b.Build(weights);
+  // Rebuild b again on warm buffers — still identical.
+  b.Build(weights);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.threshold(i), b.threshold(i)) << i;
+    EXPECT_EQ(a.alias(i), b.alias(i)) << i;
+  }
+}
+
+TEST(AliasTableTest, DeterministicAcrossThreads) {
+  std::vector<double> weights(1024);
+  Rng rng(11);
+  for (double& w : weights) w = rng.NextDouble();
+  const data::AliasTable reference(weights);
+
+  // Concurrent construction: every thread must see the identical table.
+  std::vector<data::AliasTable> tables(8);
+  std::vector<std::thread> workers;
+  for (auto& t : tables) {
+    workers.emplace_back([&t, &weights] { t.Build(weights); });
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& t : tables) {
+    ASSERT_EQ(t.size(), reference.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+      ASSERT_EQ(t.threshold(i), reference.threshold(i));
+      ASSERT_EQ(t.alias(i), reference.alias(i));
+    }
+  }
+
+  // Concurrent draws from one shared table (thread-own RNGs) reproduce
+  // the single-threaded sequences exactly.
+  std::vector<std::vector<uint32_t>> parallel(4), serial(4);
+  workers.clear();
+  for (size_t t = 0; t < parallel.size(); ++t) {
+    workers.emplace_back([&reference, &parallel, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < 1000; ++i) {
+        parallel[t].push_back(reference.Sample(&rng));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (size_t t = 0; t < serial.size(); ++t) {
+    Rng rng(100 + t);
+    for (int i = 0; i < 1000; ++i) serial[t].push_back(reference.Sample(&rng));
+  }
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(AliasTableTest, SingleEntryAlwaysDrawn) {
+  data::AliasTable table(std::vector<double>{3.5});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_DOUBLE_EQ(table.Probability(0), 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(&rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightBucketsNeverDrawn) {
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 3.0, 0.0};
+  data::AliasTable table(weights);
+  EXPECT_DOUBLE_EQ(table.Probability(0), 0.0);
+  EXPECT_DOUBLE_EQ(table.Probability(2), 0.0);
+  EXPECT_DOUBLE_EQ(table.Probability(4), 0.0);
+  EXPECT_NEAR(table.Probability(1), 0.25, 1e-9);
+  EXPECT_NEAR(table.Probability(3), 0.75, 1e-9);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t k = table.Sample(&rng);
+    EXPECT_TRUE(k == 1 || k == 3) << "drew zero-weight outcome " << k;
+  }
+}
+
+TEST(AliasTableDeathTest, RejectsInvalidWeights) {
+  data::AliasTable table;
+  EXPECT_DEATH(table.Build({}), "at least one outcome");
+  EXPECT_DEATH(table.Build({0.0, 0.0}), "positive total");
+  EXPECT_DEATH(table.Build({1.0, -0.5}), "non-negative");
+}
+
+// --------------------------- NegativeSampler ----------------------------
+
+data::Dataset TinyWorld() {
+  data::SyntheticConfig config = data::SyntheticConfig::YelpLike().Scaled(0.04);
+  config.num_interactions = 2000;
+  return data::GenerateSynthetic(config);
+}
+
+// A catalog where item 0 dominates the interaction counts and every user
+// is sparse (2 positives of 50 items).
+data::Dataset SkewedWorld() {
+  data::Dataset ds;
+  ds.num_users = 40;
+  ds.num_items = 50;
+  ds.num_categories = 1;
+  ds.num_price_levels = 2;
+  ds.item_category.assign(ds.num_items, 0);
+  ds.item_price.assign(ds.num_items, 1.0f);
+  // Items 0..24 are price level 0, items 25..49 level 1.
+  ds.item_price_level.resize(ds.num_items);
+  for (uint32_t i = 0; i < ds.num_items; ++i) {
+    ds.item_price_level[i] = i < 25 ? 0 : 1;
+  }
+  // Every user buys item 0; user u also buys item 25 + u % 25 once.
+  for (uint32_t u = 0; u < ds.num_users; ++u) {
+    ds.interactions.push_back({u, 0, 0});
+    ds.interactions.push_back({u, 25 + u % 25, 1});
+  }
+  return ds;
+}
+
+TEST(SamplerRegressionTest, TrainListHeldByReferenceNotCopied) {
+  data::Dataset ds = TinyWorld();
+  data::NegativeSampler sampler(ds.num_users, ds.num_items, ds.interactions,
+                                42);
+  // The alloc-stats contract: constructing a sampler must not duplicate
+  // the interaction list — sampler.train() IS the caller's vector.
+  EXPECT_EQ(&sampler.train(), &ds.interactions);
+  EXPECT_EQ(sampler.train().data(), ds.interactions.data());
+}
+
+TEST(SamplerRegressionTest, DenseUserDrawsOnceInsteadOfSpinning) {
+  // User 0 has bought 99 of 100 items; only item 57 is a valid negative.
+  // The historical rejection loop needed ~100 RNG draws per sample here —
+  // the complement path must find item 57 with exactly ONE draw.
+  const size_t kItems = 100;
+  std::vector<data::Interaction> train;
+  for (uint32_t i = 0; i < kItems; ++i) {
+    if (i != 57) train.push_back({0, i, 0});
+  }
+  const uint64_t kSeed = 9;
+  data::NegativeSampler sampler(1, kItems, train, kSeed);
+  const uint32_t neg = sampler.SampleNegative(0);
+  EXPECT_EQ(neg, 57u);
+  // Exactly the RNG state a single NextBelow(1) leaves behind.
+  Rng reference(kSeed);
+  reference.NextBelow(1);
+  EXPECT_TRUE(sampler.rng_state() == reference.SaveState());
+}
+
+TEST(SamplerRegressionTest, DenseComplementIsUniformOverNegatives) {
+  // 10 items, 6 positives (just past the density threshold): every one of
+  // the 4 negatives must be reachable and roughly equally likely.
+  std::vector<data::Interaction> train;
+  for (uint32_t i : {0u, 2u, 3u, 5u, 7u, 9u}) train.push_back({0, i, 0});
+  data::NegativeSampler sampler(1, 10, train, 123);
+  std::map<uint32_t, int> counts;
+  for (int i = 0; i < 4000; ++i) ++counts[sampler.SampleNegative(0)];
+  ASSERT_EQ(counts.size(), 4u);
+  for (uint32_t item : {1u, 4u, 6u, 8u}) {
+    EXPECT_GT(counts[item], 800) << "negative " << item;
+  }
+}
+
+TEST(SamplerRegressionTest, SparsePathByteIdenticalToRejectionReference) {
+  data::Dataset ds = SkewedWorld();  // Every user holds 2 of 50 items.
+  const uint64_t kSeed = 77;
+  data::NegativeSampler sampler(ds.num_users, ds.num_items, ds.interactions,
+                                kSeed);
+  // Reference: the historical rejection loop, replayed on a twin RNG.
+  Rng ref_rng(kSeed);
+  auto user_items = data::BuildUserItems(ds.num_users, ds.interactions);
+  for (const data::Interaction& x : ds.interactions) {
+    ASSERT_LE(user_items[x.user].size(), ds.num_items / 2)
+        << "test premise: synthetic users are sparse";
+    uint32_t expected;
+    for (;;) {
+      expected = static_cast<uint32_t>(ref_rng.NextBelow(ds.num_items));
+      const auto& items = user_items[x.user];
+      if (!std::binary_search(items.begin(), items.end(), expected)) break;
+    }
+    ASSERT_EQ(sampler.SampleNegative(x.user), expected);
+  }
+  EXPECT_TRUE(sampler.rng_state() == ref_rng.SaveState());
+}
+
+TEST(SamplerDeathTest, EverySamplerRejectsFullyDenseUser) {
+  std::vector<data::Interaction> train = {{0, 0, 0}};
+  data::NegativeSampler uniform(1, 1, train, 1);
+  EXPECT_DEATH(uniform.SampleNegative(0), "no negative");
+  data::WeightedSamplerConfig config;
+  data::WeightedNegativeSampler weighted(1, 1, train, 1, config, {});
+  EXPECT_DEATH(weighted.SampleNegative(0), "no negative");
+}
+
+// ------------------------ WeightedNegativeSampler -----------------------
+
+TEST(WeightedSamplerTest, NegativesAreNeverPositives) {
+  data::Dataset ds = SkewedWorld();
+  for (data::NegSampling mode :
+       {data::NegSampling::kPopularity, data::NegSampling::kPrice}) {
+    auto sampler = data::MakeNegativeSampler(ds, ds.interactions, 42, mode,
+                                             /*alpha=*/0.75);
+    for (int i = 0; i < 2000; ++i) {
+      const uint32_t u = i % ds.num_users;
+      const uint32_t neg = sampler->SampleNegative(u);
+      ASSERT_LT(neg, ds.num_items);
+      ASSERT_FALSE(sampler->IsPositive(u, neg));
+    }
+  }
+}
+
+TEST(WeightedSamplerTest, PopularityWeightingBiasesTowardPopularItems) {
+  data::Dataset ds = SkewedWorld();
+  // A fresh user id with no positives so every item is a valid negative.
+  data::Dataset wide = ds;
+  wide.num_users += 1;
+  const auto probe = static_cast<uint32_t>(ds.num_users);
+  auto sampler = data::MakeNegativeSampler(
+      wide, wide.interactions, 42, data::NegSampling::kPopularity, 1.0);
+  std::vector<int> counts(ds.num_items, 0);
+  const int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler->SampleNegative(probe)];
+  // Item 0 holds 40 of 80 interactions: weight 41 vs 2 (bought once) vs 1
+  // (never bought). Expect its draw share to dwarf a never-bought item's.
+  EXPECT_GT(counts[0], 20 * counts[1]);
+  // Every item stays reachable thanks to add-one smoothing.
+  EXPECT_GT(counts[1], 0);
+}
+
+TEST(WeightedSamplerTest, PriceWeightingFollowsLevelMass) {
+  data::Dataset ds = SkewedWorld();
+  data::Dataset wide = ds;
+  wide.num_users += 1;
+  const auto probe = static_cast<uint32_t>(ds.num_users);
+  auto sampler = data::MakeNegativeSampler(
+      wide, wide.interactions, 42, data::NegSampling::kPrice, 1.0);
+  // Level 0 holds 40 interactions, level 1 holds 40 — but level 0 spreads
+  // them over the same 25 items as level 1, so per-item weights tie; use
+  // asymmetric masses instead: drop the level-1 purchases.
+  data::Dataset lopsided = wide;
+  lopsided.interactions.clear();
+  for (uint32_t u = 0; u < ds.num_users; ++u) {
+    lopsided.interactions.push_back({u, 0, 0});  // All mass in level 0.
+  }
+  auto level_sampler = data::MakeNegativeSampler(
+      lopsided, lopsided.interactions, 42, data::NegSampling::kPrice, 1.0);
+  size_t level0 = 0, level1 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t neg = level_sampler->SampleNegative(probe);
+    (ds.item_price_level[neg] == 0 ? level0 : level1) += 1;
+  }
+  // Level 0 weight per item: 41; level 1: 1. Expect a strong skew.
+  EXPECT_GT(level0, 10 * level1);
+}
+
+TEST(WeightedSamplerTest, RngSaveRestoreReplaysEpochBitwise) {
+  data::Dataset ds = SkewedWorld();
+  auto sampler = data::MakeNegativeSampler(
+      ds, ds.interactions, 7, data::NegSampling::kPopularity, 0.75);
+  sampler->SampleEpoch(1);  // Advance past a warm-up epoch.
+  const RngState state = sampler->rng_state();
+  const auto first = sampler->SampleEpoch(2);
+  sampler->restore_rng_state(state);
+  const auto replay = sampler->SampleEpoch(2);
+  ASSERT_EQ(first.size(), replay.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i].user, replay[i].user);
+    ASSERT_EQ(first[i].pos_item, replay[i].pos_item);
+    ASSERT_EQ(first[i].neg_item, replay[i].neg_item);
+  }
+  EXPECT_TRUE(sampler->rng_state() == sampler->rng_state());
+}
+
+TEST(WeightedSamplerTest, CheckpointTagsDistinguishStrategies) {
+  data::Dataset ds = SkewedWorld();
+  auto uniform = data::MakeNegativeSampler(ds, ds.interactions, 7,
+                                           data::NegSampling::kUniform, 0.75);
+  auto pop = data::MakeNegativeSampler(ds, ds.interactions, 7,
+                                       data::NegSampling::kPopularity, 0.75);
+  auto pop5 = data::MakeNegativeSampler(ds, ds.interactions, 7,
+                                        data::NegSampling::kPopularity, 0.5);
+  auto price = data::MakeNegativeSampler(ds, ds.interactions, 7,
+                                         data::NegSampling::kPrice, 0.75);
+  EXPECT_EQ(uniform->checkpoint_tag(), 0u);
+  std::set<uint64_t> tags = {pop->checkpoint_tag(), pop5->checkpoint_tag(),
+                             price->checkpoint_tag()};
+  EXPECT_EQ(tags.size(), 3u) << "mode/alpha must change the tag";
+  EXPECT_EQ(tags.count(0), 0u);
+}
+
+// -------------------- Weighted training determinism ---------------------
+
+// Minimal trainable: plain MF, enough to exercise the loop.
+class TinyMf : public train::BprTrainable {
+ public:
+  TinyMf(size_t num_users, size_t num_items, size_t dim, uint64_t seed) {
+    Rng rng(seed);
+    users_ = ag::Param(la::Matrix::Gaussian(num_users, dim, 0.1f, &rng));
+    items_ = ag::Param(la::Matrix::Gaussian(num_items, dim, 0.1f, &rng));
+  }
+
+  std::vector<ag::Tensor> Parameters() override { return {users_, items_}; }
+
+  BatchGraph ForwardBatch(const std::vector<uint32_t>& users,
+                          const std::vector<uint32_t>& pos,
+                          const std::vector<uint32_t>& neg,
+                          bool /*training*/) override {
+    ag::Tensor u = ag::Gather(users_, users);
+    BatchGraph b;
+    b.pos_scores = ag::RowDot(u, ag::Gather(items_, pos));
+    b.neg_scores = ag::RowDot(u, ag::Gather(items_, neg));
+    b.l2_terms = {u};
+    return b;
+  }
+
+  ag::Tensor users_, items_;
+};
+
+train::TrainOptions WeightedOptions() {
+  train::TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 256;
+  options.seed = 17;
+  options.neg_sampling = data::NegSampling::kPopularity;
+  options.neg_alpha = 0.75;
+  return options;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/pup_sampling_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(WeightedTrainingTest, BitwiseReproducibleAcrossThreadCounts) {
+  data::Dataset ds = TinyWorld();
+  std::vector<std::vector<double>> losses;
+  std::vector<la::Matrix> final_users;
+  for (int threads : {1, 4}) {
+    ThreadPool::SetGlobalThreads(threads);
+    TinyMf model(ds.num_users, ds.num_items, 16, 5);
+    auto history =
+        train::TrainBpr(&model, ds, ds.interactions, WeightedOptions());
+    std::vector<double> run;
+    for (const auto& e : history) run.push_back(e.mean_loss);
+    losses.push_back(std::move(run));
+    final_users.push_back(model.users_->value);
+  }
+  ThreadPool::SetGlobalThreads(1);
+  ASSERT_EQ(losses[0].size(), 3u);
+  EXPECT_EQ(losses[0], losses[1]);
+  ASSERT_EQ(final_users[0].size(), final_users[1].size());
+  for (size_t i = 0; i < final_users[0].size(); ++i) {
+    ASSERT_EQ(final_users[0].FlatAt(i), final_users[1].FlatAt(i)) << i;
+  }
+}
+
+TEST(WeightedTrainingTest, KillResumeReplaysBitwise) {
+  data::Dataset ds = TinyWorld();
+  const std::string dir = FreshDir("weighted_resume");
+
+  TinyMf full(ds.num_users, ds.num_items, 16, 5);
+  train::TrainOptions options = WeightedOptions();
+  options.checkpoint.directory = dir;
+  options.checkpoint.save_every = 1;
+  auto h_full = train::TrainBpr(&full, ds, ds.interactions, options);
+  ASSERT_EQ(h_full.size(), 3u);
+  ASSERT_TRUE(fs::exists(dir + "/ckpt-000001.pupc"));
+
+  // A fresh model resumed from the epoch-1 snapshot replays epochs 1..2
+  // bit for bit — the weighted sampler's table is rebuilt per epoch, so
+  // restoring the RNG stream is sufficient state.
+  TinyMf resumed(ds.num_users, ds.num_items, 16, 5);
+  train::TrainOptions resume = WeightedOptions();
+  resume.checkpoint.resume_from = dir + "/ckpt-000001.pupc";
+  auto h_resumed = train::TrainBpr(&resumed, ds, ds.interactions, resume);
+  ASSERT_EQ(h_resumed.size(), 2u);
+  for (size_t i = 0; i < h_resumed.size(); ++i) {
+    EXPECT_EQ(h_resumed[i].mean_loss, h_full[1 + i].mean_loss)
+        << "epoch " << 1 + i;
+  }
+  for (size_t i = 0; i < full.users_->value.size(); ++i) {
+    ASSERT_EQ(full.users_->value.FlatAt(i), resumed.users_->value.FlatAt(i));
+  }
+}
+
+TEST(WeightedTrainingTest, ResumeRejectsMismatchedStrategy) {
+  data::Dataset ds = TinyWorld();
+  const std::string dir = FreshDir("strategy_mismatch");
+
+  // Checkpoint a UNIFORM run...
+  TinyMf uniform_model(ds.num_users, ds.num_items, 16, 5);
+  train::TrainOptions uniform = WeightedOptions();
+  uniform.neg_sampling = data::NegSampling::kUniform;
+  uniform.checkpoint.directory = dir;
+  uniform.checkpoint.save_every = 1;
+  train::TrainBpr(&uniform_model, ds, ds.interactions, uniform);
+
+  // ...then try to resume it as a POPULARITY run: every candidate must be
+  // rejected (tag mismatch) and training must start from scratch — a full
+  // 3-epoch history beginning at epoch 0.
+  TinyMf weighted_model(ds.num_users, ds.num_items, 16, 5);
+  train::TrainOptions weighted = WeightedOptions();
+  weighted.checkpoint.resume_from = dir;
+  auto history =
+      train::TrainBpr(&weighted_model, ds, ds.interactions, weighted);
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].epoch, 0);
+}
+
+// -------------------------- Neighbor sampling ---------------------------
+
+la::CsrMatrix DenseRowMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<la::Triplet> triplets;
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (rng.NextDouble() < 0.6) {
+        triplets.push_back(
+            {r, c, static_cast<float>(1.0 + rng.NextDouble())});
+      }
+    }
+  }
+  return la::CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+TEST(NeighborSamplingTest, CapsFanInAndPreservesStructure) {
+  la::CsrMatrix adj = DenseRowMatrix(30, 60, 3);
+  const size_t kCap = 8;
+  la::CsrMatrix capped = graph::SampleNeighbors(adj, kCap, 42);
+  ASSERT_EQ(capped.rows(), adj.rows());
+  ASSERT_EQ(capped.cols(), adj.cols());
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    const size_t before = adj.row_ptr()[r + 1] - adj.row_ptr()[r];
+    const size_t after = capped.row_ptr()[r + 1] - capped.row_ptr()[r];
+    EXPECT_EQ(after, std::min(before, kCap)) << "row " << r;
+    // Sampled columns are a subset of the originals with their weights.
+    for (uint32_t k = capped.row_ptr()[r]; k < capped.row_ptr()[r + 1]; ++k) {
+      const uint32_t col = capped.col_idx()[k];
+      bool found = false;
+      for (uint32_t j = adj.row_ptr()[r]; j < adj.row_ptr()[r + 1]; ++j) {
+        if (adj.col_idx()[j] == col) {
+          EXPECT_EQ(adj.values()[j], capped.values()[k]);
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "row " << r << " col " << col;
+    }
+  }
+}
+
+TEST(NeighborSamplingTest, DeterministicPerSeed) {
+  la::CsrMatrix adj = DenseRowMatrix(20, 80, 4);
+  la::CsrMatrix a = graph::SampleNeighbors(adj, 5, 42);
+  la::CsrMatrix b = graph::SampleNeighbors(adj, 5, 42);
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  EXPECT_EQ(a.row_ptr(), b.row_ptr());
+  la::CsrMatrix c = graph::SampleNeighbors(adj, 5, 43);
+  EXPECT_NE(a.col_idx(), c.col_idx()) << "different seeds should differ";
+}
+
+TEST(NeighborSamplingTest, RowsUnderCapCopiedVerbatim) {
+  la::CsrMatrix adj = DenseRowMatrix(10, 12, 5);
+  la::CsrMatrix capped = graph::SampleNeighbors(adj, 100, 42);
+  EXPECT_EQ(adj.row_ptr(), capped.row_ptr());
+  EXPECT_EQ(adj.col_idx(), capped.col_idx());
+  EXPECT_EQ(adj.values(), capped.values());
+}
+
+TEST(NeighborSamplingTest, BipartiteGraphCapBoundsDegreeAndKeepsSelfLoop) {
+  // 2 users x 40 items, user 0 bought everything.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t i = 0; i < 40; ++i) pairs.emplace_back(0, i);
+  pairs.emplace_back(1, 0);
+  graph::BipartiteGraph capped(2, 40, pairs, /*add_self_loops=*/true,
+                               /*max_neighbors=*/4, /*neighbor_seed=*/7);
+  const la::CsrMatrix& adj = capped.adjacency();
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    const size_t nnz = adj.row_ptr()[r + 1] - adj.row_ptr()[r];
+    EXPECT_LE(nnz, 5u) << "cap + self-loop, row " << r;
+    // Self-loop survives sampling (added afterward).
+    bool has_self = false;
+    for (uint32_t k = adj.row_ptr()[r]; k < adj.row_ptr()[r + 1]; ++k) {
+      if (adj.col_idx()[k] == r) has_self = true;
+    }
+    EXPECT_TRUE(has_self) << "row " << r;
+  }
+  // Unlimited graph is bitwise-identical to one built with a cap larger
+  // than any degree: the golden path is untouched.
+  graph::BipartiteGraph golden(2, 40, pairs);
+  graph::BipartiteGraph wide(2, 40, pairs, true, 1000, 7);
+  EXPECT_EQ(golden.adjacency().row_ptr(), wide.adjacency().row_ptr());
+  EXPECT_EQ(golden.adjacency().col_idx(), wide.adjacency().col_idx());
+  EXPECT_EQ(golden.adjacency().values(), wide.adjacency().values());
+}
+
+TEST(NeighborSamplingTest, HeteroGraphHonorsMaxNeighbors) {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t i = 0; i < 30; ++i) pairs.emplace_back(0, i);
+  std::vector<uint32_t> cats(30, 0), prices(30, 0);
+  graph::HeteroGraphOptions options;
+  options.max_neighbors = 3;
+  options.neighbor_seed = 11;
+  graph::HeteroGraph g(1, 30, 1, 1, pairs, cats, prices, options);
+  const la::CsrMatrix& adj = g.adjacency();
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    EXPECT_LE(adj.row_ptr()[r + 1] - adj.row_ptr()[r], 4u) << "row " << r;
+  }
+}
+
+TEST(NeighborSamplingDeathTest, RejectsZeroCap) {
+  la::CsrMatrix adj = DenseRowMatrix(4, 4, 6);
+  EXPECT_DEATH(graph::SampleNeighbors(adj, 0, 1), "max_neighbors");
+}
+
+}  // namespace
+}  // namespace pup

@@ -150,6 +150,36 @@ TEST(ServingIndexTest, FreezeCopiesTablesAndBuildsPrior) {
   EXPECT_GT(hi, lo);
 }
 
+// A dataset whose price levels are missing (or whose level table is the
+// wrong length) must not silently degrade the cold-start prior: Freeze
+// falls back to popularity-only and says so via the
+// `serve/prior_level_fallback` counter. Regression test for the silent
+// fallback in BuildPrior.
+TEST(ServingIndexTest, FreezeCountsPriceLevelFallback) {
+  data::Dataset ds = SmallDataset();
+  obs::Counter* fallback =
+      obs::Registry::Global().GetCounter("serve/prior_level_fallback");
+
+  // Well-formed levels: no fallback.
+  const uint64_t before_ok = fallback->Get();
+  ServingIndex with_levels = ServingIndex::Freeze(MakeScorer(ds), ds, "ok");
+  EXPECT_EQ(fallback->Get(), before_ok);
+
+  // Truncated level table (e.g. a dataset quantized before items were
+  // appended): the prior must still be valid, but the fallback counts.
+  data::Dataset broken = SmallDataset();
+  broken.item_price_level.resize(broken.num_items / 2);
+  const uint64_t before_broken = fallback->Get();
+  ServingIndex no_levels =
+      ServingIndex::Freeze(MakeScorer(broken), broken, "b");
+  EXPECT_EQ(fallback->Get(), before_broken + 1);
+  ASSERT_EQ(no_levels.cold_start_prior().size(), broken.num_items);
+  for (float p : no_levels.cold_start_prior()) {
+    ASSERT_GE(p, 0.0f);
+    ASSERT_TRUE(std::isfinite(p));
+  }
+}
+
 TEST(ServingIndexTest, SaveLoadRoundTripsBitwise) {
   data::Dataset ds = SmallDataset();
   ServingIndex index = ServingIndex::Freeze(MakeScorer(ds), ds, "roundtrip");
@@ -479,6 +509,22 @@ TEST(ServeBehaviorTest, ReloadBumpsGenerationAndInvalidatesCache) {
   EXPECT_FALSE(reply.cache_hit) << "stale entry served after reload";
   server.Rank(req, &ctx, &reply);
   EXPECT_TRUE(reply.cache_hit);
+}
+
+// Regression test: ZipfSampler used to underflow `cdf_.size() - 1` on an
+// empty user population (n == 0 made the std::min clamp a no-op against
+// SIZE_MAX), reading past an empty vector at the first draw. The guard
+// now rejects the bad config up front in GenerateTrace, with a matching
+// defense-in-depth check in the sampler itself.
+TEST(TraceDeathTest, RejectsEmptyUserOrItemPopulation) {
+  TraceConfig tc;
+  tc.num_users = 0;
+  tc.num_items = 10;
+  tc.num_events = 1;
+  EXPECT_DEATH(GenerateTrace(tc), "Zipf user sampler");
+  tc.num_users = 10;
+  tc.num_items = 0;
+  EXPECT_DEATH(GenerateTrace(tc), "needs num_items > 0");
 }
 
 // ---------------------------------------------------------------------------

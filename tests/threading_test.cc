@@ -224,11 +224,14 @@ data::Dataset GoldenDataset() {
 
 // --threads=1 --simd=off must reproduce the pre-threading serial
 // implementation bitwise. The constants below were captured from the
-// seed (fully serial, scalar-kernel) build: one fixed-seed PUP training
-// epoch, its inference scores, and a full-ranking evaluation over them.
-// The scalar backend is the golden path (docs/simd.md): vector backends
-// change reduction grouping and the sigmoid/tanh approximation, so the
-// goldens are only defined at --simd=off.
+// serial scalar-kernel build: one fixed-seed PUP training epoch, its
+// inference scores, and a full-ranking evaluation over them. The scalar
+// backend is the golden path (docs/simd.md): vector backends change
+// reduction grouping and the sigmoid/tanh approximation, so the goldens
+// are only defined at --simd=off. (Recaptured once when the negative
+// sampler gained the dense-user complement draw — this 60-item world's
+// users hold >half the catalog, so their negative stream moved; see
+// docs/sampling.md.)
 TEST_F(SerialRegressionTest, SingleThreadMatchesPreThreadingGolden) {
   ThreadPool::SetGlobalThreads(1);
   simd::SetActiveIsa(simd::Isa::kOff);
@@ -248,9 +251,9 @@ TEST_F(SerialRegressionTest, SingleThreadMatchesPreThreadingGolden) {
   ASSERT_EQ(scores.size(), 60u);
   double score_sum = 0.0;
   for (float s : scores) score_sum += s;
-  EXPECT_EQ(score_sum, 1.1489036504208343);
-  EXPECT_EQ(static_cast<double>(scores[0]), -0.0032359592150896788);
-  EXPECT_EQ(static_cast<double>(scores[7]), 0.014675811864435673);
+  EXPECT_EQ(score_sum, 1.0293070184416138);
+  EXPECT_EQ(static_cast<double>(scores[0]), -0.0028165786061435938);
+  EXPECT_EQ(static_cast<double>(scores[7]), 0.018861962482333183);
 
   std::vector<std::vector<uint32_t>> exclude(ds.num_users),
       test(ds.num_users), per_user(ds.num_users);
@@ -266,8 +269,8 @@ TEST_F(SerialRegressionTest, SingleThreadMatchesPreThreadingGolden) {
   auto res = eval::EvaluateRanking(model, ds.num_users, ds.num_items,
                                    exclude, test, {10, 20});
   EXPECT_EQ(res.num_users_evaluated, 96u);
-  EXPECT_EQ(res.At(10).recall, 0.43229166666666669);
-  EXPECT_EQ(res.At(20).ndcg, 0.34308977076973668);
+  EXPECT_EQ(res.At(10).recall, 0.44270833333333331);
+  EXPECT_EQ(res.At(20).ndcg, 0.34941063211166196);
 }
 
 // The evaluator's fixed per-chunk accumulation means metrics are

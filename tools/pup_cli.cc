@@ -72,6 +72,8 @@ int Usage() {
                "[--model M] [--levels N] [--quantization uniform|rank]\n"
                "                     [--kcore N] [--epochs N] [--dim N] "
                "[--alpha F] [--l2 F] [--beta F] [--cutoffs 50,100]\n"
+               "                     [--neg-sampling uniform|popularity|price]"
+               " [--neg-alpha F] [--max-neighbors N]\n"
                "                     [--ckpt-dir DIR] [--save-every N] "
                "[--resume PATH] [--export-index PATH]\n"
                "                     [--quant off|int8|int4 (with "
@@ -93,7 +95,11 @@ int Usage() {
                "       checkpoints: --save-every N snapshots DIR every N "
                "epochs; --resume replays\n"
                "       the run bitwise-identically from the newest valid "
-               "snapshot (see docs/checkpointing.md)\n");
+               "snapshot (see docs/checkpointing.md)\n"
+               "       sampling: --neg-sampling picks the negative "
+               "distribution (--neg-alpha its exponent);\n"
+               "       --max-neighbors N caps per-node graph fan-in by "
+               "weighted sampling (see docs/sampling.md)\n");
   return 2;
 }
 
@@ -150,11 +156,20 @@ std::unique_ptr<models::Recommender> MakeModel(const std::string& name,
   t.seed = static_cast<uint64_t>(flags.GetInt("seed", t.seed));
   t.checkpoint = train::CheckpointOptionsFromFlags(flags);
   train::ApplyCheckNumericsFlag(flags, &t);
+  if (Status st = train::ApplyNegSamplingFlags(flags, &t); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return nullptr;
+  }
   if (t.checkpoint.save_every > 0 && t.checkpoint.directory.empty()) {
     std::fprintf(stderr, "--save-every needs --ckpt-dir\n");
     return nullptr;
   }
   size_t dim = static_cast<size_t>(flags.GetInt("dim", 64));
+  // Per-node fan-in cap for the graph models; scorer-only models query
+  // (and ignore) it so a provided flag never trips the unknown-flag gate.
+  size_t max_neighbors =
+      static_cast<size_t>(std::max<int64_t>(flags.GetInt("max-neighbors", 0),
+                                            0));
 
   if (name == "itempop") return std::make_unique<models::ItemPop>();
   if (name == "bpr-mf") {
@@ -178,12 +193,14 @@ std::unique_ptr<models::Recommender> MakeModel(const std::string& name,
   if (name == "gc-mc") {
     models::GcMcConfig c;
     c.embedding_dim = dim;
+    c.max_neighbors = max_neighbors;
     c.train = t;
     return std::make_unique<models::GcMc>(c);
   }
   if (name == "ngcf") {
     models::NgcfConfig c;
     c.embedding_dim = dim;
+    c.max_neighbors = max_neighbors;
     c.train = t;
     return std::make_unique<models::Ngcf>(c);
   }
@@ -199,6 +216,7 @@ std::unique_ptr<models::Recommender> MakeModel(const std::string& name,
     c.embedding_dim = dim;
     if (c.two_branch) c.category_branch_dim = dim / 8;
     c.alpha = static_cast<float>(flags.GetDouble("alpha", c.alpha));
+    c.max_neighbors = max_neighbors;
     c.train = t;
     return std::make_unique<core::Pup>(c);
   }
